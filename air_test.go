@@ -1,0 +1,140 @@
+package air
+
+import (
+	"strings"
+	"testing"
+
+	"air/internal/config"
+)
+
+// TestFacadeQuickstart exercises the public API end to end exactly as the
+// package documentation advertises.
+func TestFacadeQuickstart(t *testing.T) {
+	sys := Fig8System()
+	if r := Verify(sys); !r.OK() {
+		t.Fatalf("Fig8 system must verify: %s", r)
+	}
+	var activations int
+	m, err := NewModule(Config{
+		System: sys,
+		Partitions: []PartitionConfig{
+			{Name: "P1", Init: func(sv *Services) {
+				sv.CreateProcess(TaskSpec{
+					Name: "ctl", Period: 1300, Deadline: 1300,
+					BasePriority: 1, WCET: 100, Periodic: true,
+				}, func(sv *Services) {
+					for {
+						sv.Compute(100)
+						activations++
+						sv.PeriodicWait()
+					}
+				})
+				sv.StartProcess("ctl")
+				sv.SetPartitionMode(ModeNormal)
+			}},
+			{Name: "P2"}, {Name: "P3"}, {Name: "P4"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5 * 1300); err != nil {
+		t.Fatal(err)
+	}
+	if activations != 5 {
+		t.Errorf("activations = %d, want 5", activations)
+	}
+	if misses := m.TraceKind(EvDeadlineMiss); len(misses) != 0 {
+		t.Errorf("misses: %v", misses)
+	}
+}
+
+func TestFacadeSynthesisAndAnalysis(t *testing.T) {
+	sch, err := Synthesize("auto", []Requirement{
+		{Partition: "A", Cycle: 100, Budget: 40},
+		{Partition: "B", Cycle: 200, Budget: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &System{
+		Partitions: []PartitionName{"A", "B"},
+		Schedules:  []Schedule{*sch},
+	}
+	if r := Verify(sys); !r.OK() {
+		t.Fatalf("synthesized schedule fails: %s", r)
+	}
+	results, err := AnalyzeSystem(sys, []TaskSet{
+		{Partition: "A", Tasks: []TaskSpec{
+			{Name: "t", Period: 200, Deadline: 200, BasePriority: 1, WCET: 30, Periodic: true},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Schedulable() {
+		t.Errorf("analysis = %+v", results)
+	}
+}
+
+func TestFacadeNotationAndGantt(t *testing.T) {
+	sys := Fig8System()
+	if n := Notation(sys); len(n) == 0 || n[0] != 'P' {
+		t.Errorf("Notation = %q", n)
+	}
+	if g := RenderGantt(&sys.Schedules[0], 40); len(g) == 0 {
+		t.Error("RenderGantt empty")
+	}
+}
+
+func TestFacadeSimulateAndPriorities(t *testing.T) {
+	sys := Fig8System()
+	ts := TaskSet{Partition: "P4", Tasks: []TaskSpec{
+		{Name: "b", Period: 1300, Deadline: 1300, BasePriority: 9, WCET: 100, Periodic: true},
+		{Name: "a", Period: 650, Deadline: 650, BasePriority: 1, WCET: 50, Periodic: true},
+	}}
+	rm := AssignRateMonotonic(ts)
+	if rm.Tasks[0].Name != "a" || rm.Tasks[0].BasePriority != 1 {
+		t.Errorf("RM order = %+v", rm.Tasks)
+	}
+	dm := AssignDeadlineMonotonic(ts)
+	if dm.Tasks[0].Name != "a" {
+		t.Errorf("DM order = %+v", dm.Tasks)
+	}
+	res, err := SimulateTaskSet(&sys.Schedules[0], rm, 0)
+	if err != nil || !res.OK() {
+		t.Errorf("simulate = %+v, %v", res, err)
+	}
+}
+
+func TestFacadeIntegrationReport(t *testing.T) {
+	// Emit the built-in configuration through the config layer and render
+	// the integration report through the facade.
+	dir := t.TempDir()
+	path := dir + "/cfg.json"
+	if err := exerciseConfigRoundTrip(path); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteIntegrationReport(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# Integration report") {
+		t.Error("report header missing")
+	}
+}
+
+// exerciseConfigRoundTrip writes the Fig. 8 configuration to disk via the
+// config package (through the facade-visible surface).
+func exerciseConfigRoundTrip(path string) error {
+	doc := config.Fig8Module()
+	return doc.Save(path)
+}

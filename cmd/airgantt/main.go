@@ -1,0 +1,63 @@
+// Command airgantt renders the partition scheduling tables of an AIR module
+// configuration as text Gantt charts — the reproduction of the paper's
+// Fig. 8 timeline diagrams.
+//
+// Usage:
+//
+//	airgantt [-config file.json] [-width n] [-windows]
+//
+// Without -config, the built-in Fig. 8 prototype is rendered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"air/internal/config"
+	"air/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "airgantt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("airgantt", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "module configuration JSON (default: built-in Fig. 8 prototype)")
+		width      = fs.Int("width", 65, "chart width in columns")
+		windows    = fs.Bool("windows", false, "also list windows in ⟨P, O, c⟩ notation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc := config.Fig8Module()
+	if *configPath != "" {
+		var err error
+		if doc, err = config.Load(*configPath); err != nil {
+			return err
+		}
+	}
+	sys, report, err := doc.Verify()
+	if err != nil {
+		return err
+	}
+	if !report.OK() {
+		fmt.Fprintln(os.Stderr, "warning: configuration has model violations:")
+		fmt.Fprintln(os.Stderr, report.String())
+	}
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		fmt.Fprint(out, sched.RenderGantt(s, *width))
+		if *windows {
+			fmt.Fprint(out, sched.RenderWindows(s))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

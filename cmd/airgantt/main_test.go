@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-windows"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"chi1 (MTF = 1300)", "chi2 (MTF = 1300)", "⟨P1, 0, 200⟩"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "/nope.json"}, &out); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# Integration report") {
+		t.Error("report header missing")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var out bytes.Buffer
+	if err := run([]string{"-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Detection latency bounds") {
+		t.Error("report file incomplete")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout polluted when -out given")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "/nope.json"}, &out); err == nil {
+		t.Error("missing config accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Command airsim runs the paper's Sect. 6 prototype demonstration: four
+// partitions executing mockup satellite functions (AOCS, OBDH, TTC, FDIR)
+// over the Fig. 8 scheduling tables, visualised through the VITRAL-style
+// text window manager (Fig. 9) — one window per partition plus two windows
+// observing the behaviour of AIR components (the PMK schedule/dispatch
+// trace and the Health Monitor log).
+//
+// Usage:
+//
+//	airsim [-mtfs n] [-fault] [-switch-at mtf] [-frames n]
+//
+// -fault injects the faulty process on P1 (deadline violation every P1
+// dispatch except the first). -switch-at requests the chi2 schedule at the
+// given MTF boundary, exercising mode-based schedules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"air/internal/core"
+	"air/internal/model"
+	"air/internal/vitral"
+	"air/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "airsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("airsim", flag.ContinueOnError)
+	var (
+		mtfs     = fs.Int("mtfs", 6, "major time frames to simulate")
+		fault    = fs.Bool("fault", false, "inject the faulty process on P1")
+		switchAt = fs.Int("switch-at", -1, "request schedule chi2 at this MTF boundary (-1 = never)")
+		frames   = fs.Int("frames", 2, "VITRAL frames to print (evenly spaced; last frame always printed)")
+		traceOut = fs.String("trace-out", "", "write the module trace as JSON lines to this file")
+		hmOut    = fs.String("hm-out", "", "write the health monitor log as JSON lines to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	const mtf = 1300
+
+	screen, windows := vitral.Grid(
+		[]string{"P1 AOCS", "P2 OBDH", "P3 TTC", "P4 FDIR", "AIR PMK", "AIR Health Monitor"},
+		2, 56, 6)
+	byPartition := map[model.PartitionName]*vitral.Window{
+		"P1": windows[0], "P2": windows[1], "P3": windows[2], "P4": windows[3],
+	}
+	pmkWin, hmWin := windows[4], windows[5]
+
+	m, err := core.NewModule(workload.Config(workload.Options{
+		InjectFault: *fault,
+		Output: func(p model.PartitionName, line string) {
+			if w := byPartition[p]; w != nil {
+				w.Println(line)
+			}
+		},
+	}))
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		return err
+	}
+
+	printEvery := *mtfs
+	if *frames > 0 {
+		printEvery = (*mtfs + *frames - 1) / *frames
+	}
+	var tracedUpTo, hmUpTo int
+	for frame := 1; frame <= *mtfs; frame++ {
+		if *switchAt >= 0 && frame == *switchAt {
+			pt, err := m.Partition("P1")
+			if err != nil {
+				return err
+			}
+			rc := pt.KernelServices().SetModuleScheduleByName("chi2")
+			pmkWin.Printf("[%6d] SET_MODULE_SCHEDULE(chi2) -> %s", m.Now(), rc)
+		}
+		if err := m.Run(mtf); err != nil {
+			return err
+		}
+		// Mirror new trace and HM events into the AIR windows.
+		trace := m.Trace()
+		for _, e := range trace[min(tracedUpTo, len(trace)):] {
+			if e.Kind != core.EvApplicationMessage {
+				pmkWin.Println(e.String())
+			}
+		}
+		tracedUpTo = len(trace)
+		events := m.Health().Events()
+		for _, e := range events[min(hmUpTo, len(events)):] {
+			hmWin.Println(e.String())
+		}
+		hmUpTo = len(events)
+
+		st := m.ScheduleStatus()
+		pmkWin.Printf("[%6d] MTF %d done; schedule=%s next=%s switches at t=%d",
+			m.Now(), frame, st.CurrentName, st.NextName, st.LastSwitch)
+		if frame%printEvery == 0 || frame == *mtfs {
+			fmt.Fprintf(out, "=== t = %d (MTF %d/%d) ===\n", m.Now(), frame, *mtfs)
+			fmt.Fprint(out, screen.Render())
+			fmt.Fprintln(out)
+		}
+	}
+
+	fmt.Fprintf(out, "simulation complete: t=%d, deadline misses=%d, schedule switches=%d\n",
+		m.Now(), len(m.TraceKind(core.EvDeadlineMiss)), len(m.TraceKind(core.EvScheduleSwitch)))
+
+	if *traceOut != "" {
+		if err := writeExport(*traceOut, m.WriteTrace); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "trace written to", *traceOut)
+	}
+	if *hmOut != "" {
+		if err := writeExport(*hmOut, m.WriteHealthLog); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "health log written to", *hmOut)
+	}
+	return nil
+}
+
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

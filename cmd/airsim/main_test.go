@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNominal(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mtfs", "2", "-frames", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[P1 AOCS]", "[AIR PMK]", "[AIR Health Monitor]",
+		"simulation complete", "deadline misses=0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFaultSwitchAndExports(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	hmPath := filepath.Join(dir, "hm.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-mtfs", "3", "-fault", "-switch-at", "2",
+		"-trace-out", tracePath, "-hm-out", hmPath, "-frames", "0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deadline misses=3") {
+		t.Errorf("fault detections missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "schedule switches=1") {
+		t.Errorf("switch missing:\n%s", out.String())
+	}
+	for _, p := range []string{tracePath, hmPath} {
+		data, err := os.ReadFile(p)
+		if err != nil || len(data) == 0 {
+			t.Errorf("export %s missing: %v", p, err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

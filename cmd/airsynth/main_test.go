@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSynthesizeAndEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	err := run([]string{"-req", "A:100:30", "-req", "B:50:20", "-name", "demo", "-emit", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`synthesized "demo"`, "model verification: OK", "wrote module configuration"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDefaultRequirements(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 8 requirements") {
+		t.Error("default path not taken")
+	}
+}
+
+func TestRunInfeasible(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-req", "A:100:80", "-req", "B:100:50"}, &out); err == nil {
+		t.Error("overloaded requirements accepted")
+	}
+}
+
+func TestReqFlagParsing(t *testing.T) {
+	var r reqFlags
+	if err := r.Set("A:100:30"); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == "" {
+		t.Error("String() empty")
+	}
+	for _, bad := range []string{"A:100", "A:x:30", "A:100:y"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command airtrace reads a JSON-lines module trace (produced by the
+// library's trace export) and prints a summary and optional filtered
+// listing. Together with airsim's -trace-out flag it closes the tooling
+// loop: run → export → inspect.
+//
+// Usage:
+//
+//	airtrace [-kind KIND] [-partition P] [-summary] file.jsonl
+//	airsim -mtfs 10 -fault -trace-out run.jsonl && airtrace -summary run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"air/internal/core"
+	"air/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "airtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("airtrace", flag.ContinueOnError)
+	var (
+		kind      = fs.String("kind", "", "only events of this kind (e.g. DEADLINE_MISS)")
+		partition = fs.String("partition", "", "only events of this partition")
+		summary   = fs.Bool("summary", false, "print per-kind and per-partition counts only")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: airtrace [flags] trace.jsonl")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := core.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+
+	filtered := events[:0:0]
+	for _, e := range events {
+		if *kind != "" && e.Kind.String() != *kind {
+			continue
+		}
+		if *partition != "" && e.Partition != model.PartitionName(*partition) {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+
+	if *summary {
+		byKind := map[string]int{}
+		byPartition := map[string]int{}
+		for _, e := range filtered {
+			byKind[e.Kind.String()]++
+			if e.Partition != "" {
+				byPartition[string(e.Partition)]++
+			}
+		}
+		fmt.Fprintf(out, "%d events", len(filtered))
+		if len(filtered) > 0 {
+			fmt.Fprintf(out, " spanning t=[%d, %d]", filtered[0].Time,
+				filtered[len(filtered)-1].Time)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "by kind:")
+		for _, k := range sortedKeys(byKind) {
+			fmt.Fprintf(out, "  %-22s %6d\n", k, byKind[k])
+		}
+		fmt.Fprintln(out, "by partition:")
+		for _, p := range sortedKeys(byPartition) {
+			fmt.Fprintf(out, "  %-22s %6d\n", p, byPartition[p])
+		}
+		return nil
+	}
+	for _, e := range filtered {
+		fmt.Fprintln(out, e)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	lines := `{"t":0,"kind":"PARTITION_SWITCH","partition":"P1","detail":"initial"}
+{"t":100,"kind":"DEADLINE_MISS","partition":"P1","process":"faulty","detail":"missed"}
+{"t":200,"kind":"PARTITION_SWITCH","partition":"P2","detail":"P2"}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-summary", writeTrace(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 events", "spanning t=[0, 200]", "DEADLINE_MISS", "P1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFilters(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "DEADLINE_MISS", writeTrace(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "\n") != 1 || !strings.Contains(out.String(), "faulty") {
+		t.Errorf("kind filter output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-partition", "P2", writeTrace(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "\n") != 1 {
+		t.Errorf("partition filter output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"/nonexistent.jsonl"}, &out); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"air-fig8-prototype", "model verification: OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllSections(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-derive", "-analyze", "-simulate", "-notation"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"eq. (23) for schedule chi1, partition P1, k=0",
+		"200 ≥ 200",
+		"schedulability analysis",
+		"simulation (exact",
+		"P = {P1, P2, P3, P4}",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunEmitAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	var out bytes.Buffer
+	if err := run([]string{"-emit", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-config", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "model verification: OK") {
+		t.Error("emitted config does not verify")
+	}
+}
+
+func TestRunMissingConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

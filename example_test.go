@@ -1,0 +1,97 @@
+package air_test
+
+import (
+	"fmt"
+
+	"air"
+)
+
+// ExampleVerify demonstrates offline verification of a partition scheduling
+// table against the formal model (eqs. 21–23).
+func ExampleVerify() {
+	sys := &air.System{
+		Partitions: []air.PartitionName{"A", "B"},
+		Schedules: []air.Schedule{{
+			Name: "bad", MTF: 100,
+			Requirements: []air.Requirement{
+				{Partition: "A", Cycle: 50, Budget: 30},
+				{Partition: "B", Cycle: 100, Budget: 20},
+			},
+			Windows: []air.Window{
+				// A only gets one 30-tick window: its second 50-tick cycle
+				// is starved — eq. (23) must flag it.
+				{Partition: "A", Offset: 0, Duration: 30},
+				{Partition: "B", Offset: 30, Duration: 20},
+			},
+		}},
+	}
+	report := air.Verify(sys)
+	fmt.Println(report.Has("EQ23_BUDGET_PER_CYCLE"))
+	// Output: true
+}
+
+// ExampleSynthesize generates a verified scheduling table from timing
+// requirements.
+func ExampleSynthesize() {
+	table, err := air.Synthesize("ops", []air.Requirement{
+		{Partition: "CTRL", Cycle: 100, Budget: 40},
+		{Partition: "PAYLOAD", Cycle: 200, Budget: 80},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(table.MTF, table.SuppliedTime("CTRL"), table.SuppliedTime("PAYLOAD"))
+	// Output: 200 80 80
+}
+
+// ExampleNewModule runs a one-partition module for two major time frames.
+func ExampleNewModule() {
+	sys := &air.System{
+		Partitions: []air.PartitionName{"APP"},
+		Schedules: []air.Schedule{{
+			Name: "solo", MTF: 50,
+			Requirements: []air.Requirement{{Partition: "APP", Cycle: 50, Budget: 50}},
+			Windows:      []air.Window{{Partition: "APP", Offset: 0, Duration: 50}},
+		}},
+	}
+	m, err := air.NewModule(air.Config{
+		System: sys,
+		Partitions: []air.PartitionConfig{
+			{Name: "APP", Init: func(sv *air.Services) {
+				sv.CreateProcess(air.TaskSpec{
+					Name: "tick", Period: 50, Deadline: 50,
+					BasePriority: 1, WCET: 10, Periodic: true,
+				}, func(sv *air.Services) {
+					for {
+						sv.Compute(10)
+						fmt.Printf("activation at t=%d\n", sv.GetTime())
+						sv.PeriodicWait()
+					}
+				})
+				sv.StartProcess("tick")
+				sv.SetPartitionMode(air.ModeNormal)
+			}},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := m.Run(100); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The first frame starts at tick 1 (tick 0 is the bootstrap dispatch),
+	// so the first 10-tick activation completes during tick 10 and its
+	// continuation observes t=11; from the second frame on, releases align
+	// with the 50-tick period.
+	// Output:
+	// activation at t=11
+	// activation at t=60
+}

@@ -1,0 +1,123 @@
+// Deadlinemon: process deadline violation monitoring end to end (paper
+// Sect. 5) — a partition hosts a well-behaved control process and a faulty
+// process whose deadline expires while the partition is inactive. The
+// application error handler decides recovery: after three misses it stops
+// the faulty process and raises a flag the control process downlinks.
+//
+//	go run ./examples/deadlinemon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"air"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := &air.System{
+		Partitions: []air.PartitionName{"APP", "OTHER"},
+		Schedules: []air.Schedule{{
+			Name: "main", MTF: 100,
+			Requirements: []air.Requirement{
+				{Partition: "APP", Cycle: 100, Budget: 50},
+				{Partition: "OTHER", Cycle: 100, Budget: 50},
+			},
+			Windows: []air.Window{
+				{Partition: "APP", Offset: 0, Duration: 50},
+				{Partition: "OTHER", Offset: 50, Duration: 50},
+			},
+		}},
+	}
+	if report := air.Verify(sys); !report.OK() {
+		return fmt.Errorf("verify:\n%s", report)
+	}
+
+	misses := 0
+	m, err := air.NewModule(air.Config{
+		System: sys,
+		Partitions: []air.PartitionConfig{
+			{Name: "APP", Init: func(sv *air.Services) {
+				// The error handler is the recovery policy (Sect. 5): log
+				// the first misses, stop the process on the third.
+				sv.CreateErrorHandler(func(hsv *air.Services, ev air.HMEvent) {
+					misses++
+					fmt.Printf("[t=%4d] handler: %s by %s (miss %d)\n",
+						ev.Time, ev.Code, ev.Process, misses)
+					// Sect. 5 recovery options: reinitialize the faulty
+					// process from its entry point for the first misses
+					// (which re-arms its deadline), stop it for good on
+					// the third.
+					hsv.StopProcess(ev.Process)
+					if misses < 3 {
+						hsv.StartProcess(ev.Process)
+						return
+					}
+					fmt.Printf("[t=%4d] handler: stopping %s for good\n",
+						ev.Time, ev.Process)
+					if st, rc := hsv.GetProcessStatus(ev.Process); rc == air.NoError {
+						fmt.Printf("          process now %s\n", st.State)
+					}
+				})
+				// Well-behaved control loop, higher priority.
+				sv.CreateProcess(air.TaskSpec{
+					Name: "control", Period: 100, Deadline: 100,
+					BasePriority: 1, WCET: 20, Periodic: true,
+				}, func(sv *air.Services) {
+					for {
+						sv.Compute(20)
+						sv.PeriodicWait()
+					}
+				})
+				// The faulty process: capacity 60 expires during the OTHER
+				// window; it never completes an activation.
+				sv.CreateProcess(air.TaskSpec{
+					Name: "faulty", Period: 100, Deadline: 60,
+					BasePriority: 5, WCET: 30, Periodic: true,
+				}, func(sv *air.Services) {
+					for {
+						sv.Compute(1 << 30)
+					}
+				})
+				sv.StartProcess("control")
+				sv.StartProcess("faulty")
+				sv.SetPartitionMode(air.ModeNormal)
+			}},
+			{Name: "OTHER"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		return err
+	}
+
+	// The faulty process's capacity (60) expires during the OTHER window,
+	// so each miss is detected at the next APP dispatch — at t = 100, 200,
+	// 300 — and the handler's restart re-arms the next deadline until it
+	// stops the process for good on the third miss.
+	if err := m.Run(8 * 100); err != nil {
+		return err
+	}
+
+	fmt.Println("\n--- deadline violations detected ---")
+	for _, e := range m.TraceKind(air.EvDeadlineMiss) {
+		fmt.Println(e)
+	}
+	fmt.Println("\n--- eq. (24) violation set right now (registered deadlines only) ---")
+	pt, _ := m.Partition("APP")
+	fmt.Printf("V(t=%d) over pending deadlines: %d entries, %d still registered\n",
+		m.Now(), len(pt.PAL().ViolationSet(m.Now())), pt.PAL().Pending())
+	if misses < 3 {
+		return fmt.Errorf("expected at least 3 misses, got %d", misses)
+	}
+	return nil
+}

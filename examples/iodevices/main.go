@@ -1,0 +1,150 @@
+// Iodevices: dedicated input/output addressing spaces (paper abstract,
+// Sect. 2.1). A COMMS partition owns a memory-mapped UART (uplink commands
+// in, telemetry out) and a read-only attitude sensor bank; a second
+// partition shares the module but cannot reach either device — its probe
+// faults and is contained by health monitoring.
+//
+//	go run ./examples/iodevices
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"air"
+)
+
+const (
+	uartBase   = air.VirtAddr(0x0400_0000)
+	sensorBase = air.VirtAddr(0x0500_0000)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := &air.System{
+		Partitions: []air.PartitionName{"COMMS", "OTHER"},
+		Schedules: []air.Schedule{{
+			Name: "main", MTF: 100,
+			Requirements: []air.Requirement{
+				{Partition: "COMMS", Cycle: 100, Budget: 60},
+				{Partition: "OTHER", Cycle: 100, Budget: 40},
+			},
+			Windows: []air.Window{
+				{Partition: "COMMS", Offset: 0, Duration: 60},
+				{Partition: "OTHER", Offset: 60, Duration: 40},
+			},
+		}},
+	}
+	if report := air.Verify(sys); !report.OK() {
+		return fmt.Errorf("verify:\n%s", report)
+	}
+
+	uart := air.NewUART()
+	uart.Feed([]byte("CMD:PING\n")) // ground uplink waiting at boot
+	sensor := air.NewSensor(4, 2400, 3)
+
+	m, err := air.NewModule(air.Config{
+		System: sys,
+		Partitions: []air.PartitionConfig{
+			{Name: "COMMS",
+				Devices: []air.DeviceMapping{
+					{Base: uartBase, Size: 64,
+						AppPerms: air.PermRead | air.PermWrite,
+						POSPerms: air.PermRead | air.PermWrite, Device: uart},
+					{Base: sensorBase, Size: 8,
+						AppPerms: air.PermRead, POSPerms: air.PermRead, Device: sensor},
+				},
+				Init: func(sv *air.Services) {
+					sv.CreateProcess(air.TaskSpec{
+						Name: "comms", Period: 100, Deadline: 100,
+						BasePriority: 1, WCET: 30, Periodic: true,
+					}, func(sv *air.Services) {
+						for {
+							sv.Compute(10)
+							// Drain any uplinked bytes.
+							var cmd []byte
+							status := make([]byte, 1)
+							for {
+								sv.MemRead(uartBase+2, status)
+								if status[0] == 0 {
+									break
+								}
+								b := make([]byte, 1)
+								sv.MemRead(uartBase+1, b)
+								cmd = append(cmd, b[0])
+							}
+							if len(cmd) > 0 {
+								fmt.Printf("[t=%4d] COMMS received uplink %q\n",
+									sv.GetTime(), cmd)
+							}
+							// Read the attitude registers and downlink them.
+							regs := make([]byte, 8)
+							sv.MemRead(sensorBase, regs)
+							tm := fmt.Sprintf("TM t=%d att=%d,%d,%d,%d\n", sv.GetTime(),
+								reg(regs, 0), reg(regs, 1), reg(regs, 2), reg(regs, 3))
+							sv.MemWrite(uartBase, []byte(tm))
+							sv.PeriodicWait()
+						}
+					})
+					sv.StartProcess("comms")
+					sv.SetPartitionMode(air.ModeNormal)
+				}},
+			{Name: "OTHER",
+				HMPartitionTable: air.HMTable{
+					air.ErrMemoryViolation: air.HMRule{Action: air.ActionIgnore},
+				},
+				Init: func(sv *air.Services) {
+					sv.CreateProcess(air.TaskSpec{
+						Name: "prober", Period: 100, Deadline: 100,
+						BasePriority: 1, WCET: 5, Periodic: true,
+					}, func(sv *air.Services) {
+						probed := false
+						for {
+							sv.Compute(5)
+							if !probed {
+								rc := sv.MemRead(uartBase, make([]byte, 1))
+								fmt.Printf("[t=%4d] OTHER probing COMMS UART: %s (contained)\n",
+									sv.GetTime(), rc)
+								probed = true
+							}
+							sv.PeriodicWait()
+						}
+					})
+					sv.StartProcess("prober")
+					sv.SetPartitionMode(air.ModeNormal)
+				}},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		return err
+	}
+	// Sample the sensor each frame, as a hardware clocked ADC would.
+	for frame := 0; frame < 4; frame++ {
+		sensor.Sample()
+		if err := m.Run(100); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("\n--- ground view: UART downlink ---\n%s", uart.Transmitted())
+	fmt.Printf("memory violations contained: %d (all from OTHER)\n",
+		m.Health().Count(air.ErrMemoryViolation))
+	if m.Health().Count(air.ErrMemoryViolation) == 0 {
+		return fmt.Errorf("probe was not detected")
+	}
+	return nil
+}
+
+// reg decodes little-endian 16-bit register i from a raw read.
+func reg(raw []byte, i int) uint16 {
+	return uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
+}

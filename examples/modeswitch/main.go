@@ -1,0 +1,139 @@
+// Modeswitch: mode-based partition schedules across mission phases. Three
+// scheduling tables — "ascent", "science" and "safe" — are *synthesized*
+// from per-phase timing requirements with the library's EDF-based PST
+// generator, then the mission sequencer switches between them at MTF
+// boundaries, with per-schedule restart actions applied to the payload
+// partition.
+//
+//	go run ./examples/modeswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"air"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Phase requirements: during ascent the platform partition dominates;
+	// in science mode the payload gets the bulk; safe mode gives almost
+	// everything to the platform and restarts the payload cold.
+	phases := map[string][]air.Requirement{
+		"ascent": {
+			{Partition: "PLATFORM", Cycle: 100, Budget: 70},
+			{Partition: "PAYLOAD", Cycle: 100, Budget: 10},
+			{Partition: "SEQ", Cycle: 100, Budget: 10},
+		},
+		"science": {
+			{Partition: "PLATFORM", Cycle: 100, Budget: 30},
+			{Partition: "PAYLOAD", Cycle: 50, Budget: 25, ChangeAction: air.ActionWarmStart},
+			{Partition: "SEQ", Cycle: 100, Budget: 10},
+		},
+		"safe": {
+			{Partition: "PLATFORM", Cycle: 100, Budget: 80},
+			{Partition: "PAYLOAD", Cycle: 100, Budget: 5, ChangeAction: air.ActionColdStart},
+			{Partition: "SEQ", Cycle: 100, Budget: 10},
+		},
+	}
+	sys := &air.System{Partitions: []air.PartitionName{"PLATFORM", "PAYLOAD", "SEQ"}}
+	order := []string{"ascent", "science", "safe"} // schedule IDs 0, 1, 2
+	for _, name := range order {
+		sch, err := air.Synthesize(name, phases[name])
+		if err != nil {
+			return fmt.Errorf("synthesize %s: %w", name, err)
+		}
+		sys.Schedules = append(sys.Schedules, *sch)
+		fmt.Printf("synthesized %-8s MTF=%d windows=%d\n", name, sch.MTF, len(sch.Windows))
+	}
+	if report := air.Verify(sys); !report.OK() {
+		return fmt.Errorf("verification failed:\n%s", report)
+	}
+
+	mkWorker := func(label string, period, wcet air.Ticks) air.InitFunc {
+		return func(sv *air.Services) {
+			sv.CreateProcess(air.TaskSpec{
+				Name: label, Period: period, Deadline: period,
+				BasePriority: 1, WCET: wcet, Periodic: true,
+			}, func(sv *air.Services) {
+				n := 0
+				for {
+					sv.Compute(wcet)
+					n++
+					if n%5 == 0 {
+						fmt.Printf("[t=%4d] %s completed activation %d (start #%d)\n",
+							sv.GetTime(), label, n, sv.GetPartitionStatus().StartCount)
+					}
+					sv.PeriodicWait()
+				}
+			})
+			sv.StartProcess(label)
+			sv.SetPartitionMode(air.ModeNormal)
+		}
+	}
+
+	// The mission sequencer runs on the SEQ system partition and steps the
+	// mission through its phases.
+	seqInit := func(sv *air.Services) {
+		sv.CreateProcess(air.TaskSpec{
+			Name: "sequencer", Period: 100, Deadline: 100,
+			BasePriority: 1, WCET: 5, Periodic: true,
+		}, func(sv *air.Services) {
+			plan := map[air.Ticks]string{
+				500:  "science", // science phase after 5 frames
+				1200: "safe",    // anomaly: enter safe mode
+			}
+			for {
+				sv.Compute(2)
+				if phase, ok := plan[sv.GetTime()-(sv.GetTime()%100)]; ok {
+					st := sv.GetModuleScheduleStatus()
+					if st.CurrentName != phase && st.NextName != phase {
+						rc := sv.SetModuleScheduleByName(phase)
+						fmt.Printf("[t=%4d] SEQ requests phase %q: %s\n",
+							sv.GetTime(), phase, rc)
+					}
+				}
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess("sequencer")
+		sv.SetPartitionMode(air.ModeNormal)
+	}
+
+	m, err := air.NewModule(air.Config{
+		System: sys,
+		Partitions: []air.PartitionConfig{
+			{Name: "PLATFORM", Init: mkWorker("platform_ctl", 100, 20)},
+			// Period 100, WCET 4: fits even safe mode's 5-tick budget.
+			{Name: "PAYLOAD", Init: mkWorker("instrument", 100, 4)},
+			{Name: "SEQ", System: true, Init: seqInit},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		return err
+	}
+	if err := m.Run(2000); err != nil {
+		return err
+	}
+
+	fmt.Println("\n--- schedule switches and restarts ---")
+	for _, kind := range []air.EventKind{air.EvScheduleSwitch, air.EvPartitionRestart} {
+		for _, e := range m.TraceKind(kind) {
+			fmt.Println(e)
+		}
+	}
+	st := m.ScheduleStatus()
+	fmt.Printf("\nfinal schedule: %s (switched at t=%d), deadline misses: %d\n",
+		st.CurrentName, st.LastSwitch, len(m.TraceKind(air.EvDeadlineMiss)))
+	return nil
+}

@@ -1,0 +1,148 @@
+// Multicore: the paper's Sect. 8 future-work item (iv) — "parallelism
+// between partition time windows on a multicore platform". Two processor
+// cores run independent partition schedules: core 0 hosts the platform
+// partitions (AOCS + FDIR), core 1 the payload partitions (CAMERA + DSP).
+// A cross-core queuing channel streams image frames from the camera to the
+// platform downlink, and the combined periodic load exceeds what a single
+// core could supply.
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"air"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// coreSystem builds one core's schedule: the named partitions split a
+// 100-tick MTF evenly.
+func coreSystem(parts ...air.PartitionName) *air.System {
+	n := air.Ticks(len(parts))
+	slot := 100 / n
+	s := air.Schedule{Name: "main", MTF: 100}
+	for i, p := range parts {
+		s.Requirements = append(s.Requirements, air.Requirement{
+			Partition: p, Cycle: 100, Budget: slot,
+		})
+		s.Windows = append(s.Windows, air.Window{
+			Partition: p, Offset: air.Ticks(i) * slot, Duration: slot,
+		})
+	}
+	return &air.System{Partitions: parts, Schedules: []air.Schedule{s}}
+}
+
+func worker(label string, wcet air.Ticks, onDone func(sv *air.Services)) air.InitFunc {
+	return func(sv *air.Services) {
+		sv.CreateProcess(air.TaskSpec{
+			Name: label, Period: 100, Deadline: 100,
+			BasePriority: 1, WCET: wcet, Periodic: true,
+		}, func(sv *air.Services) {
+			for {
+				sv.Compute(wcet)
+				if onDone != nil {
+					onDone(sv)
+				}
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess(label)
+		sv.SetPartitionMode(air.ModeNormal)
+	}
+}
+
+func run() error {
+	frames := 0
+	m, err := air.NewMulticoreModule(air.MulticoreConfig{
+		Queuing: []air.QueuingChannelConfig{{
+			Name: "frames", MaxMessage: 64, Depth: 8,
+			Source:      air.PortRef{Partition: "CAMERA", Port: "img_out"},
+			Destination: air.PortRef{Partition: "AOCS", Port: "img_in"},
+		}},
+		Cores: []air.Config{
+			{ // core 0: platform
+				System: coreSystem("AOCS", "FDIR"),
+				Partitions: []air.PartitionConfig{
+					{Name: "AOCS", Init: func(sv *air.Services) {
+						sv.CreateQueuingPort("img_in", air.Destination)
+						sv.CreateProcess(air.TaskSpec{
+							Name: "platform", Period: 100, Deadline: 100,
+							BasePriority: 1, WCET: 40, Periodic: true,
+						}, func(sv *air.Services) {
+							for {
+								sv.Compute(35)
+								for {
+									data, rc := sv.ReceiveQueuingMessage("img_in", 0)
+									if rc != air.NoError {
+										break
+									}
+									frames++
+									if frames%5 == 0 {
+										fmt.Printf("[t=%4d] AOCS downlinked %s (total %d)\n",
+											sv.GetTime(), data, frames)
+									}
+								}
+								sv.PeriodicWait()
+							}
+						})
+						sv.StartProcess("platform")
+						sv.SetPartitionMode(air.ModeNormal)
+					}},
+					{Name: "FDIR", Init: worker("fdir", 40, nil)},
+				},
+			},
+			{ // core 1: payload
+				System: coreSystem("CAMERA", "DSP"),
+				Partitions: []air.PartitionConfig{
+					{Name: "CAMERA", Init: func(sv *air.Services) {
+						sv.CreateQueuingPort("img_out", air.Source)
+						sv.CreateProcess(air.TaskSpec{
+							Name: "imager", Period: 100, Deadline: 100,
+							BasePriority: 1, WCET: 45, Periodic: true,
+						}, func(sv *air.Services) {
+							shot := 0
+							for {
+								sv.Compute(45) // exposure + readout
+								shot++
+								sv.SendQueuingMessage("img_out",
+									[]byte(fmt.Sprintf("frame#%03d", shot)), 0)
+								sv.PeriodicWait()
+							}
+						})
+						sv.StartProcess("imager")
+						sv.SetPartitionMode(air.ModeNormal)
+					}},
+					{Name: "DSP", Init: worker("dsp", 45, nil)},
+				},
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		return err
+	}
+	if err := m.Run(1000); err != nil {
+		return err
+	}
+
+	// Total periodic demand: 40+40+45+45 = 170 ticks per 100-tick frame —
+	// 170% of one core. Zero misses proves the windows really overlap.
+	misses := m.TraceKind(air.EvDeadlineMiss)
+	fmt.Printf("\n10 global MTFs: %d frames downlinked across cores, %d deadline misses\n",
+		frames, len(misses))
+	fmt.Printf("aggregate periodic demand: 170%% of one core — schedulable only with parallel windows\n")
+	if len(misses) != 0 || frames == 0 {
+		return fmt.Errorf("multicore demonstration failed")
+	}
+	return nil
+}

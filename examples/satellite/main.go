@@ -1,0 +1,192 @@
+// Satellite: the paper's Sect. 6 prototype rebuilt on the public API — four
+// partitions (AOCS, OBDH, TTC, FDIR) over the Fig. 8 scheduling tables, with
+// the attitude sampling channel and housekeeping queuing channel connecting
+// them. Optional flags inject the faulty process and request a schedule
+// switch mid-mission.
+//
+//	go run ./examples/satellite [-fault] [-switch] [-mtfs n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"air"
+)
+
+func main() {
+	fault := flag.Bool("fault", false, "inject the deadline-violating process on P1")
+	doSwitch := flag.Bool("switch", false, "request schedule chi2 after the second MTF")
+	mtfs := flag.Int("mtfs", 5, "major time frames to run")
+	flag.Parse()
+	if err := run(*fault, *doSwitch, *mtfs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const mtf = 1300
+
+func run(fault, doSwitch bool, mtfs int) error {
+	sys := air.Fig8System()
+	if report := air.Verify(sys); !report.OK() {
+		return fmt.Errorf("verification failed:\n%s", report)
+	}
+	m, err := air.NewModule(air.Config{
+		System: sys,
+		Sampling: []air.SamplingChannelConfig{{
+			Name: "attitude", MaxMessage: 64, Refresh: 1300,
+			Source: air.PortRef{Partition: "P1", Port: "att_out"},
+			Destinations: []air.PortRef{
+				{Partition: "P2", Port: "att_in"},
+				{Partition: "P4", Port: "att_in"},
+			},
+		}},
+		Queuing: []air.QueuingChannelConfig{{
+			Name: "housekeeping", MaxMessage: 128, Depth: 16,
+			Source:      air.PortRef{Partition: "P2", Port: "hk_out"},
+			Destination: air.PortRef{Partition: "P3", Port: "hk_in"},
+		}},
+		Partitions: []air.PartitionConfig{
+			{Name: "P1", System: true, Init: aocsInit(fault),
+				HMProcessTable: air.HMTable{
+					air.ErrDeadlineMissed: air.HMRule{Action: air.ActionRestartProcess},
+				}},
+			{Name: "P2", Init: obdhInit},
+			{Name: "P3", Init: ttcInit},
+			{Name: "P4", Init: fdirInit},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		return err
+	}
+
+	for frame := 1; frame <= mtfs; frame++ {
+		if doSwitch && frame == 3 {
+			p1, err := m.Partition("P1")
+			if err != nil {
+				return err
+			}
+			rc := p1.KernelServices().SetModuleScheduleByName("chi2")
+			fmt.Printf("[t=%5d] ground requests schedule chi2: %s\n", m.Now(), rc)
+		}
+		if err := m.Run(mtf); err != nil {
+			return err
+		}
+		st := m.ScheduleStatus()
+		fmt.Printf("[t=%5d] MTF %d complete, schedule=%s\n", m.Now(), frame, st.CurrentName)
+	}
+
+	fmt.Println("\n--- module trace ---")
+	for _, e := range m.Trace() {
+		fmt.Println(e)
+	}
+	fmt.Println("\n--- health monitor ---")
+	for _, e := range m.Health().Events() {
+		fmt.Println(e)
+	}
+	return nil
+}
+
+// aocsInit is the Attitude and Orbit Control Subsystem on P1.
+func aocsInit(fault bool) air.InitFunc {
+	return func(sv *air.Services) {
+		sv.CreateSamplingPort("att_out", air.Source)
+		sv.CreateProcess(air.TaskSpec{
+			Name: "aocs_control", Period: 1300, Deadline: 650,
+			BasePriority: 1, WCET: 150, Periodic: true,
+		}, func(sv *air.Services) {
+			angle := 0
+			for {
+				sv.Compute(120)
+				angle = (angle + 7) % 3600
+				sv.WriteSamplingMessage("att_out",
+					[]byte(fmt.Sprintf("q:%04d", angle)))
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess("aocs_control")
+		if fault {
+			sv.CreateProcess(air.TaskSpec{
+				Name: "faulty", Period: 1300, Deadline: 220,
+				BasePriority: 8, WCET: 200, Periodic: true,
+			}, func(sv *air.Services) {
+				for {
+					sv.Compute(1 << 30) // runaway: never completes
+				}
+			})
+			sv.StartProcess("faulty")
+		}
+		sv.SetPartitionMode(air.ModeNormal)
+	}
+}
+
+// obdhInit is Onboard Data Handling on P2.
+func obdhInit(sv *air.Services) {
+	sv.CreateSamplingPort("att_in", air.Destination)
+	sv.CreateQueuingPort("hk_out", air.Source)
+	sv.CreateProcess(air.TaskSpec{
+		Name: "obdh_housekeeping", Period: 650, Deadline: 650,
+		BasePriority: 2, WCET: 80, Periodic: true,
+	}, func(sv *air.Services) {
+		seq := 0
+		for {
+			sv.Compute(60)
+			att, _, rc := sv.ReadSamplingMessage("att_in")
+			frame := fmt.Sprintf("hk#%03d att=%s rc=%s", seq, att, rc)
+			sv.SendQueuingMessage("hk_out", []byte(frame), 0)
+			seq++
+			sv.PeriodicWait()
+		}
+	})
+	sv.StartProcess("obdh_housekeeping")
+	sv.SetPartitionMode(air.ModeNormal)
+}
+
+// ttcInit is Telemetry, Tracking and Command on P3.
+func ttcInit(sv *air.Services) {
+	sv.CreateQueuingPort("hk_in", air.Destination)
+	sv.CreateProcess(air.TaskSpec{
+		Name: "ttc_downlink", Period: 650, Deadline: 650,
+		BasePriority: 2, WCET: 80, Periodic: true,
+	}, func(sv *air.Services) {
+		for {
+			sv.Compute(20)
+			for {
+				frame, rc := sv.ReceiveQueuingMessage("hk_in", 0)
+				if rc != air.NoError {
+					break
+				}
+				sv.Compute(5)
+				fmt.Printf("[t=%5d] TTC downlink: %s\n", sv.GetTime(), frame)
+			}
+			sv.PeriodicWait()
+		}
+	})
+	sv.StartProcess("ttc_downlink")
+	sv.SetPartitionMode(air.ModeNormal)
+}
+
+// fdirInit is Fault Detection, Isolation and Recovery on P4.
+func fdirInit(sv *air.Services) {
+	sv.CreateSamplingPort("att_in", air.Destination)
+	sv.CreateProcess(air.TaskSpec{
+		Name: "fdir_monitor", Period: 1300, Deadline: 1300,
+		BasePriority: 1, WCET: 90, Periodic: true,
+	}, func(sv *air.Services) {
+		for {
+			sv.Compute(50)
+			_, validity, rc := sv.ReadSamplingMessage("att_in")
+			if rc != air.NoError || validity != air.Valid {
+				fmt.Printf("[t=%5d] FDIR: attitude STALE\n", sv.GetTime())
+			}
+			sv.PeriodicWait()
+		}
+	})
+	sv.StartProcess("fdir_monitor")
+	sv.SetPartitionMode(air.ModeNormal)
+}

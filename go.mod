@@ -1,0 +1,3 @@
+module air
+
+go 1.22

@@ -1,0 +1,224 @@
+// Package apex defines the data types of the ARINC 653 Application
+// Executive (APEX) service interface (paper Sect. 2.3): return codes,
+// directions, queuing disciplines, and the status structures returned by
+// GET_*_STATUS services. The service implementations live in the core
+// kernel; applications see them through the air facade package.
+//
+// AIR's APEX is "portable" (Sect. 2.3): the same application-facing surface
+// is served regardless of the underlying POS — here, regardless of whether
+// the partition runs the priority-preemptive RTOS kernel or the round-robin
+// non-real-time kernel.
+package apex
+
+import (
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// ReturnCode is the ARINC 653 service return code.
+type ReturnCode int
+
+// Return codes, matching ARINC 653 Part 1 semantics.
+const (
+	// NoError: successful completion.
+	NoError ReturnCode = iota
+	// NoAction: the system is already in the requested state.
+	NoAction
+	// NotAvailable: the request cannot be satisfied right now (e.g. empty
+	// queue with zero timeout).
+	NotAvailable
+	// InvalidParam: a parameter is out of range or malformed.
+	InvalidParam
+	// InvalidConfig: the request violates the integration-time
+	// configuration (e.g. unknown port, unauthorized schedule change).
+	InvalidConfig
+	// InvalidMode: the request is illegal in the current partition/process
+	// mode (e.g. blocking call from the error handler).
+	InvalidMode
+	// TimedOut: a time-bounded wait expired.
+	TimedOut
+)
+
+// String renders the return code in ARINC 653 spelling.
+func (rc ReturnCode) String() string {
+	switch rc {
+	case NoError:
+		return "NO_ERROR"
+	case NoAction:
+		return "NO_ACTION"
+	case NotAvailable:
+		return "NOT_AVAILABLE"
+	case InvalidParam:
+		return "INVALID_PARAM"
+	case InvalidConfig:
+		return "INVALID_CONFIG"
+	case InvalidMode:
+		return "INVALID_MODE"
+	case TimedOut:
+		return "TIMED_OUT"
+	default:
+		return fmt.Sprintf("ReturnCode(%d)", int(rc))
+	}
+}
+
+// Direction is a port direction relative to the owning partition.
+type Direction int
+
+// Port directions.
+const (
+	Source Direction = iota + 1
+	Destination
+)
+
+// String renders the direction.
+func (d Direction) String() string {
+	switch d {
+	case Source:
+		return "SOURCE"
+	case Destination:
+		return "DESTINATION"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// QueuingDiscipline selects how blocked processes queue on a resource.
+type QueuingDiscipline int
+
+// Queuing disciplines.
+const (
+	FIFO QueuingDiscipline = iota + 1
+	PriorityOrder
+)
+
+// String renders the discipline.
+func (q QueuingDiscipline) String() string {
+	switch q {
+	case FIFO:
+		return "FIFO"
+	case PriorityOrder:
+		return "PRIORITY"
+	default:
+		return fmt.Sprintf("QueuingDiscipline(%d)", int(q))
+	}
+}
+
+// Validity of a sampling-port message.
+type Validity int
+
+// Validity values.
+const (
+	Invalid Validity = iota + 1
+	Valid
+)
+
+// String renders the validity.
+func (v Validity) String() string {
+	switch v {
+	case Invalid:
+		return "INVALID"
+	case Valid:
+		return "VALID"
+	default:
+		return fmt.Sprintf("Validity(%d)", int(v))
+	}
+}
+
+// PartitionStatus is returned by GET_PARTITION_STATUS.
+type PartitionStatus struct {
+	Name model.PartitionName
+	// Mode is the partition operating mode M_m(t), eq. (3).
+	Mode model.OperatingMode
+	// StartCount is the number of (re)starts, including the initial cold
+	// start.
+	StartCount int
+	// System reports whether the partition is a system partition
+	// (Sect. 2: allowed to bypass APEX and invoke module-level services).
+	System bool
+	// LockLevel is the current preemption lock level.
+	LockLevel int
+}
+
+// ProcessStatus is returned by GET_PROCESS_STATUS: the runtime image of the
+// status S_{m,q}(t) of eq. (12) plus static attributes.
+type ProcessStatus struct {
+	Name            string
+	State           model.ProcessState
+	BasePriority    model.Priority
+	CurrentPriority model.Priority
+	// DeadlineTime is D'_{m,q}(t); HasDeadline is false for processes with
+	// D = ∞.
+	DeadlineTime tick.Ticks
+	HasDeadline  bool
+	Period       tick.Ticks
+	TimeCapacity tick.Ticks
+	Periodic     bool
+}
+
+// SamplingPortStatus is returned by GET_SAMPLING_PORT_STATUS.
+type SamplingPortStatus struct {
+	Name       string
+	Direction  Direction
+	MaxMessage int
+	Refresh    tick.Ticks
+	// LastValidity is the validity of the last read message.
+	LastValidity Validity
+}
+
+// QueuingPortStatus is returned by GET_QUEUING_PORT_STATUS.
+type QueuingPortStatus struct {
+	Name       string
+	Direction  Direction
+	MaxMessage int
+	Depth      int
+	// QueuedMessages is the number of messages currently queued.
+	QueuedMessages int
+}
+
+// ModuleScheduleStatus is the GET_MODULE_SCHEDULE_STATUS result (Sect. 4.2,
+// ARINC 653 Part 2): the time of the last schedule switch (0 if none ever
+// occurred), the current schedule, and the next schedule (same as current if
+// no change is pending).
+type ModuleScheduleStatus struct {
+	LastSwitch tick.Ticks
+	Current    model.ScheduleID
+	Next       model.ScheduleID
+	// CurrentName and NextName carry the configured schedule names.
+	CurrentName string
+	NextName    string
+}
+
+// BufferStatus is returned by GET_BUFFER_STATUS.
+type BufferStatus struct {
+	Name            string
+	MaxMessage      int
+	Depth           int
+	QueuedMessages  int
+	WaitingSenders  int
+	WaitingReceiver int
+}
+
+// BlackboardStatus is returned by GET_BLACKBOARD_STATUS.
+type BlackboardStatus struct {
+	Name       string
+	MaxMessage int
+	Displayed  bool
+	Waiting    int
+}
+
+// SemaphoreStatus is returned by GET_SEMAPHORE_STATUS.
+type SemaphoreStatus struct {
+	Name    string
+	Value   int
+	Max     int
+	Waiting int
+}
+
+// EventStatus is returned by GET_EVENT_STATUS.
+type EventStatus struct {
+	Name    string
+	Up      bool
+	Waiting int
+}

@@ -1,0 +1,48 @@
+package apex
+
+import "testing"
+
+func TestReturnCodeStrings(t *testing.T) {
+	tests := map[ReturnCode]string{
+		NoError:         "NO_ERROR",
+		NoAction:        "NO_ACTION",
+		NotAvailable:    "NOT_AVAILABLE",
+		InvalidParam:    "INVALID_PARAM",
+		InvalidConfig:   "INVALID_CONFIG",
+		InvalidMode:     "INVALID_MODE",
+		TimedOut:        "TIMED_OUT",
+		ReturnCode(404): "ReturnCode(404)",
+	}
+	for rc, want := range tests {
+		if got := rc.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", rc, got, want)
+		}
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if Source.String() != "SOURCE" || Destination.String() != "DESTINATION" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(9).String() != "Direction(9)" {
+		t.Error("unknown direction string wrong")
+	}
+}
+
+func TestQueuingDisciplineStrings(t *testing.T) {
+	if FIFO.String() != "FIFO" || PriorityOrder.String() != "PRIORITY" {
+		t.Error("discipline strings wrong")
+	}
+	if QueuingDiscipline(9).String() != "QueuingDiscipline(9)" {
+		t.Error("unknown discipline string wrong")
+	}
+}
+
+func TestValidityStrings(t *testing.T) {
+	if Valid.String() != "VALID" || Invalid.String() != "INVALID" {
+		t.Error("validity strings wrong")
+	}
+	if Validity(9).String() != "Validity(9)" {
+		t.Error("unknown validity string wrong")
+	}
+}

@@ -1,0 +1,239 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+func TestFig8ModuleVerifies(t *testing.T) {
+	m := Fig8Module()
+	sys, report, err := m.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("Fig. 8 config must verify:\n%s", report)
+	}
+	if len(sys.Partitions) != 4 || len(sys.Schedules) != 2 {
+		t.Fatalf("model shape wrong: %v", sys)
+	}
+	// The translated model matches the hand-built one.
+	want := model.Fig8System()
+	for i := range want.Schedules {
+		got := sys.Schedules[i]
+		if got.Name != want.Schedules[i].Name || got.MTF != want.Schedules[i].MTF {
+			t.Errorf("schedule %d header mismatch", i)
+		}
+		if len(got.Windows) != len(want.Schedules[i].Windows) {
+			t.Fatalf("schedule %d windows mismatch", i)
+		}
+		for j, w := range want.Schedules[i].Windows {
+			if got.Windows[j] != w {
+				t.Errorf("schedule %d window %d = %v, want %v", i, j, got.Windows[j], w)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "module.json")
+	orig := Fig8Module()
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != orig.Name {
+		t.Errorf("name = %q", loaded.Name)
+	}
+	if len(loaded.Partitions) != 4 || len(loaded.Schedules) != 2 ||
+		len(loaded.Sampling) != 1 || len(loaded.Queuing) != 1 {
+		t.Fatalf("loaded shape wrong: %+v", loaded)
+	}
+	sysA, _ := orig.ToModel()
+	sysB, _ := loaded.ToModel()
+	if ra, rb := model.Verify(sysA), model.Verify(sysB); ra.OK() != rb.OK() {
+		t.Error("round trip changed verification outcome")
+	}
+	if loaded.Schedules[0].Windows[3].Duration != 600 {
+		t.Error("window data lost in round trip")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/module.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Unknown fields are rejected (configuration hygiene).
+	if _, err := Parse([]byte(`{"name":"x","bogusField":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestParseChangeActions(t *testing.T) {
+	m := Fig8Module()
+	m.Schedules[1].Requirements[1].ChangeAction = "COLD_START"
+	m.Schedules[1].Requirements[2].ChangeAction = "WARM_START"
+	m.Schedules[1].Requirements[3].ChangeAction = "SKIP"
+	sys, err := m.ToModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sys.Schedules[1].Requirements
+	if q[1].ChangeAction != model.ActionColdStart ||
+		q[2].ChangeAction != model.ActionWarmStart ||
+		q[3].ChangeAction != model.ActionSkip {
+		t.Errorf("actions = %+v", q)
+	}
+	m.Schedules[1].Requirements[0].ChangeAction = "EXPLODE"
+	if _, err := m.ToModel(); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestTaskSets(t *testing.T) {
+	m := Fig8Module()
+	sets, err := m.TaskSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 4 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	if sets[0].Partition != "P1" || sets[0].Tasks[0].Name != "aocs_control" {
+		t.Errorf("set[0] = %+v", sets[0])
+	}
+	// Deadline 0 means no deadline (∞).
+	m.Partitions[0].Processes = append(m.Partitions[0].Processes, Process{
+		Name: "bg", Priority: 9, WCET: 5,
+	})
+	sets, err = m.TaskSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sets[0].Tasks[1].Deadline.IsInfinite() {
+		t.Error("zero deadline should map to infinity")
+	}
+	// Invalid task rejected.
+	m.Partitions[0].Processes[0].WCET = -1
+	if _, err := m.TaskSets(); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestChannelTranslation(t *testing.T) {
+	m := Fig8Module()
+	samp := m.SamplingConfigs()
+	if len(samp) != 1 || samp[0].Name != "attitude" ||
+		samp[0].Source.Partition != "P1" || len(samp[0].Destinations) != 2 {
+		t.Errorf("sampling = %+v", samp)
+	}
+	if samp[0].Refresh != tick.Ticks(1300) {
+		t.Errorf("refresh = %v", samp[0].Refresh)
+	}
+	queue := m.QueuingConfigs()
+	if len(queue) != 1 || queue[0].Depth != 16 ||
+		queue[0].Destination.Partition != "P3" {
+		t.Errorf("queuing = %+v", queue)
+	}
+}
+
+func TestVerifyCatchesBadChannelEndpoints(t *testing.T) {
+	m := Fig8Module()
+	m.Sampling[0].Destinations = append(m.Sampling[0].Destinations,
+		PortRef{Partition: "GHOST", Port: "x"})
+	m.Queuing[0].Source.Partition = "PHANTOM"
+	_, report, err := m.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("bad endpoints passed verification")
+	}
+	text := report.String()
+	if !strings.Contains(text, "GHOST") || !strings.Contains(text, "PHANTOM") {
+		t.Errorf("report missing endpoints:\n%s", text)
+	}
+}
+
+func TestVerifyCatchesScheduleViolation(t *testing.T) {
+	m := Fig8Module()
+	m.Schedules[0].Windows[0].Duration = 100 // P1 now undersupplied (d=200)
+	_, report, err := m.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Has(model.CodeBudgetPerCycle) {
+		t.Fatalf("expected EQ23 violation, got:\n%s", report)
+	}
+}
+
+func TestSaveToBadPath(t *testing.T) {
+	m := Fig8Module()
+	if err := m.Save("/nonexistent-dir-xyz/out.json"); err == nil {
+		t.Error("save to bad path accepted")
+	}
+}
+
+func TestWindowsSortedOnTranslate(t *testing.T) {
+	m := Fig8Module()
+	// Shuffle the windows; ToModel must normalise ordering before the
+	// eq. (21) check runs.
+	w := m.Schedules[0].Windows
+	w[0], w[5] = w[5], w[0]
+	sys, err := m.ToModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := model.Verify(sys); !r.OK() {
+		t.Fatalf("sorted translation should verify:\n%s", r)
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	// Full cycle through the OS layer with a hand-written document.
+	doc := `{
+  "name": "mini",
+  "partitions": [{"name": "A"}, {"name": "B", "policy": "round-robin", "deadlineQueue": "tree"}],
+  "schedules": [{
+    "name": "s0", "mtfTicks": 100,
+    "requirements": [
+      {"partition": "A", "cycleTicks": 100, "budgetTicks": 40},
+      {"partition": "B", "cycleTicks": 100, "budgetTicks": 0}
+    ],
+    "windows": [
+      {"partition": "A", "offsetTicks": 0, "durationTicks": 40},
+      {"partition": "B", "offsetTicks": 40, "durationTicks": 60}
+    ]
+  }]
+}`
+	path := filepath.Join(t.TempDir(), "mini.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := m.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("mini config must verify:\n%s", report)
+	}
+	if m.Partitions[1].Policy != "round-robin" || m.Partitions[1].DeadlineQueue != "tree" {
+		t.Errorf("partition options lost: %+v", m.Partitions[1])
+	}
+}

@@ -1,0 +1,33 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse hardens the configuration loader: arbitrary bytes must never
+// panic, and any document that parses must survive ToModel/Verify without
+// panicking (errors are fine — panics are not).
+func FuzzParse(f *testing.F) {
+	seed, err := json.Marshal(Fig8Module())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","partitions":[{"name":"A"}],"schedules":[]}`))
+	f.Add([]byte(`{"name":"x","schedules":[{"name":"s","mtfTicks":-5}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if _, _, err := m.Verify(); err != nil {
+			return
+		}
+		_, _ = m.TaskSets()
+		_ = m.SamplingConfigs()
+		_ = m.QueuingConfigs()
+	})
+}

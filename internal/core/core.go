@@ -1,0 +1,434 @@
+// Package core assembles the complete AIR module: the PMK partition
+// scheduler and dispatcher (Algorithms 1–2), one POS kernel + PAL per
+// partition, the APEX service implementations, Health Monitoring, spatial
+// partitioning contexts and interpartition communication — executed as a
+// deterministic discrete-tick simulation.
+//
+// Application processes are real goroutines running imperative APEX-calling
+// code, but execution is strictly alternated: the kernel grants the
+// processor one logical tick at a time over a channel handshake, so exactly
+// one goroutine (the kernel or a single process) runs at any instant. This
+// yields natural ARINC 653 application code and bit-exact determinism.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"air/internal/apex"
+	"air/internal/hm"
+	"air/internal/ipc"
+	"air/internal/mmu"
+	"air/internal/model"
+	"air/internal/pmk"
+	"air/internal/pos"
+	"air/internal/tick"
+)
+
+// InitFunc is a partition's initialization entry point. It runs in
+// coldStart/warmStart mode with process scheduling disabled, creates the
+// partition's processes, ports and objects, and normally ends by calling
+// SetPartitionMode(model.ModeNormal).
+type InitFunc func(sv *Services)
+
+// ProcessBody is the application code of a process. It runs on its own
+// goroutine under the strict-alternation protocol; returning from the body
+// stops the process (dormant state).
+type ProcessBody func(sv *Services)
+
+// ErrorHandler is a partition's application error handler, invoked by the
+// Health Monitor for process-level errors when installed (Sect. 2.4, 5). It
+// executes in kernel context (zero time): blocking services are unavailable.
+type ErrorHandler func(sv *Services, ev hm.Event)
+
+// PartitionConfig describes one partition at integration time.
+type PartitionConfig struct {
+	Name model.PartitionName
+	// System marks a system partition, authorized to invoke module-level
+	// services such as SET_MODULE_SCHEDULE (Sect. 2, 4.2).
+	System bool
+	// Policy selects the POS scheduler; zero value = priority preemptive.
+	Policy pos.Policy
+	// UseTreeQueue selects the AVL deadline queue instead of the paper's
+	// linked list (Sect. 5.3 ablation).
+	UseTreeQueue bool
+	// Init is the partition initialization entry point.
+	Init InitFunc
+	// Descriptors optionally overrides the partition's addressing space;
+	// nil installs a default layout (code/data/stack).
+	Descriptors []mmu.Descriptor
+	// Devices maps memory-mapped I/O devices into the partition's dedicated
+	// I/O addressing space (paper abstract: "dedicated memory and
+	// input/output addressing spaces").
+	Devices []DeviceMapping
+	// HMProcessTable / HMPartitionTable configure the partition's health
+	// monitoring rules.
+	HMProcessTable   hm.Table
+	HMPartitionTable hm.Table
+	// MaxProcesses bounds the process table (0 = POS default).
+	MaxProcesses int
+}
+
+// Config describes the whole module at integration time.
+type Config struct {
+	// System is the formal model: partitions and scheduling tables. It is
+	// verified before the module boots; an invalid system is rejected.
+	System     *model.System
+	Partitions []PartitionConfig
+	// Sampling and Queuing configure the interpartition channels.
+	Sampling []ipc.SamplingConfig
+	Queuing  []ipc.QueuingConfig
+	// HMModuleTable configures module-level health monitoring.
+	HMModuleTable hm.Table
+	// MemoryBytes sizes the simulated physical memory (default 16 MiB).
+	MemoryBytes int
+	// TraceCapacity bounds the trace ring (default 4096 events; <0
+	// disables tracing).
+	TraceCapacity int
+	// Shared, when non-nil, injects platform components owned by an
+	// enclosing multicore module (paper Sect. 8 future work (iv)): the
+	// physical memory/MMU, the interpartition channel router and the
+	// health monitor are shared across cores while each core keeps its own
+	// partition scheduler and dispatcher.
+	Shared *SharedPlatform
+}
+
+// SharedPlatform carries the module-wide components shared by the cores of
+// a multicore configuration.
+type SharedPlatform struct {
+	Memory *mmu.MMU
+	Router *ipc.Router
+	Health *hm.Monitor
+}
+
+// DeviceMapping binds a memory-mapped I/O device into one partition's
+// addressing space.
+type DeviceMapping struct {
+	Base     mmu.VirtAddr
+	Size     uint32
+	AppPerms mmu.AccessMode
+	POSPerms mmu.AccessMode
+	Device   mmu.Device
+}
+
+// Module errors.
+var (
+	ErrModelInvalid       = errors.New("core: system fails model verification")
+	ErrPartitionMismatch  = errors.New("core: partition configs do not match model partitions")
+	ErrAlreadyStarted     = errors.New("core: module already started")
+	ErrNotStarted         = errors.New("core: module not started")
+	ErrHalted             = errors.New("core: module halted")
+	ErrUnknownPartitionID = errors.New("core: unknown partition")
+)
+
+// Module is a running AIR module.
+type Module struct {
+	cfg    Config
+	sys    *model.System
+	health *hm.Monitor
+	memory *mmu.MMU
+	router *ipc.Router
+	sched  *pmk.Scheduler
+	disp   *pmk.Dispatcher
+
+	partitions map[model.PartitionName]*Partition
+	order      []model.PartitionName
+
+	now     tick.Ticks
+	started bool
+	halted  bool
+
+	trace *trace
+}
+
+// NewModule validates the configuration against the formal model and builds
+// the module. No process code runs until Start.
+func NewModule(cfg Config) (*Module, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("%w: nil system", ErrModelInvalid)
+	}
+	if r := model.Verify(cfg.System); !r.OK() {
+		return nil, fmt.Errorf("%w:\n%s", ErrModelInvalid, r)
+	}
+	if err := checkPartitionConfigs(cfg); err != nil {
+		return nil, err
+	}
+
+	memBytes := cfg.MemoryBytes
+	if memBytes == 0 {
+		memBytes = 16 << 20
+	}
+	m := &Module{
+		cfg:        cfg,
+		sys:        cfg.System,
+		partitions: make(map[model.PartitionName]*Partition, len(cfg.Partitions)),
+		trace:      newTrace(cfg.TraceCapacity),
+	}
+	nowFn := func() tick.Ticks { return m.now }
+	if cfg.Shared != nil {
+		m.memory = cfg.Shared.Memory
+		m.router = cfg.Shared.Router
+		m.health = cfg.Shared.Health
+		for _, pc := range cfg.Partitions {
+			if pc.HMPartitionTable != nil {
+				m.health.SetPartitionTable(pc.Name, pc.HMPartitionTable)
+			}
+			if pc.HMProcessTable != nil {
+				m.health.SetProcessTable(pc.Name, pc.HMProcessTable)
+			}
+		}
+	} else {
+		m.memory = mmu.New(memBytes)
+		m.router = ipc.NewRouter()
+		m.health = hm.New(hm.Config{
+			Now:             nowFn,
+			ModuleTable:     cfg.HMModuleTable,
+			PartitionTables: partitionTables(cfg, func(pc PartitionConfig) hm.Table { return pc.HMPartitionTable }),
+			ProcessTables:   partitionTables(cfg, func(pc PartitionConfig) hm.Table { return pc.HMProcessTable }),
+		})
+	}
+
+	for _, sc := range cfg.Sampling {
+		if _, err := m.router.AddSampling(sc); err != nil {
+			return nil, err
+		}
+	}
+	for _, qc := range cfg.Queuing {
+		if _, err := m.router.AddQueuing(qc); err != nil {
+			return nil, err
+		}
+	}
+
+	compiled := make([]*pmk.CompiledSchedule, len(cfg.System.Schedules))
+	for i := range cfg.System.Schedules {
+		cs, err := pmk.Compile(cfg.System, &cfg.System.Schedules[i])
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = cs
+	}
+	sched, err := pmk.NewScheduler(compiled)
+	if err != nil {
+		return nil, err
+	}
+	m.sched = sched
+	m.disp = pmk.NewDispatcher(sched, pmk.Hooks{
+		SaveContext:                 func(model.PartitionName) {}, // page tables are per-partition; nothing to spill
+		RestoreContext:              m.restoreContext,
+		EnterIdle:                   m.memory.ClearContext,
+		PendingScheduleChangeAction: m.applyPendingScheduleAction,
+	})
+
+	for _, pc := range cfg.Partitions {
+		pt, err := newPartition(m, pc)
+		if err != nil {
+			return nil, err
+		}
+		m.partitions[pc.Name] = pt
+		m.order = append(m.order, pc.Name)
+	}
+	return m, nil
+}
+
+func checkPartitionConfigs(cfg Config) error {
+	if len(cfg.Partitions) != len(cfg.System.Partitions) {
+		return fmt.Errorf("%w: %d configs for %d partitions",
+			ErrPartitionMismatch, len(cfg.Partitions), len(cfg.System.Partitions))
+	}
+	seen := make(map[model.PartitionName]bool, len(cfg.Partitions))
+	for _, pc := range cfg.Partitions {
+		if !cfg.System.HasPartition(pc.Name) {
+			return fmt.Errorf("%w: %s not in model", ErrPartitionMismatch, pc.Name)
+		}
+		if seen[pc.Name] {
+			return fmt.Errorf("%w: duplicate config for %s", ErrPartitionMismatch, pc.Name)
+		}
+		seen[pc.Name] = true
+	}
+	return nil
+}
+
+func partitionTables(cfg Config, pick func(PartitionConfig) hm.Table) map[model.PartitionName]hm.Table {
+	out := make(map[model.PartitionName]hm.Table, len(cfg.Partitions))
+	for _, pc := range cfg.Partitions {
+		if t := pick(pc); t != nil {
+			out[pc.Name] = t
+		}
+	}
+	return out
+}
+
+// Start boots the module: every partition's addressing space is installed,
+// partition initialization code runs (coldStart mode), and the partition
+// scheduler is primed with the first preemption point.
+func (m *Module) Start() error {
+	if m.started {
+		return ErrAlreadyStarted
+	}
+	m.started = true
+	for _, name := range m.order {
+		pt := m.partitions[name]
+		if err := pt.mapSpace(); err != nil {
+			return err
+		}
+	}
+	for _, name := range m.order {
+		m.partitions[name].coldStart()
+	}
+	heir, err := m.sched.Start()
+	if err != nil {
+		return err
+	}
+	res := m.disp.Dispatch(heir, 0)
+	m.traceEvent(Event{Time: 0, Kind: EvPartitionSwitch, Partition: res.Active.Partition,
+		Detail: "initial dispatch: " + res.Active.String()})
+	return nil
+}
+
+// Step executes one system clock tick: the Partition Scheduler (Algorithm
+// 1), the Partition Dispatcher (Algorithm 2), the PAL surrogate clock tick
+// announcement with deadline verification (Algorithm 3), and one tick of the
+// active partition's process scheduling.
+func (m *Module) Step() error {
+	if !m.started {
+		return ErrNotStarted
+	}
+	if m.halted {
+		return ErrHalted
+	}
+	preemption := m.sched.Tick()
+	m.now = m.sched.Ticks()
+	res := m.disp.Dispatch(m.sched.Heir(), m.now)
+	if preemption && res.Switched && !res.Active.Idle {
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionSwitch,
+			Partition: res.Active.Partition, Detail: res.Active.String()})
+	}
+	if res.Active.Idle {
+		return nil
+	}
+	pt := m.partitions[res.Active.Partition]
+	violations := pt.pal.TickAnnounce(res.ElapsedTicks)
+	for _, v := range violations {
+		m.traceEvent(Event{Time: m.now, Kind: EvDeadlineMiss,
+			Partition: pt.name, Process: v.Entry.Name,
+			Detail: fmt.Sprintf("deadline %d missed, detected at %d → %s",
+				v.Entry.Deadline, v.Detected, v.Decision.Action)})
+		pt.applyProcessDecision(v.Entry.Name, v.Decision)
+		if m.halted {
+			return nil
+		}
+	}
+	if pt.mode == model.ModeNormal {
+		pt.runOneTick()
+	}
+	return nil
+}
+
+// Run executes n ticks (stopping early if the module halts).
+func (m *Module) Run(n tick.Ticks) error {
+	for i := tick.Ticks(0); i < n; i++ {
+		if err := m.Step(); err != nil {
+			if errors.Is(err, ErrHalted) {
+				return nil
+			}
+			return err
+		}
+		if m.halted {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Shutdown stops all process goroutines and halts the module. It is safe to
+// call multiple times.
+func (m *Module) Shutdown() {
+	for _, name := range m.order {
+		m.partitions[name].killAll()
+	}
+	m.halted = true
+}
+
+// restoreContext is the Dispatcher's RestoreContext hook: it installs the
+// heir partition's MMU context (Sect. 2.1: the high-level description mapped
+// to the processor's memory protection mechanisms on every context switch).
+func (m *Module) restoreContext(p model.PartitionName) {
+	// The context was mapped at Start; a failure here would be a PMK bug.
+	if err := m.memory.SetContext(p); err != nil {
+		m.health.ReportModule(hm.ErrConfigError, err.Error())
+	}
+}
+
+// applyPendingScheduleAction is the Dispatcher's line-9 hook: the first time
+// a partition is dispatched after a schedule switch, its configured
+// ScheduleChangeAction is performed (Sect. 4.3).
+func (m *Module) applyPendingScheduleAction(p model.PartitionName) {
+	action, ok := m.sched.ConsumePendingAction(p)
+	if !ok || action == model.ActionSkip {
+		return
+	}
+	pt := m.partitions[p]
+	m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart, Partition: p,
+		Detail: "schedule change action: " + action.String()})
+	switch action {
+	case model.ActionColdStart:
+		pt.restart(model.ModeColdStart)
+	case model.ActionWarmStart:
+		pt.restart(model.ModeWarmStart)
+	}
+}
+
+// Now returns the global system clock tick counter.
+func (m *Module) Now() tick.Ticks { return m.now }
+
+// Halted reports whether the module stopped (SHUTDOWN_MODULE or Shutdown).
+func (m *Module) Halted() bool { return m.halted }
+
+// Health exposes the Health Monitor (diagnostics, tests).
+func (m *Module) Health() *hm.Monitor { return m.health }
+
+// ScheduleStatus returns the module schedule status (Sect. 4.2).
+func (m *Module) ScheduleStatus() apex.ModuleScheduleStatus {
+	return m.scheduleStatus()
+}
+
+// ActivePartition returns the partition currently holding the processor.
+func (m *Module) ActivePartition() pmk.Heir { return m.disp.Active() }
+
+// Partition returns a partition's runtime by name (diagnostics, tests).
+func (m *Module) Partition(name model.PartitionName) (*Partition, error) {
+	pt, ok := m.partitions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPartitionID, name)
+	}
+	return pt, nil
+}
+
+// Partitions returns the partition names in configuration order.
+func (m *Module) Partitions() []model.PartitionName {
+	out := make([]model.PartitionName, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Memory exposes the MMU (diagnostics, tests, examples exercising spatial
+// partitioning directly).
+func (m *Module) Memory() *mmu.MMU { return m.memory }
+
+// Router exposes the IPC router (diagnostics).
+func (m *Module) Router() *ipc.Router { return m.router }
+
+// resetModule applies the RESET_MODULE recovery action: every partition is
+// cold-started and the clock keeps running.
+func (m *Module) resetModule() {
+	m.traceEvent(Event{Time: m.now, Kind: EvModuleReset, Detail: "RESET_MODULE"})
+	for _, name := range m.order {
+		m.partitions[name].restart(model.ModeColdStart)
+	}
+}
+
+// shutdownModule applies the SHUTDOWN_MODULE recovery action.
+func (m *Module) shutdownModule() {
+	m.traceEvent(Event{Time: m.now, Kind: EvModuleHalt, Detail: "SHUTDOWN_MODULE"})
+	m.Shutdown()
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"air/internal/apex"
+	"air/internal/hm"
+	"air/internal/ipc"
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// TestKernelContextBlockingServicesRejected: blocking services called from
+// init/handler (kernel) context return InvalidMode instead of deadlocking.
+func TestKernelContextBlockingServicesRejected(t *testing.T) {
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateBuffer("b", 8, 1, apex.FIFO)
+		sv.CreateSemaphore("s", 0, 1, apex.FIFO)
+		sv.CreateEvent("e")
+		sv.CreateBlackboard("bb", 8)
+		sv.CreateProcess(periodicTask("p", 100, 5), nil)
+	})))
+	pt, _ := m.Partition("A")
+	sv := pt.KernelServices()
+	if rc := sv.TimedWait(5); rc != apex.InvalidMode {
+		t.Errorf("TimedWait = %v", rc)
+	}
+	if rc := sv.PeriodicWait(); rc != apex.InvalidMode {
+		t.Errorf("PeriodicWait = %v", rc)
+	}
+	if rc := sv.Replenish(5); rc != apex.InvalidMode {
+		t.Errorf("Replenish = %v", rc)
+	}
+	if rc := sv.SuspendSelf(); rc != apex.InvalidMode {
+		t.Errorf("SuspendSelf = %v", rc)
+	}
+	if rc := sv.WaitSemaphore("s", 10); rc != apex.InvalidMode {
+		t.Errorf("WaitSemaphore = %v", rc)
+	}
+	if rc := sv.WaitEvent("e", 10); rc != apex.InvalidMode {
+		t.Errorf("WaitEvent = %v", rc)
+	}
+	if _, rc := sv.ReceiveBuffer("b", 10); rc != apex.InvalidMode {
+		t.Errorf("ReceiveBuffer = %v", rc)
+	}
+	if _, rc := sv.ReadBlackboard("bb", 10); rc != apex.InvalidMode {
+		t.Errorf("ReadBlackboard = %v", rc)
+	}
+	// Two fills then a blocking send from kernel context.
+	if rc := sv.SendBuffer("b", []byte("x"), 0); rc != apex.NoError {
+		t.Fatalf("fill = %v", rc)
+	}
+	if rc := sv.SendBuffer("b", []byte("y"), 10); rc != apex.InvalidMode {
+		t.Errorf("blocking SendBuffer = %v", rc)
+	}
+	// StopSelf in kernel context is a no-op, not a crash.
+	sv.StopSelf()
+	// Compute in kernel context is a no-op.
+	sv.Compute(5)
+	// ResumeProcess on a never-suspended process.
+	if rc := sv.ResumeProcess("p"); rc != apex.InvalidMode {
+		t.Errorf("Resume unsuspended = %v", rc)
+	}
+	if rc := sv.ResumeProcess("zz"); rc != apex.InvalidParam {
+		t.Errorf("Resume unknown = %v", rc)
+	}
+}
+
+// TestBufferHandoffThroughQueueAndWaitingSender: a receiver that finds the
+// queue non-empty pops the head AND admits the longest-waiting sender's
+// message into the freed slot.
+func TestBufferHandoffThroughQueueAndWaitingSender(t *testing.T) {
+	var got []string
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateBuffer("b", 8, 1, apex.FIFO)
+		sv.CreateProcess(aperiodicTask("sender", 2), func(sv *Services) {
+			// First fills the queue, second blocks carrying its message.
+			sv.SendBuffer("b", []byte("m1"), tick.Infinity)
+			sv.SendBuffer("b", []byte("m2"), tick.Infinity)
+			sv.StopSelf()
+		})
+		sv.CreateProcess(aperiodicTask("receiver", 5), func(sv *Services) {
+			sv.Compute(3)
+			for i := 0; i < 2; i++ {
+				data, rc := sv.ReceiveBuffer("b", tick.Infinity)
+				if rc != apex.NoError {
+					t.Errorf("receive %d = %v", i, rc)
+					return
+				}
+				got = append(got, string(data))
+				sv.Compute(1)
+			}
+			sv.StopSelf()
+		})
+		sv.StartProcess("sender")
+		sv.StartProcess("receiver")
+	})))
+	if err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "m1" || got[1] != "m2" {
+		t.Fatalf("received = %v", got)
+	}
+}
+
+// TestMemoryViolationStopPartitionAction exercises applyPartitionDecision's
+// stop branch through the MemWrite fault path.
+func TestMemoryViolationStopPartitionAction(t *testing.T) {
+	m := startModule(t, Config{
+		System: twoPartitionSystem(),
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				sv.CreateProcess(aperiodicTask("rogue", 1), func(sv *Services) {
+					sv.Compute(1)
+					sv.MemWrite(0x0900_0000, []byte("x"))
+					t.Error("unreachable after stop-partition")
+				})
+				sv.StartProcess("rogue")
+			}),
+				HMPartitionTable: hm.Table{
+					hm.ErrMemoryViolation: hm.Rule{Action: hm.ActionStopPartition},
+				}},
+			{Name: "B", Init: normalInit(nil)},
+		},
+	})
+	if err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := m.Partition("A")
+	if pt.Mode() != model.ModeIdle {
+		t.Errorf("mode = %s, want idle", pt.Mode())
+	}
+}
+
+// TestMemoryViolationWarmStartAction exercises the warm branch.
+func TestMemoryViolationWarmStartAction(t *testing.T) {
+	m := startModule(t, Config{
+		System: twoPartitionSystem(),
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				sv.CreateProcess(aperiodicTask("rogue", 1), func(sv *Services) {
+					sv.Compute(1)
+					if sv.GetPartitionStatus().StartCount > 1 {
+						sv.StopSelf() // don't refault after restart
+					}
+					sv.MemWrite(0x0900_0000, []byte("x"))
+				})
+				sv.StartProcess("rogue")
+			}),
+				HMPartitionTable: hm.Table{
+					hm.ErrMemoryViolation: hm.Rule{Action: hm.ActionWarmStartPartition},
+				}},
+			{Name: "B", Init: normalInit(nil)},
+		},
+	})
+	if err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := m.Partition("A")
+	if pt.StartCount() != 2 || pt.Mode() != model.ModeNormal {
+		t.Errorf("startCount=%d mode=%s", pt.StartCount(), pt.Mode())
+	}
+}
+
+// TestMemoryViolationIgnoredFromKernelContext: MemWrite fault from init
+// context with an Ignore rule returns InvalidConfig and does not restart.
+func TestMemoryViolationIgnoredFromKernelContext(t *testing.T) {
+	var rc apex.ReturnCode
+	m := startModule(t, Config{
+		System: twoPartitionSystem(),
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				rc = sv.MemWrite(0x0900_0000, []byte("x"))
+			}),
+				HMPartitionTable: hm.Table{
+					hm.ErrMemoryViolation: hm.Rule{Action: hm.ActionIgnore},
+				}},
+			{Name: "B", Init: normalInit(nil)},
+		},
+	})
+	if rc != apex.InvalidConfig {
+		t.Errorf("MemWrite from init = %v", rc)
+	}
+	pt, _ := m.Partition("A")
+	if pt.StartCount() != 1 {
+		t.Errorf("ignored violation restarted the partition")
+	}
+	_ = m
+}
+
+// TestReceiveQueuingMessageTimeout: a bounded receive on a channel that
+// stays empty times out at (not before) the deadline.
+func TestReceiveQueuingMessageTimeout(t *testing.T) {
+	var rc apex.ReturnCode
+	var took tick.Ticks
+	m := startModule(t, Config{
+		System:  twoPartitionSystem(),
+		Queuing: []ipc.QueuingConfig{queueBetween("tm", 4, 0)},
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(nil)}, // never sends
+			{Name: "B", Init: normalInit(func(sv *Services) {
+				sv.CreateQueuingPort("in", apex.Destination)
+				sv.CreateProcess(aperiodicTask("rx", 5), func(sv *Services) {
+					start := sv.GetTime()
+					_, rc = sv.ReceiveQueuingMessage("in", 30)
+					took = sv.GetTime() - start
+					sv.StopSelf()
+				})
+				sv.StartProcess("rx")
+			})},
+		},
+	})
+	if err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if rc != apex.TimedOut {
+		t.Fatalf("rc = %v, want TIMED_OUT", rc)
+	}
+	if took < 30 {
+		t.Errorf("timed out after %d ticks, want ≥ 30", took)
+	}
+}

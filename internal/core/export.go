@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// traceRecord is the JSON shape of an exported trace event.
+type traceRecord struct {
+	Time      int64  `json:"t"`
+	Kind      string `json:"kind"`
+	Partition string `json:"partition,omitempty"`
+	Process   string `json:"process,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// hmRecord is the JSON shape of an exported health-monitoring event.
+type hmRecord struct {
+	Time      int64  `json:"t"`
+	Code      string `json:"code"`
+	Level     string `json:"level"`
+	Partition string `json:"partition,omitempty"`
+	Process   string `json:"process,omitempty"`
+	Action    string `json:"action"`
+	Message   string `json:"message,omitempty"`
+}
+
+// WriteTrace streams the module trace as JSON lines — one event per line —
+// for offline analysis tooling (timelines, dashboards, diffing runs).
+func (m *Module) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range m.Trace() {
+		rec := traceRecord{
+			Time:      int64(e.Time),
+			Kind:      e.Kind.String(),
+			Partition: string(e.Partition),
+			Process:   e.Process,
+			Detail:    e.Detail,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("core: export trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteHealthLog streams the health monitor log as JSON lines.
+func (m *Module) WriteHealthLog(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range m.health.Events() {
+		rec := hmRecord{
+			Time:      int64(e.Time),
+			Code:      e.Code.String(),
+			Level:     e.Level.String(),
+			Partition: string(e.Partition),
+			Process:   e.Process,
+			Action:    e.Action.String(),
+			Message:   e.Message,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("core: export health log: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace produced by WriteTrace back into
+// events (round-trip tooling support). Unknown kinds parse with kind left
+// zero; times and strings are preserved.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("core: parse trace: %w", err)
+		}
+		out = append(out, Event{
+			Time:      tick.Ticks(rec.Time),
+			Kind:      kindFromString(rec.Kind),
+			Partition: model.PartitionName(rec.Partition),
+			Process:   rec.Process,
+			Detail:    rec.Detail,
+		})
+	}
+	return out, nil
+}
+
+func kindFromString(s string) EventKind {
+	for k := EvPartitionSwitch; k <= EvMemoryViolation; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}

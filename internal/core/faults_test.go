@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"air/internal/apex"
+	"air/internal/hm"
+	"air/internal/model"
+)
+
+// TestNumericErrorClassification: a divide-by-zero trap in application code
+// surfaces as NUMERIC_ERROR, not APPLICATION_ERROR.
+func TestNumericErrorClassification(t *testing.T) {
+	denominator := 0
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateProcess(aperiodicTask("mathy", 1), func(sv *Services) {
+			sv.Compute(2)
+			_ = 42 / denominator // runtime trap
+		})
+		sv.StartProcess("mathy")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Health().Count(hm.ErrNumericError); got != 1 {
+		t.Fatalf("NUMERIC_ERROR count = %d", got)
+	}
+	if got := m.Health().Count(hm.ErrApplicationError); got != 0 {
+		t.Errorf("misclassified as APPLICATION_ERROR")
+	}
+	pt, _ := m.Partition("A")
+	proc, _ := pt.Kernel().Lookup("mathy")
+	if proc.State != model.StateDormant {
+		t.Errorf("faulted process state = %s", proc.State)
+	}
+}
+
+// TestStackOverflowDetection: StackProbe past the stack section raises
+// STACK_OVERFLOW; the default recovery stops the process mid-call.
+func TestStackOverflowDetection(t *testing.T) {
+	var rcs []apex.ReturnCode
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateProcess(aperiodicTask("deep", 1), func(sv *Services) {
+			sv.Compute(1)
+			// Default stack section: 16 pages = 64 KiB.
+			rcs = append(rcs, sv.StackProbe(60_000))
+			rcs = append(rcs, sv.StackRelease(20_000))
+			rcs = append(rcs, sv.StackProbe(20_000)) // back to 60 000: fine
+			rcs = append(rcs, sv.StackProbe(10_000)) // 70 000 > 65 536: overflow
+			t.Error("unreachable after overflow stop")
+		})
+		sv.StartProcess("deep")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []apex.ReturnCode{apex.NoError, apex.NoError, apex.NoError}
+	if len(rcs) != 3 {
+		t.Fatalf("rcs = %v", rcs)
+	}
+	for i := range want {
+		if rcs[i] != want[i] {
+			t.Fatalf("rcs = %v, want %v", rcs, want)
+		}
+	}
+	if got := m.Health().Count(hm.ErrStackOverflow); got != 1 {
+		t.Fatalf("STACK_OVERFLOW count = %d", got)
+	}
+	pt, _ := m.Partition("A")
+	proc, _ := pt.Kernel().Lookup("deep")
+	if proc.State != model.StateDormant {
+		t.Errorf("overflowed process state = %s", proc.State)
+	}
+}
+
+// TestStackProbeEdges: parameter and context validation plus the
+// ignore-rule path where the probe call returns.
+func TestStackProbeEdges(t *testing.T) {
+	var rc apex.ReturnCode
+	var survived bool
+	m := startModule(t, Config{
+		System: twoPartitionSystem(),
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				sv.CreateProcess(aperiodicTask("deep", 1), func(sv *Services) {
+					sv.Compute(1)
+					if bad := sv.StackProbe(-1); bad != apex.InvalidParam {
+						t.Errorf("negative probe = %v", bad)
+					}
+					rc = sv.StackProbe(1 << 20) // overflow, but rule ignores
+					survived = true
+					sv.StopSelf()
+				})
+				sv.StartProcess("deep")
+			}),
+				HMProcessTable: hm.Table{
+					hm.ErrStackOverflow: hm.Rule{Action: hm.ActionIgnore},
+				}},
+			{Name: "B", Init: normalInit(nil)},
+		},
+	})
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !survived || rc != apex.InvalidConfig {
+		t.Errorf("ignored overflow: survived=%v rc=%v", survived, rc)
+	}
+	pt, _ := m.Partition("A")
+	if got := pt.KernelServices().StackProbe(1); got != apex.InvalidMode {
+		t.Errorf("kernel-context probe = %v", got)
+	}
+	if got := pt.KernelServices().StackRelease(1); got != apex.InvalidMode {
+		t.Errorf("kernel-context release = %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"air/internal/ipc"
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// twoPartitionSystem builds a minimal verified system: A [0,50), B [50,100)
+// over a 100-tick MTF.
+func twoPartitionSystem() *model.System {
+	return &model.System{
+		Partitions: []model.PartitionName{"A", "B"},
+		Schedules: []model.Schedule{{
+			Name: "main", MTF: 100,
+			Requirements: []model.Requirement{
+				{Partition: "A", Cycle: 100, Budget: 50},
+				{Partition: "B", Cycle: 100, Budget: 50},
+			},
+			Windows: []model.Window{
+				{Partition: "A", Offset: 0, Duration: 50},
+				{Partition: "B", Offset: 50, Duration: 50},
+			},
+		}},
+	}
+}
+
+// startModule builds and starts a module, registering cleanup.
+func startModule(t *testing.T, cfg Config) *Module {
+	t.Helper()
+	m, err := NewModule(cfg)
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return m
+}
+
+// normalInit wraps an init body and ends it with SET_PARTITION_MODE(NORMAL).
+func normalInit(body func(sv *Services)) InitFunc {
+	return func(sv *Services) {
+		if body != nil {
+			body(sv)
+		}
+		sv.SetPartitionMode(model.ModeNormal)
+	}
+}
+
+// periodicTask builds a TaskSpec for a periodic process with deadline equal
+// to the period.
+func periodicTask(name string, period tick.Ticks, prio model.Priority) model.TaskSpec {
+	return model.TaskSpec{
+		Name: name, Period: period, Deadline: period,
+		BasePriority: prio, WCET: 1, Periodic: true,
+	}
+}
+
+// aperiodicTask builds a TaskSpec for an aperiodic, deadline-free process.
+func aperiodicTask(name string, prio model.Priority) model.TaskSpec {
+	return model.TaskSpec{
+		Name: name, Deadline: tick.Infinity, BasePriority: prio, WCET: 1,
+	}
+}
+
+// queueBetween builds a queuing channel config from A.out to B.in.
+func queueBetween(name string, depth int, latency tick.Ticks) ipc.QueuingConfig {
+	return ipc.QueuingConfig{
+		Name: name, MaxMessage: 64, Depth: depth, Latency: latency,
+		Source:      ipc.PortRef{Partition: "A", Port: "out"},
+		Destination: ipc.PortRef{Partition: "B", Port: "in"},
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"air/internal/apex"
+	"air/internal/ipc"
+	"air/internal/pos"
+)
+
+// waiter is one blocked process queued on an APEX object.
+type waiter struct {
+	pid  pos.ProcessID
+	prio int
+	seq  uint64
+	// handoff delivers the awaited resource directly to the waiter
+	// (message for buffers/blackboards, token for semaphores), guaranteeing
+	// the queuing discipline is honoured regardless of who runs next.
+	handoff []byte
+	granted bool
+}
+
+// waitQueue orders blocked processes by the object's queuing discipline:
+// FIFO (arrival order) or priority order (higher priority — lower numeric
+// value — first, FIFO among equals).
+type waitQueue struct {
+	discipline apex.QueuingDiscipline
+	seq        uint64
+	items      []*waiter
+}
+
+func newWaitQueue(d apex.QueuingDiscipline) waitQueue {
+	if d == 0 {
+		d = apex.FIFO
+	}
+	return waitQueue{discipline: d}
+}
+
+func (q *waitQueue) push(pid pos.ProcessID, prio int) *waiter {
+	q.seq++
+	w := &waiter{pid: pid, prio: prio, seq: q.seq}
+	q.items = append(q.items, w)
+	return w
+}
+
+// pop removes and returns the next waiter per the discipline.
+func (q *waitQueue) pop() (*waiter, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	best := 0
+	if q.discipline == apex.PriorityOrder {
+		for i := 1; i < len(q.items); i++ {
+			cur, b := q.items[i], q.items[best]
+			if cur.prio < b.prio || (cur.prio == b.prio && cur.seq < b.seq) {
+				best = i
+			}
+		}
+	}
+	w := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return w, true
+}
+
+// remove drops a specific waiter (timeout path).
+func (q *waitQueue) remove(w *waiter) {
+	for i, cur := range q.items {
+		if cur == w {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *waitQueue) len() int { return len(q.items) }
+
+func (q *waitQueue) clear() { q.items = nil }
+
+// buffer is the ARINC 653 intra-partition buffer: a bounded FIFO of messages
+// with blocking send (when full) and receive (when empty).
+type buffer struct {
+	name       string
+	maxMessage int
+	depth      int
+	queue      [][]byte
+	senders    waitQueue // blocked senders, each carrying its message
+	receivers  waitQueue // blocked receivers
+}
+
+// blackboard is the ARINC 653 blackboard: a single displayed message; reads
+// block until a message is displayed.
+type blackboard struct {
+	name       string
+	maxMessage int
+	message    []byte
+	displayed  bool
+	readers    waitQueue
+}
+
+// semaphore is the ARINC 653 counting semaphore.
+type semaphore struct {
+	name    string
+	value   int
+	max     int
+	waiters waitQueue
+}
+
+// eventObj is the ARINC 653 event: up/down state with broadcast wake-up.
+type eventObj struct {
+	name    string
+	up      bool
+	waiters waitQueue
+}
+
+// samplingPort binds a partition-local port name to a sampling channel.
+type samplingPort struct {
+	name         string
+	direction    apex.Direction
+	channel      *ipc.SamplingChannel
+	lastValidity apex.Validity
+}
+
+// queuingPort binds a partition-local port name to a queuing channel.
+type queuingPort struct {
+	name      string
+	direction apex.Direction
+	channel   *ipc.QueuingChannel
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"testing"
+
+	"air/internal/apex"
+	"air/internal/tick"
+)
+
+// singlePartitionConfig builds a one-window system for intra-partition
+// object tests (B exists but idles).
+func objTestConfig(init InitFunc) Config {
+	return Config{
+		System: twoPartitionSystem(),
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: init},
+			{Name: "B", Init: normalInit(nil)},
+		},
+	}
+}
+
+func TestBufferProducerConsumer(t *testing.T) {
+	var received []string
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		if rc := sv.CreateBuffer("mq", 32, 2, apex.FIFO); rc != apex.NoError {
+			t.Fatalf("CreateBuffer = %v", rc)
+		}
+		sv.CreateProcess(aperiodicTask("producer", 2), func(sv *Services) {
+			for _, msg := range []string{"m1", "m2", "m3", "m4"} {
+				if rc := sv.SendBuffer("mq", []byte(msg), tick.Infinity); rc != apex.NoError {
+					t.Errorf("SendBuffer(%s) = %v", msg, rc)
+				}
+				sv.Compute(1)
+			}
+			sv.StopSelf()
+		})
+		sv.CreateProcess(aperiodicTask("consumer", 5), func(sv *Services) {
+			for i := 0; i < 4; i++ {
+				data, rc := sv.ReceiveBuffer("mq", tick.Infinity)
+				if rc != apex.NoError {
+					t.Errorf("ReceiveBuffer = %v", rc)
+					return
+				}
+				received = append(received, string(data))
+				sv.Compute(1)
+			}
+			sv.StopSelf()
+		})
+		sv.StartProcess("producer")
+		sv.StartProcess("consumer")
+	})))
+	if err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m1", "m2", "m3", "m4"}
+	if len(received) != 4 {
+		t.Fatalf("received = %v", received)
+	}
+	for i := range want {
+		if received[i] != want[i] {
+			t.Fatalf("received = %v, want %v", received, want)
+		}
+	}
+}
+
+func TestBufferBlockingSenderTimeout(t *testing.T) {
+	var rcs []apex.ReturnCode
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateBuffer("mq", 16, 1, apex.FIFO)
+		sv.CreateProcess(aperiodicTask("sender", 2), func(sv *Services) {
+			rcs = append(rcs, sv.SendBuffer("mq", []byte("a"), 0))  // fills
+			rcs = append(rcs, sv.SendBuffer("mq", []byte("b"), 0))  // full, non-blocking
+			rcs = append(rcs, sv.SendBuffer("mq", []byte("c"), 10)) // full, times out
+			sv.StopSelf()
+		})
+		sv.StartProcess("sender")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []apex.ReturnCode{apex.NoError, apex.NotAvailable, apex.TimedOut}
+	if len(rcs) != 3 {
+		t.Fatalf("rcs = %v", rcs)
+	}
+	for i := range want {
+		if rcs[i] != want[i] {
+			t.Fatalf("rcs = %v, want %v", rcs, want)
+		}
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		if rc := sv.CreateBuffer("b", 8, 2, apex.FIFO); rc != apex.NoError {
+			t.Errorf("create = %v", rc)
+		}
+		if rc := sv.CreateBuffer("b", 8, 2, apex.FIFO); rc != apex.NoAction {
+			t.Errorf("duplicate create = %v", rc)
+		}
+		if rc := sv.CreateBuffer("", 8, 2, apex.FIFO); rc != apex.InvalidParam {
+			t.Errorf("empty name = %v", rc)
+		}
+		if rc := sv.CreateBuffer("c", 0, 2, apex.FIFO); rc != apex.InvalidParam {
+			t.Errorf("zero max = %v", rc)
+		}
+		if rc := sv.SendBuffer("zz", []byte("x"), 0); rc != apex.InvalidConfig {
+			t.Errorf("unknown buffer = %v", rc)
+		}
+		if rc := sv.SendBuffer("b", make([]byte, 9), 0); rc != apex.InvalidParam {
+			t.Errorf("oversize = %v", rc)
+		}
+		if _, rc := sv.ReceiveBuffer("b", 0); rc != apex.NotAvailable {
+			t.Errorf("empty receive = %v", rc)
+		}
+		if st, rc := sv.GetBufferStatus("b"); rc != apex.NoError || st.Depth != 2 {
+			t.Errorf("status = %+v %v", st, rc)
+		}
+		if _, rc := sv.GetBufferStatus("zz"); rc != apex.InvalidConfig {
+			t.Errorf("unknown status = %v", rc)
+		}
+	})))
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Creating in normal mode is rejected.
+	pt, _ := m.Partition("A")
+	sv := pt.services(0, nil)
+	if rc := sv.CreateBuffer("late", 8, 2, apex.FIFO); rc != apex.InvalidMode {
+		t.Errorf("create in normal mode = %v", rc)
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	var inCritical, maxInCritical int
+	body := func(sv *Services) {
+		for i := 0; i < 3; i++ {
+			if rc := sv.WaitSemaphore("mutex", tick.Infinity); rc != apex.NoError {
+				t.Errorf("WaitSemaphore = %v", rc)
+				return
+			}
+			inCritical++
+			if inCritical > maxInCritical {
+				maxInCritical = inCritical
+			}
+			sv.Compute(3)
+			inCritical--
+			sv.SignalSemaphore("mutex")
+			sv.Compute(1)
+		}
+		sv.StopSelf()
+	}
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateSemaphore("mutex", 1, 1, apex.PriorityOrder)
+		sv.CreateProcess(aperiodicTask("w1", 3), body)
+		sv.CreateProcess(aperiodicTask("w2", 3), body)
+		sv.StartProcess("w1")
+		sv.StartProcess("w2")
+	})))
+	if err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if maxInCritical != 1 {
+		t.Errorf("max concurrent in critical section = %d, want 1", maxInCritical)
+	}
+}
+
+func TestSemaphoreValidationAndStatus(t *testing.T) {
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		if rc := sv.CreateSemaphore("s", 1, 2, apex.FIFO); rc != apex.NoError {
+			t.Errorf("create = %v", rc)
+		}
+		if rc := sv.CreateSemaphore("s", 1, 2, apex.FIFO); rc != apex.NoAction {
+			t.Errorf("dup = %v", rc)
+		}
+		if rc := sv.CreateSemaphore("t", 3, 2, apex.FIFO); rc != apex.InvalidParam {
+			t.Errorf("initial > max = %v", rc)
+		}
+		if rc := sv.WaitSemaphore("zz", 0); rc != apex.InvalidConfig {
+			t.Errorf("unknown wait = %v", rc)
+		}
+		if rc := sv.SignalSemaphore("zz"); rc != apex.InvalidConfig {
+			t.Errorf("unknown signal = %v", rc)
+		}
+		// value 1 → wait takes it; second non-blocking wait unavailable.
+		if rc := sv.WaitSemaphore("s", 0); rc != apex.NoError {
+			t.Errorf("wait = %v", rc)
+		}
+		if rc := sv.WaitSemaphore("s", 0); rc != apex.NotAvailable {
+			t.Errorf("drained wait = %v", rc)
+		}
+		// Signal to max then NoAction beyond.
+		sv.SignalSemaphore("s")
+		sv.SignalSemaphore("s")
+		if rc := sv.SignalSemaphore("s"); rc != apex.NoAction {
+			t.Errorf("signal at max = %v", rc)
+		}
+		if st, rc := sv.GetSemaphoreStatus("s"); rc != apex.NoError || st.Value != 2 {
+			t.Errorf("status = %+v %v", st, rc)
+		}
+		if _, rc := sv.GetSemaphoreStatus("zz"); rc != apex.InvalidConfig {
+			t.Errorf("unknown status = %v", rc)
+		}
+	})))
+	if err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	woken := map[string]tick.Ticks{}
+	waiterBody := func(name string) ProcessBody {
+		return func(sv *Services) {
+			if rc := sv.WaitEvent("go", tick.Infinity); rc != apex.NoError {
+				t.Errorf("WaitEvent = %v", rc)
+			}
+			woken[name] = sv.GetTime()
+			sv.StopSelf()
+		}
+	}
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateEvent("go")
+		sv.CreateProcess(aperiodicTask("w1", 3), waiterBody("w1"))
+		sv.CreateProcess(aperiodicTask("w2", 4), waiterBody("w2"))
+		sv.CreateProcess(aperiodicTask("setter", 9), func(sv *Services) {
+			sv.Compute(10)
+			sv.SetEvent("go")
+			sv.StopSelf()
+		})
+		sv.StartProcess("w1")
+		sv.StartProcess("w2")
+		sv.StartProcess("setter")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 2 {
+		t.Fatalf("woken = %v, want both waiters", woken)
+	}
+	// Both waiters released at the set instant (same tick).
+	if woken["w1"] != woken["w2"] {
+		t.Errorf("wake times differ: %v", woken)
+	}
+}
+
+func TestEventOperations(t *testing.T) {
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		if rc := sv.CreateEvent("e"); rc != apex.NoError {
+			t.Errorf("create = %v", rc)
+		}
+		if rc := sv.CreateEvent("e"); rc != apex.NoAction {
+			t.Errorf("dup = %v", rc)
+		}
+		if rc := sv.CreateEvent(""); rc != apex.InvalidParam {
+			t.Errorf("empty name = %v", rc)
+		}
+		if rc := sv.WaitEvent("zz", 0); rc != apex.InvalidConfig {
+			t.Errorf("unknown = %v", rc)
+		}
+		if rc := sv.WaitEvent("e", 0); rc != apex.NotAvailable {
+			t.Errorf("down non-blocking = %v", rc)
+		}
+		sv.SetEvent("e")
+		if rc := sv.WaitEvent("e", 0); rc != apex.NoError {
+			t.Errorf("up wait = %v", rc)
+		}
+		if st, rc := sv.GetEventStatus("e"); rc != apex.NoError || !st.Up {
+			t.Errorf("status = %+v %v", st, rc)
+		}
+		sv.ResetEvent("e")
+		if st, _ := sv.GetEventStatus("e"); st.Up {
+			t.Error("reset did not lower event")
+		}
+		if _, rc := sv.GetEventStatus("zz"); rc != apex.InvalidConfig {
+			t.Errorf("unknown status = %v", rc)
+		}
+	})))
+	if err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventWaitTimeout(t *testing.T) {
+	var rc apex.ReturnCode
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateEvent("never")
+		sv.CreateProcess(aperiodicTask("w", 3), func(sv *Services) {
+			rc = sv.WaitEvent("never", 20)
+			sv.StopSelf()
+		})
+		sv.StartProcess("w")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if rc != apex.TimedOut {
+		t.Errorf("rc = %v, want TIMED_OUT", rc)
+	}
+}
+
+func TestBlackboard(t *testing.T) {
+	var got []string
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateBlackboard("bb", 32)
+		sv.CreateProcess(aperiodicTask("reader", 3), func(sv *Services) {
+			// Blocks until the writer displays.
+			data, rc := sv.ReadBlackboard("bb", tick.Infinity)
+			if rc != apex.NoError {
+				t.Errorf("blocked read = %v", rc)
+			}
+			got = append(got, string(data))
+			// Non-blocking read of the displayed message.
+			data, rc = sv.ReadBlackboard("bb", 0)
+			if rc != apex.NoError {
+				t.Errorf("displayed read = %v", rc)
+			}
+			got = append(got, string(data))
+			sv.StopSelf()
+		})
+		sv.CreateProcess(aperiodicTask("writer", 9), func(sv *Services) {
+			sv.Compute(5)
+			if rc := sv.DisplayBlackboard("bb", []byte("mode=safe")); rc != apex.NoError {
+				t.Errorf("display = %v", rc)
+			}
+			sv.StopSelf()
+		})
+		sv.StartProcess("reader")
+		sv.StartProcess("writer")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "mode=safe" || got[1] != "mode=safe" {
+		t.Fatalf("reads = %v", got)
+	}
+}
+
+func TestBlackboardOperations(t *testing.T) {
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		if rc := sv.CreateBlackboard("bb", 8); rc != apex.NoError {
+			t.Errorf("create = %v", rc)
+		}
+		if rc := sv.CreateBlackboard("bb", 8); rc != apex.NoAction {
+			t.Errorf("dup = %v", rc)
+		}
+		if rc := sv.DisplayBlackboard("zz", []byte("x")); rc != apex.InvalidConfig {
+			t.Errorf("unknown display = %v", rc)
+		}
+		if rc := sv.DisplayBlackboard("bb", make([]byte, 9)); rc != apex.InvalidParam {
+			t.Errorf("oversize display = %v", rc)
+		}
+		if _, rc := sv.ReadBlackboard("bb", 0); rc != apex.NotAvailable {
+			t.Errorf("empty read = %v", rc)
+		}
+		sv.DisplayBlackboard("bb", []byte("x"))
+		if st, rc := sv.GetBlackboardStatus("bb"); rc != apex.NoError || !st.Displayed {
+			t.Errorf("status = %+v %v", st, rc)
+		}
+		if rc := sv.ClearBlackboard("bb"); rc != apex.NoError {
+			t.Errorf("clear = %v", rc)
+		}
+		if _, rc := sv.ReadBlackboard("bb", 0); rc != apex.NotAvailable {
+			t.Errorf("read after clear = %v", rc)
+		}
+		if rc := sv.ClearBlackboard("zz"); rc != apex.InvalidConfig {
+			t.Errorf("unknown clear = %v", rc)
+		}
+		if _, rc := sv.GetBlackboardStatus("zz"); rc != apex.InvalidConfig {
+			t.Errorf("unknown status = %v", rc)
+		}
+	})))
+	if err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityOrderWaitQueue(t *testing.T) {
+	// Two waiters on a priority-ordered semaphore: the higher-priority
+	// waiter (lower numeric) must be granted first even if it arrived last.
+	var order []string
+	m := startModule(t, objTestConfig(normalInit(func(sv *Services) {
+		sv.CreateSemaphore("sem", 0, 1, apex.PriorityOrder)
+		sv.CreateProcess(aperiodicTask("low", 8), func(sv *Services) {
+			sv.WaitSemaphore("sem", tick.Infinity)
+			order = append(order, "low")
+			sv.StopSelf()
+		})
+		sv.CreateProcess(aperiodicTask("high", 2), func(sv *Services) {
+			sv.Compute(2) // arrives later
+			sv.WaitSemaphore("sem", tick.Infinity)
+			order = append(order, "high")
+			sv.StopSelf()
+		})
+		sv.CreateProcess(aperiodicTask("signaller", 9), func(sv *Services) {
+			sv.Compute(10)
+			sv.SignalSemaphore("sem")
+			sv.Compute(2)
+			sv.SignalSemaphore("sem")
+			sv.StopSelf()
+		})
+		// low waits first.
+		sv.StartProcess("low")
+		sv.StartProcess("high")
+		sv.StartProcess("signaller")
+	})))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("grant order = %v, want high first (priority discipline)", order)
+	}
+}

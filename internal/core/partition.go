@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"air/internal/hm"
+	"air/internal/mmu"
+	"air/internal/model"
+	"air/internal/pal"
+	"air/internal/pos"
+	"air/internal/tick"
+)
+
+// Default addressing-space layout installed when a partition config does not
+// override Descriptors: code (r-x), data (rw-), stack (rw-).
+var defaultDescriptors = []mmu.Descriptor{
+	{Section: mmu.SectionCode, Base: 0x0000_0000, Size: 16 * mmu.PageSize,
+		AppPerms: mmu.Read | mmu.Execute, POSPerms: mmu.Read | mmu.Execute},
+	{Section: mmu.SectionData, Base: 0x0010_0000, Size: 64 * mmu.PageSize,
+		AppPerms: mmu.Read | mmu.Write, POSPerms: mmu.Read | mmu.Write},
+	{Section: mmu.SectionStack, Base: 0x0020_0000, Size: 16 * mmu.PageSize,
+		AppPerms: mmu.Read | mmu.Write, POSPerms: mmu.Read | mmu.Write},
+}
+
+// yieldKind is what a process goroutine reports back after a grant.
+type yieldKind int
+
+const (
+	// yieldConsumed: the process used its granted tick computing.
+	yieldConsumed yieldKind = iota + 1
+	// yieldBlocked: the process transitioned to waiting without consuming
+	// the tick; the POS scheduler picks the next heir within the same tick.
+	yieldBlocked
+	// yieldDone: the process body returned (or faulted) and stopped.
+	yieldDone
+)
+
+// killSentinel is panicked into a process goroutine to force-terminate it.
+type killSentinel struct{}
+
+// procRuntime is the kernel side of one process goroutine handshake.
+type procRuntime struct {
+	grant chan struct{}
+	yield chan yieldKind
+	kill  chan struct{}
+	done  chan struct{}
+	alive bool
+	// stackUsed tracks the simulated stack consumption for STACK_OVERFLOW
+	// detection (Services.StackProbe).
+	stackUsed int
+}
+
+func (rt *procRuntime) waitGrant() {
+	select {
+	case <-rt.grant:
+	case <-rt.kill:
+		panic(killSentinel{})
+	}
+}
+
+// Partition is the runtime containment domain of one partition: its POS
+// kernel and PAL instance, its process goroutines, its APEX objects and its
+// ports (paper Sect. 2: "a (system) application, and the given APEX
+// interface, POS and AIR PAL instances compose the containment domain of
+// each partition").
+type Partition struct {
+	mod *Module
+	cfg PartitionConfig
+
+	name   model.PartitionName
+	system bool
+	mode   model.OperatingMode
+
+	kernel *pos.Kernel
+	pal    *pal.PAL
+
+	runtimes map[pos.ProcessID]*procRuntime
+	bodies   map[pos.ProcessID]ProcessBody
+	handler  ErrorHandler
+
+	buffers     map[string]*buffer
+	blackboards map[string]*blackboard
+	semaphores  map[string]*semaphore
+	events      map[string]*eventObj
+	sampPorts   map[string]*samplingPort
+	queuePorts  map[string]*queuingPort
+
+	// pendingFaultDecision holds a process-level HM decision raised on a
+	// process goroutine (application panic, RAISE_APPLICATION_ERROR) until
+	// the kernel side of the handshake applies it.
+	pendingFaultDecision *faultDecision
+	// pendingPartitionDecision likewise for partition-level decisions
+	// (memory violations) raised on a process goroutine.
+	pendingPartitionDecision *hm.Decision
+	// deferredMode holds a SET_PARTITION_MODE transition requested by a
+	// process (idle/coldStart/warmStart), applied kernel-side after the
+	// requesting process terminates.
+	deferredMode model.OperatingMode
+
+	startCount int
+}
+
+func newPartition(m *Module, cfg PartitionConfig) (*Partition, error) {
+	pt := &Partition{
+		mod:    m,
+		cfg:    cfg,
+		name:   cfg.Name,
+		system: cfg.System,
+		mode:   model.ModeIdle,
+	}
+	pt.buildKernel()
+	pt.clearObjects()
+	return pt, nil
+}
+
+// buildKernel creates a fresh POS kernel + PAL pair for the partition.
+func (pt *Partition) buildKernel() {
+	nowFn := func() tick.Ticks { return pt.mod.now }
+	var queue pal.DeadlineQueue
+	if pt.cfg.UseTreeQueue {
+		queue = pal.NewTreeQueue()
+	} else {
+		queue = pal.NewListQueue()
+	}
+	p := pal.New(pal.Config{
+		Partition: pt.name,
+		Queue:     queue,
+		Health:    pt.mod.health,
+		Now:       nowFn,
+	})
+	k := pos.NewKernel(pos.Options{
+		Partition:    pt.name,
+		Policy:       pt.cfg.Policy,
+		Now:          nowFn,
+		Observer:     p,
+		MaxProcesses: pt.cfg.MaxProcesses,
+	})
+	p.Bind(k)
+	pt.kernel = k
+	pt.pal = p
+	pt.runtimes = make(map[pos.ProcessID]*procRuntime)
+	pt.bodies = make(map[pos.ProcessID]ProcessBody)
+}
+
+func (pt *Partition) clearObjects() {
+	pt.buffers = make(map[string]*buffer)
+	pt.blackboards = make(map[string]*blackboard)
+	pt.semaphores = make(map[string]*semaphore)
+	pt.events = make(map[string]*eventObj)
+	pt.sampPorts = make(map[string]*samplingPort)
+	pt.queuePorts = make(map[string]*queuingPort)
+	pt.handler = nil
+	pt.mod.health.SetHandlerInstalled(pt.name, false)
+}
+
+// stackBytes returns the total size of the partition's stack sections.
+func (pt *Partition) stackBytes() int {
+	total := 0
+	for _, d := range pt.mod.memory.Descriptors(pt.name) {
+		if d.Section == mmu.SectionStack {
+			total += int(d.Size)
+		}
+	}
+	return total
+}
+
+// mapSpace installs the partition's addressing space descriptors and
+// memory-mapped devices.
+func (pt *Partition) mapSpace() error {
+	descriptors := pt.cfg.Descriptors
+	if descriptors == nil {
+		descriptors = defaultDescriptors
+	}
+	if err := pt.mod.memory.MapSpace(mmu.SpaceSpec{
+		Partition:   pt.name,
+		Descriptors: descriptors,
+	}); err != nil {
+		return err
+	}
+	for _, dm := range pt.cfg.Devices {
+		if err := pt.mod.memory.MapDevice(pt.name, dm.Base, dm.Size,
+			dm.AppPerms, dm.POSPerms, dm.Device); err != nil {
+			return fmt.Errorf("partition %s: %w", pt.name, err)
+		}
+	}
+	return nil
+}
+
+// coldStart runs the partition's initialization in coldStart mode.
+func (pt *Partition) coldStart() {
+	pt.mode = model.ModeColdStart
+	pt.startCount++
+	pt.runInit()
+}
+
+// warmStart runs the initialization in warmStart mode, preserving the
+// process table, ports and objects.
+func (pt *Partition) warmStart() {
+	pt.mode = model.ModeWarmStart
+	pt.startCount++
+	pt.runInit()
+}
+
+func (pt *Partition) runInit() {
+	if pt.cfg.Init == nil {
+		// No initialization code: the partition boots straight to normal,
+		// which models configuration-only partitions.
+		pt.mode = model.ModeNormal
+		return
+	}
+	pt.cfg.Init(pt.services(pos.InvalidProcess, nil))
+}
+
+// restart applies a cold or warm partition restart: all process goroutines
+// are terminated and initialization re-runs. Cold start additionally wipes
+// the process table and all APEX objects.
+func (pt *Partition) restart(mode model.OperatingMode) {
+	pt.killAll()
+	switch mode {
+	case model.ModeColdStart:
+		pt.buildKernel()
+		pt.clearObjects()
+		pt.coldStart()
+	default:
+		pt.kernel.ResetAll()
+		pt.resetWaitQueues()
+		pt.warmStart()
+	}
+}
+
+// stop shuts the partition down (idle mode): all processes terminated,
+// scheduler disabled.
+func (pt *Partition) stop() {
+	pt.killAll()
+	pt.kernel.ResetAll()
+	pt.resetWaitQueues()
+	pt.mode = model.ModeIdle
+	pt.mod.traceEvent(Event{Time: pt.mod.now, Kind: EvPartitionStopped,
+		Partition: pt.name, Detail: "partition set to idle"})
+}
+
+// resetWaitQueues clears waiters from all APEX objects (the waiting
+// processes were terminated).
+func (pt *Partition) resetWaitQueues() {
+	for _, b := range pt.buffers {
+		b.senders.clear()
+		b.receivers.clear()
+	}
+	for _, bb := range pt.blackboards {
+		bb.readers.clear()
+	}
+	for _, s := range pt.semaphores {
+		s.waiters.clear()
+	}
+	for _, e := range pt.events {
+		e.waiters.clear()
+	}
+}
+
+// killAll force-terminates every live process goroutine.
+func (pt *Partition) killAll() {
+	for id, rt := range pt.runtimes {
+		if rt.alive {
+			close(rt.kill)
+			<-rt.done
+			rt.alive = false
+		}
+		delete(pt.runtimes, id)
+	}
+}
+
+// killProcess force-terminates one process goroutine (used by Stop-type
+// recovery actions originating outside the process itself).
+func (pt *Partition) killProcess(id pos.ProcessID) {
+	rt, ok := pt.runtimes[id]
+	if !ok {
+		return
+	}
+	if rt.alive {
+		close(rt.kill)
+		<-rt.done
+		rt.alive = false
+	}
+	delete(pt.runtimes, id)
+}
+
+// spawn starts the goroutine for a started process. The goroutine waits for
+// its first grant (first dispatch) before running the body.
+func (pt *Partition) spawn(id pos.ProcessID) {
+	body := pt.bodies[id]
+	if body == nil {
+		return // model-only process: pure time consumer
+	}
+	rt := &procRuntime{
+		grant: make(chan struct{}),
+		yield: make(chan yieldKind),
+		kill:  make(chan struct{}),
+		done:  make(chan struct{}),
+		alive: true,
+	}
+	pt.runtimes[id] = rt
+	sv := pt.services(id, rt)
+	go func() {
+		defer close(rt.done)
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			switch r.(type) {
+			case killSentinel:
+				// Kernel-initiated termination; the kernel side is not
+				// waiting on the yield channel.
+				return
+			case stopSentinel:
+				// Self-termination (StopSelf, deferred mode change,
+				// self-affecting recovery): kernel state already settled.
+				rt.yield <- yieldDone
+				return
+			default:
+				// Application fault: contained within the partition,
+				// reported as a process-level error — arithmetic traps
+				// classify as NUMERIC_ERROR, everything else as
+				// APPLICATION_ERROR (Sect. 2.4 error classes).
+				name := spec(pt, id)
+				decision := pt.mod.health.ReportProcess(pt.name, name,
+					classifyPanic(r), fmt.Sprintf("process panic: %v", r))
+				_ = pt.kernel.Stop(id)
+				rt.alive = false
+				pt.pendingFaultDecision = &faultDecision{name: name, decision: decision}
+				rt.yield <- yieldDone
+			}
+		}()
+		rt.waitGrant()
+		body(sv)
+		// Normal return: the process stops itself (dormant).
+		_ = pt.kernel.Stop(id)
+		rt.alive = false
+		rt.yield <- yieldDone
+	}()
+}
+
+// faultDecision carries an HM decision raised on a process goroutine to the
+// kernel side of the handshake, where recovery actions are applied.
+type faultDecision struct {
+	name     string
+	decision hm.Decision
+}
+
+// runOneTick runs the partition's process scheduling for one granted tick:
+// the heir process (eq. 14) executes until it consumes the tick or blocks;
+// blocked heirs cascade to the next heir within the same tick.
+func (pt *Partition) runOneTick() {
+	for {
+		proc, ok := pt.kernel.Dispatch()
+		if !ok {
+			return // no eligible process: the tick idles inside the window
+		}
+		rt := pt.runtimes[proc.ID]
+		if rt == nil || !rt.alive {
+			// Model-only process: consumes the tick with no observable
+			// effect (a pure CPU burner used in analysis/benchmarks).
+			return
+		}
+		rt.grant <- struct{}{}
+		kind := <-rt.yield
+		if pt.applyPendingKernelOps() {
+			return // a partition-level transition consumed the tick
+		}
+		switch kind {
+		case yieldConsumed:
+			return
+		case yieldBlocked, yieldDone:
+			continue
+		}
+	}
+}
+
+// applyPendingKernelOps applies decisions and mode transitions that a
+// process goroutine raised but that must execute on the kernel side of the
+// handshake. It returns true when the partition underwent a mode transition
+// (restart/stop), which ends the tick.
+func (pt *Partition) applyPendingKernelOps() bool {
+	if fd := pt.pendingFaultDecision; fd != nil {
+		pt.pendingFaultDecision = nil
+		pt.applyProcessDecision(fd.name, fd.decision)
+		switch fd.decision.Action {
+		case hm.ActionWarmStartPartition, hm.ActionColdStartPartition,
+			hm.ActionStopPartition, hm.ActionResetModule, hm.ActionShutdownModule:
+			return true
+		}
+	}
+	if pd := pt.pendingPartitionDecision; pd != nil {
+		pt.pendingPartitionDecision = nil
+		pt.applyPartitionDecision(*pd)
+		return true
+	}
+	if mode := pt.deferredMode; mode != 0 {
+		pt.deferredMode = 0
+		switch mode {
+		case model.ModeIdle:
+			pt.stop()
+		case model.ModeColdStart, model.ModeWarmStart:
+			pt.mod.traceEvent(Event{Time: pt.mod.now, Kind: EvPartitionRestart,
+				Partition: pt.name, Detail: "SET_PARTITION_MODE " + mode.String()})
+			pt.restart(mode)
+		}
+		return true
+	}
+	return false
+}
+
+// classifyPanic maps a recovered panic value onto the ARINC 653 error
+// class: arithmetic runtime traps (divide by zero, shift range) are
+// NUMERIC_ERROR; everything else is APPLICATION_ERROR.
+func classifyPanic(r any) hm.ErrorCode {
+	err, ok := r.(runtime.Error)
+	if !ok {
+		return hm.ErrApplicationError
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "divide by zero") || strings.Contains(msg, "shift") ||
+		strings.Contains(msg, "floating point") {
+		return hm.ErrNumericError
+	}
+	return hm.ErrApplicationError
+}
+
+// spec returns a process's name for diagnostics, tolerating lookup failure.
+func spec(pt *Partition, id pos.ProcessID) string {
+	if p, err := pt.kernel.Get(id); err == nil {
+		return p.Spec.Name
+	}
+	return fmt.Sprintf("pid%d", id)
+}
+
+// services builds a Services facade bound to this partition and optionally
+// to a process (rt non-nil for process context).
+func (pt *Partition) services(id pos.ProcessID, rt *procRuntime) *Services {
+	return &Services{mod: pt.mod, pt: pt, pid: id, rt: rt}
+}
+
+// applyProcessDecision carries out a Health Monitor decision for a
+// process-level error (Sect. 5 recovery actions).
+func (pt *Partition) applyProcessDecision(process string, d hm.Decision) {
+	m := pt.mod
+	switch d.Action {
+	case hm.ActionIgnore:
+		// Logged by the HM; no recovery.
+	case hm.ActionInvokeHandler:
+		if pt.handler != nil {
+			pt.handler(pt.services(pos.InvalidProcess, nil), d.Event)
+		}
+	case hm.ActionStopProcess:
+		pt.stopProcessByName(process)
+		m.traceEvent(Event{Time: m.now, Kind: EvProcessStopped,
+			Partition: pt.name, Process: process, Detail: "HM stop"})
+	case hm.ActionRestartProcess:
+		pt.stopProcessByName(process)
+		if proc, err := pt.kernel.Lookup(process); err == nil {
+			if err := pt.kernel.Start(proc.ID); err == nil {
+				pt.spawn(proc.ID)
+			}
+		}
+		m.traceEvent(Event{Time: m.now, Kind: EvProcessRestarted,
+			Partition: pt.name, Process: process, Detail: "HM restart"})
+	case hm.ActionWarmStartPartition:
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
+			Partition: pt.name, Detail: "HM warm start"})
+		pt.restart(model.ModeWarmStart)
+	case hm.ActionColdStartPartition:
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
+			Partition: pt.name, Detail: "HM cold start"})
+		pt.restart(model.ModeColdStart)
+	case hm.ActionStopPartition:
+		pt.stop()
+	case hm.ActionResetModule:
+		m.resetModule()
+	case hm.ActionShutdownModule:
+		m.shutdownModule()
+	}
+}
+
+// applyPartitionDecision carries out a decision for a partition-level error.
+func (pt *Partition) applyPartitionDecision(d hm.Decision) {
+	m := pt.mod
+	switch d.Action {
+	case hm.ActionIgnore, hm.ActionInvokeHandler:
+		// Partition-level errors have no application handler; treat as log.
+	case hm.ActionWarmStartPartition:
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
+			Partition: pt.name, Detail: "HM warm start"})
+		pt.restart(model.ModeWarmStart)
+	case hm.ActionColdStartPartition:
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
+			Partition: pt.name, Detail: "HM cold start"})
+		pt.restart(model.ModeColdStart)
+	case hm.ActionStopPartition:
+		pt.stop()
+	case hm.ActionResetModule:
+		m.resetModule()
+	case hm.ActionShutdownModule:
+		m.shutdownModule()
+	default:
+		pt.stop()
+	}
+}
+
+// stopProcessByName stops a process and terminates its goroutine.
+func (pt *Partition) stopProcessByName(name string) {
+	proc, err := pt.kernel.Lookup(name)
+	if err != nil {
+		return
+	}
+	_ = pt.kernel.Stop(proc.ID)
+	pt.killProcess(proc.ID)
+}
+
+// Accessors used by tests, diagnostics and the VITRAL front-end.
+
+// Name returns the partition name.
+func (pt *Partition) Name() model.PartitionName { return pt.name }
+
+// Mode returns the operating mode M_m(t).
+func (pt *Partition) Mode() model.OperatingMode { return pt.mode }
+
+// StartCount returns the number of (re)starts.
+func (pt *Partition) StartCount() int { return pt.startCount }
+
+// Kernel exposes the POS kernel (tests/diagnostics).
+func (pt *Partition) Kernel() *pos.Kernel { return pt.kernel }
+
+// PAL exposes the PAL instance (tests/diagnostics).
+func (pt *Partition) PAL() *pal.PAL { return pt.pal }
+
+// KernelServices returns a kernel-context APEX service facade for the
+// partition — the hook used by system-partition tooling, tests and
+// ground-command style interaction (e.g. requesting a schedule switch or a
+// partition mode change from outside any process). Blocking services return
+// InvalidMode on it.
+func (pt *Partition) KernelServices() *Services {
+	return pt.services(pos.InvalidProcess, nil)
+}

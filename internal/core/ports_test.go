@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+
+	"air/internal/apex"
+	"air/internal/ipc"
+	"air/internal/tick"
+)
+
+func samplingBetween(name string, refresh, latency tick.Ticks) ipc.SamplingConfig {
+	return ipc.SamplingConfig{
+		Name: name, MaxMessage: 64, Refresh: refresh, Latency: latency,
+		Source:       ipc.PortRef{Partition: "A", Port: "s_out"},
+		Destinations: []ipc.PortRef{{Partition: "B", Port: "s_in"}},
+	}
+}
+
+// TestSamplingPortsAcrossPartitions: A publishes attitude-style samples; B
+// reads the latest each window with validity.
+func TestSamplingPortsAcrossPartitions(t *testing.T) {
+	var reads []string
+	var validities []apex.Validity
+	m := startModule(t, Config{
+		System:   twoPartitionSystem(),
+		Sampling: []ipc.SamplingConfig{samplingBetween("att", 200, 0)},
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				if rc := sv.CreateSamplingPort("s_out", apex.Source); rc != apex.NoError {
+					t.Errorf("create source port = %v", rc)
+				}
+				sv.CreateProcess(periodicTask("pub", 100, 5), func(sv *Services) {
+					seq := byte('0')
+					for {
+						sv.Compute(5)
+						if rc := sv.WriteSamplingMessage("s_out", []byte{'q', seq}); rc != apex.NoError {
+							t.Errorf("write = %v", rc)
+						}
+						seq++
+						sv.PeriodicWait()
+					}
+				})
+				sv.StartProcess("pub")
+			})},
+			{Name: "B", Init: normalInit(func(sv *Services) {
+				if rc := sv.CreateSamplingPort("s_in", apex.Destination); rc != apex.NoError {
+					t.Errorf("create dest port = %v", rc)
+				}
+				sv.CreateProcess(periodicTask("sub", 100, 5), func(sv *Services) {
+					for {
+						sv.Compute(5)
+						data, validity, rc := sv.ReadSamplingMessage("s_in")
+						if rc == apex.NoError {
+							reads = append(reads, string(data))
+							validities = append(validities, validity)
+						}
+						sv.PeriodicWait()
+					}
+				})
+				sv.StartProcess("sub")
+			})},
+		},
+	})
+	if err := m.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) < 4 {
+		t.Fatalf("reads = %v", reads)
+	}
+	// B reads within the same MTF as the write: always the latest, valid.
+	for i, v := range validities {
+		if v != apex.Valid {
+			t.Errorf("read %d validity = %v", i, v)
+		}
+	}
+	// Sequence advances.
+	if reads[0] == reads[len(reads)-1] {
+		t.Errorf("sample did not advance: %v", reads)
+	}
+}
+
+// TestQueuingPortsAcrossPartitions streams telemetry A→B losslessly.
+func TestQueuingPortsAcrossPartitions(t *testing.T) {
+	var got []byte
+	const total = 20
+	m := startModule(t, Config{
+		System:  twoPartitionSystem(),
+		Queuing: []ipc.QueuingConfig{queueBetween("tm", 4, 0)},
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				sv.CreateQueuingPort("out", apex.Source)
+				sv.CreateProcess(aperiodicTask("tx", 5), func(sv *Services) {
+					for i := byte(0); i < total; i++ {
+						if rc := sv.SendQueuingMessage("out", []byte{i}, tick.Infinity); rc != apex.NoError {
+							t.Errorf("send %d = %v", i, rc)
+							return
+						}
+						sv.Compute(1)
+					}
+					sv.StopSelf()
+				})
+				sv.StartProcess("tx")
+			})},
+			{Name: "B", Init: normalInit(func(sv *Services) {
+				sv.CreateQueuingPort("in", apex.Destination)
+				sv.CreateProcess(aperiodicTask("rx", 5), func(sv *Services) {
+					for len(got) < total {
+						data, rc := sv.ReceiveQueuingMessage("in", tick.Infinity)
+						if rc != apex.NoError {
+							t.Errorf("receive = %v", rc)
+							return
+						}
+						got = append(got, data[0])
+						sv.Compute(1)
+					}
+					sv.StopSelf()
+				})
+				sv.StartProcess("rx")
+			})},
+		},
+	})
+	if err := m.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("received %d/%d messages", len(got), total)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+// TestQueuingPortRemoteLatency: on a bus channel (latency 30) a message sent
+// by A in its window arrives for B only after the latency.
+func TestQueuingPortRemoteLatency(t *testing.T) {
+	var receivedAt tick.Ticks
+	m := startModule(t, Config{
+		System:  twoPartitionSystem(),
+		Queuing: []ipc.QueuingConfig{queueBetween("bus", 4, 30)},
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				sv.CreateQueuingPort("out", apex.Source)
+				sv.CreateProcess(aperiodicTask("tx", 5), func(sv *Services) {
+					sv.Compute(30) // send at t≈31
+					sv.SendQueuingMessage("out", []byte{0xAA}, 0)
+					sv.StopSelf()
+				})
+				sv.StartProcess("tx")
+			})},
+			{Name: "B", Init: normalInit(func(sv *Services) {
+				sv.CreateQueuingPort("in", apex.Destination)
+				sv.CreateProcess(aperiodicTask("rx", 5), func(sv *Services) {
+					_, rc := sv.ReceiveQueuingMessage("in", tick.Infinity)
+					if rc != apex.NoError {
+						t.Errorf("receive = %v", rc)
+					}
+					receivedAt = sv.GetTime()
+					sv.StopSelf()
+				})
+				sv.StartProcess("rx")
+			})},
+		},
+	})
+	if err := m.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	// Sent at ~31, latency 30 → deliverable from ~61; B's window is
+	// [50,100), so reception happens in (60, 100).
+	if receivedAt < 60 || receivedAt >= 100 {
+		t.Errorf("received at %d, want within B's first window after latency", receivedAt)
+	}
+}
+
+func TestPortValidation(t *testing.T) {
+	m := startModule(t, Config{
+		System:   twoPartitionSystem(),
+		Sampling: []ipc.SamplingConfig{samplingBetween("att", 100, 0)},
+		Queuing:  []ipc.QueuingConfig{queueBetween("tm", 4, 0)},
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				// Wrong direction for the configured binding.
+				if rc := sv.CreateSamplingPort("s_out", apex.Destination); rc != apex.InvalidConfig {
+					t.Errorf("wrong direction = %v", rc)
+				}
+				// Unknown binding.
+				if rc := sv.CreateSamplingPort("nope", apex.Source); rc != apex.InvalidConfig {
+					t.Errorf("unknown port = %v", rc)
+				}
+				if rc := sv.CreateSamplingPort("s_out", apex.Source); rc != apex.NoError {
+					t.Errorf("create = %v", rc)
+				}
+				if rc := sv.CreateSamplingPort("s_out", apex.Source); rc != apex.NoAction {
+					t.Errorf("dup create = %v", rc)
+				}
+				// Write validations.
+				if rc := sv.WriteSamplingMessage("nope", []byte("x")); rc != apex.InvalidConfig {
+					t.Errorf("write unknown = %v", rc)
+				}
+				if rc := sv.WriteSamplingMessage("s_out", make([]byte, 65)); rc != apex.InvalidParam {
+					t.Errorf("oversize = %v", rc)
+				}
+				// Reading from a source port is a mode error.
+				if _, _, rc := sv.ReadSamplingMessage("s_out"); rc != apex.InvalidMode {
+					t.Errorf("read source = %v", rc)
+				}
+				if st, rc := sv.GetSamplingPortStatus("s_out"); rc != apex.NoError || st.MaxMessage != 64 {
+					t.Errorf("status = %+v %v", st, rc)
+				}
+				if _, rc := sv.GetSamplingPortStatus("zz"); rc != apex.InvalidConfig {
+					t.Errorf("unknown status = %v", rc)
+				}
+				// Queuing side.
+				if rc := sv.CreateQueuingPort("out", apex.Source); rc != apex.NoError {
+					t.Errorf("create queuing = %v", rc)
+				}
+				if rc := sv.CreateQueuingPort("out", apex.Source); rc != apex.NoAction {
+					t.Errorf("dup queuing = %v", rc)
+				}
+				if rc := sv.CreateQueuingPort("zz", apex.Source); rc != apex.InvalidConfig {
+					t.Errorf("unknown queuing = %v", rc)
+				}
+				if rc := sv.SendQueuingMessage("zz", []byte("x"), 0); rc != apex.InvalidConfig {
+					t.Errorf("send unknown = %v", rc)
+				}
+				if rc := sv.SendQueuingMessage("out", make([]byte, 65), 0); rc != apex.InvalidParam {
+					t.Errorf("send oversize = %v", rc)
+				}
+				if _, rc := sv.ReceiveQueuingMessage("out", 0); rc != apex.InvalidMode {
+					t.Errorf("receive on source = %v", rc)
+				}
+				if st, rc := sv.GetQueuingPortStatus("out"); rc != apex.NoError || st.Depth != 4 {
+					t.Errorf("queuing status = %+v %v", st, rc)
+				}
+				if _, rc := sv.GetQueuingPortStatus("zz"); rc != apex.InvalidConfig {
+					t.Errorf("unknown queuing status = %v", rc)
+				}
+			})},
+			{Name: "B", Init: normalInit(func(sv *Services) {
+				if rc := sv.CreateSamplingPort("s_in", apex.Destination); rc != apex.NoError {
+					t.Errorf("create dest = %v", rc)
+				}
+				// Read before any write.
+				if _, _, rc := sv.ReadSamplingMessage("s_in"); rc != apex.NotAvailable {
+					t.Errorf("read empty = %v", rc)
+				}
+				// Writing to a destination port is a mode error.
+				if rc := sv.WriteSamplingMessage("s_in", []byte("x")); rc != apex.InvalidMode {
+					t.Errorf("write dest = %v", rc)
+				}
+			})},
+		},
+	})
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Port creation after initialization is rejected.
+	pt, _ := m.Partition("A")
+	sv := pt.services(0, nil)
+	if rc := sv.CreateSamplingPort("late", apex.Source); rc != apex.InvalidMode {
+		t.Errorf("create in normal mode = %v", rc)
+	}
+	if rc := sv.CreateQueuingPort("late", apex.Source); rc != apex.InvalidMode {
+		t.Errorf("create queuing in normal mode = %v", rc)
+	}
+}
+
+// TestStaleSamplingValidity: B reads a sample older than the refresh period
+// and sees INVALID — the staleness indication of Sect. 2.1's refresh
+// semantics.
+func TestStaleSamplingValidity(t *testing.T) {
+	var first, later apex.Validity
+	var reads int
+	m := startModule(t, Config{
+		System:   twoPartitionSystem(),
+		Sampling: []ipc.SamplingConfig{samplingBetween("att", 80, 0)},
+		Partitions: []PartitionConfig{
+			{Name: "A", Init: normalInit(func(sv *Services) {
+				sv.CreateSamplingPort("s_out", apex.Source)
+				sv.CreateProcess(aperiodicTask("once", 5), func(sv *Services) {
+					sv.WriteSamplingMessage("s_out", []byte("only"))
+					sv.StopSelf() // writes exactly once, then silence
+				})
+				sv.StartProcess("once")
+			})},
+			{Name: "B", Init: normalInit(func(sv *Services) {
+				sv.CreateSamplingPort("s_in", apex.Destination)
+				sv.CreateProcess(periodicTask("sub", 100, 5), func(sv *Services) {
+					for {
+						sv.Compute(5)
+						_, validity, rc := sv.ReadSamplingMessage("s_in")
+						if rc == apex.NoError {
+							if reads == 0 {
+								first = validity
+							}
+							later = validity
+							reads++
+						}
+						sv.PeriodicWait()
+					}
+				})
+				sv.StartProcess("sub")
+			})},
+		},
+	})
+	if err := m.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if reads < 2 {
+		t.Fatalf("reads = %d", reads)
+	}
+	if first != apex.Valid {
+		t.Errorf("first read validity = %v, want VALID", first)
+	}
+	if later != apex.Invalid {
+		t.Errorf("stale read validity = %v, want INVALID", later)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+
+	"air/internal/apex"
+	"air/internal/ipc"
+	"air/internal/pos"
+	"air/internal/tick"
+)
+
+// Interpartition communication services (paper Sect. 2.1): applications
+// access sampling and queuing ports through the APEX "in a way which is
+// agnostic of whether the partitions are local or remote to one another" —
+// the port maps onto a channel configured at integration time, and the
+// channel's latency (zero for local memory-to-memory transfer, non-zero for
+// the simulated bus) is invisible to this API.
+
+// CreateSamplingPort implements CREATE_SAMPLING_PORT: binds the named port
+// to its configured channel, validating the direction.
+func (sv *Services) CreateSamplingPort(port string, dir apex.Direction) apex.ReturnCode {
+	if !sv.creationAllowed() {
+		return apex.InvalidMode
+	}
+	if _, exists := sv.pt.sampPorts[port]; exists {
+		return apex.NoAction
+	}
+	ch, isSource, err := sv.mod.router.SamplingByPort(sv.pt.name, port)
+	if err != nil {
+		return apex.InvalidConfig
+	}
+	if (dir == apex.Source) != isSource {
+		return apex.InvalidConfig
+	}
+	sv.pt.sampPorts[port] = &samplingPort{name: port, direction: dir, channel: ch}
+	return apex.NoError
+}
+
+// WriteSamplingMessage implements WRITE_SAMPLING_MESSAGE.
+func (sv *Services) WriteSamplingMessage(port string, data []byte) apex.ReturnCode {
+	sp, ok := sv.pt.sampPorts[port]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if sp.direction != apex.Source {
+		return apex.InvalidMode
+	}
+	if err := sp.channel.Write(sv.pt.name, data, sv.mod.now); err != nil {
+		if errors.Is(err, ipc.ErrMessageTooLarge) || errors.Is(err, ipc.ErrEmptyMessage) {
+			return apex.InvalidParam
+		}
+		return apex.InvalidConfig
+	}
+	return apex.NoError
+}
+
+// ReadSamplingMessage implements READ_SAMPLING_MESSAGE: returns the latest
+// message and its validity (age within the refresh period).
+func (sv *Services) ReadSamplingMessage(port string) ([]byte, apex.Validity, apex.ReturnCode) {
+	sp, ok := sv.pt.sampPorts[port]
+	if !ok {
+		return nil, apex.Invalid, apex.InvalidConfig
+	}
+	if sp.direction != apex.Destination {
+		return nil, apex.Invalid, apex.InvalidMode
+	}
+	res, err := sp.channel.Read(sv.pt.name, sv.mod.now)
+	if err != nil {
+		if errors.Is(err, ipc.ErrNoMessage) {
+			return nil, apex.Invalid, apex.NotAvailable
+		}
+		return nil, apex.Invalid, apex.InvalidConfig
+	}
+	validity := apex.Invalid
+	if res.Valid {
+		validity = apex.Valid
+	}
+	sp.lastValidity = validity
+	return res.Data, validity, apex.NoError
+}
+
+// GetSamplingPortStatus implements GET_SAMPLING_PORT_STATUS.
+func (sv *Services) GetSamplingPortStatus(port string) (apex.SamplingPortStatus, apex.ReturnCode) {
+	sp, ok := sv.pt.sampPorts[port]
+	if !ok {
+		return apex.SamplingPortStatus{}, apex.InvalidConfig
+	}
+	cfg := sp.channel.Config()
+	return apex.SamplingPortStatus{
+		Name:         sp.name,
+		Direction:    sp.direction,
+		MaxMessage:   cfg.MaxMessage,
+		Refresh:      cfg.Refresh,
+		LastValidity: sp.lastValidity,
+	}, apex.NoError
+}
+
+// CreateQueuingPort implements CREATE_QUEUING_PORT.
+func (sv *Services) CreateQueuingPort(port string, dir apex.Direction) apex.ReturnCode {
+	if !sv.creationAllowed() {
+		return apex.InvalidMode
+	}
+	if _, exists := sv.pt.queuePorts[port]; exists {
+		return apex.NoAction
+	}
+	ch, isSource, err := sv.mod.router.QueuingByPort(sv.pt.name, port)
+	if err != nil {
+		return apex.InvalidConfig
+	}
+	if (dir == apex.Source) != isSource {
+		return apex.InvalidConfig
+	}
+	sv.pt.queuePorts[port] = &queuingPort{name: port, direction: dir, channel: ch}
+	return apex.NoError
+}
+
+// SendQueuingMessage implements SEND_QUEUING_MESSAGE with a timeout. When
+// the channel is full the caller blocks and retries each tick until space
+// appears or the timeout expires — cross-partition wake-ups cannot be
+// immediate because the receiving partition only drains the queue inside its
+// own execution windows.
+func (sv *Services) SendQueuingMessage(port string, data []byte, timeout tick.Ticks) apex.ReturnCode {
+	qp, ok := sv.pt.queuePorts[port]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if qp.direction != apex.Source {
+		return apex.InvalidMode
+	}
+	deadline := sv.wakeDeadline(timeout)
+	for {
+		err := qp.channel.Send(sv.pt.name, data, sv.mod.now)
+		if err == nil {
+			return apex.NoError
+		}
+		if errors.Is(err, ipc.ErrMessageTooLarge) || errors.Is(err, ipc.ErrEmptyMessage) {
+			return apex.InvalidParam
+		}
+		if !errors.Is(err, ipc.ErrQueueFull) {
+			return apex.InvalidConfig
+		}
+		if timeout == 0 {
+			return apex.NotAvailable
+		}
+		if !sv.inProcess() {
+			return apex.InvalidMode
+		}
+		if !deadline.IsInfinite() && sv.mod.now >= deadline {
+			return apex.TimedOut
+		}
+		// Retry at the next tick (bounded by the deadline).
+		retryAt := sv.mod.now + 1
+		if !deadline.IsInfinite() && deadline < retryAt {
+			retryAt = deadline
+		}
+		_ = sv.pt.kernel.Block(sv.pid, pos.WaitPort, retryAt)
+		sv.blockSelf()
+	}
+}
+
+// ReceiveQueuingMessage implements RECEIVE_QUEUING_MESSAGE with a timeout,
+// using the same timed-retry blocking as SendQueuingMessage.
+func (sv *Services) ReceiveQueuingMessage(port string, timeout tick.Ticks) ([]byte, apex.ReturnCode) {
+	qp, ok := sv.pt.queuePorts[port]
+	if !ok {
+		return nil, apex.InvalidConfig
+	}
+	if qp.direction != apex.Destination {
+		return nil, apex.InvalidMode
+	}
+	deadline := sv.wakeDeadline(timeout)
+	for {
+		data, err := qp.channel.Receive(sv.pt.name, sv.mod.now)
+		if err == nil {
+			return data, apex.NoError
+		}
+		if !errors.Is(err, ipc.ErrQueueEmpty) {
+			return nil, apex.InvalidConfig
+		}
+		if timeout == 0 {
+			return nil, apex.NotAvailable
+		}
+		if !sv.inProcess() {
+			return nil, apex.InvalidMode
+		}
+		if !deadline.IsInfinite() && sv.mod.now >= deadline {
+			return nil, apex.TimedOut
+		}
+		retryAt := sv.mod.now + 1
+		if !deadline.IsInfinite() && deadline < retryAt {
+			retryAt = deadline
+		}
+		_ = sv.pt.kernel.Block(sv.pid, pos.WaitPort, retryAt)
+		sv.blockSelf()
+	}
+}
+
+// GetQueuingPortStatus implements GET_QUEUING_PORT_STATUS.
+func (sv *Services) GetQueuingPortStatus(port string) (apex.QueuingPortStatus, apex.ReturnCode) {
+	qp, ok := sv.pt.queuePorts[port]
+	if !ok {
+		return apex.QueuingPortStatus{}, apex.InvalidConfig
+	}
+	cfg := qp.channel.Config()
+	return apex.QueuingPortStatus{
+		Name:           qp.name,
+		Direction:      qp.direction,
+		MaxMessage:     cfg.MaxMessage,
+		Depth:          cfg.Depth,
+		QueuedMessages: qp.channel.Len(),
+	}, apex.NoError
+}

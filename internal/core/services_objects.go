@@ -1,0 +1,380 @@
+package core
+
+import (
+	"air/internal/apex"
+	"air/internal/model"
+	"air/internal/pos"
+	"air/internal/tick"
+)
+
+// Intra-partition communication services: buffers, blackboards, semaphores
+// and events (ARINC 653 Part 1). Creation is restricted to partition
+// initialization; blocking operations park the calling process on the
+// object's wait queue under the configured queuing discipline, with direct
+// handoff so the discipline is honoured deterministically.
+
+func (sv *Services) creationAllowed() bool {
+	return sv.pt.mode != model.ModeNormal
+}
+
+// currentPrio returns the caller's current priority for priority-ordered
+// wait queues (0 in kernel context, which never blocks anyway).
+func (sv *Services) currentPrio() int {
+	if p := sv.myProc(); p != nil {
+		return int(p.CurrentPriority)
+	}
+	return 0
+}
+
+// parkOn blocks the calling process on a wait queue until granted or timed
+// out. It returns true when the waiter was granted the resource.
+func (sv *Services) parkOn(q *waitQueue, kind pos.WaitKind, timeout tick.Ticks) (*waiter, bool) {
+	w := q.push(sv.pid, sv.currentPrio())
+	_ = sv.pt.kernel.Block(sv.pid, kind, sv.wakeDeadline(timeout))
+	sv.blockSelf()
+	if w.granted {
+		return w, true
+	}
+	q.remove(w)
+	return w, false
+}
+
+// grantWaiter marks a waiter granted and makes its process ready.
+func (pt *Partition) grantWaiter(w *waiter) {
+	w.granted = true
+	_ = pt.kernel.Wake(w.pid)
+}
+
+// --- buffers -----------------------------------------------------------------
+
+// CreateBuffer implements CREATE_BUFFER.
+func (sv *Services) CreateBuffer(name string, maxMessage, depth int, d apex.QueuingDiscipline) apex.ReturnCode {
+	if !sv.creationAllowed() {
+		return apex.InvalidMode
+	}
+	if name == "" || maxMessage <= 0 || depth <= 0 {
+		return apex.InvalidParam
+	}
+	if _, exists := sv.pt.buffers[name]; exists {
+		return apex.NoAction
+	}
+	sv.pt.buffers[name] = &buffer{
+		name: name, maxMessage: maxMessage, depth: depth,
+		senders:   newWaitQueue(d),
+		receivers: newWaitQueue(d),
+	}
+	return apex.NoError
+}
+
+// SendBuffer implements SEND_BUFFER with a timeout: 0 = non-blocking,
+// tick.Infinity = wait forever.
+func (sv *Services) SendBuffer(name string, data []byte, timeout tick.Ticks) apex.ReturnCode {
+	b, ok := sv.pt.buffers[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if len(data) == 0 || len(data) > b.maxMessage {
+		return apex.InvalidParam
+	}
+	msg := append([]byte(nil), data...)
+	// A waiting receiver takes the message directly.
+	if w, ok := b.receivers.pop(); ok {
+		w.handoff = msg
+		sv.pt.grantWaiter(w)
+		return apex.NoError
+	}
+	if len(b.queue) < b.depth {
+		b.queue = append(b.queue, msg)
+		return apex.NoError
+	}
+	if timeout == 0 {
+		return apex.NotAvailable
+	}
+	if !sv.inProcess() {
+		return apex.InvalidMode
+	}
+	w := b.senders.push(sv.pid, sv.currentPrio())
+	w.handoff = msg // the message travels with the blocked sender
+	_ = sv.pt.kernel.Block(sv.pid, pos.WaitBuffer, sv.wakeDeadline(timeout))
+	sv.blockSelf()
+	if w.granted {
+		return apex.NoError
+	}
+	b.senders.remove(w)
+	return apex.TimedOut
+}
+
+// ReceiveBuffer implements RECEIVE_BUFFER with a timeout.
+func (sv *Services) ReceiveBuffer(name string, timeout tick.Ticks) ([]byte, apex.ReturnCode) {
+	b, ok := sv.pt.buffers[name]
+	if !ok {
+		return nil, apex.InvalidConfig
+	}
+	if len(b.queue) > 0 {
+		msg := b.queue[0]
+		b.queue = b.queue[1:]
+		// Admit one blocked sender into the freed slot.
+		if w, ok := b.senders.pop(); ok {
+			b.queue = append(b.queue, w.handoff)
+			sv.pt.grantWaiter(w)
+		}
+		return msg, apex.NoError
+	}
+	if timeout == 0 {
+		return nil, apex.NotAvailable
+	}
+	if !sv.inProcess() {
+		return nil, apex.InvalidMode
+	}
+	w, granted := sv.parkOn(&b.receivers, pos.WaitBuffer, timeout)
+	if !granted {
+		return nil, apex.TimedOut
+	}
+	return w.handoff, apex.NoError
+}
+
+// GetBufferStatus implements GET_BUFFER_STATUS.
+func (sv *Services) GetBufferStatus(name string) (apex.BufferStatus, apex.ReturnCode) {
+	b, ok := sv.pt.buffers[name]
+	if !ok {
+		return apex.BufferStatus{}, apex.InvalidConfig
+	}
+	return apex.BufferStatus{
+		Name: b.name, MaxMessage: b.maxMessage, Depth: b.depth,
+		QueuedMessages: len(b.queue),
+		WaitingSenders: b.senders.len(), WaitingReceiver: b.receivers.len(),
+	}, apex.NoError
+}
+
+// --- blackboards ----------------------------------------------------------------
+
+// CreateBlackboard implements CREATE_BLACKBOARD.
+func (sv *Services) CreateBlackboard(name string, maxMessage int) apex.ReturnCode {
+	if !sv.creationAllowed() {
+		return apex.InvalidMode
+	}
+	if name == "" || maxMessage <= 0 {
+		return apex.InvalidParam
+	}
+	if _, exists := sv.pt.blackboards[name]; exists {
+		return apex.NoAction
+	}
+	sv.pt.blackboards[name] = &blackboard{
+		name: name, maxMessage: maxMessage, readers: newWaitQueue(apex.FIFO),
+	}
+	return apex.NoError
+}
+
+// DisplayBlackboard implements DISPLAY_BLACKBOARD: the message is displayed
+// and every waiting reader released with it.
+func (sv *Services) DisplayBlackboard(name string, data []byte) apex.ReturnCode {
+	bb, ok := sv.pt.blackboards[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if len(data) == 0 || len(data) > bb.maxMessage {
+		return apex.InvalidParam
+	}
+	bb.message = append([]byte(nil), data...)
+	bb.displayed = true
+	for {
+		w, ok := bb.readers.pop()
+		if !ok {
+			break
+		}
+		w.handoff = append([]byte(nil), bb.message...)
+		sv.pt.grantWaiter(w)
+	}
+	return apex.NoError
+}
+
+// ReadBlackboard implements READ_BLACKBOARD with a timeout.
+func (sv *Services) ReadBlackboard(name string, timeout tick.Ticks) ([]byte, apex.ReturnCode) {
+	bb, ok := sv.pt.blackboards[name]
+	if !ok {
+		return nil, apex.InvalidConfig
+	}
+	if bb.displayed {
+		return append([]byte(nil), bb.message...), apex.NoError
+	}
+	if timeout == 0 {
+		return nil, apex.NotAvailable
+	}
+	if !sv.inProcess() {
+		return nil, apex.InvalidMode
+	}
+	w, granted := sv.parkOn(&bb.readers, pos.WaitBlackboard, timeout)
+	if !granted {
+		return nil, apex.TimedOut
+	}
+	return w.handoff, apex.NoError
+}
+
+// ClearBlackboard implements CLEAR_BLACKBOARD.
+func (sv *Services) ClearBlackboard(name string) apex.ReturnCode {
+	bb, ok := sv.pt.blackboards[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	bb.displayed = false
+	bb.message = nil
+	return apex.NoError
+}
+
+// GetBlackboardStatus implements GET_BLACKBOARD_STATUS.
+func (sv *Services) GetBlackboardStatus(name string) (apex.BlackboardStatus, apex.ReturnCode) {
+	bb, ok := sv.pt.blackboards[name]
+	if !ok {
+		return apex.BlackboardStatus{}, apex.InvalidConfig
+	}
+	return apex.BlackboardStatus{
+		Name: bb.name, MaxMessage: bb.maxMessage,
+		Displayed: bb.displayed, Waiting: bb.readers.len(),
+	}, apex.NoError
+}
+
+// --- semaphores ------------------------------------------------------------------
+
+// CreateSemaphore implements CREATE_SEMAPHORE.
+func (sv *Services) CreateSemaphore(name string, initial, maxValue int, d apex.QueuingDiscipline) apex.ReturnCode {
+	if !sv.creationAllowed() {
+		return apex.InvalidMode
+	}
+	if name == "" || maxValue <= 0 || initial < 0 || initial > maxValue {
+		return apex.InvalidParam
+	}
+	if _, exists := sv.pt.semaphores[name]; exists {
+		return apex.NoAction
+	}
+	sv.pt.semaphores[name] = &semaphore{
+		name: name, value: initial, max: maxValue, waiters: newWaitQueue(d),
+	}
+	return apex.NoError
+}
+
+// WaitSemaphore implements WAIT_SEMAPHORE with a timeout.
+func (sv *Services) WaitSemaphore(name string, timeout tick.Ticks) apex.ReturnCode {
+	s, ok := sv.pt.semaphores[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if s.value > 0 {
+		s.value--
+		return apex.NoError
+	}
+	if timeout == 0 {
+		return apex.NotAvailable
+	}
+	if !sv.inProcess() {
+		return apex.InvalidMode
+	}
+	_, granted := sv.parkOn(&s.waiters, pos.WaitSemaphore, timeout)
+	if !granted {
+		return apex.TimedOut
+	}
+	return apex.NoError
+}
+
+// SignalSemaphore implements SIGNAL_SEMAPHORE: a blocked waiter receives the
+// token directly; otherwise the value increments up to the maximum.
+func (sv *Services) SignalSemaphore(name string) apex.ReturnCode {
+	s, ok := sv.pt.semaphores[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if w, ok := s.waiters.pop(); ok {
+		sv.pt.grantWaiter(w)
+		return apex.NoError
+	}
+	if s.value >= s.max {
+		return apex.NoAction
+	}
+	s.value++
+	return apex.NoError
+}
+
+// GetSemaphoreStatus implements GET_SEMAPHORE_STATUS.
+func (sv *Services) GetSemaphoreStatus(name string) (apex.SemaphoreStatus, apex.ReturnCode) {
+	s, ok := sv.pt.semaphores[name]
+	if !ok {
+		return apex.SemaphoreStatus{}, apex.InvalidConfig
+	}
+	return apex.SemaphoreStatus{
+		Name: s.name, Value: s.value, Max: s.max, Waiting: s.waiters.len(),
+	}, apex.NoError
+}
+
+// --- events ------------------------------------------------------------------------
+
+// CreateEvent implements CREATE_EVENT.
+func (sv *Services) CreateEvent(name string) apex.ReturnCode {
+	if !sv.creationAllowed() {
+		return apex.InvalidMode
+	}
+	if name == "" {
+		return apex.InvalidParam
+	}
+	if _, exists := sv.pt.events[name]; exists {
+		return apex.NoAction
+	}
+	sv.pt.events[name] = &eventObj{name: name, waiters: newWaitQueue(apex.FIFO)}
+	return apex.NoError
+}
+
+// SetEvent implements SET_EVENT: the event goes up and all waiters release.
+func (sv *Services) SetEvent(name string) apex.ReturnCode {
+	e, ok := sv.pt.events[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	e.up = true
+	for {
+		w, ok := e.waiters.pop()
+		if !ok {
+			break
+		}
+		sv.pt.grantWaiter(w)
+	}
+	return apex.NoError
+}
+
+// ResetEvent implements RESET_EVENT.
+func (sv *Services) ResetEvent(name string) apex.ReturnCode {
+	e, ok := sv.pt.events[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	e.up = false
+	return apex.NoError
+}
+
+// WaitEvent implements WAIT_EVENT with a timeout.
+func (sv *Services) WaitEvent(name string, timeout tick.Ticks) apex.ReturnCode {
+	e, ok := sv.pt.events[name]
+	if !ok {
+		return apex.InvalidConfig
+	}
+	if e.up {
+		return apex.NoError
+	}
+	if timeout == 0 {
+		return apex.NotAvailable
+	}
+	if !sv.inProcess() {
+		return apex.InvalidMode
+	}
+	_, granted := sv.parkOn(&e.waiters, pos.WaitEvent, timeout)
+	if !granted {
+		return apex.TimedOut
+	}
+	return apex.NoError
+}
+
+// GetEventStatus implements GET_EVENT_STATUS.
+func (sv *Services) GetEventStatus(name string) (apex.EventStatus, apex.ReturnCode) {
+	e, ok := sv.pt.events[name]
+	if !ok {
+		return apex.EventStatus{}, apex.InvalidConfig
+	}
+	return apex.EventStatus{Name: e.name, Up: e.up, Waiting: e.waiters.len()}, apex.NoError
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvPartitionSwitch EventKind = iota + 1
+	EvScheduleSwitch
+	EvDeadlineMiss
+	EvHMAction
+	EvPartitionRestart
+	EvPartitionStopped
+	EvProcessStopped
+	EvProcessRestarted
+	EvApplicationMessage
+	EvModuleReset
+	EvModuleHalt
+	EvMemoryViolation
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartitionSwitch:
+		return "PARTITION_SWITCH"
+	case EvScheduleSwitch:
+		return "SCHEDULE_SWITCH"
+	case EvDeadlineMiss:
+		return "DEADLINE_MISS"
+	case EvHMAction:
+		return "HM_ACTION"
+	case EvPartitionRestart:
+		return "PARTITION_RESTART"
+	case EvPartitionStopped:
+		return "PARTITION_STOPPED"
+	case EvProcessStopped:
+		return "PROCESS_STOPPED"
+	case EvProcessRestarted:
+		return "PROCESS_RESTARTED"
+	case EvApplicationMessage:
+		return "APPLICATION_MESSAGE"
+	case EvModuleReset:
+		return "MODULE_RESET"
+	case EvModuleHalt:
+		return "MODULE_HALT"
+	case EvMemoryViolation:
+		return "MEMORY_VIOLATION"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Time      tick.Ticks
+	Kind      EventKind
+	Partition model.PartitionName
+	Process   string
+	Detail    string
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	who := string(e.Partition)
+	if e.Process != "" {
+		who += "/" + e.Process
+	}
+	if who != "" {
+		who = " " + who
+	}
+	return fmt.Sprintf("[%6d] %s%s: %s", e.Time, e.Kind, who, e.Detail)
+}
+
+// trace is a bounded ring of events.
+type trace struct {
+	events   []Event
+	capacity int
+	disabled bool
+}
+
+func newTrace(capacity int) *trace {
+	switch {
+	case capacity < 0:
+		return &trace{disabled: true}
+	case capacity == 0:
+		capacity = 4096
+	}
+	return &trace{capacity: capacity}
+}
+
+func (t *trace) add(e Event) {
+	if t.disabled {
+		return
+	}
+	t.events = append(t.events, e)
+	if len(t.events) > t.capacity {
+		t.events = t.events[len(t.events)-t.capacity:]
+	}
+}
+
+func (m *Module) traceEvent(e Event) { m.trace.add(e) }
+
+// Trace returns a copy of the recorded events.
+func (m *Module) Trace() []Event {
+	out := make([]Event, len(m.trace.events))
+	copy(out, m.trace.events)
+	return out
+}
+
+// TraceKind returns the recorded events of one kind.
+func (m *Module) TraceKind(kind EventKind) []Event {
+	var out []Event
+	for _, e := range m.trace.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

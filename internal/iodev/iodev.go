@@ -1,0 +1,146 @@
+// Package iodev provides simulated memory-mapped I/O devices for the
+// dedicated input/output addressing spaces of AIR partitions (paper
+// abstract and Sect. 2.1: partitioning "implies separation of applications'
+// execution in the time domain and usage of dedicated memory and
+// input/output addressing spaces").
+//
+// Devices implement mmu.Device and are mapped into exactly one partition's
+// space with mmu.MapDevice; the MMU's spatial checks then guarantee other
+// partitions cannot reach the device registers.
+package iodev
+
+import (
+	"sync"
+)
+
+// UART models a transmit/receive serial device with a simple register
+// layout:
+//
+//	offset 0       — TX data register: bytes written here are appended to
+//	                 the transmit log.
+//	offset 1       — RX data register: reads pop from the receive queue
+//	                 (0x00 when empty).
+//	offset 2       — status register: bit0 = RX data available.
+//	offsets 3..    — reserved, read as zero.
+//
+// The mutex only guards the host-side test/ground interfaces (Transmitted,
+// Feed); simulated accesses are already serialized by the kernel.
+type UART struct {
+	mu sync.Mutex
+	tx []byte
+	rx []byte
+}
+
+// NewUART creates an empty UART.
+func NewUART() *UART { return &UART{} }
+
+// WriteAt implements mmu.Device: writes to offset 0 transmit bytes; other
+// offsets are ignored (reserved).
+func (u *UART) WriteAt(offset int, data []byte) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for i, b := range data {
+		if offset+i == 0 {
+			u.tx = append(u.tx, b)
+		} else if offset == 0 {
+			// A multi-byte write to the TX register streams all bytes.
+			u.tx = append(u.tx, b)
+		}
+	}
+}
+
+// ReadAt implements mmu.Device.
+func (u *UART) ReadAt(offset int, buf []byte) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for i := range buf {
+		switch offset + i {
+		case 1:
+			if len(u.rx) > 0 {
+				buf[i] = u.rx[0]
+				u.rx = u.rx[1:]
+			} else {
+				buf[i] = 0
+			}
+		case 2:
+			if len(u.rx) > 0 {
+				buf[i] = 1
+			} else {
+				buf[i] = 0
+			}
+		default:
+			buf[i] = 0
+		}
+	}
+}
+
+// Transmitted returns a copy of everything written to the TX register (the
+// ground-segment view).
+func (u *UART) Transmitted() []byte {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]byte, len(u.tx))
+	copy(out, u.tx)
+	return out
+}
+
+// Feed enqueues bytes on the receive side (an uplink).
+func (u *UART) Feed(data []byte) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.rx = append(u.rx, data...)
+}
+
+// Sensor models a read-only measurement device: a bank of 16-bit registers
+// whose values follow a deterministic sequence advanced by a Sample call
+// (the simulation harness ties Sample to the tick loop or leaves values
+// static).
+type Sensor struct {
+	mu   sync.Mutex
+	regs []uint16
+	step uint16
+}
+
+// NewSensor creates a sensor with n registers initialised to base,
+// base+1, … and advancing by stride per Sample.
+func NewSensor(n int, base, stride uint16) *Sensor {
+	s := &Sensor{regs: make([]uint16, n), step: stride}
+	for i := range s.regs {
+		s.regs[i] = base + uint16(i)
+	}
+	return s
+}
+
+// Sample advances every register by the stride (new measurements).
+func (s *Sensor) Sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.regs {
+		s.regs[i] += s.step
+	}
+}
+
+// ReadAt implements mmu.Device: little-endian 16-bit registers.
+func (s *Sensor) ReadAt(offset int, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range buf {
+		byteIndex := offset + i
+		reg := byteIndex / 2
+		if reg >= len(s.regs) {
+			buf[i] = 0
+			continue
+		}
+		v := s.regs[reg]
+		if byteIndex%2 == 0 {
+			buf[i] = byte(v)
+		} else {
+			buf[i] = byte(v >> 8)
+		}
+	}
+}
+
+// WriteAt implements mmu.Device: the sensor is read-only; writes are
+// dropped (a real device would raise a bus error — the MMU permission mask
+// is the intended guard: map sensors without Write permission).
+func (s *Sensor) WriteAt(int, []byte) {}

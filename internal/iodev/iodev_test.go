@@ -1,0 +1,90 @@
+package iodev
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUARTTransmit(t *testing.T) {
+	u := NewUART()
+	u.WriteAt(0, []byte("TM:"))
+	u.WriteAt(0, []byte("q=0007"))
+	if got := u.Transmitted(); !bytes.Equal(got, []byte("TM:q=0007")) {
+		t.Errorf("transmitted = %q", got)
+	}
+	// Writes to reserved offsets are dropped.
+	u.WriteAt(5, []byte{0xFF})
+	if got := u.Transmitted(); len(got) != 9 {
+		t.Errorf("reserved write leaked: %q", got)
+	}
+}
+
+func TestUARTReceive(t *testing.T) {
+	u := NewUART()
+	status := make([]byte, 1)
+	u.ReadAt(2, status)
+	if status[0] != 0 {
+		t.Error("status should report empty RX")
+	}
+	u.Feed([]byte{0xA1, 0xA2})
+	u.ReadAt(2, status)
+	if status[0] != 1 {
+		t.Error("status should report data available")
+	}
+	b := make([]byte, 1)
+	u.ReadAt(1, b)
+	if b[0] != 0xA1 {
+		t.Errorf("rx byte = %x", b[0])
+	}
+	u.ReadAt(1, b)
+	if b[0] != 0xA2 {
+		t.Errorf("rx byte = %x", b[0])
+	}
+	u.ReadAt(1, b)
+	if b[0] != 0 {
+		t.Errorf("empty rx = %x", b[0])
+	}
+	// Reserved offsets read zero.
+	big := make([]byte, 4)
+	u.ReadAt(3, big)
+	for _, v := range big {
+		if v != 0 {
+			t.Errorf("reserved read = %v", big)
+		}
+	}
+}
+
+func TestSensorRegisters(t *testing.T) {
+	s := NewSensor(3, 100, 10)
+	buf := make([]byte, 6)
+	s.ReadAt(0, buf)
+	want := []uint16{100, 101, 102}
+	for i, w := range want {
+		got := uint16(buf[2*i]) | uint16(buf[2*i+1])<<8
+		if got != w {
+			t.Errorf("reg %d = %d, want %d", i, got, w)
+		}
+	}
+	s.Sample()
+	s.ReadAt(0, buf)
+	if got := uint16(buf[0]) | uint16(buf[1])<<8; got != 110 {
+		t.Errorf("after sample reg0 = %d", got)
+	}
+	// Out-of-range registers read zero; writes are dropped.
+	over := make([]byte, 2)
+	s.ReadAt(6, over)
+	if over[0] != 0 || over[1] != 0 {
+		t.Errorf("out of range read = %v", over)
+	}
+	s.WriteAt(0, []byte{0xFF, 0xFF})
+	s.ReadAt(0, buf[:2])
+	if got := uint16(buf[0]) | uint16(buf[1])<<8; got != 110 {
+		t.Errorf("write-protected sensor mutated: %d", got)
+	}
+	// Odd offset reads the high byte.
+	high := make([]byte, 1)
+	s.ReadAt(1, high)
+	if high[0] != byte(110>>8) {
+		t.Errorf("high byte = %x", high[0])
+	}
+}

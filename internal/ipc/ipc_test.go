@@ -1,0 +1,375 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"air/internal/tick"
+)
+
+func sampCfg() SamplingConfig {
+	return SamplingConfig{
+		Name:       "attitude",
+		MaxMessage: 64,
+		Refresh:    100,
+		Source:     PortRef{Partition: "P1", Port: "att_out"},
+		Destinations: []PortRef{
+			{Partition: "P2", Port: "att_in"},
+			{Partition: "P4", Port: "att_in"},
+		},
+	}
+}
+
+func queueCfg() QueuingConfig {
+	return QueuingConfig{
+		Name:        "telemetry",
+		MaxMessage:  32,
+		Depth:       4,
+		Source:      PortRef{Partition: "P2", Port: "tm_out"},
+		Destination: PortRef{Partition: "P3", Port: "tm_in"},
+	}
+}
+
+func TestSamplingWriteRead(t *testing.T) {
+	r := NewRouter()
+	ch, err := r.AddSampling(sampCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read before any write fails.
+	if _, err := ch.Read("P2", 10); !errors.Is(err, ErrNoMessage) {
+		t.Fatalf("read before write = %v", err)
+	}
+	if err := ch.Write("P1", []byte("q0"), 50); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Read("P2", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, []byte("q0")) || !res.Valid || res.Age != 10 {
+		t.Errorf("read = %+v", res)
+	}
+	// Both destinations can read; overwrite replaces.
+	if err := ch.Write("P1", []byte("q1"), 70); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ch.Read("P4", 71)
+	if err != nil || !bytes.Equal(res.Data, []byte("q1")) {
+		t.Fatalf("read after overwrite = %+v, %v", res, err)
+	}
+	if ch.Writes() != 2 {
+		t.Errorf("Writes = %d", ch.Writes())
+	}
+	// Returned buffer is a copy: mutating it must not corrupt the slot.
+	res.Data[0] = 'X'
+	res2, _ := ch.Read("P2", 72)
+	if res2.Data[0] == 'X' {
+		t.Error("Read exposed internal buffer")
+	}
+}
+
+func TestSamplingValidity(t *testing.T) {
+	r := NewRouter()
+	ch, _ := r.AddSampling(sampCfg())
+	if err := ch.Write("P1", []byte("m"), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := ch.Read("P2", 100)
+	if !res.Valid {
+		t.Error("message at exactly refresh age should be valid")
+	}
+	res, _ = ch.Read("P2", 101)
+	if res.Valid {
+		t.Error("stale message should be invalid")
+	}
+	// Refresh 0 disables the validity check.
+	ch2, _ := r.AddSampling(SamplingConfig{
+		Name: "norfr", MaxMessage: 8,
+		Source:       PortRef{Partition: "A", Port: "o"},
+		Destinations: []PortRef{{Partition: "B", Port: "i"}},
+	})
+	if err := ch2.Write("A", []byte("m"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := ch2.Read("B", 1_000_000); !res.Valid {
+		t.Error("refresh=0 should always be valid")
+	}
+}
+
+func TestSamplingAccessControl(t *testing.T) {
+	r := NewRouter()
+	ch, _ := r.AddSampling(sampCfg())
+	if err := ch.Write("P2", []byte("x"), 0); !errors.Is(err, ErrNotSource) {
+		t.Errorf("foreign write = %v", err)
+	}
+	if err := ch.Write("P1", nil, 0); !errors.Is(err, ErrEmptyMessage) {
+		t.Errorf("empty write = %v", err)
+	}
+	big := make([]byte, 65)
+	if err := ch.Write("P1", big, 0); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("oversize write = %v", err)
+	}
+	if err := ch.Write("P1", []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Read("P3", 1); !errors.Is(err, ErrNotDestination) {
+		t.Errorf("foreign read = %v", err)
+	}
+}
+
+func TestSamplingRemoteLatency(t *testing.T) {
+	// A remote channel (simulated bus) hides the message until latency
+	// elapses; age counts from arrival.
+	r := NewRouter()
+	cfg := sampCfg()
+	cfg.Name = "remote"
+	cfg.Latency = 25
+	ch, _ := r.AddSampling(cfg)
+	if err := ch.Write("P1", []byte("m"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Read("P2", 124); !errors.Is(err, ErrNoMessage) {
+		t.Errorf("in-flight read = %v, want ErrNoMessage", err)
+	}
+	res, err := ch.Read("P2", 125)
+	if err != nil || res.Age != 0 {
+		t.Fatalf("read at arrival = %+v, %v", res, err)
+	}
+}
+
+func TestQueuingFIFO(t *testing.T) {
+	r := NewRouter()
+	ch, err := r.AddQueuing(queueCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []string{"a", "b", "c"} {
+		if err := ch.Send("P2", []byte(m), tick.Ticks(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ch.Len() != 3 {
+		t.Errorf("Len = %d", ch.Len())
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		got, err := ch.Receive("P3", 10)
+		if err != nil || string(got) != want {
+			t.Fatalf("Receive = %q, %v; want %q", got, err, want)
+		}
+	}
+	if _, err := ch.Receive("P3", 10); !errors.Is(err, ErrQueueEmpty) {
+		t.Errorf("empty receive = %v", err)
+	}
+	if ch.Sends() != 3 {
+		t.Errorf("Sends = %d", ch.Sends())
+	}
+}
+
+func TestQueuingOverflow(t *testing.T) {
+	r := NewRouter()
+	ch, _ := r.AddQueuing(queueCfg())
+	for i := 0; i < 4; i++ {
+		if err := ch.Send("P2", []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ch.Send("P2", []byte{9}, 0); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overflow = %v", err)
+	}
+	if ch.Drops() != 1 {
+		t.Errorf("Drops = %d", ch.Drops())
+	}
+	// Draining one slot admits one more.
+	if _, err := ch.Receive("P3", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send("P2", []byte{9}, 1); err != nil {
+		t.Errorf("send after drain = %v", err)
+	}
+}
+
+func TestQueuingAccessControlAndLatency(t *testing.T) {
+	r := NewRouter()
+	cfg := queueCfg()
+	cfg.Latency = 10
+	ch, _ := r.AddQueuing(cfg)
+	if err := ch.Send("P9", []byte("x"), 0); !errors.Is(err, ErrNotSource) {
+		t.Errorf("foreign send = %v", err)
+	}
+	if err := ch.Send("P2", nil, 0); !errors.Is(err, ErrEmptyMessage) {
+		t.Errorf("empty send = %v", err)
+	}
+	if err := ch.Send("P2", make([]byte, 33), 0); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("oversize send = %v", err)
+	}
+	if err := ch.Send("P2", []byte("m"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Receive("P9", 200); !errors.Is(err, ErrNotDestination) {
+		t.Errorf("foreign receive = %v", err)
+	}
+	if _, err := ch.Receive("P3", 105); !errors.Is(err, ErrQueueEmpty) {
+		t.Errorf("in-flight receive = %v", err)
+	}
+	if got, err := ch.Receive("P3", 110); err != nil || string(got) != "m" {
+		t.Errorf("receive at arrival = %q, %v", got, err)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	r := NewRouter()
+	if _, err := r.AddSampling(sampCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddSampling(sampCfg()); !errors.Is(err, ErrDuplicateChannel) {
+		t.Errorf("duplicate sampling = %v", err)
+	}
+	qc := queueCfg()
+	qc.Name = "attitude" // collides across kinds too
+	if _, err := r.AddQueuing(qc); !errors.Is(err, ErrDuplicateChannel) {
+		t.Errorf("cross-kind duplicate = %v", err)
+	}
+	bad := sampCfg()
+	bad.Name = ""
+	if _, err := r.AddSampling(bad); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = sampCfg()
+	bad.Name = "x"
+	bad.MaxMessage = 0
+	if _, err := r.AddSampling(bad); err == nil {
+		t.Error("zero max message accepted")
+	}
+	bad = sampCfg()
+	bad.Name = "y"
+	bad.Destinations = nil
+	if _, err := r.AddSampling(bad); err == nil {
+		t.Error("no destinations accepted")
+	}
+	badQ := queueCfg()
+	badQ.Name = "z"
+	badQ.Depth = 0
+	if _, err := r.AddQueuing(badQ); err == nil {
+		t.Error("zero depth accepted")
+	}
+	badQ = queueCfg()
+	badQ.Name = "w"
+	badQ.MaxMessage = 0
+	if _, err := r.AddQueuing(badQ); err == nil {
+		t.Error("zero max message accepted")
+	}
+}
+
+func TestRouterLookup(t *testing.T) {
+	r := NewRouter()
+	if _, err := r.AddSampling(sampCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddQueuing(queueCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Sampling("attitude"); err != nil {
+		t.Errorf("Sampling = %v", err)
+	}
+	if _, err := r.Sampling("nope"); !errors.Is(err, ErrUnknownChannel) {
+		t.Errorf("Sampling(nope) = %v", err)
+	}
+	if _, err := r.Queuing("telemetry"); err != nil {
+		t.Errorf("Queuing = %v", err)
+	}
+	if _, err := r.Queuing("nope"); !errors.Is(err, ErrUnknownChannel) {
+		t.Errorf("Queuing(nope) = %v", err)
+	}
+
+	ch, isSrc, err := r.SamplingByPort("P1", "att_out")
+	if err != nil || !isSrc || ch.Config().Name != "attitude" {
+		t.Errorf("SamplingByPort src = %v %v %v", ch, isSrc, err)
+	}
+	_, isSrc, err = r.SamplingByPort("P4", "att_in")
+	if err != nil || isSrc {
+		t.Errorf("SamplingByPort dst = %v %v", isSrc, err)
+	}
+	if _, _, err := r.SamplingByPort("P9", "zz"); !errors.Is(err, ErrUnknownChannel) {
+		t.Errorf("SamplingByPort unknown = %v", err)
+	}
+
+	qch, isSrc, err := r.QueuingByPort("P2", "tm_out")
+	if err != nil || !isSrc || qch.Config().Name != "telemetry" {
+		t.Errorf("QueuingByPort src = %v %v %v", qch, isSrc, err)
+	}
+	_, isSrc, err = r.QueuingByPort("P3", "tm_in")
+	if err != nil || isSrc {
+		t.Errorf("QueuingByPort dst = %v %v", isSrc, err)
+	}
+	if _, _, err := r.QueuingByPort("P9", "zz"); !errors.Is(err, ErrUnknownChannel) {
+		t.Errorf("QueuingByPort unknown = %v", err)
+	}
+
+	if len(r.SamplingChannels()) != 1 || len(r.QueuingChannels()) != 1 {
+		t.Error("channel enumeration wrong")
+	}
+	if PortRef(PortRef{Partition: "P1", Port: "x"}).String() != "P1.x" {
+		t.Error("PortRef.String wrong")
+	}
+}
+
+// Property: a queuing channel is an exact FIFO — any interleaving of sends
+// and receives (ignoring rejected ops) preserves order and never loses or
+// duplicates a message.
+func TestQueuingFIFOProperty(t *testing.T) {
+	prop := func(ops []bool, payloads []byte) bool {
+		r := NewRouter()
+		cfg := queueCfg()
+		cfg.Depth = 8
+		ch, err := r.AddQueuing(cfg)
+		if err != nil {
+			return false
+		}
+		var sent, received [][]byte
+		pi := 0
+		for _, isSend := range ops {
+			if isSend {
+				if pi >= len(payloads) {
+					break
+				}
+				p := []byte{payloads[pi]}
+				pi++
+				if err := ch.Send("P2", p, 0); err == nil {
+					sent = append(sent, p)
+				} else if !errors.Is(err, ErrQueueFull) {
+					return false
+				}
+			} else {
+				got, err := ch.Receive("P3", 0)
+				if err == nil {
+					received = append(received, got)
+				} else if !errors.Is(err, ErrQueueEmpty) {
+					return false
+				}
+			}
+		}
+		// Drain what remains.
+		for {
+			got, err := ch.Receive("P3", 0)
+			if err != nil {
+				break
+			}
+			received = append(received, got)
+		}
+		if len(sent) != len(received) {
+			return false
+		}
+		for i := range sent {
+			if !bytes.Equal(sent[i], received[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

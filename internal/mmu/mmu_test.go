@@ -1,0 +1,558 @@
+package mmu
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newMapped(t *testing.T) *MMU {
+	t.Helper()
+	m := New(1 << 20) // 1 MiB simulated physical memory
+	specs := []SpaceSpec{
+		{
+			Partition: "P1",
+			Descriptors: []Descriptor{
+				{Section: SectionCode, Base: 0x0000_0000, Size: 2 * PageSize,
+					AppPerms: Read | Execute, POSPerms: Read | Execute},
+				{Section: SectionData, Base: 0x0001_0000, Size: 4 * PageSize,
+					AppPerms: Read | Write, POSPerms: Read | Write},
+				{Section: SectionStack, Base: 0x0002_0000, Size: 2 * PageSize,
+					AppPerms: Read | Write, POSPerms: Read | Write},
+			},
+		},
+		{
+			Partition: "P2",
+			Descriptors: []Descriptor{
+				{Section: SectionData, Base: 0x0001_0000, Size: 2 * PageSize,
+					AppPerms: Read | Write, POSPerms: Read | Write},
+			},
+		},
+	}
+	for _, s := range specs {
+		if err := m.MapSpace(s); err != nil {
+			t.Fatalf("MapSpace(%s): %v", s.Partition, err)
+		}
+	}
+	return m
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("attitude quaternion frame")
+	if err := m.Write(0x0001_0000, payload, PrivApp); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if err := m.Read(0x0001_0000, got, PrivApp); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip = %q, want %q", got, payload)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	// Write spanning a page boundary within the data descriptor.
+	payload := bytes.Repeat([]byte{0xAB}, PageSize+100)
+	base := VirtAddr(0x0001_0000 + PageSize - 50)
+	if err := m.Write(base, payload, PrivApp); err != nil {
+		t.Fatalf("cross-page write: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if err := m.Read(base, got, PrivApp); err != nil {
+		t.Fatalf("cross-page read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("cross-page round trip corrupted")
+	}
+}
+
+func TestSpatialSeparation(t *testing.T) {
+	// P1 and P2 both map virtual 0x10000, but to distinct physical frames:
+	// writes in one partition must be invisible in the other.
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x0001_0000, []byte("p1-secret"), PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetContext("P2"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9)
+	if err := m.Read(0x0001_0000, got, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte("p1-secret")) {
+		t.Fatal("P2 can read P1's physical frame through its own mapping")
+	}
+}
+
+// TestMemoryViolationConfinement is part of experiment F7: accesses outside
+// the partition's descriptors fault with the right reason and attribution.
+func TestMemoryViolationConfinement(t *testing.T) {
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name   string
+		va     VirtAddr
+		access AccessMode
+		priv   Privilege
+		reason FaultReason
+	}{
+		{"unmapped address", 0x0100_0000, Read, PrivApp, FaultUnmapped},
+		{"write to code", 0x0000_0000, Write, PrivApp, FaultProtection},
+		{"execute data", 0x0001_0000, Execute, PrivApp, FaultProtection},
+		{"write code as POS", 0x0000_0000, Write, PrivPOS, FaultProtection},
+		{"P2's unmapped high range", 0x0002_0000 + 2*PageSize, Read, PrivApp, FaultUnmapped},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := m.Translate(tt.va, tt.access, tt.priv)
+			var fault *Fault
+			if !errors.As(err, &fault) {
+				t.Fatalf("want *Fault, got %v", err)
+			}
+			if fault.Reason != tt.reason {
+				t.Errorf("reason = %s, want %s", fault.Reason, tt.reason)
+			}
+			if fault.Partition != "P1" {
+				t.Errorf("fault attributed to %q, want P1", fault.Partition)
+			}
+		})
+	}
+}
+
+func TestPMKBypassesPermissionsNotMappings(t *testing.T) {
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	// PMK may write to a read-only code page (e.g. loading the partition
+	// image)...
+	if _, err := m.Translate(0x0000_0000, Write, PrivPMK); err != nil {
+		t.Errorf("PMK write to code page should be allowed: %v", err)
+	}
+	// ...but unmapped remains unmapped even for the PMK.
+	_, err := m.Translate(0x0100_0000, Read, PrivPMK)
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Reason != FaultUnmapped {
+		t.Errorf("PMK access to unmapped address must fault, got %v", err)
+	}
+}
+
+func TestNoContextFault(t *testing.T) {
+	m := newMapped(t)
+	_, err := m.Translate(0x0001_0000, Read, PrivApp)
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Reason != FaultNoContext {
+		t.Fatalf("want NO_CONTEXT fault, got %v", err)
+	}
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Current(); !ok {
+		t.Error("Current() should report installed context")
+	}
+	m.ClearContext()
+	if _, ok := m.Current(); ok {
+		t.Error("Current() should be empty after ClearContext")
+	}
+	if err := m.SetContext("PX"); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("SetContext(unknown) = %v, want ErrUnknownSpace", err)
+	}
+}
+
+func TestCopyBetweenPartitions(t *testing.T) {
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("telemetry block")
+	if err := m.Write(0x0001_0000, msg, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	// PMK-mediated copy P1 → P2 at POS privilege on both sides.
+	if err := m.Copy("P1", 0x0001_0000, PrivPOS, "P2", 0x0001_0000, PrivPOS, len(msg)); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := m.ReadIn("P2", 0x0001_0000, got, PrivPOS); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("copied = %q, want %q", got, msg)
+	}
+	// A copy into an unmapped destination faults on the destination side.
+	err := m.Copy("P1", 0x0001_0000, PrivPOS, "P2", 0x0010_0000, PrivPOS, len(msg))
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Partition != "P2" {
+		t.Errorf("copy to unmapped dest: %v, want P2 fault", err)
+	}
+}
+
+func TestMapSpaceErrors(t *testing.T) {
+	m := New(1 << 20)
+	base := SpaceSpec{Partition: "P", Descriptors: []Descriptor{
+		{Section: SectionData, Base: 0, Size: PageSize, AppPerms: Read | Write},
+	}}
+	if err := m.MapSpace(base); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		d    Descriptor
+		want error
+	}{
+		{"unaligned base", Descriptor{Base: 100, Size: PageSize}, ErrUnaligned},
+		{"unaligned size", Descriptor{Base: PageSize, Size: 100}, ErrUnaligned},
+		{"zero size", Descriptor{Base: PageSize, Size: 0}, ErrZeroSize},
+		{"overlap", Descriptor{Base: 0, Size: PageSize}, ErrOverlap},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := m.MapSpace(SpaceSpec{Partition: "P", Descriptors: []Descriptor{tt.d}})
+			if !errors.Is(err, tt.want) {
+				t.Errorf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestOutOfPhysicalMemory(t *testing.T) {
+	m := New(2 * PageSize)
+	err := m.MapSpace(SpaceSpec{Partition: "P", Descriptors: []Descriptor{
+		{Section: SectionData, Base: 0, Size: 4 * PageSize, AppPerms: Read},
+	}})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("got %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := newMapped(t)
+	if got := m.MappedPages("P1"); got != 8 {
+		t.Errorf("MappedPages(P1) = %d, want 8", got)
+	}
+	if got := m.MappedPages("P2"); got != 2 {
+		t.Errorf("MappedPages(P2) = %d, want 2", got)
+	}
+	if got := m.MappedPages("PX"); got != 0 {
+		t.Errorf("MappedPages(PX) = %d, want 0", got)
+	}
+	if got := len(m.Descriptors("P1")); got != 3 {
+		t.Errorf("Descriptors(P1) = %d, want 3", got)
+	}
+	if m.Descriptors("PX") != nil {
+		t.Error("Descriptors(PX) should be nil")
+	}
+	want := 1<<20 - 10*PageSize
+	if got := m.FreeBytes(); got != want {
+		t.Errorf("FreeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestExplicitContextAccessUnknownPartition(t *testing.T) {
+	m := newMapped(t)
+	buf := make([]byte, 4)
+	if err := m.ReadIn("PX", 0, buf, PrivPOS); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("ReadIn unknown = %v", err)
+	}
+	if err := m.WriteIn("PX", 0, buf, PrivPOS); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("WriteIn unknown = %v", err)
+	}
+	if _, err := m.TranslateIn("PX", 0, Read, PrivPOS); !errors.Is(err, ErrUnknownSpace) {
+		t.Errorf("TranslateIn unknown = %v", err)
+	}
+}
+
+func TestDescriptorHelpers(t *testing.T) {
+	d := Descriptor{Base: PageSize, Size: 2 * PageSize}
+	if !d.Contains(PageSize) || !d.Contains(3*PageSize-1) {
+		t.Error("Contains should include range")
+	}
+	if d.Contains(PageSize-1) || d.Contains(3*PageSize) {
+		t.Error("Contains should exclude outside")
+	}
+	if d.End() != 3*PageSize {
+		t.Errorf("End() = %d", d.End())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if (Read | Write).String() != "rw-" {
+		t.Errorf("AccessMode string = %q", (Read | Write).String())
+	}
+	if Execute.String() != "--x" {
+		t.Errorf("Execute string = %q", Execute.String())
+	}
+	for p, want := range map[Privilege]string{
+		PrivApp: "APP", PrivPOS: "POS", PrivPMK: "PMK", Privilege(0): "Privilege(0)"} {
+		if p.String() != want {
+			t.Errorf("Privilege.String() = %q, want %q", p.String(), want)
+		}
+	}
+	for s, want := range map[Section]string{
+		SectionCode: "code", SectionData: "data", SectionStack: "stack",
+		SectionIO: "io", Section(0): "Section(0)"} {
+		if s.String() != want {
+			t.Errorf("Section.String() = %q, want %q", s.String(), want)
+		}
+	}
+	for r, want := range map[FaultReason]string{
+		FaultUnmapped: "UNMAPPED", FaultProtection: "PROTECTION",
+		FaultNoContext: "NO_CONTEXT", FaultReason(0): "FaultReason(0)"} {
+		if r.String() != want {
+			t.Errorf("FaultReason.String() = %q, want %q", r.String(), want)
+		}
+	}
+	f := &Fault{Partition: "P1", Address: 0x1000, Access: Write,
+		Privilege: PrivApp, Reason: FaultProtection}
+	msg := f.Error()
+	for _, frag := range []string{"PROTECTION", "0x00001000", "-w-", "APP", "P1"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("fault message %q missing %q", msg, frag)
+		}
+	}
+}
+
+// Property: a round trip through any in-bounds, writable page-aligned offset
+// preserves data and never crosses into another partition's frames.
+func TestRoundTripProperty(t *testing.T) {
+	m := New(1 << 20)
+	if err := m.MapSpace(SpaceSpec{Partition: "A", Descriptors: []Descriptor{
+		{Section: SectionData, Base: 0, Size: 16 * PageSize, AppPerms: Read | Write},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapSpace(SpaceSpec{Partition: "B", Descriptors: []Descriptor{
+		{Section: SectionData, Base: 0, Size: 16 * PageSize, AppPerms: Read | Write},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetContext("A"); err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]byte, 64)
+	prop := func(off uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		va := VirtAddr(off) % (16*PageSize - 64)
+		if err := m.SetContext("A"); err != nil {
+			return false
+		}
+		if err := m.Write(va, payload, PrivApp); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if err := m.Read(va, got, PrivApp); err != nil {
+			return false
+		}
+		if !bytes.Equal(got, payload) {
+			return false
+		}
+		// B's same virtual range must still read as zeroes (B never writes).
+		if err := m.SetContext("B"); err != nil {
+			return false
+		}
+		bGot := make([]byte, len(payload))
+		if err := m.Read(va, bGot, PrivApp); err != nil {
+			return false
+		}
+		return bytes.Equal(bGot, zero[:len(payload)])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBHitMissAndFlush(t *testing.T) {
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	base := m.TLB()
+	// First touch of a page: miss + fill.
+	if _, err := m.Translate(0x0001_0000, Read, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	st := m.TLB()
+	if st.Misses != base.Misses+1 || st.Hits != base.Hits {
+		t.Fatalf("after first touch: %+v (base %+v)", st, base)
+	}
+	// Repeated touches of the same page: hits.
+	for i := 0; i < 5; i++ {
+		if _, err := m.Translate(0x0001_0000+VirtAddr(i*8), Read, PrivApp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = m.TLB()
+	if st.Hits != base.Hits+5 {
+		t.Fatalf("hits = %d, want +5", st.Hits-base.Hits)
+	}
+	// TLB hits still enforce permissions.
+	if _, err := m.Translate(0x0001_0000, Execute, PrivApp); err == nil {
+		t.Fatal("TLB hit bypassed permission check")
+	}
+	// Context switch flushes.
+	if err := m.SetContext("P2"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := m.TLB()
+	if st2.Flushes != st.Flushes+1 {
+		t.Fatalf("flushes = %d, want +1", st2.Flushes-st.Flushes)
+	}
+	// Same virtual page in P2 misses (no stale cross-partition reuse) and
+	// resolves to P2's frame.
+	if _, err := m.Translate(0x0001_0000, Read, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TLB().Misses; got != st2.Misses+1 {
+		t.Fatalf("post-switch misses = %d, want +1", got-st2.Misses)
+	}
+	// Re-setting the same context does not flush.
+	flushesBefore := m.TLB().Flushes
+	if err := m.SetContext("P2"); err != nil {
+		t.Fatal(err)
+	}
+	if m.TLB().Flushes != flushesBefore {
+		t.Fatal("same-context SetContext flushed")
+	}
+	// ClearContext flushes once.
+	m.ClearContext()
+	if m.TLB().Flushes != flushesBefore+1 {
+		t.Fatal("ClearContext did not flush")
+	}
+}
+
+func TestTLBIsolationAcrossContexts(t *testing.T) {
+	// The same VA in two partitions must never serve a stale TLB frame:
+	// write via P1, switch, read via P2, values differ (distinct frames).
+	m := newMapped(t)
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x0001_0000, []byte{0xAA}, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetContext("P2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0x0001_0000, []byte{0xBB}, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetContext("P1"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := m.Read(0x0001_0000, got, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA {
+		t.Fatalf("P1 read %x through stale TLB", got[0])
+	}
+}
+
+// echoDevice is a loopback device for mapping tests.
+type echoDevice struct{ mem [64]byte }
+
+func (d *echoDevice) ReadAt(offset int, buf []byte)   { copy(buf, d.mem[offset:]) }
+func (d *echoDevice) WriteAt(offset int, data []byte) { copy(d.mem[offset:], data) }
+
+func TestDeviceMappingAndIsolation(t *testing.T) {
+	m := newMapped(t)
+	dev := &echoDevice{}
+	// Map the device into P1's I/O space only.
+	if err := m.MapDevice("P1", 0x0400_0000, 64, Read|Write, Read|Write, dev); err != nil {
+		t.Fatal(err)
+	}
+	if m.Devices("P1") != 1 || m.Devices("P2") != 0 {
+		t.Fatal("device accounting wrong")
+	}
+	// P1 reaches the registers.
+	if err := m.WriteIn("P1", 0x0400_0000, []byte("regval"), PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if err := m.ReadIn("P1", 0x0400_0000, got, PrivApp); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "regval" {
+		t.Errorf("device round trip = %q", got)
+	}
+	// P2 faults on the same address: the device belongs to P1's space.
+	err := m.ReadIn("P2", 0x0400_0000, got, PrivApp)
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Reason != FaultUnmapped {
+		t.Fatalf("cross-partition device access = %v, want unmapped fault", err)
+	}
+	// Permission mask enforced: remap read-only for app on another range.
+	if err := m.MapDevice("P1", 0x0400_1000, 16, Read, Read|Write, dev); err != nil {
+		t.Fatal(err)
+	}
+	err = m.WriteIn("P1", 0x0400_1000, []byte{1}, PrivApp)
+	if !errors.As(err, &fault) || fault.Reason != FaultProtection {
+		t.Fatalf("read-only device write = %v, want protection fault", err)
+	}
+	// POS privilege may write it; PMK always may.
+	if err := m.WriteIn("P1", 0x0400_1000, []byte{1}, PrivPOS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteIn("P1", 0x0400_1000, []byte{2}, PrivPMK); err != nil {
+		t.Fatal(err)
+	}
+	// Spilling past the device end faults.
+	err = m.WriteIn("P1", 0x0400_0000+60, make([]byte, 8), PrivApp)
+	if !errors.As(err, &fault) || fault.Reason != FaultUnmapped {
+		t.Fatalf("device overrun = %v, want unmapped fault", err)
+	}
+}
+
+func TestDeviceMappingValidation(t *testing.T) {
+	m := newMapped(t)
+	dev := &echoDevice{}
+	if err := m.MapDevice("P1", 0x0400_0000, 16, Read, Read, nil); !errors.Is(err, ErrNilDevice) {
+		t.Errorf("nil device = %v", err)
+	}
+	if err := m.MapDevice("P1", 0x0400_0000, 0, Read, Read, dev); !errors.Is(err, ErrZeroSize) {
+		t.Errorf("zero size = %v", err)
+	}
+	// Collides with RAM (data descriptor at 0x10000).
+	if err := m.MapDevice("P1", 0x0001_0000, 16, Read, Read, dev); !errors.Is(err, ErrDeviceOverlap) {
+		t.Errorf("RAM collision = %v", err)
+	}
+	if err := m.MapDevice("P1", 0x0400_0000, 64, Read, Read, dev); err != nil {
+		t.Fatal(err)
+	}
+	// Collides with the existing device range.
+	if err := m.MapDevice("P1", 0x0400_0020, 64, Read, Read, dev); !errors.Is(err, ErrDeviceOverlap) {
+		t.Errorf("device collision = %v", err)
+	}
+	// Same address in a different partition is fine (separate spaces).
+	if err := m.MapDevice("P2", 0x0400_0000, 64, Read, Read, dev); err != nil {
+		t.Errorf("per-partition device = %v", err)
+	}
+	// Mapping into a brand-new partition creates its context.
+	if err := m.MapDevice("P9", 0x0, 16, Read, Read, dev); err != nil {
+		t.Errorf("fresh partition device = %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Derivation is a human-readable expansion of eq. (23) for one partition and
+// one cycle instance under one schedule — the paper's eq. (25) rendered for
+// arbitrary inputs. It is what `airverify -derive` prints.
+type Derivation struct {
+	Schedule  string
+	Partition PartitionName
+	Cycle     CycleSupply
+	Budget    int64
+	Holds     bool
+	Text      string
+}
+
+// Derive produces the eq. (23)/(25) derivation for partition p, cycle
+// instance k, under schedule s. It returns false if p has no requirement in
+// s or k is out of range.
+func Derive(s *Schedule, p PartitionName, k int) (Derivation, bool) {
+	q, ok := s.Requirement(p)
+	if !ok {
+		return Derivation{}, false
+	}
+	supplies := CycleSupplies(s, q)
+	if k < 0 || k >= len(supplies) {
+		return Derivation{}, false
+	}
+	cs := supplies[k]
+	holds := cs.Supplied >= q.Budget
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "eq. (23) for schedule %s, partition %s, k=%d:\n", s.Name, p, k)
+	fmt.Fprintf(&b, "  Σ { c_j | P_j = %s ∧ O_j ∈ [%d; %d[ } ≥ d = %d\n",
+		p, cs.Start, cs.End, q.Budget)
+	if len(cs.Windows) == 0 {
+		b.WriteString("  contributing windows: none\n")
+	} else {
+		b.WriteString("  contributing windows: ")
+		parts := make([]string, len(cs.Windows))
+		for i, w := range cs.Windows {
+			parts[i] = w.String()
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteByte('\n')
+	}
+	rel := "≥"
+	verdict := "holds"
+	if !holds {
+		rel = "<"
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(&b, "  %d %s %d  →  %s\n", cs.Supplied, rel, q.Budget, verdict)
+
+	return Derivation{
+		Schedule:  s.Name,
+		Partition: p,
+		Cycle:     cs,
+		Budget:    int64(q.Budget),
+		Holds:     holds,
+		Text:      b.String(),
+	}, true
+}
+
+// DeriveAll produces derivations for every (partition, k) pair of the
+// schedule, in requirement order.
+func DeriveAll(s *Schedule) []Derivation {
+	var out []Derivation
+	for _, q := range s.Requirements {
+		if q.Cycle <= 0 || s.MTF%q.Cycle != 0 {
+			continue
+		}
+		n := int(s.MTF / q.Cycle)
+		for k := 0; k < n; k++ {
+			if d, ok := Derive(s, q.Partition, k); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

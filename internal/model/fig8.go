@@ -1,0 +1,62 @@
+package model
+
+// Fig8System returns the exact prototype configuration of the paper's
+// Sect. 6 / Fig. 8: four partitions, two partition scheduling tables with
+// identical timing requirements
+//
+//	Q₁ = Q₂ = {⟨P₁,1300,200⟩, ⟨P₂,650,100⟩, ⟨P₃,650,100⟩, ⟨P₄,1300,100⟩}
+//
+// and window layouts that differ in which partition receives the large
+// 600-tick window (P₄ under χ₁, P₂ under χ₂).
+func Fig8System() *System {
+	const (
+		p1 = PartitionName("P1")
+		p2 = PartitionName("P2")
+		p3 = PartitionName("P3")
+		p4 = PartitionName("P4")
+	)
+	reqs := []Requirement{
+		{Partition: p1, Cycle: 1300, Budget: 200},
+		{Partition: p2, Cycle: 650, Budget: 100},
+		{Partition: p3, Cycle: 650, Budget: 100},
+		{Partition: p4, Cycle: 1300, Budget: 100},
+	}
+	reqsCopy := func() []Requirement {
+		out := make([]Requirement, len(reqs))
+		copy(out, reqs)
+		return out
+	}
+	return &System{
+		Partitions: []PartitionName{p1, p2, p3, p4},
+		Schedules: []Schedule{
+			{
+				Name:         "chi1",
+				MTF:          1300,
+				Requirements: reqsCopy(),
+				Windows: []Window{
+					{Partition: p1, Offset: 0, Duration: 200},
+					{Partition: p2, Offset: 200, Duration: 100},
+					{Partition: p3, Offset: 300, Duration: 100},
+					{Partition: p4, Offset: 400, Duration: 600},
+					{Partition: p2, Offset: 1000, Duration: 100},
+					{Partition: p3, Offset: 1100, Duration: 100},
+					{Partition: p4, Offset: 1200, Duration: 100},
+				},
+			},
+			{
+				Name:         "chi2",
+				MTF:          1300,
+				Requirements: reqsCopy(),
+				Windows: []Window{
+					{Partition: p1, Offset: 0, Duration: 200},
+					{Partition: p4, Offset: 200, Duration: 100},
+					{Partition: p3, Offset: 300, Duration: 100},
+					{Partition: p2, Offset: 400, Duration: 600},
+					{Partition: p4, Offset: 1000, Duration: 100},
+					{Partition: p3, Offset: 1100, Duration: 100},
+					{Partition: p2, Offset: 1200, Duration: 100},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,209 @@
+// Package model implements the formal system model of the AIR architecture
+// (paper Sect. 3 and 4.1): partitions, mode-based partition scheduling
+// tables, processes, and the verification of the integrator-defined system
+// parameters expressed by equations (16)–(24).
+//
+// The model is deliberately declarative — plain data describing what the
+// system integrator configured — so that it can be checked offline (before a
+// single tick executes), exactly as the paper prescribes: "such issues can be
+// predicted and avoided using offline tools that verify the fulfilment of the
+// timing requirements as expressed in (23)".
+package model
+
+import (
+	"fmt"
+
+	"air/internal/tick"
+)
+
+// PartitionName identifies a partition P_m within the system's set P.
+type PartitionName string
+
+// ScheduleID indexes a partition scheduling table χ_i within the set χ.
+type ScheduleID int
+
+// OperatingMode is the partition operating mode M_m(t), eq. (3).
+type OperatingMode int
+
+// Partition operating modes per ARINC 653 and eq. (3). The zero value is
+// deliberately invalid so uninitialised modes are caught.
+const (
+	ModeIdle OperatingMode = iota + 1
+	ModeColdStart
+	ModeWarmStart
+	ModeNormal
+)
+
+// String renders the operating mode with the paper's spelling.
+func (m OperatingMode) String() string {
+	switch m {
+	case ModeIdle:
+		return "idle"
+	case ModeColdStart:
+		return "coldStart"
+	case ModeWarmStart:
+		return "warmStart"
+	case ModeNormal:
+		return "normal"
+	default:
+		return fmt.Sprintf("OperatingMode(%d)", int(m))
+	}
+}
+
+// ScheduleChangeAction is the restart action performed, per partition and per
+// schedule, the first time the partition is dispatched after a schedule
+// switch (Sect. 4, item 2 of the extended integration process).
+type ScheduleChangeAction int
+
+// Schedule change actions. ActionSkip indicates that no restart occurs.
+const (
+	ActionSkip ScheduleChangeAction = iota + 1
+	ActionWarmStart
+	ActionColdStart
+)
+
+// String renders the schedule change action.
+func (a ScheduleChangeAction) String() string {
+	switch a {
+	case ActionSkip:
+		return "SKIP"
+	case ActionWarmStart:
+		return "WARM_START"
+	case ActionColdStart:
+		return "COLD_START"
+	default:
+		return fmt.Sprintf("ScheduleChangeAction(%d)", int(a))
+	}
+}
+
+// Window is a partition execution time window ω_{i,j} = ⟨P, O, c⟩, eq. (20):
+// the partition scheduled to be active, the window's offset relative to the
+// beginning of the major time frame, and its duration.
+type Window struct {
+	Partition PartitionName
+	Offset    tick.Ticks
+	Duration  tick.Ticks
+}
+
+// End returns the first tick after the window (O + c).
+func (w Window) End() tick.Ticks { return w.Offset + w.Duration }
+
+// String renders the window in the paper's ⟨P, O, c⟩ notation.
+func (w Window) String() string {
+	return fmt.Sprintf("⟨%s, %d, %d⟩", w.Partition, w.Offset, w.Duration)
+}
+
+// Requirement is a partition's timing requirement under one schedule,
+// Q_{i,m} = ⟨P, η, d⟩, eq. (19): activation cycle η and assigned duration
+// (budget) d per cycle. A Budget of 0 models partitions without strict time
+// requirements (e.g. non-real-time POS guests), per Sect. 3.1.
+type Requirement struct {
+	Partition PartitionName
+	Cycle     tick.Ticks // η_{i,m}
+	Budget    tick.Ticks // d_{i,m}
+
+	// ChangeAction is performed when this schedule becomes current and the
+	// partition is first dispatched (Sect. 4.2). Zero value means ActionSkip.
+	ChangeAction ScheduleChangeAction
+}
+
+// String renders the requirement in the paper's ⟨P, η, d⟩ notation.
+func (q Requirement) String() string {
+	return fmt.Sprintf("⟨%s, %d, %d⟩", q.Partition, q.Cycle, q.Budget)
+}
+
+// Schedule is one partition scheduling table
+// χ_i = ⟨MTF_i, Q_i, ω_i⟩, eq. (18).
+type Schedule struct {
+	Name         string
+	MTF          tick.Ticks
+	Requirements []Requirement // Q_i
+	Windows      []Window      // ω_i, ordered by offset
+}
+
+// Requirement returns the requirement Q_{i,m} for the named partition, if the
+// partition participates in this schedule.
+func (s *Schedule) Requirement(p PartitionName) (Requirement, bool) {
+	for _, q := range s.Requirements {
+		if q.Partition == p {
+			return q, true
+		}
+	}
+	return Requirement{}, false
+}
+
+// WindowsOf returns the windows of this schedule assigned to partition p, in
+// offset order.
+func (s *Schedule) WindowsOf(p PartitionName) []Window {
+	var out []Window
+	for _, w := range s.Windows {
+		if w.Partition == p {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// SuppliedTime returns the total window time assigned to partition p over one
+// MTF (the left-hand side of eq. (8)).
+func (s *Schedule) SuppliedTime(p PartitionName) tick.Ticks {
+	var sum tick.Ticks
+	for _, w := range s.WindowsOf(p) {
+		sum += w.Duration
+	}
+	return sum
+}
+
+// IdleTime returns the MTF time not assigned to any window.
+func (s *Schedule) IdleTime() tick.Ticks {
+	used := tick.Ticks(0)
+	for _, w := range s.Windows {
+		used += w.Duration
+	}
+	return s.MTF - used
+}
+
+// Utilization returns the fraction of the MTF assigned to windows.
+func (s *Schedule) Utilization() float64 {
+	if s.MTF == 0 {
+		return 0
+	}
+	return float64(s.MTF-s.IdleTime()) / float64(s.MTF)
+}
+
+// System is the full formal model: the set of partitions P, eq. (1)/(16),
+// and the set of partition scheduling tables χ, eq. (17). Process-level
+// attributes live in TaskSpec (see taskset.go) since their scope is the
+// partition, per Sect. 3.3.
+type System struct {
+	Partitions []PartitionName
+	Schedules  []Schedule
+}
+
+// Schedule returns the schedule with the given ID.
+func (sys *System) Schedule(id ScheduleID) (*Schedule, bool) {
+	if id < 0 || int(id) >= len(sys.Schedules) {
+		return nil, false
+	}
+	return &sys.Schedules[id], true
+}
+
+// ScheduleByName returns the schedule with the given name and its ID.
+func (sys *System) ScheduleByName(name string) (*Schedule, ScheduleID, bool) {
+	for i := range sys.Schedules {
+		if sys.Schedules[i].Name == name {
+			return &sys.Schedules[i], ScheduleID(i), true
+		}
+	}
+	return nil, 0, false
+}
+
+// HasPartition reports whether the named partition belongs to P.
+func (sys *System) HasPartition(p PartitionName) bool {
+	for _, name := range sys.Partitions {
+		if name == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Notation renders a system in the paper's mathematical notation, matching
+// the style of Fig. 8:
+//
+//	P = {P1, P2, P3, P4}
+//	Q1 = {⟨P1, 1300, 200⟩, ...}
+//	χ1 = ⟨MTF1 = 1300, ω1 = {⟨Q1,1, 0, 200⟩, ...}⟩
+//
+// It is the presentation-layer twin of the verification machinery: what
+// airverify prints so integrators can diff their configuration against the
+// formal model they reviewed.
+func Notation(sys *System) string {
+	var b strings.Builder
+	// P = {...}
+	b.WriteString("P = {")
+	for i, p := range sys.Partitions {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(p))
+	}
+	b.WriteString("}\n")
+	// Q_i per schedule.
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		fmt.Fprintf(&b, "Q%d = {", i+1)
+		for j, q := range s.Requirements {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(q.String())
+		}
+		b.WriteString("}\n")
+	}
+	// χ_i with the window sets.
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		fmt.Fprintf(&b, "χ%d = ⟨MTF%d = %d, ω%d = {", i+1, i+1, s.MTF, i+1)
+		for j, w := range s.Windows {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(w.String())
+		}
+		b.WriteString("}⟩\n")
+	}
+	return b.String()
+}

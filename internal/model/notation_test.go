@@ -1,0 +1,33 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNotationFig8(t *testing.T) {
+	out := Notation(Fig8System())
+	wants := []string{
+		"P = {P1, P2, P3, P4}",
+		"Q1 = {⟨P1, 1300, 200⟩, ⟨P2, 650, 100⟩, ⟨P3, 650, 100⟩, ⟨P4, 1300, 100⟩}",
+		"χ1 = ⟨MTF1 = 1300, ω1 = {⟨P1, 0, 200⟩",
+		"⟨P4, 400, 600⟩",
+		"χ2 = ⟨MTF2 = 1300",
+		"⟨P2, 400, 600⟩",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("notation missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("notation lines = %d:\n%s", got, out)
+	}
+}
+
+func TestNotationEmpty(t *testing.T) {
+	out := Notation(&System{})
+	if !strings.HasPrefix(out, "P = {}") {
+		t.Errorf("empty notation = %q", out)
+	}
+}

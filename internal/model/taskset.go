@@ -1,0 +1,121 @@
+package model
+
+import (
+	"fmt"
+
+	"air/internal/tick"
+)
+
+// Priority is a process base priority p_{m,q}. Per the paper's convention
+// (Sect. 3.3), lower numerical values represent greater priorities.
+type Priority int
+
+// ProcessState is the process state St_{m,q}(t), eq. (13).
+type ProcessState int
+
+// Process states per ARINC 653 and eq. (13).
+const (
+	StateDormant ProcessState = iota + 1
+	StateReady
+	StateRunning
+	StateWaiting
+)
+
+// String renders the state with the paper's spelling.
+func (s ProcessState) String() string {
+	switch s {
+	case StateDormant:
+		return "dormant"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateWaiting:
+		return "waiting"
+	default:
+		return fmt.Sprintf("ProcessState(%d)", int(s))
+	}
+}
+
+// TaskSpec carries the static process attributes of eq. (11):
+// τ_{m,q} = ⟨T, D, p, C, S(t)⟩. The status S(t) is runtime state and lives in
+// the POS; the WCET C is "not originally a process attribute in the ARINC 653
+// specification [but] is added to the system model, since it is essential for
+// further scheduling analyses" (Sect. 3.3).
+type TaskSpec struct {
+	Name string
+	// Period is T_{m,q}: the period for periodic processes, or the lower
+	// bound on inter-activation time for aperiodic/sporadic ones.
+	Period tick.Ticks
+	// Deadline is the relative deadline D_{m,q} (the ARINC 653 "time
+	// capacity"). tick.Infinity means the process has no deadline.
+	Deadline tick.Ticks
+	// BasePriority is p_{m,q}; lower value = higher priority.
+	BasePriority Priority
+	// WCET is C_{m,q}, the worst case execution time.
+	WCET tick.Ticks
+	// Periodic distinguishes periodic processes (released every Period)
+	// from aperiodic/sporadic ones.
+	Periodic bool
+}
+
+// Validate checks the structural sanity of the task attributes.
+func (t TaskSpec) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("model: task has no name")
+	}
+	if t.Periodic && t.Period <= 0 {
+		return fmt.Errorf("model: periodic task %s has period %d", t.Name, t.Period)
+	}
+	if t.Period < 0 {
+		return fmt.Errorf("model: task %s has negative period %d", t.Name, t.Period)
+	}
+	if t.WCET < 0 {
+		return fmt.Errorf("model: task %s has negative WCET %d", t.Name, t.WCET)
+	}
+	if t.Deadline <= 0 {
+		return fmt.Errorf("model: task %s has non-positive deadline %d", t.Name, t.Deadline)
+	}
+	if !t.Deadline.IsInfinite() && t.WCET > t.Deadline {
+		return fmt.Errorf("model: task %s WCET %d exceeds deadline %d",
+			t.Name, t.WCET, t.Deadline)
+	}
+	if t.Periodic && !t.Deadline.IsInfinite() && t.Deadline > t.Period {
+		return fmt.Errorf("model: task %s deadline %d exceeds period %d (constrained deadlines required)",
+			t.Name, t.Deadline, t.Period)
+	}
+	return nil
+}
+
+// TaskSet is the process set τ_m of one partition, eq. (10).
+type TaskSet struct {
+	Partition PartitionName
+	Tasks     []TaskSpec
+}
+
+// Validate checks every task and name uniqueness.
+func (ts TaskSet) Validate() error {
+	seen := make(map[string]bool, len(ts.Tasks))
+	for _, t := range ts.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("model: duplicate task name %s in partition %s",
+				t.Name, ts.Partition)
+		}
+		seen[t.Name] = true
+	}
+	return nil
+}
+
+// Utilization returns Σ C/T over the periodic tasks of the set.
+func (ts TaskSet) Utilization() float64 {
+	var u float64
+	for _, t := range ts.Tasks {
+		if t.Periodic && t.Period > 0 {
+			u += float64(t.WCET) / float64(t.Period)
+		}
+	}
+	return u
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"air/internal/tick"
+)
+
+func TestTaskSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		task    TaskSpec
+		wantErr bool
+	}{
+		{
+			name: "valid periodic",
+			task: TaskSpec{Name: "aocs", Period: 650, Deadline: 650,
+				BasePriority: 1, WCET: 50, Periodic: true},
+		},
+		{
+			name: "valid aperiodic with infinite deadline",
+			task: TaskSpec{Name: "bg", Deadline: tick.Infinity, BasePriority: 10, WCET: 5},
+		},
+		{
+			name:    "empty name",
+			task:    TaskSpec{Deadline: 10, WCET: 1},
+			wantErr: true,
+		},
+		{
+			name:    "periodic zero period",
+			task:    TaskSpec{Name: "x", Deadline: 10, WCET: 1, Periodic: true},
+			wantErr: true,
+		},
+		{
+			name:    "negative period",
+			task:    TaskSpec{Name: "x", Period: -5, Deadline: 10, WCET: 1},
+			wantErr: true,
+		},
+		{
+			name:    "negative wcet",
+			task:    TaskSpec{Name: "x", Deadline: 10, WCET: -1},
+			wantErr: true,
+		},
+		{
+			name:    "zero deadline",
+			task:    TaskSpec{Name: "x", WCET: 1},
+			wantErr: true,
+		},
+		{
+			name:    "wcet exceeds deadline",
+			task:    TaskSpec{Name: "x", Deadline: 10, WCET: 20},
+			wantErr: true,
+		},
+		{
+			name: "deadline exceeds period",
+			task: TaskSpec{Name: "x", Period: 100, Deadline: 200, WCET: 10,
+				Periodic: true},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.task.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTaskSetValidate(t *testing.T) {
+	ts := TaskSet{
+		Partition: "P1",
+		Tasks: []TaskSpec{
+			{Name: "a", Period: 100, Deadline: 100, WCET: 10, Periodic: true},
+			{Name: "a", Period: 200, Deadline: 200, WCET: 10, Periodic: true},
+		},
+	}
+	if err := ts.Validate(); err == nil {
+		t.Error("duplicate task names must be rejected")
+	}
+	ts.Tasks[1].Name = "b"
+	if err := ts.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestTaskSetUtilization(t *testing.T) {
+	ts := TaskSet{
+		Partition: "P1",
+		Tasks: []TaskSpec{
+			{Name: "a", Period: 100, Deadline: 100, WCET: 25, Periodic: true},
+			{Name: "b", Period: 200, Deadline: 200, WCET: 50, Periodic: true},
+			{Name: "c", Deadline: tick.Infinity, WCET: 10}, // aperiodic: excluded
+		},
+	}
+	if got, want := ts.Utilization(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utilization() = %v, want %v", got, want)
+	}
+}
+
+func TestProcessStateString(t *testing.T) {
+	tests := []struct {
+		state ProcessState
+		want  string
+	}{
+		{StateDormant, "dormant"},
+		{StateReady, "ready"},
+		{StateRunning, "running"},
+		{StateWaiting, "waiting"},
+		{ProcessState(99), "ProcessState(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.state.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"air/internal/tick"
+)
+
+// TestFig8Schedules is experiment E1: both of the paper's prototype
+// scheduling tables must verify cleanly against the complete model.
+func TestFig8Schedules(t *testing.T) {
+	sys := Fig8System()
+	r := Verify(sys)
+	if !r.OK() {
+		t.Fatalf("Fig. 8 system must verify, got:\n%s", r)
+	}
+	if len(sys.Schedules) != 2 {
+		t.Fatalf("expected 2 schedules, got %d", len(sys.Schedules))
+	}
+	for _, s := range sys.Schedules {
+		if s.MTF != 1300 {
+			t.Errorf("schedule %s MTF = %d, want 1300", s.Name, s.MTF)
+		}
+		if got := len(s.Windows); got != 7 {
+			t.Errorf("schedule %s has %d windows, want 7", s.Name, got)
+		}
+	}
+	// Per-partition supplied time under chi1: P1=200, P2=200, P3=200, P4=700.
+	chi1, _, ok := sys.ScheduleByName("chi1")
+	if !ok {
+		t.Fatal("chi1 not found")
+	}
+	wantSupplied := map[PartitionName]tick.Ticks{
+		"P1": 200, "P2": 200, "P3": 200, "P4": 700,
+	}
+	for p, want := range wantSupplied {
+		if got := chi1.SuppliedTime(p); got != want {
+			t.Errorf("chi1 supplied(%s) = %d, want %d", p, got, want)
+		}
+	}
+	if chi1.IdleTime() != 0 {
+		t.Errorf("chi1 idle time = %d, want 0", chi1.IdleTime())
+	}
+	if u := chi1.Utilization(); u != 1.0 {
+		t.Errorf("chi1 utilization = %v, want 1.0", u)
+	}
+}
+
+// TestEq25Derivation is experiment E2: the paper's eq. (25) instance —
+// schedule chi1, partition P1, k=0 — must reduce to 200 >= 200 and hold.
+func TestEq25Derivation(t *testing.T) {
+	sys := Fig8System()
+	chi1, _, _ := sys.ScheduleByName("chi1")
+	d, ok := Derive(chi1, "P1", 0)
+	if !ok {
+		t.Fatal("derivation unavailable")
+	}
+	if !d.Holds {
+		t.Fatalf("eq. (25) must hold:\n%s", d.Text)
+	}
+	if d.Cycle.Supplied != 200 || d.Budget != 200 {
+		t.Errorf("derivation reduced to %d >= %d, want 200 >= 200",
+			d.Cycle.Supplied, d.Budget)
+	}
+	if len(d.Cycle.Windows) != 1 || d.Cycle.Windows[0] != (Window{Partition: "P1", Offset: 0, Duration: 200}) {
+		t.Errorf("contributing windows = %v, want the single ⟨P1,0,200⟩", d.Cycle.Windows)
+	}
+	if !strings.Contains(d.Text, "200 ≥ 200") {
+		t.Errorf("derivation text missing reduction:\n%s", d.Text)
+	}
+}
+
+func TestDeriveAllFig8(t *testing.T) {
+	sys := Fig8System()
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		ds := DeriveAll(s)
+		// P1: 1 cycle, P2: 2, P3: 2, P4: 1 → 6 derivations per schedule.
+		if len(ds) != 6 {
+			t.Fatalf("schedule %s: %d derivations, want 6", s.Name, len(ds))
+		}
+		for _, d := range ds {
+			if !d.Holds {
+				t.Errorf("schedule %s: derivation violated:\n%s", s.Name, d.Text)
+			}
+		}
+	}
+}
+
+func TestDeriveOutOfRange(t *testing.T) {
+	sys := Fig8System()
+	chi1, _, _ := sys.ScheduleByName("chi1")
+	if _, ok := Derive(chi1, "P1", 1); ok {
+		t.Error("k=1 out of range for P1 (η=1300) must fail")
+	}
+	if _, ok := Derive(chi1, "PX", 0); ok {
+		t.Error("unknown partition must fail")
+	}
+	if _, ok := Derive(chi1, "P2", 2); ok {
+		t.Error("k=2 out of range for P2 (η=650) must fail")
+	}
+}
+
+// TestEq8NotSufficient is experiment F8: a table where the aggregate budget
+// condition eq. (8) holds but the per-cycle condition eq. (23) fails — the
+// paper's core argument for why (8) is necessary but not sufficient.
+func TestEq8NotSufficient(t *testing.T) {
+	sys := &System{
+		Partitions: []PartitionName{"A"},
+		Schedules: []Schedule{{
+			Name: "lopsided",
+			MTF:  200,
+			Requirements: []Requirement{
+				{Partition: "A", Cycle: 100, Budget: 50},
+			},
+			// All 100 ticks of supply land in the first cycle: aggregate
+			// 100 >= 50·(200/100) = 100 holds, but cycle k=1 gets 0 < 50.
+			Windows: []Window{
+				{Partition: "A", Offset: 0, Duration: 100},
+			},
+		}},
+	}
+	r := Verify(sys)
+	if r.Has(CodeBudgetAggregate) {
+		t.Error("eq. (8) should hold for the lopsided table")
+	}
+	if !r.Has(CodeBudgetPerCycle) {
+		t.Errorf("eq. (23) should be violated for cycle k=1, got:\n%s", r)
+	}
+}
+
+func TestVerifyStructuralViolations(t *testing.T) {
+	tests := []struct {
+		name string
+		sys  *System
+		want ViolationCode
+	}{
+		{
+			name: "window order",
+			sys: &System{
+				Partitions: []PartitionName{"A", "B"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{
+						{Partition: "A", Cycle: 100, Budget: 60},
+						{Partition: "B", Cycle: 100, Budget: 30},
+					},
+					Windows: []Window{
+						{Partition: "A", Offset: 0, Duration: 60},
+						{Partition: "B", Offset: 50, Duration: 30},
+					},
+				}},
+			},
+			want: CodeWindowOrder,
+		},
+		{
+			name: "window beyond MTF",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 50}},
+					Windows:      []Window{{Partition: "A", Offset: 60, Duration: 50}},
+				}},
+			},
+			want: CodeWindowBeyondMTF,
+		},
+		{
+			name: "MTF not multiple",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 150,
+					Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 10}},
+					Windows:      []Window{{Partition: "A", Offset: 0, Duration: 10}},
+				}},
+			},
+			want: CodeMTFNotMultiple,
+		},
+		{
+			name: "unknown partition in window",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 10}},
+					Windows: []Window{
+						{Partition: "A", Offset: 0, Duration: 10},
+						{Partition: "Z", Offset: 10, Duration: 10},
+					},
+				}},
+			},
+			want: CodeUnknownPartition,
+		},
+		{
+			name: "requirement without window",
+			sys: &System{
+				Partitions: []PartitionName{"A", "B"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{
+						{Partition: "A", Cycle: 100, Budget: 10},
+						{Partition: "B", Cycle: 100, Budget: 10},
+					},
+					Windows: []Window{{Partition: "A", Offset: 0, Duration: 10}},
+				}},
+			},
+			want: CodeNoWindow,
+		},
+		{
+			name: "duplicate requirement",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{
+						{Partition: "A", Cycle: 100, Budget: 10},
+						{Partition: "A", Cycle: 100, Budget: 10},
+					},
+					Windows: []Window{{Partition: "A", Offset: 0, Duration: 20}},
+				}},
+			},
+			want: CodeDuplicateRequirement,
+		},
+		{
+			name: "cycle exceeds MTF",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{{Partition: "A", Cycle: 200, Budget: 10}},
+					Windows:      []Window{{Partition: "A", Offset: 0, Duration: 10}},
+				}},
+			},
+			want: CodeCycleShape,
+		},
+		{
+			name: "budget exceeds cycle",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{{Partition: "A", Cycle: 50, Budget: 60}},
+					Windows:      []Window{{Partition: "A", Offset: 0, Duration: 60}},
+				}},
+			},
+			want: CodeCycleShape,
+		},
+		{
+			name: "non-positive window duration",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{{
+					Name: "s", MTF: 100,
+					Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 0}},
+					Windows:      []Window{{Partition: "A", Offset: 0, Duration: 0}},
+				}},
+			},
+			want: CodeWindowShape,
+		},
+		{
+			name: "no schedules",
+			sys:  &System{Partitions: []PartitionName{"A"}},
+			want: CodeNoSchedules,
+		},
+		{
+			name: "duplicate schedule name",
+			sys: &System{
+				Partitions: []PartitionName{"A"},
+				Schedules: []Schedule{
+					{Name: "s", MTF: 100, Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 0}}},
+					{Name: "s", MTF: 100, Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 0}}},
+				},
+			},
+			want: CodeDuplicateSchedule,
+		},
+		{
+			name: "duplicate partition",
+			sys: &System{
+				Partitions: []PartitionName{"A", "A"},
+				Schedules: []Schedule{
+					{Name: "s", MTF: 100, Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: 0}}},
+				},
+			},
+			want: CodeDuplicatePartition,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := Verify(tt.sys)
+			if !r.Has(tt.want) {
+				t.Errorf("want violation %s, got:\n%s", tt.want, r)
+			}
+		})
+	}
+}
+
+func TestNonRTPartitionZeroBudget(t *testing.T) {
+	// A d=0 partition (non-real-time guest) needs no windows and must not
+	// trip the budget checks (Sect. 3.1).
+	sys := &System{
+		Partitions: []PartitionName{"RT", "LINUX"},
+		Schedules: []Schedule{{
+			Name: "s", MTF: 100,
+			Requirements: []Requirement{
+				{Partition: "RT", Cycle: 100, Budget: 50},
+				{Partition: "LINUX", Cycle: 100, Budget: 0},
+			},
+			Windows: []Window{
+				{Partition: "RT", Offset: 0, Duration: 50},
+				{Partition: "LINUX", Offset: 50, Duration: 50},
+			},
+		}},
+	}
+	if r := Verify(sys); !r.OK() {
+		t.Fatalf("zero-budget partition should verify, got:\n%s", r)
+	}
+}
+
+func TestCycleSupplyAttributionAtBoundary(t *testing.T) {
+	// A window whose offset lies in cycle k but which spans into cycle k+1
+	// is attributed entirely to k, per the O ∈ [kη;(k+1)η[ condition — this
+	// is exactly the situation of chi2's ⟨P2,400,600⟩ window.
+	sys := Fig8System()
+	chi2, _, _ := sys.ScheduleByName("chi2")
+	q, _ := chi2.Requirement("P2")
+	supplies := CycleSupplies(chi2, q)
+	if len(supplies) != 2 {
+		t.Fatalf("want 2 cycles for P2, got %d", len(supplies))
+	}
+	if supplies[0].Supplied != 600 {
+		t.Errorf("cycle 0 supplied = %d, want 600", supplies[0].Supplied)
+	}
+	if supplies[1].Supplied != 100 {
+		t.Errorf("cycle 1 supplied = %d, want 100", supplies[1].Supplied)
+	}
+}
+
+func TestSortWindows(t *testing.T) {
+	ws := []Window{
+		{Partition: "B", Offset: 50, Duration: 10},
+		{Partition: "A", Offset: 0, Duration: 10},
+		{Partition: "A", Offset: 50, Duration: 10},
+	}
+	SortWindows(ws)
+	if ws[0].Offset != 0 || ws[1].Partition != "A" || ws[2].Partition != "B" {
+		t.Errorf("SortWindows order wrong: %v", ws)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{}
+	if r.String() != "OK" {
+		t.Errorf("empty report String() = %q", r.String())
+	}
+	r.add(CodeNoWindow, "s", "A", "detail %d", 7)
+	if !strings.Contains(r.String(), "NO_WINDOW") || !strings.Contains(r.String(), "detail 7") {
+		t.Errorf("report String() = %q", r.String())
+	}
+}
+
+// Property: for any well-formed random schedule, eq. (23) holding for every
+// cycle implies eq. (8) holding (the paper's implication (9) ⇒ (8)).
+func TestEq23ImpliesEq8(t *testing.T) {
+	prop := func(budgetSeed, windowSeed uint8) bool {
+		// Build a 2-cycle schedule with randomised per-cycle supply.
+		budget := tick.Ticks(budgetSeed%50) + 1
+		w0 := tick.Ticks(windowSeed%60) + 1
+		w1 := tick.Ticks((windowSeed/4)%60) + 1
+		s := &Schedule{
+			Name: "rand", MTF: 200,
+			Requirements: []Requirement{{Partition: "A", Cycle: 100, Budget: budget}},
+			Windows: []Window{
+				{Partition: "A", Offset: 0, Duration: w0},
+				{Partition: "A", Offset: 100, Duration: w1},
+			},
+		}
+		sys := &System{Partitions: []PartitionName{"A"}, Schedules: []Schedule{*s}}
+		r := Verify(sys)
+		if !r.Has(CodeBudgetPerCycle) && r.Has(CodeBudgetAggregate) {
+			return false // (23) held everywhere yet (8) failed: contradiction
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperatingModeStrings(t *testing.T) {
+	tests := []struct {
+		mode OperatingMode
+		want string
+	}{
+		{ModeIdle, "idle"},
+		{ModeColdStart, "coldStart"},
+		{ModeWarmStart, "warmStart"},
+		{ModeNormal, "normal"},
+		{OperatingMode(0), "OperatingMode(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.mode, got, tt.want)
+		}
+	}
+}
+
+func TestChangeActionStrings(t *testing.T) {
+	tests := []struct {
+		action ScheduleChangeAction
+		want   string
+	}{
+		{ActionSkip, "SKIP"},
+		{ActionWarmStart, "WARM_START"},
+		{ActionColdStart, "COLD_START"},
+		{ScheduleChangeAction(0), "ScheduleChangeAction(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.action.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSystemLookups(t *testing.T) {
+	sys := Fig8System()
+	if _, ok := sys.Schedule(ScheduleID(0)); !ok {
+		t.Error("Schedule(0) should exist")
+	}
+	if _, ok := sys.Schedule(ScheduleID(5)); ok {
+		t.Error("Schedule(5) should not exist")
+	}
+	if _, ok := sys.Schedule(ScheduleID(-1)); ok {
+		t.Error("Schedule(-1) should not exist")
+	}
+	if _, id, ok := sys.ScheduleByName("chi2"); !ok || id != 1 {
+		t.Errorf("ScheduleByName(chi2) = (%v, %v)", id, ok)
+	}
+	if _, _, ok := sys.ScheduleByName("nope"); ok {
+		t.Error("ScheduleByName(nope) should fail")
+	}
+	if !sys.HasPartition("P1") || sys.HasPartition("P9") {
+		t.Error("HasPartition broken")
+	}
+}
+
+func TestWindowString(t *testing.T) {
+	w := Window{Partition: "P1", Offset: 0, Duration: 200}
+	if w.String() != "⟨P1, 0, 200⟩" {
+		t.Errorf("Window.String() = %q", w.String())
+	}
+	q := Requirement{Partition: "P2", Cycle: 650, Budget: 100}
+	if q.String() != "⟨P2, 650, 100⟩" {
+		t.Errorf("Requirement.String() = %q", q.String())
+	}
+}

@@ -1,0 +1,282 @@
+package pal
+
+import (
+	"testing"
+
+	"air/internal/hm"
+	"air/internal/model"
+	"air/internal/pos"
+	"air/internal/tick"
+)
+
+type palFixture struct {
+	clock  *tick.Ticks
+	pal    *PAL
+	kernel *pos.Kernel
+	hm     *hm.Monitor
+}
+
+func newFixture(t *testing.T) *palFixture {
+	t.Helper()
+	now := new(tick.Ticks)
+	nowFn := func() tick.Ticks { return *now }
+	monitor := hm.New(hm.Config{Now: nowFn})
+	p := New(Config{Partition: "P1", Health: monitor, Now: nowFn})
+	k := pos.NewKernel(pos.Options{
+		Partition: "P1",
+		Now:       nowFn,
+		Observer:  p,
+	})
+	p.Bind(k)
+	return &palFixture{clock: now, pal: p, kernel: k, hm: monitor}
+}
+
+func (f *palFixture) createStarted(t *testing.T, name string, period tick.Ticks) pos.ProcessID {
+	t.Helper()
+	id, err := f.kernel.Create(model.TaskSpec{
+		Name: name, Period: period, Deadline: period, BasePriority: 5,
+		WCET: 1, Periodic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.kernel.Start(id); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestStartRegistersDeadlineInPAL(t *testing.T) {
+	f := newFixture(t)
+	id := f.createStarted(t, "a", 100)
+	entries := f.pal.Deadlines()
+	if len(entries) != 1 || entries[0].PID != id || entries[0].Deadline != 100 {
+		t.Fatalf("deadlines = %v", entries)
+	}
+	if f.pal.Pending() != 1 {
+		t.Fatalf("Pending = %d", f.pal.Pending())
+	}
+	if err := f.kernel.Stop(id); err != nil {
+		t.Fatal(err)
+	}
+	if f.pal.Pending() != 0 {
+		t.Fatal("stop did not unregister deadline")
+	}
+}
+
+func TestTickAnnounceNoViolationBeforeDeadline(t *testing.T) {
+	f := newFixture(t)
+	f.createStarted(t, "a", 100)
+	for *f.clock = 1; *f.clock <= 100; *f.clock++ {
+		if v := f.pal.TickAnnounce(1); len(v) != 0 {
+			t.Fatalf("violation at t=%d: %v", *f.clock, v)
+		}
+	}
+	// Deadline is 100; at t=101 it is strictly in the past (eq. 24).
+	*f.clock = 101
+	v := f.pal.TickAnnounce(1)
+	if len(v) != 1 {
+		t.Fatalf("want violation at t=101, got %v", v)
+	}
+	if v[0].Entry.Name != "a" || v[0].Detected != 101 {
+		t.Errorf("violation = %+v", v[0])
+	}
+	// Reported once: the entry was removed.
+	if v := f.pal.TickAnnounce(1); len(v) != 0 {
+		t.Fatalf("violation reported twice: %v", v)
+	}
+	if f.hm.Count(hm.ErrDeadlineMissed) != 1 {
+		t.Errorf("HM count = %d, want 1", f.hm.Count(hm.ErrDeadlineMissed))
+	}
+}
+
+func TestTickAnnounceMultipleExpiredDeadlines(t *testing.T) {
+	// Algorithm 3: "following deadlines may subsequently be verified until
+	// one has not been missed" — a catch-up announce after a long inactive
+	// span reports all expired deadlines at once, in ascending order.
+	f := newFixture(t)
+	f.createStarted(t, "a", 50)
+	f.createStarted(t, "b", 100)
+	f.createStarted(t, "c", 800)
+	*f.clock = 400 // partition was inactive from 0 to 400
+	v := f.pal.TickAnnounce(400)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want a and b", v)
+	}
+	if v[0].Entry.Name != "a" || v[1].Entry.Name != "b" {
+		t.Errorf("violations out of order: %v", v)
+	}
+	// c (deadline 800) survives.
+	if f.pal.Pending() == 0 {
+		t.Error("future deadline was consumed")
+	}
+}
+
+// TestDetectionLatencyOptimal is experiment F5: a violation is detected at
+// the first announce at/after expiry — per-tick announces detect at
+// deadline+1; a dispatch announce detects at the dispatch instant.
+func TestDetectionLatencyOptimal(t *testing.T) {
+	// Active partition: per-tick detection.
+	f := newFixture(t)
+	f.createStarted(t, "a", 10)
+	for *f.clock = 1; *f.clock <= 10; *f.clock++ {
+		if v := f.pal.TickAnnounce(1); len(v) != 0 {
+			t.Fatalf("early detection at %d", *f.clock)
+		}
+	}
+	*f.clock = 11
+	if v := f.pal.TickAnnounce(1); len(v) != 1 || v[0].Detected != 11 {
+		t.Fatalf("active detection = %v, want at t=11", v)
+	}
+
+	// Inactive partition: detection exactly at next dispatch.
+	g := newFixture(t)
+	g.createStarted(t, "b", 10)
+	*g.clock = 57 // dispatched again only at t=57
+	v := g.pal.TickAnnounce(57)
+	if len(v) != 1 || v[0].Detected != 57 {
+		t.Fatalf("dispatch detection = %v, want at t=57", v)
+	}
+}
+
+func TestPeriodicProcessMeetingDeadlinesNeverViolates(t *testing.T) {
+	// A well-behaved periodic process that completes each activation
+	// (PeriodicWait) before its deadline must never appear in a violation.
+	f := newFixture(t)
+	id := f.createStarted(t, "good", 100)
+	for *f.clock = 1; *f.clock <= 1000; *f.clock++ {
+		v := f.pal.TickAnnounce(1)
+		if len(v) != 0 {
+			t.Fatalf("spurious violation at t=%d: %v", *f.clock, v)
+		}
+		p, _ := f.kernel.Get(id)
+		// Complete the activation 30 ticks after each release.
+		if p.Eligible() && *f.clock%100 == 30 {
+			if err := f.kernel.PeriodicWait(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestOverrunningProcessViolatesEveryActivation(t *testing.T) {
+	// A faulty process that never completes re-registers a deadline at each
+	// (late) PeriodicWait; each activation's deadline fires once.
+	f := newFixture(t)
+	id := f.createStarted(t, "faulty", 100)
+	var total int
+	for *f.clock = 1; *f.clock <= 1000; *f.clock++ {
+		total += len(f.pal.TickAnnounce(1))
+		// The faulty process "completes" long after its deadline, at
+		// phase 150 of each doubled period.
+		p, _ := f.kernel.Get(id)
+		if p.Eligible() && *f.clock%200 == 150 {
+			if err := f.kernel.PeriodicWait(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if total < 4 {
+		t.Errorf("violations = %d, want repeated detections", total)
+	}
+	if f.hm.Count(hm.ErrDeadlineMissed) != total {
+		t.Errorf("HM count %d != detected %d", f.hm.Count(hm.ErrDeadlineMissed), total)
+	}
+}
+
+func TestViolationSetEq24(t *testing.T) {
+	f := newFixture(t)
+	f.createStarted(t, "a", 50)
+	f.createStarted(t, "b", 200)
+	// eq. (24) is strict: at t = D' the process is not yet in V(t).
+	if got := f.pal.ViolationSet(50); len(got) != 0 {
+		t.Errorf("V(50) = %v, want empty (strict inequality)", got)
+	}
+	if got := f.pal.ViolationSet(51); len(got) != 1 || got[0].Name != "a" {
+		t.Errorf("V(51) = %v, want {a}", got)
+	}
+	if got := f.pal.ViolationSet(1000); len(got) != 2 {
+		t.Errorf("V(1000) = %v, want both", got)
+	}
+	// ViolationSet must not mutate.
+	if f.pal.Pending() != 2 {
+		t.Error("ViolationSet mutated the queue")
+	}
+}
+
+func TestTickAnnounceWithoutHealthReporter(t *testing.T) {
+	now := new(tick.Ticks)
+	nowFn := func() tick.Ticks { return *now }
+	p := New(Config{Partition: "P1", Now: nowFn})
+	k := pos.NewKernel(pos.Options{Partition: "P1", Now: nowFn, Observer: p})
+	p.Bind(k)
+	if p.Kernel() != k {
+		t.Fatal("Kernel() accessor broken")
+	}
+	if p.Partition() != "P1" {
+		t.Fatal("Partition() accessor broken")
+	}
+	id, err := k.Create(model.TaskSpec{
+		Name: "a", Period: 10, Deadline: 10, WCET: 1, Periodic: true, BasePriority: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(id); err != nil {
+		t.Fatal(err)
+	}
+	*now = 11
+	v := p.TickAnnounce(11)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Decision.Action != 0 {
+		t.Error("decision should be zero without a health reporter")
+	}
+}
+
+func TestTickAnnounceReleasesDelaysBeforeChecking(t *testing.T) {
+	// Fig. 7 ordering: the POS clock announce runs first, so a process
+	// released exactly at the dispatch instant becomes ready in the same
+	// announce that checks deadlines.
+	f := newFixture(t)
+	id, err := f.kernel.Create(model.TaskSpec{
+		Name: "delayed", Period: 100, Deadline: 100, BasePriority: 1,
+		WCET: 1, Periodic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.kernel.DelayedStart(id, 40); err != nil {
+		t.Fatal(err)
+	}
+	*f.clock = 40
+	f.pal.TickAnnounce(40)
+	proc, _ := f.kernel.Get(id)
+	if proc.State != model.StateReady {
+		t.Fatalf("state = %s, want ready after announce", proc.State)
+	}
+}
+
+func TestPALWithTreeQueue(t *testing.T) {
+	// The PAL works identically over the tree queue (ablation wiring).
+	now := new(tick.Ticks)
+	nowFn := func() tick.Ticks { return *now }
+	monitor := hm.New(hm.Config{Now: nowFn})
+	p := New(Config{Partition: "P1", Queue: NewTreeQueue(), Health: monitor, Now: nowFn})
+	k := pos.NewKernel(pos.Options{Partition: "P1", Now: nowFn, Observer: p})
+	p.Bind(k)
+	id, err := k.Create(model.TaskSpec{
+		Name: "a", Period: 10, Deadline: 10, WCET: 1, Periodic: true, BasePriority: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(id); err != nil {
+		t.Fatal(err)
+	}
+	*now = 11
+	if v := p.TickAnnounce(11); len(v) != 1 {
+		t.Fatalf("tree-backed PAL missed the violation: %v", v)
+	}
+}

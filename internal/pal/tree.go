@@ -1,0 +1,187 @@
+package pal
+
+import (
+	"air/internal/pos"
+)
+
+// TreeQueue is the self-balancing binary search tree alternative the paper
+// analyses in Sect. 5.3: register/update/unregister cost O(log n) instead of
+// the list's O(n), but earliest retrieval walks to the leftmost node —
+// O(log n) instead of O(1) — which is the wrong side of the tradeoff for
+// work performed inside the clock tick ISR when n is typically small.
+//
+// The implementation is an AVL tree keyed by (deadline, pid) with a
+// per-process index map giving direct access for updates.
+type TreeQueue struct {
+	root  *treeNode
+	index map[pos.ProcessID]Entry // pid → current key (for update/removal)
+}
+
+var _ DeadlineQueue = (*TreeQueue)(nil)
+
+type treeNode struct {
+	entry       Entry
+	left, right *treeNode
+	height      int
+}
+
+// NewTreeQueue creates an empty AVL-backed deadline queue.
+func NewTreeQueue() *TreeQueue {
+	return &TreeQueue{index: make(map[pos.ProcessID]Entry)}
+}
+
+// Register inserts or updates pid's deadline in O(log n).
+func (q *TreeQueue) Register(e Entry) {
+	if old, ok := q.index[e.PID]; ok {
+		q.root = remove(q.root, old)
+	}
+	q.index[e.PID] = e
+	q.root = insert(q.root, e)
+}
+
+// Unregister removes pid's deadline in O(log n).
+func (q *TreeQueue) Unregister(pid pos.ProcessID) bool {
+	old, ok := q.index[pid]
+	if !ok {
+		return false
+	}
+	q.root = remove(q.root, old)
+	delete(q.index, pid)
+	return true
+}
+
+// Earliest walks to the leftmost node — O(log n).
+func (q *TreeQueue) Earliest() (Entry, bool) {
+	if q.root == nil {
+		return Entry{}, false
+	}
+	n := q.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.entry, true
+}
+
+// RemoveEarliest removes the leftmost node — O(log n).
+func (q *TreeQueue) RemoveEarliest() {
+	e, ok := q.Earliest()
+	if !ok {
+		return
+	}
+	q.root = remove(q.root, e)
+	delete(q.index, e.PID)
+}
+
+// Len returns the number of registered deadlines.
+func (q *TreeQueue) Len() int { return len(q.index) }
+
+// Entries returns the registered deadlines in ascending order.
+func (q *TreeQueue) Entries() []Entry {
+	out := make([]Entry, 0, len(q.index))
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.entry)
+		walk(n.right)
+	}
+	walk(q.root)
+	return out
+}
+
+// --- AVL machinery ---
+
+func height(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func update(n *treeNode) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func balanceFactor(n *treeNode) int { return height(n.left) - height(n.right) }
+
+func rotateRight(y *treeNode) *treeNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	update(y)
+	update(x)
+	return x
+}
+
+func rotateLeft(x *treeNode) *treeNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	update(x)
+	update(y)
+	return y
+}
+
+func rebalance(n *treeNode) *treeNode {
+	update(n)
+	bf := balanceFactor(n)
+	switch {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func insert(n *treeNode, e Entry) *treeNode {
+	if n == nil {
+		return &treeNode{entry: e, height: 1}
+	}
+	if less(e, n.entry) {
+		n.left = insert(n.left, e)
+	} else {
+		n.right = insert(n.right, e)
+	}
+	return rebalance(n)
+}
+
+func remove(n *treeNode, e Entry) *treeNode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case less(e, n.entry):
+		n.left = remove(n.left, e)
+	case less(n.entry, e):
+		n.right = remove(n.right, e)
+	default:
+		if n.left == nil {
+			return n.right
+		}
+		if n.right == nil {
+			return n.left
+		}
+		// Replace with in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.entry = succ.entry
+		n.right = remove(n.right, succ.entry)
+	}
+	return rebalance(n)
+}

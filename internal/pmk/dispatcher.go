@@ -1,0 +1,113 @@
+package pmk
+
+import (
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// Hooks are the context switching and schedule-change callbacks the
+// Dispatcher invokes; the core kernel implements them (saving/restoring the
+// partition execution context — including the MMU context, Sect. 2.1 — and
+// applying pending schedule change actions).
+type Hooks struct {
+	// SaveContext saves the execution context of the partition losing the
+	// processor (Algorithm 2 line 4).
+	SaveContext func(p model.PartitionName)
+	// RestoreContext restores the execution context of the heir partition
+	// (Algorithm 2 line 8).
+	RestoreContext func(p model.PartitionName)
+	// PendingScheduleChangeAction applies the heir partition's pending
+	// restart action, if one is armed (Algorithm 2 line 9).
+	PendingScheduleChangeAction func(p model.PartitionName)
+	// EnterIdle is invoked when the processor enters an idle window.
+	EnterIdle func()
+}
+
+// DispatchResult reports what one dispatcher invocation did.
+type DispatchResult struct {
+	// Switched is true when a partition context switch occurred.
+	Switched bool
+	// Active is the partition now holding the processing resources.
+	Active Heir
+	// ElapsedTicks is the number of clock ticks elapsed since the active
+	// partition last held the processor — 1 when the partition kept the
+	// processor, larger after a context switch (Algorithm 2 lines 2 and 6).
+	// The PAL uses it as the surrogate clock tick announcement count
+	// (Fig. 7).
+	ElapsedTicks tick.Ticks
+}
+
+// Dispatcher is the AIR Partition Dispatcher featuring mode-based schedules
+// (Algorithm 2). It runs after the Partition Scheduler whenever a partition
+// preemption point was reached, performing the context switch between the
+// active partition and the heir partition.
+type Dispatcher struct {
+	hooks     Hooks
+	scheduler *Scheduler
+
+	active   Heir
+	hasRun   bool
+	lastTick map[model.PartitionName]tick.Ticks
+	switches int
+}
+
+// NewDispatcher creates a Dispatcher bound to its scheduler and hooks.
+func NewDispatcher(s *Scheduler, hooks Hooks) *Dispatcher {
+	return &Dispatcher{
+		hooks:     hooks,
+		scheduler: s,
+		active:    Heir{Idle: true},
+		lastTick:  make(map[model.PartitionName]tick.Ticks),
+	}
+}
+
+// Dispatch is Algorithm 2: invoked with the heir selected by the scheduler
+// and the current value of the global tick counter.
+func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
+	// Line 1: heirPartition == activePartition → only account one tick.
+	if d.hasRun && heir == d.active {
+		return DispatchResult{Active: d.active, ElapsedTicks: 1}
+	}
+	// Lines 4–5: save the outgoing partition's context.
+	if d.hasRun && !d.active.Idle {
+		if d.hooks.SaveContext != nil {
+			d.hooks.SaveContext(d.active.Partition)
+		}
+		d.lastTick[d.active.Partition] = ticks - 1
+	}
+	// Line 6: ticks elapsed since the heir last held the processor.
+	var elapsed tick.Ticks
+	if heir.Idle {
+		elapsed = 0
+		if d.hooks.EnterIdle != nil {
+			d.hooks.EnterIdle()
+		}
+	} else {
+		elapsed = ticks - d.lastTick[heir.Partition]
+		// Line 8: restore the heir's context.
+		if d.hooks.RestoreContext != nil {
+			d.hooks.RestoreContext(heir.Partition)
+		}
+		// Line 9: perform the heir's pending schedule change action.
+		if d.hooks.PendingScheduleChangeAction != nil {
+			d.hooks.PendingScheduleChangeAction(heir.Partition)
+		}
+	}
+	// Line 7: the heir becomes the active partition.
+	d.active = heir
+	d.hasRun = true
+	d.switches++
+	return DispatchResult{Switched: true, Active: heir, ElapsedTicks: elapsed}
+}
+
+// Active returns the partition currently holding the processing resources.
+func (d *Dispatcher) Active() Heir { return d.active }
+
+// ContextSwitches returns the number of partition context switches performed.
+func (d *Dispatcher) ContextSwitches() int { return d.switches }
+
+// LastTick returns the tick at which partition p last relinquished the
+// processor (0 if it never ran).
+func (d *Dispatcher) LastTick(p model.PartitionName) tick.Ticks {
+	return d.lastTick[p]
+}

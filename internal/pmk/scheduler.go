@@ -1,0 +1,174 @@
+package pmk
+
+import (
+	"errors"
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// Scheduler errors.
+var (
+	ErrNoSchedules       = errors.New("pmk: no schedules compiled")
+	ErrUnknownSchedule   = errors.New("pmk: unknown schedule")
+	ErrAlreadyStarted    = errors.New("pmk: scheduler already started")
+	ErrNotStarted        = errors.New("pmk: scheduler not started")
+	ErrMismatchedModeMTF = errors.New("pmk: schedules disagree on partition set")
+)
+
+// ScheduleStatus is the information returned by the ARINC 653 Part 2
+// GET_MODULE_SCHEDULE_STATUS service (Sect. 4.2): the time of the last
+// schedule switch (0 if none ever occurred), the current schedule, and the
+// next schedule (equal to the current one when no change is pending).
+type ScheduleStatus struct {
+	LastSwitch tick.Ticks
+	Current    model.ScheduleID
+	Next       model.ScheduleID
+}
+
+// Scheduler is the AIR Partition Scheduler featuring mode-based schedules —
+// a faithful implementation of Algorithm 1. It is invoked at every system
+// clock tick; in the best (and most frequent) case it performs only two
+// computations: incrementing the tick counter and testing for a partition
+// preemption point.
+type Scheduler struct {
+	schedules []*CompiledSchedule
+
+	// Algorithm 1 state, named as in the paper.
+	ticks           tick.Ticks // global system clock tick counter
+	currentSchedule model.ScheduleID
+	nextSchedule    model.ScheduleID
+	lastSwitch      tick.Ticks // lastScheduleSwitch
+	tableIterator   int
+
+	heir        Heir
+	started     bool
+	everSwitch  bool
+	switchCount int
+
+	// pendingActions holds, per partition, the restart action to perform
+	// the first time the partition is dispatched after a schedule switch.
+	// The Dispatcher consumes it (Algorithm 2 line 9).
+	pendingActions map[model.PartitionName]model.ScheduleChangeAction
+}
+
+// NewScheduler creates a Scheduler over the compiled schedules. Schedule IDs
+// are indices into the slice; index 0 is the initial schedule.
+func NewScheduler(schedules []*CompiledSchedule) (*Scheduler, error) {
+	if len(schedules) == 0 {
+		return nil, ErrNoSchedules
+	}
+	return &Scheduler{
+		schedules:      schedules,
+		pendingActions: make(map[model.PartitionName]model.ScheduleChangeAction),
+	}, nil
+}
+
+// Start primes the scheduler at tick 0: the first preemption point (offset 0)
+// of the initial schedule is taken immediately, as the system bootstrap
+// dispatches the first partition before the first clock interrupt.
+func (s *Scheduler) Start() (Heir, error) {
+	if s.started {
+		return Heir{}, ErrAlreadyStarted
+	}
+	s.started = true
+	cs := s.schedules[s.currentSchedule]
+	s.heir = cs.Points[0].Heir
+	s.tableIterator = 1 % len(cs.Points)
+	return s.heir, nil
+}
+
+// Tick is Algorithm 1, executed at every system clock tick. It returns true
+// when a partition preemption point was reached (the heir may have changed —
+// the Dispatcher must run), false in the frequent fast-path case.
+func (s *Scheduler) Tick() bool {
+	// Line 1: increment the global system clock tick counter.
+	s.ticks++
+	cs := s.schedules[s.currentSchedule]
+	// Line 2: partition preemption point test against ticks elapsed since
+	// the last schedule switch.
+	if cs.Points[s.tableIterator].Offset != (s.ticks-s.lastSwitch)%cs.MTF {
+		return false
+	}
+	// Line 3: pending schedule switch takes effect only at the end of the
+	// MTF.
+	if s.currentSchedule != s.nextSchedule && (s.ticks-s.lastSwitch)%cs.MTF == 0 {
+		// Lines 4–6.
+		s.currentSchedule = s.nextSchedule
+		s.lastSwitch = s.ticks
+		s.tableIterator = 0
+		s.everSwitch = true
+		s.switchCount++
+		cs = s.schedules[s.currentSchedule]
+		// Arm the per-partition restart actions for the new schedule; the
+		// Dispatcher performs each partition's action the first time that
+		// partition is dispatched under the new schedule (Sect. 4.3).
+		for p, action := range cs.ChangeActions {
+			s.pendingActions[p] = action
+		}
+	}
+	// Line 8: select the heir partition.
+	s.heir = cs.Points[s.tableIterator].Heir
+	// Line 9: advance the table iterator modulo the number of partition
+	// preemption points.
+	s.tableIterator = (s.tableIterator + 1) % len(cs.Points)
+	return true
+}
+
+// Heir returns the current heir partition.
+func (s *Scheduler) Heir() Heir { return s.heir }
+
+// Ticks returns the global system clock tick counter.
+func (s *Scheduler) Ticks() tick.Ticks { return s.ticks }
+
+// RequestSwitch stores the identifier of the schedule that will start
+// executing at the top of the next MTF — the SET_MODULE_SCHEDULE APEX
+// service (Sect. 4.2): "the immediate result is only that of storing the
+// identifier of the next schedule".
+func (s *Scheduler) RequestSwitch(id model.ScheduleID) error {
+	if id < 0 || int(id) >= len(s.schedules) {
+		return fmt.Errorf("%w: %d", ErrUnknownSchedule, id)
+	}
+	s.nextSchedule = id
+	return nil
+}
+
+// Status implements GET_MODULE_SCHEDULE_STATUS (Sect. 4.2).
+func (s *Scheduler) Status() ScheduleStatus {
+	last := tick.Ticks(0)
+	if s.everSwitch {
+		last = s.lastSwitch
+	}
+	return ScheduleStatus{
+		LastSwitch: last,
+		Current:    s.currentSchedule,
+		Next:       s.nextSchedule,
+	}
+}
+
+// Current returns the compiled schedule currently in force.
+func (s *Scheduler) Current() *CompiledSchedule {
+	return s.schedules[s.currentSchedule]
+}
+
+// ScheduleCount returns the number of compiled schedules.
+func (s *Scheduler) ScheduleCount() int { return len(s.schedules) }
+
+// SwitchCount returns how many schedule switches became effective.
+func (s *Scheduler) SwitchCount() int { return s.switchCount }
+
+// ConsumePendingAction returns and clears the pending schedule change action
+// for a partition, if any. The Dispatcher calls this when the partition is
+// first dispatched after a switch.
+func (s *Scheduler) ConsumePendingAction(p model.PartitionName) (model.ScheduleChangeAction, bool) {
+	action, ok := s.pendingActions[p]
+	if ok {
+		delete(s.pendingActions, p)
+	}
+	return action, ok
+}
+
+// PendingActionCount returns the number of partitions with unconsumed change
+// actions (those not yet dispatched since the last switch).
+func (s *Scheduler) PendingActionCount() int { return len(s.pendingActions) }

@@ -1,0 +1,127 @@
+// Package pos implements the Partition Operating System kernel used inside
+// each AIR partition (paper Sect. 2, 3.3): process management scoped to the
+// partition, the preemptive priority-driven process scheduler of eqs.
+// (14)–(15) with FIFO-within-priority ("processes are assumed to be sorted in
+// decreasing order of antiquity in the ready state"), process states of
+// eq. (13), delays, periodic release points, and a round-robin scheduling
+// variant modelling generic non-real-time guest operating systems
+// (Sect. 2.5).
+package pos
+
+import (
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// ProcessID identifies a process within its partition. Process management
+// scope is restricted to the partition (Sect. 3.3), so IDs are per-partition.
+type ProcessID int
+
+// InvalidProcess is the zero ProcessID, never assigned to a real process.
+const InvalidProcess ProcessID = 0
+
+// WaitKind says what a waiting process is waiting for — "a delay, a
+// semaphore, a period, etc. — or another process resumes it" (Sect. 3.3).
+type WaitKind int
+
+// Wait kinds.
+const (
+	WaitNone WaitKind = iota
+	WaitDelay
+	WaitPeriod
+	WaitSemaphore
+	WaitEvent
+	WaitBuffer
+	WaitBlackboard
+	WaitPort
+	WaitSuspended
+)
+
+// String renders the wait kind.
+func (k WaitKind) String() string {
+	switch k {
+	case WaitNone:
+		return "none"
+	case WaitDelay:
+		return "delay"
+	case WaitPeriod:
+		return "period"
+	case WaitSemaphore:
+		return "semaphore"
+	case WaitEvent:
+		return "event"
+	case WaitBuffer:
+		return "buffer"
+	case WaitBlackboard:
+		return "blackboard"
+	case WaitPort:
+		return "port"
+	case WaitSuspended:
+		return "suspended"
+	default:
+		return fmt.Sprintf("WaitKind(%d)", int(k))
+	}
+}
+
+// Process is the runtime image of one process τ_{m,q}: the static attributes
+// of eq. (11) in Spec plus the status S_{m,q}(t) of eq. (12) — absolute
+// deadline time D', current priority p', and state St.
+type Process struct {
+	ID   ProcessID
+	Spec model.TaskSpec
+
+	// State is St_{m,q}(t), eq. (13).
+	State model.ProcessState
+	// CurrentPriority is p'_{m,q}(t); it is reset to the base priority when
+	// the process is (re)started.
+	CurrentPriority model.Priority
+	// Deadline is D'_{m,q}(t), the absolute deadline time; meaningful only
+	// when HasDeadline.
+	Deadline    tick.Ticks
+	HasDeadline bool
+
+	// readySeq implements "antiquity": a monotonically increasing sequence
+	// number assigned each time the process enters the ready state, used to
+	// break priority ties in favour of the oldest ready process.
+	readySeq uint64
+
+	// Wait bookkeeping (meaningful while State == StateWaiting).
+	WaitingOn WaitKind
+	// WakeAt is the instant a time-bounded wait expires; tick.Infinity for
+	// unbounded waits.
+	WakeAt tick.Ticks
+	// TimedOut is set by the kernel when a wait ended by timeout rather
+	// than by the awaited event.
+	TimedOut bool
+	// Suspended tracks the ARINC suspend/resume overlay: a suspended
+	// process stays ineligible even if its awaited event occurs.
+	Suspended bool
+
+	// releaseBase anchors periodic release points: consecutive release
+	// points are releaseBase + k·Period.
+	releaseBase tick.Ticks
+	// NextRelease is the next periodic release point.
+	NextRelease tick.Ticks
+	// Started reports whether the process has been started since creation
+	// or its last stop.
+	Started bool
+	// everStarted and lastArrival implement sporadic inter-arrival
+	// enforcement: for a non-periodic process with Period > 0, consecutive
+	// starts must be at least Period apart.
+	everStarted bool
+	lastArrival tick.Ticks
+}
+
+// Eligible reports whether the process is schedulable (ready or running),
+// i.e. a member of Ready_m(t), eq. (15).
+func (p *Process) Eligible() bool {
+	return p.State == model.StateReady || p.State == model.StateRunning
+}
+
+// String renders a compact process summary.
+func (p *Process) String() string {
+	return fmt.Sprintf("%s(id=%d, prio=%d, %s)",
+		p.Spec.Name, p.ID, p.CurrentPriority, p.State)
+}

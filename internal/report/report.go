@@ -1,0 +1,179 @@
+// Package report generates the system integration report for an AIR module
+// configuration: the document a system integrator reviews before deployment,
+// combining everything the paper says must be verified offline — the formal
+// model checks of eqs. (21)–(23) with their derivations, the scheduling
+// timelines, process schedulability under both the alignment-independent
+// analysis and the exact MTF-synchronized simulation, and the deadline
+// violation detection latency bounds implied by each partition's supply
+// pattern (Sect. 5: misses while a partition is inactive are detected at its
+// next dispatch, so the worst-case latency is the longest supply blackout).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"air/internal/config"
+	"air/internal/model"
+	"air/internal/sched"
+)
+
+// Write renders the full integration report for the configuration document
+// as Markdown. It returns an error for I/O failures or a structurally
+// unusable document; model violations do not fail the report — they are its
+// subject matter.
+func Write(w io.Writer, doc *config.Module) error {
+	sys, verification, err := doc.Verify()
+	if err != nil {
+		return err
+	}
+	tasksets, err := doc.TaskSets()
+	if err != nil {
+		return err
+	}
+	b := &errWriter{w: w}
+
+	b.printf("# Integration report — %s\n\n", doc.Name)
+	b.printf("%d partitions, %d schedules, %d sampling + %d queuing channels\n\n",
+		len(sys.Partitions), len(sys.Schedules), len(doc.Sampling), len(doc.Queuing))
+
+	b.printf("## Formal model (Sect. 3, 4.1)\n\n```\n%s```\n\n", model.Notation(sys))
+
+	b.printf("## Verification — eqs. (21), (22), (23)\n\n")
+	if verification.OK() {
+		b.printf("All checks hold.\n\n")
+	} else {
+		b.printf("**%d violations:**\n\n```\n%s\n```\n\n",
+			len(verification.Violations), verification.String())
+	}
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		derivations := model.DeriveAll(s)
+		holds := 0
+		for _, d := range derivations {
+			if d.Holds {
+				holds++
+			}
+		}
+		b.printf("- `%s`: %d/%d per-cycle budget conditions hold\n",
+			s.Name, holds, len(derivations))
+	}
+	b.printf("\n")
+
+	b.printf("## Scheduling timelines (Fig. 8 form)\n\n")
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		b.printf("```\n%s%s```\n\n", sched.RenderGantt(s, 65), sched.RenderWindows(s))
+	}
+
+	b.printf("## Detection latency bounds (Sect. 5)\n\n")
+	b.printf("Worst-case deadline-violation detection latency equals the longest\n")
+	b.printf("supply blackout (miss while inactive → detected at next dispatch):\n\n")
+	b.printf("| schedule | partition | supply/MTF | max blackout = max detection latency |\n")
+	b.printf("|---|---|---|---|\n")
+	for i := range sys.Schedules {
+		s := &sys.Schedules[i]
+		for _, q := range s.Requirements {
+			supply := sched.NewSupply(s, q.Partition)
+			b.printf("| %s | %s | %d | %v |\n",
+				s.Name, q.Partition, supply.PerMTF(), supply.BlackoutMax())
+		}
+	}
+	b.printf("\n")
+
+	if hasTasks(tasksets) {
+		b.printf("## Process schedulability\n\n")
+		results, err := sched.AnalyzeSystem(sys, tasksets)
+		if err != nil {
+			return err
+		}
+		b.printf("| schedule | partition | analysis (any alignment) | simulation (synchronized) | slack/MTF |\n")
+		b.printf("|---|---|---|---|---|\n")
+		for _, r := range results {
+			verdict := "SCHEDULABLE"
+			if !r.Schedulable() {
+				verdict = "not guaranteed"
+			}
+			ts := tasksetFor(tasksets, r.Partition)
+			s, _, _ := sys.ScheduleByName(r.Schedule)
+			simVerdict := "—"
+			if s != nil && len(ts.Tasks) > 0 {
+				sim, err := sched.SimulateTaskSet(s, ts, 0)
+				if err != nil {
+					return err
+				}
+				if sim.OK() {
+					simVerdict = "clean"
+				} else {
+					simVerdict = fmt.Sprintf("%d misses", len(sim.Misses))
+				}
+			}
+			b.printf("| %s | %s | %s | %s | %d |\n",
+				r.Schedule, r.Partition, verdict, simVerdict, r.SlackPerMTF)
+		}
+		b.printf("\n")
+		b.printf("Per-task worst-case response bounds:\n\n")
+		b.printf("| schedule | partition | task | prio | C | T | D | WCRT bound |\n")
+		b.printf("|---|---|---|---|---|---|---|---|\n")
+		for _, r := range results {
+			for _, tr := range r.Tasks {
+				b.printf("| %s | %s | %s | %d | %v | %v | %v | %v |\n",
+					r.Schedule, r.Partition, tr.Task.Name, tr.Task.BasePriority,
+					tr.Task.WCET, tr.Task.Period, tr.Task.Deadline, tr.WCRT)
+			}
+		}
+		b.printf("\n")
+	}
+
+	b.printf("## Channels\n\n")
+	for _, s := range doc.Sampling {
+		dests := make([]string, len(s.Destinations))
+		for i, d := range s.Destinations {
+			dests[i] = d.Partition + "." + d.Port
+		}
+		b.printf("- sampling `%s`: %s.%s → %s (max %d B, refresh %d, latency %d)\n",
+			s.Name, s.Source.Partition, s.Source.Port, strings.Join(dests, ", "),
+			s.MaxMessage, s.Refresh, s.Latency)
+	}
+	for _, q := range doc.Queuing {
+		b.printf("- queuing `%s`: %s.%s → %s.%s (max %d B, depth %d, latency %d)\n",
+			q.Name, q.Source.Partition, q.Source.Port,
+			q.Destination.Partition, q.Destination.Port,
+			q.MaxMessage, q.Depth, q.Latency)
+	}
+	b.printf("\n")
+	return b.err
+}
+
+func hasTasks(tasksets []model.TaskSet) bool {
+	for _, ts := range tasksets {
+		if len(ts.Tasks) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func tasksetFor(tasksets []model.TaskSet, p model.PartitionName) model.TaskSet {
+	for _, ts := range tasksets {
+		if ts.Partition == p {
+			return ts
+		}
+	}
+	return model.TaskSet{Partition: p}
+}
+
+// errWriter accumulates the first write error so the rendering code stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}

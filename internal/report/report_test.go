@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"air/internal/config"
+)
+
+func TestWriteFig8Report(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, config.Fig8Module()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wants := []string{
+		"# Integration report — air-fig8-prototype",
+		"All checks hold.",
+		"P = {P1, P2, P3, P4}",
+		"`chi1`: 6/6 per-cycle budget conditions hold",
+		"`chi2`: 6/6 per-cycle budget conditions hold",
+		"chi1 (MTF = 1300)",
+		"Detection latency bounds",
+		"| chi1 | P1 | 200 | 1100 |",
+		"Process schedulability",
+		"aocs_control",
+		"sampling `attitude`",
+		"queuing `housekeeping`",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The simulation column must show the prototype tasks run clean even
+	// where the alignment-independent analysis is conservative.
+	if !strings.Contains(out, "| not guaranteed | clean |") {
+		t.Errorf("report should exhibit the analysis/simulation gap:\n%s", out)
+	}
+}
+
+func TestWriteReportWithViolations(t *testing.T) {
+	doc := config.Fig8Module()
+	doc.Schedules[0].Windows[0].Duration = 100 // break eq. (23) for P1
+	var b strings.Builder
+	if err := Write(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "violations:") {
+		t.Error("report hides violations")
+	}
+	if !strings.Contains(out, "EQ23_BUDGET_PER_CYCLE") {
+		t.Error("report omits the violation code")
+	}
+	if !strings.Contains(out, "`chi1`: 5/6 per-cycle budget conditions hold") {
+		t.Errorf("derivation summary wrong:\n%s", out)
+	}
+}
+
+func TestWriteReportNoTasks(t *testing.T) {
+	doc := config.Fig8Module()
+	for i := range doc.Partitions {
+		doc.Partitions[i].Processes = nil
+	}
+	var b strings.Builder
+	if err := Write(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Process schedulability") {
+		t.Error("empty task sets should omit the schedulability section")
+	}
+}
+
+// failWriter fails after n bytes to exercise the error path.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n -= len(p)
+	if f.n <= 0 {
+		return 0, errShort{}
+	}
+	return len(p), nil
+}
+
+type errShort struct{}
+
+func (errShort) Error() string { return "short write" }
+
+func TestWriteReportIOError(t *testing.T) {
+	if err := Write(&failWriter{n: 10}, config.Fig8Module()); err == nil {
+		t.Error("write error swallowed")
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"testing"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// FuzzSynthesize hardens the PST generator: arbitrary requirement triples
+// must either fail cleanly or produce a table that passes full model
+// verification.
+func FuzzSynthesize(f *testing.F) {
+	f.Add(int64(100), int64(30), int64(200), int64(60))
+	f.Add(int64(1300), int64(200), int64(650), int64(100))
+	f.Add(int64(0), int64(0), int64(-5), int64(10))
+	f.Add(int64(7), int64(7), int64(13), int64(13))
+	f.Fuzz(func(t *testing.T, c1, b1, c2, b2 int64) {
+		// Bound the values so the lcm stays tractable.
+		clamp := func(v int64) tick.Ticks {
+			if v < -10 {
+				v = -10
+			}
+			if v > 2000 {
+				v = v % 2000
+			}
+			return tick.Ticks(v)
+		}
+		reqs := []model.Requirement{
+			{Partition: "A", Cycle: clamp(c1), Budget: clamp(b1)},
+			{Partition: "B", Cycle: clamp(c2), Budget: clamp(b2)},
+		}
+		table, err := Synthesize("fuzz", reqs)
+		if err != nil {
+			return
+		}
+		sys := &model.System{
+			Partitions: []model.PartitionName{"A", "B"},
+			Schedules:  []model.Schedule{*table},
+		}
+		if r := model.Verify(sys); !r.OK() {
+			t.Fatalf("synthesized table fails verification for %v:\n%s", reqs, r)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// RenderGantt renders a partition scheduling table as a text Gantt chart —
+// the tool-side reproduction of the paper's Fig. 8 timeline bars. Each
+// partition gets a row; occupancy is scaled to width columns.
+func RenderGantt(s *model.Schedule, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if s.MTF <= 0 {
+		return fmt.Sprintf("%s: empty schedule\n", s.Name)
+	}
+	names := make([]model.PartitionName, 0, len(s.Requirements))
+	for _, q := range s.Requirements {
+		names = append(names, q.Partition)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (MTF = %d)\n", s.Name, s.MTF)
+	nameWidth := 0
+	for _, n := range names {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	for _, name := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, w := range s.WindowsOf(name) {
+			start := int(int64(w.Offset) * int64(width) / int64(s.MTF))
+			end := int(int64(w.End()) * int64(width) / int64(s.MTF))
+			if end <= start {
+				end = start + 1
+			}
+			for i := start; i < end && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		q, _ := s.Requirement(name)
+		fmt.Fprintf(&b, "  %-*s |%s| η=%d d=%d Σc=%d\n",
+			nameWidth, name, row, q.Cycle, q.Budget, s.SuppliedTime(name))
+	}
+	// Offset ruler.
+	ruler := make([]byte, width)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	marks := []tick.Ticks{0, s.MTF / 4, s.MTF / 2, 3 * s.MTF / 4}
+	fmt.Fprintf(&b, "  %-*s  ", nameWidth, "")
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	line := string(ruler)
+	for _, mark := range marks {
+		pos := int(int64(mark) * int64(width) / int64(s.MTF))
+		label := fmt.Sprintf("^%d", mark)
+		if pos+len(label) <= width {
+			line = line[:pos] + label + line[pos+len(label):]
+		}
+	}
+	b.WriteString(line)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderWindows lists a schedule's windows in the paper's ⟨P, O, c⟩
+// notation, one per line.
+func RenderWindows(s *model.Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ω(%s) = {", s.Name)
+	for i, w := range s.Windows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(w.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"air/internal/model"
+)
+
+func TestRenderGanttFig8(t *testing.T) {
+	sys := model.Fig8System()
+	out := RenderGantt(&sys.Schedules[0], 65)
+	for _, want := range []string{"chi1 (MTF = 1300)", "P1", "P2", "P3", "P4", "#", "^0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// P4 has 700/1300 of the frame: its row must have more fill than P1's.
+	lines := strings.Split(out, "\n")
+	var p1Fill, p4Fill int
+	for _, l := range lines {
+		trimmed := strings.TrimSpace(l)
+		if strings.HasPrefix(trimmed, "P1 ") {
+			p1Fill = strings.Count(l, "#")
+		}
+		if strings.HasPrefix(trimmed, "P4 ") {
+			p4Fill = strings.Count(l, "#")
+		}
+	}
+	if p4Fill <= p1Fill {
+		t.Errorf("fill proportions wrong: P1=%d P4=%d\n%s", p1Fill, p4Fill, out)
+	}
+}
+
+func TestRenderGanttDegenerate(t *testing.T) {
+	s := &model.Schedule{Name: "empty"}
+	if out := RenderGantt(s, 0); !strings.Contains(out, "empty") {
+		t.Errorf("degenerate output: %q", out)
+	}
+	// Tiny window still paints at least one cell.
+	s2 := &model.Schedule{
+		Name: "tiny", MTF: 10000,
+		Requirements: []model.Requirement{{Partition: "A", Cycle: 10000, Budget: 1}},
+		Windows:      []model.Window{{Partition: "A", Offset: 0, Duration: 1}},
+	}
+	out := RenderGantt(s2, 20)
+	if !strings.Contains(out, "#") {
+		t.Errorf("tiny window invisible:\n%s", out)
+	}
+}
+
+func TestRenderWindows(t *testing.T) {
+	sys := model.Fig8System()
+	out := RenderWindows(&sys.Schedules[1])
+	if !strings.Contains(out, "⟨P2, 400, 600⟩") {
+		t.Errorf("windows render missing chi2 window:\n%s", out)
+	}
+}

@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"sort"
+
+	"air/internal/model"
+)
+
+// AssignRateMonotonic returns a copy of the task set with base priorities
+// assigned rate-monotonically: shorter period → higher priority (lower
+// numeric value), ties broken by name for determinism. Aperiodic tasks sort
+// after all periodic ones. RM is the classic optimal fixed-priority
+// assignment for implicit deadlines on a dedicated processor; under
+// partition supply it remains the standard starting point the integrator
+// then validates with AnalyzeTaskSet.
+func AssignRateMonotonic(ts model.TaskSet) model.TaskSet {
+	return assignBy(ts, func(a, b model.TaskSpec) bool {
+		return a.Period < b.Period
+	})
+}
+
+// AssignDeadlineMonotonic assigns priorities by relative deadline: shorter
+// deadline → higher priority — optimal for constrained deadlines (D ≤ T) on
+// a dedicated processor.
+func AssignDeadlineMonotonic(ts model.TaskSet) model.TaskSet {
+	return assignBy(ts, func(a, b model.TaskSpec) bool {
+		return a.Deadline < b.Deadline
+	})
+}
+
+func assignBy(ts model.TaskSet, less func(a, b model.TaskSpec) bool) model.TaskSet {
+	out := model.TaskSet{Partition: ts.Partition, Tasks: make([]model.TaskSpec, len(ts.Tasks))}
+	copy(out.Tasks, ts.Tasks)
+	sort.SliceStable(out.Tasks, func(i, j int) bool {
+		a, b := out.Tasks[i], out.Tasks[j]
+		if a.Periodic != b.Periodic {
+			return a.Periodic // periodic tasks first
+		}
+		if less(a, b) != less(b, a) {
+			return less(a, b)
+		}
+		return a.Name < b.Name
+	})
+	for i := range out.Tasks {
+		out.Tasks[i].BasePriority = model.Priority(i + 1)
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+func fig8Chi1(t *testing.T) *model.Schedule {
+	t.Helper()
+	sys := model.Fig8System()
+	s, _, ok := sys.ScheduleByName("chi1")
+	if !ok {
+		t.Fatal("chi1 missing")
+	}
+	return s
+}
+
+func TestSupplyBasics(t *testing.T) {
+	s := fig8Chi1(t)
+	sup := NewSupply(s, "P2") // windows [200,300) and [1000,1100)
+	if sup.PerMTF() != 200 {
+		t.Errorf("PerMTF = %d", sup.PerMTF())
+	}
+	tests := []struct {
+		from, dur, want tick.Ticks
+	}{
+		{0, 200, 0},      // before first window
+		{200, 100, 100},  // exactly the first window
+		{250, 100, 50},   // second half of first window
+		{0, 1300, 200},   // one whole MTF
+		{0, 2600, 400},   // two MTFs
+		{1150, 400, 150}, // wraps the MTF boundary: [1150,1300)+[0,250) → 0 in [1150,1300)? windows at 1000-1100 no; [1300+200,1300+300) covers [1500,1550): 50... recompute below
+	}
+	// Fix the last expectation by direct reasoning: interval [1150, 1550):
+	// within frame 0: [1150,1300) supplies 0 (P2 windows are [200,300),
+	// [1000,1100)); within frame 1: [1300,1550) → frame offsets [0,250) →
+	// supplies [200,250) = 50.
+	tests[5].want = 50
+	for _, tt := range tests {
+		if got := sup.In(tt.from, tt.dur); got != tt.want {
+			t.Errorf("In(%d, %d) = %d, want %d", tt.from, tt.dur, got, tt.want)
+		}
+	}
+	if got := sup.In(0, 0); got != 0 {
+		t.Errorf("In(0,0) = %d", got)
+	}
+	if sup.Utilization() != 200.0/1300.0 {
+		t.Errorf("Utilization = %v", sup.Utilization())
+	}
+	if s := sup.String(); !strings.Contains(s, "P2") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSupplySBF(t *testing.T) {
+	s := fig8Chi1(t)
+	sup := NewSupply(s, "P2")
+	// Worst alignment starts right after the window ending at 300: next
+	// supply only at 1000 → 700 blackout (larger than the 400 wrap-around
+	// gap from 1100 to 1500).
+	if got := sup.BlackoutMax(); got != 700 {
+		t.Errorf("BlackoutMax = %d, want 700", got)
+	}
+	if got := sup.SBF(700); got != 0 {
+		t.Errorf("SBF(700) = %d, want 0 (blackout)", got)
+	}
+	if got := sup.SBF(800); got != 100 {
+		t.Errorf("SBF(800) = %d, want 100", got)
+	}
+	// Over a full MTF the minimum supply equals the per-MTF budget.
+	if got := sup.SBF(1300); got != 200 {
+		t.Errorf("SBF(1300) = %d, want 200", got)
+	}
+	if got := sup.SBF(0); got != 0 {
+		t.Errorf("SBF(0) = %d", got)
+	}
+	// Partition without windows.
+	empty := NewSupply(s, "PX")
+	if empty.SBF(100) != 0 || !empty.BlackoutMax().IsInfinite() {
+		t.Error("empty supply wrong")
+	}
+}
+
+// SBF property: monotone non-decreasing and never exceeding t or actual
+// supply from any start.
+func TestSBFProperties(t *testing.T) {
+	s := fig8Chi1(t)
+	sup := NewSupply(s, "P4")
+	prop := func(rawT uint16, rawX uint16) bool {
+		tt := tick.Ticks(rawT % 4000)
+		x := tick.Ticks(rawX % 2600)
+		sbf := sup.SBF(tt)
+		if sbf < 0 || sbf > tt {
+			return false
+		}
+		if sbf > sup.In(x, tt) {
+			return false // sbf must lower-bound every alignment
+		}
+		return sup.SBF(tt+1) >= sbf
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeTaskSetSchedulable(t *testing.T) {
+	s := fig8Chi1(t)
+	ts := model.TaskSet{
+		Partition: "P4", // 700 ticks per MTF: [400,1000) and [1200,1300)
+		Tasks: []model.TaskSpec{
+			{Name: "fdir", Period: 1300, Deadline: 1300, BasePriority: 1,
+				WCET: 200, Periodic: true},
+			{Name: "log", Period: 1300, Deadline: 1300, BasePriority: 5,
+				WCET: 100, Periodic: true},
+			{Name: "bg", Deadline: tick.Infinity, BasePriority: 9, WCET: 10},
+		},
+	}
+	res, err := AnalyzePartition(s, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable() {
+		t.Fatalf("P4 set should be schedulable: %+v", res.Tasks)
+	}
+	// Results are priority-ordered; the aperiodic one is reported with ∞.
+	if res.Tasks[0].Task.Name != "fdir" || res.Tasks[2].Task.Name != "bg" {
+		t.Errorf("ordering = %v", res.Tasks)
+	}
+	if !res.Tasks[2].WCRT.IsInfinite() || !res.Tasks[2].Schedulable {
+		t.Errorf("aperiodic verdict = %+v", res.Tasks[2])
+	}
+	// WCRT of the top task must cover the initial blackout (worst release
+	// right after a window closes).
+	if res.Tasks[0].WCRT <= 200 {
+		t.Errorf("fdir WCRT = %d suspiciously small", res.Tasks[0].WCRT)
+	}
+	if res.SupplyPerMTF != 700 || res.Schedule != "chi1" {
+		t.Errorf("diagnostics = %+v", res)
+	}
+}
+
+func TestAnalyzeTaskSetUnschedulable(t *testing.T) {
+	s := fig8Chi1(t)
+	ts := model.TaskSet{
+		Partition: "P2", // 200 ticks per MTF
+		Tasks: []model.TaskSpec{
+			{Name: "greedy", Period: 1300, Deadline: 1300, BasePriority: 1,
+				WCET: 300, Periodic: true}, // demands more than the supply
+		},
+	}
+	res, err := AnalyzePartition(s, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable() {
+		t.Fatal("greedy task cannot be schedulable")
+	}
+	if !res.Tasks[0].WCRT.IsInfinite() {
+		t.Errorf("WCRT = %v, want ∞", res.Tasks[0].WCRT)
+	}
+}
+
+func TestAnalyzeInterference(t *testing.T) {
+	// Two tasks on P4: the lower-priority one must absorb the interference
+	// of the higher-priority one.
+	s := fig8Chi1(t)
+	tsSolo := model.TaskSet{Partition: "P4", Tasks: []model.TaskSpec{
+		{Name: "lo", Period: 1300, Deadline: 1300, BasePriority: 5, WCET: 100, Periodic: true},
+	}}
+	tsPair := model.TaskSet{Partition: "P4", Tasks: []model.TaskSpec{
+		{Name: "hi", Period: 650, Deadline: 650, BasePriority: 1, WCET: 100, Periodic: true},
+		{Name: "lo", Period: 1300, Deadline: 1300, BasePriority: 5, WCET: 100, Periodic: true},
+	}}
+	solo, err := AnalyzePartition(s, tsSolo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := AnalyzePartition(s, tsPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loSolo := solo.Tasks[0].WCRT
+	loPair := pair.Tasks[1].WCRT
+	if loPair <= loSolo {
+		t.Errorf("lo WCRT with interference %d ≤ solo %d", loPair, loSolo)
+	}
+}
+
+func TestAnalyzeSystem(t *testing.T) {
+	sys := model.Fig8System()
+	tasksets := []model.TaskSet{
+		{Partition: "P1", Tasks: []model.TaskSpec{
+			{Name: "aocs", Period: 1300, Deadline: 1300, BasePriority: 1, WCET: 150, Periodic: true},
+		}},
+		// Note deadline 1300, not 650: P3's worst-case supply blackout under
+		// chi1 is 700 ticks (between the 400-end and 1100-start windows), so
+		// a 650-tick deadline is not guaranteed for sporadic alignments even
+		// though the per-cycle budget of eq. (23) holds — exactly the kind
+		// of insight this analysis layer adds on top of the model checks.
+		{Partition: "P3", Tasks: []model.TaskSpec{
+			{Name: "ttc", Period: 1300, Deadline: 1300, BasePriority: 1, WCET: 80, Periodic: true},
+		}},
+	}
+	res, err := AnalyzeSystem(sys, tasksets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two schedules × two partitions-with-tasks.
+	if len(res) != 4 {
+		t.Fatalf("results = %d, want 4", len(res))
+	}
+	for _, r := range res {
+		if !r.Schedulable() {
+			t.Errorf("%s under %s unschedulable: %+v", r.Partition, r.Schedule, r.Tasks)
+		}
+	}
+	// Invalid task set propagates.
+	bad := []model.TaskSet{{Partition: "P1", Tasks: []model.TaskSpec{{Name: ""}}}}
+	if _, err := AnalyzeSystem(sys, bad); err == nil {
+		t.Error("invalid task set accepted")
+	}
+}
+
+func TestSynthesizeFig8Requirements(t *testing.T) {
+	reqs := []model.Requirement{
+		{Partition: "P1", Cycle: 1300, Budget: 200},
+		{Partition: "P2", Cycle: 650, Budget: 100},
+		{Partition: "P3", Cycle: 650, Budget: 100},
+		{Partition: "P4", Cycle: 1300, Budget: 100},
+	}
+	sch, err := Synthesize("auto", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.MTF != 1300 {
+		t.Errorf("MTF = %d", sch.MTF)
+	}
+	sys := &model.System{
+		Partitions: []model.PartitionName{"P1", "P2", "P3", "P4"},
+		Schedules:  []model.Schedule{*sch},
+	}
+	if r := model.Verify(sys); !r.OK() {
+		t.Fatalf("synthesized table fails verification:\n%s\nwindows: %v", r, sch.Windows)
+	}
+	// Supplied time matches budgets.
+	for _, q := range reqs {
+		want := q.Budget * (sch.MTF / q.Cycle)
+		if got := sch.SuppliedTime(q.Partition); got != want {
+			t.Errorf("supplied(%s) = %d, want %d", q.Partition, got, want)
+		}
+	}
+}
+
+func TestSynthesizeFullUtilization(t *testing.T) {
+	reqs := []model.Requirement{
+		{Partition: "A", Cycle: 100, Budget: 60},
+		{Partition: "B", Cycle: 200, Budget: 80},
+	}
+	sch, err := Synthesize("tight", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &model.System{
+		Partitions: []model.PartitionName{"A", "B"},
+		Schedules:  []model.Schedule{*sch},
+	}
+	if r := model.Verify(sys); !r.OK() {
+		t.Fatalf("full-utilisation table fails:\n%s", r)
+	}
+	if sch.IdleTime() != 0 {
+		t.Errorf("idle = %d, want 0 at 100%% load", sch.IdleTime())
+	}
+}
+
+func TestSynthesizeInfeasible(t *testing.T) {
+	tests := []struct {
+		name string
+		reqs []model.Requirement
+	}{
+		{"empty", nil},
+		{"overloaded", []model.Requirement{
+			{Partition: "A", Cycle: 100, Budget: 70},
+			{Partition: "B", Cycle: 100, Budget: 50},
+		}},
+		{"zero cycle", []model.Requirement{{Partition: "A", Cycle: 0, Budget: 1}}},
+		{"budget beyond cycle", []model.Requirement{{Partition: "A", Cycle: 10, Budget: 20}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Synthesize("x", tt.reqs); !errors.Is(err, ErrInfeasible) {
+				t.Errorf("err = %v, want ErrInfeasible", err)
+			}
+		})
+	}
+}
+
+func TestSynthesizeSystem(t *testing.T) {
+	sys, err := SynthesizeSystem(
+		[]model.PartitionName{"A", "B"},
+		map[string][]model.Requirement{
+			"ops": {
+				{Partition: "A", Cycle: 100, Budget: 40},
+				{Partition: "B", Cycle: 50, Budget: 20},
+			},
+			"safe": {
+				{Partition: "A", Cycle: 100, Budget: 80},
+				{Partition: "B", Cycle: 100, Budget: 10},
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Schedules) != 2 {
+		t.Fatalf("schedules = %d", len(sys.Schedules))
+	}
+	// Deterministic order (sorted by name).
+	if sys.Schedules[0].Name != "ops" || sys.Schedules[1].Name != "safe" {
+		t.Errorf("order = %s, %s", sys.Schedules[0].Name, sys.Schedules[1].Name)
+	}
+	if _, err := SynthesizeSystem([]model.PartitionName{"A"},
+		map[string][]model.Requirement{
+			"bad": {{Partition: "A", Cycle: 100, Budget: 200}},
+		}); err == nil {
+		t.Error("infeasible system accepted")
+	}
+}
+
+// Property: any random feasible requirement set synthesizes into a table
+// that passes full model verification.
+func TestSynthesizeProperty(t *testing.T) {
+	prop := func(b1, b2, b3 uint8) bool {
+		reqs := []model.Requirement{
+			{Partition: "A", Cycle: 100, Budget: tick.Ticks(b1 % 34)},
+			{Partition: "B", Cycle: 200, Budget: tick.Ticks(b2 % 67)},
+			{Partition: "C", Cycle: 400, Budget: tick.Ticks(b3 % 134)},
+		}
+		// Max utilisation: 33/100 + 66/200 + 133/400 < 1.
+		sch, err := Synthesize("p", reqs)
+		if err != nil {
+			return false
+		}
+		sys := &model.System{
+			Partitions: []model.PartitionName{"A", "B", "C"},
+			Schedules:  []model.Schedule{*sch},
+		}
+		return model.Verify(sys).OK()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+func TestSimulateSchedulableSet(t *testing.T) {
+	s := fig8Chi1(t)
+	ts := model.TaskSet{Partition: "P4", Tasks: []model.TaskSpec{
+		{Name: "a", Period: 1300, Deadline: 1300, BasePriority: 1, WCET: 200, Periodic: true},
+		{Name: "b", Period: 1300, Deadline: 1300, BasePriority: 5, WCET: 100, Periodic: true},
+	}}
+	res, err := SimulateTaskSet(s, ts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("misses: %+v", res.Misses)
+	}
+	// Response times observed: a runs within P4's first window chunk.
+	if res.MaxResponse["a"] == 0 || res.MaxResponse["a"] > 1300 {
+		t.Errorf("MaxResponse[a] = %d", res.MaxResponse["a"])
+	}
+	if res.Horizon != 2*1300 {
+		t.Errorf("default horizon = %d", res.Horizon)
+	}
+}
+
+func TestSimulateDetectsOverload(t *testing.T) {
+	s := fig8Chi1(t)
+	ts := model.TaskSet{Partition: "P2", Tasks: []model.TaskSpec{
+		// 150 per 650-cycle but P2 only gets 100 per cycle: must miss.
+		{Name: "greedy", Period: 650, Deadline: 650, BasePriority: 1, WCET: 150, Periodic: true},
+	}}
+	res, err := SimulateTaskSet(s, ts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("overloaded set simulated clean")
+	}
+	m := res.Misses[0]
+	if m.Task != "greedy" || m.Deadline != 650 {
+		t.Errorf("first miss = %+v", m)
+	}
+}
+
+// TestAnalysisSimulationGap exhibits the paper-relevant sufficiency gap on
+// the Fig. 8 tables: a 650-tick-deadline task on P3 is rejected by the
+// alignment-independent supply-bound analysis (the worst-case blackout is
+// 700 ticks) yet runs cleanly in the synchronous MTF-aligned simulation —
+// and conversely, anything the analysis accepts must simulate cleanly.
+func TestAnalysisSimulationGap(t *testing.T) {
+	s := fig8Chi1(t)
+	ts := model.TaskSet{Partition: "P3", Tasks: []model.TaskSpec{
+		{Name: "ttc", Period: 650, Deadline: 650, BasePriority: 1, WCET: 80, Periodic: true},
+	}}
+	analysed, err := AnalyzePartition(s, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysed.Schedulable() {
+		t.Fatal("analysis unexpectedly accepts the 650-deadline task (blackout is 700)")
+	}
+	sim, err := SimulateTaskSet(s, ts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.OK() {
+		t.Fatalf("synchronous simulation should be clean: %+v", sim.Misses)
+	}
+}
+
+// Property: the SBF analysis is sound with respect to the simulator — any
+// randomly drawn task set the analysis accepts simulates without misses.
+func TestAnalysisSoundnessAgainstSimulator(t *testing.T) {
+	sys := model.Fig8System()
+	rng := rand.New(rand.NewSource(653))
+	accepted := 0
+	for trial := 0; trial < 200; trial++ {
+		part := sys.Partitions[rng.Intn(len(sys.Partitions))]
+		s := &sys.Schedules[rng.Intn(len(sys.Schedules))]
+		n := 1 + rng.Intn(3)
+		ts := model.TaskSet{Partition: part}
+		for i := 0; i < n; i++ {
+			period := tick.Ticks(650 * (1 + rng.Intn(2)))
+			deadline := period
+			if rng.Intn(2) == 0 {
+				deadline = period/2 + tick.Ticks(rng.Intn(int(period/2)))
+			}
+			wcet := tick.Ticks(1 + rng.Intn(60))
+			if wcet > deadline {
+				wcet = deadline
+			}
+			ts.Tasks = append(ts.Tasks, model.TaskSpec{
+				Name:         string(rune('a' + i)),
+				Period:       period,
+				Deadline:     deadline,
+				BasePriority: model.Priority(i),
+				WCET:         wcet,
+				Periodic:     true,
+			})
+		}
+		res, err := AnalyzePartition(s, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable() {
+			continue
+		}
+		accepted++
+		sim, err := SimulateTaskSet(s, ts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim.OK() {
+			t.Fatalf("trial %d: analysis accepted but simulation missed\npartition %s under %s\ntasks %+v\nWCRTs %+v\nmisses %+v",
+				trial, part, s.Name, ts.Tasks, res.Tasks, sim.Misses)
+		}
+		// WCRT bounds dominate observed responses.
+		for _, tr := range res.Tasks {
+			if obs := sim.MaxResponse[tr.Task.Name]; obs > tr.WCRT {
+				t.Fatalf("trial %d: observed response %d exceeds WCRT bound %d for %s",
+					trial, obs, tr.WCRT, tr.Task.Name)
+			}
+		}
+	}
+	if accepted < 10 {
+		t.Fatalf("only %d accepted trials; generator too strict", accepted)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := fig8Chi1(t)
+	bad := model.TaskSet{Partition: "P1", Tasks: []model.TaskSpec{{Name: ""}}}
+	if _, err := SimulateTaskSet(s, bad, 0); err == nil {
+		t.Error("invalid task set accepted")
+	}
+	// Aperiodic tasks are ignored by the simulator.
+	ts := model.TaskSet{Partition: "P1", Tasks: []model.TaskSpec{
+		{Name: "bg", Deadline: tick.Infinity, BasePriority: 9, WCET: 5},
+	}}
+	res, err := SimulateTaskSet(s, ts, 100)
+	if err != nil || !res.OK() {
+		t.Errorf("aperiodic-only sim = %+v, %v", res, err)
+	}
+}

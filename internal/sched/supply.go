@@ -1,0 +1,150 @@
+// Package sched provides offline temporal analysis tooling for AIR systems
+// (paper Sect. 3.2, 8): the verification of partition scheduling tables is
+// done by the model package; this package adds the pieces the paper lists as
+// the motivation for the formal model — "schedulability analysis and
+// automated aids to the definition of system parameters":
+//
+//   - supply analysis of a partition under a PST (how much processor time
+//     the two-level scheduler actually delivers in any interval);
+//   - fixed-priority process schedulability analysis inside a partition
+//     (worst-case response times against the partition's supply-bound
+//     function), honouring the ARINC 653 mandate of preemptive
+//     priority-based process scheduling;
+//   - synthesis of partition scheduling tables from the timing requirements
+//     Q = {⟨P, η, d⟩} by EDF scheduling of the per-cycle budgets.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// Supply models the processor time a PST delivers to one partition. Windows
+// repeat cyclically with the MTF.
+type Supply struct {
+	partition model.PartitionName
+	mtf       tick.Ticks
+	windows   []model.Window // this partition's windows, offset-ordered
+	perMTF    tick.Ticks
+}
+
+// NewSupply builds the supply model of partition p under schedule s.
+func NewSupply(s *model.Schedule, p model.PartitionName) *Supply {
+	windows := s.WindowsOf(p)
+	sort.Slice(windows, func(i, j int) bool { return windows[i].Offset < windows[j].Offset })
+	var total tick.Ticks
+	for _, w := range windows {
+		total += w.Duration
+	}
+	return &Supply{partition: p, mtf: s.MTF, windows: windows, perMTF: total}
+}
+
+// Partition returns the supplied partition.
+func (s *Supply) Partition() model.PartitionName { return s.partition }
+
+// PerMTF returns the window time per major time frame.
+func (s *Supply) PerMTF() tick.Ticks { return s.perMTF }
+
+// In returns the supply delivered in the absolute interval [from, from+dur).
+func (s *Supply) In(from, dur tick.Ticks) tick.Ticks {
+	if dur <= 0 || s.mtf <= 0 {
+		return 0
+	}
+	to := from + dur
+	// Whole MTFs contribute perMTF each.
+	startFrame := from / s.mtf
+	endFrame := to / s.mtf
+	if startFrame == endFrame {
+		return s.inFrame(from%s.mtf, to%s.mtf)
+	}
+	total := s.inFrame(from%s.mtf, s.mtf)
+	total += tick.Ticks(endFrame-startFrame-1) * s.perMTF
+	total += s.inFrame(0, to%s.mtf)
+	return total
+}
+
+// inFrame returns the supply within [a, b) of a single MTF (0 ≤ a ≤ b ≤ MTF).
+func (s *Supply) inFrame(a, b tick.Ticks) tick.Ticks {
+	var total tick.Ticks
+	for _, w := range s.windows {
+		lo := tick.Max(a, w.Offset)
+		hi := tick.Min(b, w.End())
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// SBF is the supply bound function: the minimum supply guaranteed in any
+// interval of length t, minimised over all alignments of the interval with
+// the MTF. The minimum is attained when the interval starts at the end of
+// one of the partition's windows (or at frame start), so only those
+// candidate offsets are evaluated.
+func (s *Supply) SBF(t tick.Ticks) tick.Ticks {
+	if t <= 0 {
+		return 0
+	}
+	min := tick.Infinity
+	for _, x := range s.candidateStarts() {
+		if got := s.In(x, t); got < min {
+			min = got
+		}
+	}
+	if min == tick.Infinity {
+		return 0
+	}
+	return min
+}
+
+func (s *Supply) candidateStarts() []tick.Ticks {
+	if len(s.windows) == 0 {
+		return []tick.Ticks{0}
+	}
+	out := make([]tick.Ticks, 0, len(s.windows)+1)
+	out = append(out, 0)
+	for _, w := range s.windows {
+		out = append(out, w.End()%s.mtf)
+	}
+	return out
+}
+
+// BlackoutMax returns the longest contiguous stretch without supply — the
+// worst-case partition inactivity, which bounds deadline violation detection
+// latency for inactive partitions (Sect. 5).
+func (s *Supply) BlackoutMax() tick.Ticks {
+	if len(s.windows) == 0 {
+		return tick.Infinity
+	}
+	var worst tick.Ticks
+	for i, w := range s.windows {
+		var gap tick.Ticks
+		if i+1 < len(s.windows) {
+			gap = s.windows[i+1].Offset - w.End()
+		} else {
+			// Wrap around the MTF to the first window.
+			gap = s.mtf - w.End() + s.windows[0].Offset
+		}
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// Utilization returns the fraction of the MTF supplied to the partition.
+func (s *Supply) Utilization() float64 {
+	if s.mtf == 0 {
+		return 0
+	}
+	return float64(s.perMTF) / float64(s.mtf)
+}
+
+// String describes the supply model.
+func (s *Supply) String() string {
+	return fmt.Sprintf("supply(%s: %d/%d per MTF, %d windows)",
+		s.partition, s.perMTF, s.mtf, len(s.windows))
+}

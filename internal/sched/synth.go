@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// ErrInfeasible is returned when no PST can satisfy the requirements.
+var ErrInfeasible = errors.New("sched: requirements infeasible")
+
+// Synthesize generates a partition scheduling table from the timing
+// requirements Q = {⟨P, η, d⟩} — the "automated aids to the definition of
+// system parameters" the paper motivates (Sect. 1, 8).
+//
+// The MTF is the lcm of the activation cycles. Each requirement expands into
+// MTF/η per-cycle budget jobs (release kη, deadline (k+1)η, demand d) that
+// are scheduled EDF at tick granularity; EDF's optimality on one processor
+// means failure here implies no PST exists for the requirements.
+// Contiguous slots of the same partition merge into windows, except across
+// the partition's own cycle boundaries, so the resulting table satisfies
+// eq. (23) under its offset-based attribution.
+func Synthesize(name string, reqs []model.Requirement) (*model.Schedule, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: no requirements", ErrInfeasible)
+	}
+	cycles := make([]tick.Ticks, 0, len(reqs))
+	var load float64
+	for _, q := range reqs {
+		if q.Cycle <= 0 {
+			return nil, fmt.Errorf("%w: %s has cycle %d", ErrInfeasible, q.Partition, q.Cycle)
+		}
+		if q.Budget < 0 || q.Budget > q.Cycle {
+			return nil, fmt.Errorf("%w: %s budget %d vs cycle %d",
+				ErrInfeasible, q.Partition, q.Budget, q.Cycle)
+		}
+		cycles = append(cycles, q.Cycle)
+		load += float64(q.Budget) / float64(q.Cycle)
+	}
+	if load > 1 {
+		return nil, fmt.Errorf("%w: utilisation %.3f > 1", ErrInfeasible, load)
+	}
+	mtf, err := tick.LCMAll(cycles)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+
+	type job struct {
+		partition model.PartitionName
+		release   tick.Ticks
+		deadline  tick.Ticks
+		remaining tick.Ticks
+	}
+	var jobs []*job
+	releaseSet := map[tick.Ticks]bool{}
+	for _, q := range reqs {
+		if q.Budget == 0 {
+			continue
+		}
+		n := mtf / q.Cycle
+		for k := tick.Ticks(0); k < n; k++ {
+			jobs = append(jobs, &job{
+				partition: q.Partition,
+				release:   k * q.Cycle,
+				deadline:  (k + 1) * q.Cycle,
+				remaining: q.Budget,
+			})
+			releaseSet[k*q.Cycle] = true
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].deadline != jobs[j].deadline {
+			return jobs[i].deadline < jobs[j].deadline
+		}
+		return jobs[i].partition < jobs[j].partition
+	})
+	releases := make([]tick.Ticks, 0, len(releaseSet))
+	for r := range releaseSet {
+		releases = append(releases, r)
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i] < releases[j] })
+
+	// Event-driven EDF over one MTF: since new work only appears at release
+	// instants, the earliest-deadline eligible job runs unpreempted until it
+	// completes or the next release — so only O(releases + completions)
+	// events are processed regardless of the MTF length (coprime cycles can
+	// make the lcm, and hence the MTF, enormous).
+	type segment struct {
+		partition model.PartitionName
+		start     tick.Ticks
+		end       tick.Ticks
+	}
+	var segs []segment
+	nextRelease := func(t tick.Ticks) tick.Ticks {
+		i := sort.Search(len(releases), func(i int) bool { return releases[i] > t })
+		if i == len(releases) {
+			return mtf
+		}
+		return releases[i]
+	}
+	for t := tick.Ticks(0); t < mtf; {
+		var pick *job
+		for _, j := range jobs {
+			if j.remaining > 0 && j.release <= t {
+				pick = j // jobs are deadline-ordered: first eligible = EDF
+				break
+			}
+		}
+		if pick == nil {
+			// Idle until the next release brings new work.
+			nr := nextRelease(t)
+			if nr <= t {
+				break
+			}
+			t = nr
+			continue
+		}
+		if t >= pick.deadline {
+			return nil, fmt.Errorf("%w: %s cycle deadline %d unmet",
+				ErrInfeasible, pick.partition, pick.deadline)
+		}
+		step := pick.remaining
+		if nr := nextRelease(t); nr-t < step {
+			step = nr - t
+		}
+		if pick.deadline-t < step {
+			step = pick.deadline - t
+		}
+		pick.remaining -= step
+		if n := len(segs); n > 0 && segs[n-1].partition == pick.partition && segs[n-1].end == t {
+			segs[n-1].end = t + step
+		} else {
+			segs = append(segs, segment{partition: pick.partition, start: t, end: t + step})
+		}
+		t += step
+	}
+	for _, j := range jobs {
+		if j.remaining > 0 {
+			return nil, fmt.Errorf("%w: %s budget unmet", ErrInfeasible, j.partition)
+		}
+	}
+
+	// Convert segments to windows, splitting each at the owning partition's
+	// own cycle boundaries so the table satisfies eq. (23) under its
+	// offset-based attribution.
+	cycleOf := make(map[model.PartitionName]tick.Ticks, len(reqs))
+	for _, q := range reqs {
+		cycleOf[q.Partition] = q.Cycle
+	}
+	sch := &model.Schedule{Name: name, MTF: mtf}
+	sch.Requirements = append(sch.Requirements, reqs...)
+	for _, seg := range segs {
+		eta := cycleOf[seg.partition]
+		start := seg.start
+		for start < seg.end {
+			end := seg.end
+			if boundary := (start/eta + 1) * eta; boundary < end && boundary > start {
+				end = boundary
+			}
+			sch.Windows = append(sch.Windows, model.Window{
+				Partition: seg.partition, Offset: start, Duration: end - start,
+			})
+			start = end
+		}
+	}
+	return sch, nil
+}
+
+// SynthesizeSystem builds a complete verified system from per-schedule
+// requirement sets; it fails if any synthesized table does not verify.
+func SynthesizeSystem(partitions []model.PartitionName, reqSets map[string][]model.Requirement) (*model.System, error) {
+	sys := &model.System{Partitions: partitions}
+	names := make([]string, 0, len(reqSets))
+	for name := range reqSets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sch, err := Synthesize(name, reqSets[name])
+		if err != nil {
+			return nil, err
+		}
+		sys.Schedules = append(sys.Schedules, *sch)
+	}
+	if r := model.Verify(sys); !r.OK() {
+		return nil, fmt.Errorf("sched: synthesized system fails verification:\n%s", r)
+	}
+	return sys, nil
+}

@@ -1,0 +1,167 @@
+package tick
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	tests := []struct {
+		a, b, want Ticks
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 5},
+		{12, 18, 6},
+		{18, 12, 6},
+		{7, 13, 1},
+		{650, 1300, 650},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{1, 1, 1},
+	}
+	for _, tt := range tests {
+		if got := GCD(tt.a, tt.b); got != tt.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	tests := []struct {
+		a, b, want Ticks
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{650, 1300, 1300},
+		{650, 650, 650},
+		{3, 7, 21},
+		{1, 9, 9},
+	}
+	for _, tt := range tests {
+		got, err := LCM(tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("LCM(%d, %d): unexpected error %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("LCM(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLCMOverflow(t *testing.T) {
+	if _, err := LCM(Infinity-1, Infinity-2); err == nil {
+		t.Fatal("LCM of near-max values should report overflow")
+	}
+}
+
+func TestLCMAll(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []Ticks
+		want   Ticks
+	}{
+		{"empty", nil, 1},
+		{"single", []Ticks{650}, 650},
+		{"fig8 cycles", []Ticks{1300, 650, 650, 1300}, 1300},
+		{"coprime", []Ticks{3, 5, 7}, 105},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := LCMAll(tt.values)
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("LCMAll(%v) = %d, want %d", tt.values, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	if got := Ticks(42).String(); got != "42" {
+		t.Errorf("String() = %q, want %q", got, "42")
+	}
+	if got := Infinity.String(); got != "∞" {
+		t.Errorf("Infinity.String() = %q, want ∞", got)
+	}
+	if !Infinity.IsInfinite() {
+		t.Error("Infinity.IsInfinite() = false")
+	}
+	if Ticks(7).IsInfinite() {
+		t.Error("Ticks(7).IsInfinite() = true")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+// Property: gcd divides both operands and lcm is a multiple of both.
+func TestGCDLCMProperties(t *testing.T) {
+	prop := func(a, b int16) bool {
+		x, y := Ticks(a), Ticks(b)
+		g := GCD(x, y)
+		if x == 0 && y == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		if x%g != 0 || y%g != 0 {
+			return false
+		}
+		l, err := LCM(x, y)
+		if err != nil {
+			return false
+		}
+		if x == 0 || y == 0 {
+			return l == 0
+		}
+		if l%x != 0 || l%y != 0 {
+			return false
+		}
+		// Fundamental identity: |a*b| = gcd*lcm.
+		prod := int64(x) * int64(y)
+		if prod < 0 {
+			prod = -prod
+		}
+		return prod == int64(g)*int64(l)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LCMAll result is a multiple of every input.
+func TestLCMAllProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		values := make([]Ticks, 0, len(raw))
+		for _, r := range raw {
+			if r == 0 {
+				continue // zero collapses the lcm; covered separately
+			}
+			values = append(values, Ticks(r))
+		}
+		l, err := LCMAll(values)
+		if err != nil {
+			return true // overflow on huge random inputs is a valid outcome
+		}
+		for _, v := range values {
+			if l%v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

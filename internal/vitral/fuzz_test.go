@@ -1,0 +1,37 @@
+package vitral
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPrintln hardens the renderer against arbitrary (including multi-byte
+// and control) input: no panics, frame dimensions stable.
+func FuzzPrintln(f *testing.F) {
+	f.Add("plain ascii", 10, 4)
+	f.Add("unicode → ∞ ⟨⟩ η ω", 8, 3)
+	f.Add("", 1, 1)
+	f.Add(strings.Repeat("x", 500), 7, 2)
+	f.Add("a\nb\nc\nd", 3, 2)
+	f.Fuzz(func(t *testing.T, line string, w, h int) {
+		w = w%64 + 1
+		if w < 1 {
+			w += 64
+		}
+		h = h%16 + 1
+		if h < 1 {
+			h += 16
+		}
+		win := NewWindow("fuzz", w, h)
+		win.Println(line)
+		if got := len(win.Lines()); got > h {
+			t.Fatalf("scrollback %d exceeds height %d", got, h)
+		}
+		s := NewScreen(w+4, h+4)
+		s.Add(win, 0, 0)
+		frame := s.Render()
+		if lines := strings.Count(frame, "\n"); lines != h+4 {
+			t.Fatalf("frame height %d, want %d", lines, h+4)
+		}
+	})
+}

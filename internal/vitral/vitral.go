@@ -1,0 +1,204 @@
+// Package vitral is a text-mode window manager in the spirit of VITRAL, the
+// RTEMS window manager the paper's prototype uses for proof-of-concept
+// visualization (Sect. 6, Fig. 9): "one window for each partition, where its
+// output can be seen, and also two more windows which allow observation of
+// the behaviour of AIR components".
+//
+// Unlike the original — which drives a VGA text console — this renders
+// frames to strings, so the demonstration works on any terminal and in
+// tests. Each window keeps a scrollback of its most recent lines; a Screen
+// composes bordered windows onto a character cell canvas.
+package vitral
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Window is one titled output region.
+type Window struct {
+	title  string
+	width  int // interior width (excluding borders)
+	height int // interior height
+	lines  [][]rune
+}
+
+// NewWindow creates a window with the given interior size.
+func NewWindow(title string, width, height int) *Window {
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	return &Window{title: title, width: width, height: height}
+}
+
+// Title returns the window title.
+func (w *Window) Title() string { return w.title }
+
+// Println appends a line, wrapping it to the interior width and trimming the
+// scrollback to the window height.
+func (w *Window) Println(s string) {
+	for _, part := range strings.Split(s, "\n") {
+		raw := []rune(part)
+		for len(raw) > w.width {
+			w.lines = append(w.lines, raw[:w.width])
+			raw = raw[w.width:]
+		}
+		w.lines = append(w.lines, raw)
+	}
+	if len(w.lines) > w.height {
+		w.lines = w.lines[len(w.lines)-w.height:]
+	}
+}
+
+// Printf formats and appends a line.
+func (w *Window) Printf(format string, args ...any) {
+	w.Println(fmt.Sprintf(format, args...))
+}
+
+// Clear empties the window.
+func (w *Window) Clear() { w.lines = nil }
+
+// Lines returns a copy of the current scrollback.
+func (w *Window) Lines() []string {
+	out := make([]string, len(w.lines))
+	for i, l := range w.lines {
+		out[i] = string(l)
+	}
+	return out
+}
+
+// render draws the window with its border into a cell matrix at (x, y).
+func (w *Window) render(canvas [][]rune, x, y int) {
+	totalW, totalH := w.width+2, w.height+2
+	put := func(cx, cy int, ch rune) {
+		if cy >= 0 && cy < len(canvas) && cx >= 0 && cx < len(canvas[cy]) {
+			canvas[cy][cx] = ch
+		}
+	}
+	// Borders.
+	for i := 0; i < totalW; i++ {
+		put(x+i, y, '-')
+		put(x+i, y+totalH-1, '-')
+	}
+	for j := 0; j < totalH; j++ {
+		put(x, y+j, '|')
+		put(x+totalW-1, y+j, '|')
+	}
+	put(x, y, '+')
+	put(x+totalW-1, y, '+')
+	put(x, y+totalH-1, '+')
+	put(x+totalW-1, y+totalH-1, '+')
+	// Title centered in the top border.
+	title := []rune(w.title)
+	if len(title) > w.width-2 && w.width > 2 {
+		title = title[:w.width-2]
+	}
+	if len(title) > 0 {
+		label := append([]rune{'['}, append(title, ']')...)
+		start := x + (totalW-len(label))/2
+		for i := 0; i < len(label); i++ {
+			put(start+i, y, label[i])
+		}
+	}
+	// Content.
+	for row := 0; row < w.height; row++ {
+		var line []rune
+		if row < len(w.lines) {
+			line = w.lines[row]
+		}
+		for col := 0; col < w.width; col++ {
+			ch := ' '
+			if col < len(line) {
+				ch = line[col]
+			}
+			put(x+1+col, y+1+row, ch)
+		}
+	}
+}
+
+// placed is a window positioned on a screen.
+type placed struct {
+	win  *Window
+	x, y int
+}
+
+// Screen composes windows onto a character canvas.
+type Screen struct {
+	width, height int
+	windows       []placed
+}
+
+// NewScreen creates a canvas of the given size in character cells.
+func NewScreen(width, height int) *Screen {
+	if width < 4 {
+		width = 4
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Screen{width: width, height: height}
+}
+
+// Add places a window's top-left border corner at (x, y). Later windows
+// paint over earlier ones.
+func (s *Screen) Add(w *Window, x, y int) {
+	s.windows = append(s.windows, placed{win: w, x: x, y: y})
+}
+
+// Windows returns the placed windows in paint order.
+func (s *Screen) Windows() []*Window {
+	out := make([]*Window, len(s.windows))
+	for i, p := range s.windows {
+		out[i] = p.win
+	}
+	return out
+}
+
+// Render paints all windows and returns the frame as a string.
+func (s *Screen) Render() string {
+	canvas := make([][]rune, s.height)
+	for i := range canvas {
+		canvas[i] = make([]rune, s.width)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	for _, p := range s.windows {
+		p.win.render(canvas, p.x, p.y)
+	}
+	var b strings.Builder
+	b.Grow((s.width + 1) * s.height)
+	for _, row := range canvas {
+		b.WriteString(string(trimRight(row)))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimRight(row []rune) []rune {
+	end := len(row)
+	for end > 0 && row[end-1] == ' ' {
+		end--
+	}
+	return row[:end]
+}
+
+// Grid lays out n equally sized windows in the given number of columns and
+// returns a screen plus the windows, ready for output.
+func Grid(titles []string, cols, winWidth, winHeight int) (*Screen, []*Window) {
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (len(titles) + cols - 1) / cols
+	screen := NewScreen(cols*(winWidth+2)+1, rows*(winHeight+2)+1)
+	windows := make([]*Window, len(titles))
+	for i, title := range titles {
+		w := NewWindow(title, winWidth, winHeight)
+		windows[i] = w
+		screen.Add(w, (i%cols)*(winWidth+2), (i/cols)*(winHeight+2))
+	}
+	return screen, windows
+}

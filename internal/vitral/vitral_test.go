@@ -1,0 +1,125 @@
+package vitral
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWindowScrollback(t *testing.T) {
+	w := NewWindow("P1", 10, 3)
+	for i := 0; i < 5; i++ {
+		w.Printf("line %d", i)
+	}
+	lines := w.Lines()
+	if len(lines) != 3 {
+		t.Fatalf("scrollback = %v", lines)
+	}
+	if lines[0] != "line 2" || lines[2] != "line 4" {
+		t.Errorf("scrollback content = %v", lines)
+	}
+	w.Clear()
+	if len(w.Lines()) != 0 {
+		t.Error("Clear left lines behind")
+	}
+	if w.Title() != "P1" {
+		t.Error("Title wrong")
+	}
+}
+
+func TestWindowWrapping(t *testing.T) {
+	w := NewWindow("x", 4, 10)
+	w.Println("abcdefghij")
+	lines := w.Lines()
+	if len(lines) != 3 || lines[0] != "abcd" || lines[1] != "efgh" || lines[2] != "ij" {
+		t.Errorf("wrapped = %v", lines)
+	}
+	w.Clear()
+	w.Println("a\nb")
+	if got := w.Lines(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("multiline = %v", got)
+	}
+}
+
+func TestWindowMinimumSize(t *testing.T) {
+	w := NewWindow("t", 0, 0)
+	w.Println("x")
+	if len(w.Lines()) != 1 {
+		t.Error("degenerate window broken")
+	}
+}
+
+func TestScreenRender(t *testing.T) {
+	s := NewScreen(30, 8)
+	w := NewWindow("P1", 12, 3)
+	w.Println("AOCS ok")
+	w.Println("q=(1,0,0,0)")
+	s.Add(w, 0, 0)
+	frame := s.Render()
+	for _, want := range []string{"[P1]", "AOCS ok", "q=(1,0,0,0)", "+", "|"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The frame has exactly `height` lines.
+	if got := strings.Count(frame, "\n"); got != 8 {
+		t.Errorf("frame lines = %d", got)
+	}
+	if len(s.Windows()) != 1 {
+		t.Error("Windows() wrong")
+	}
+}
+
+func TestScreenClipping(t *testing.T) {
+	// A window placed partially off-canvas must not panic and must clip.
+	s := NewScreen(10, 5)
+	w := NewWindow("big", 20, 10)
+	w.Println(strings.Repeat("z", 20))
+	s.Add(w, 5, 2)
+	frame := s.Render()
+	if strings.Count(frame, "\n") != 5 {
+		t.Errorf("clipped frame wrong:\n%s", frame)
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	screen, windows := Grid([]string{"P1", "P2", "P3", "P4", "AIR", "HM"}, 2, 20, 4)
+	if len(windows) != 6 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	for i, w := range windows {
+		w.Printf("window %d content", i)
+	}
+	frame := screen.Render()
+	for _, title := range []string{"[P1]", "[P2]", "[P3]", "[P4]", "[AIR]", "[HM]"} {
+		if !strings.Contains(frame, title) {
+			t.Errorf("frame missing %s", title)
+		}
+	}
+	// 3 rows of (4+2)=6 lines + 1 → 19 lines.
+	if got := strings.Count(frame, "\n"); got != 19 {
+		t.Errorf("grid frame lines = %d:\n%s", got, frame)
+	}
+}
+
+func TestLongTitleTruncated(t *testing.T) {
+	s := NewScreen(20, 5)
+	w := NewWindow("extremely-long-title", 8, 2)
+	s.Add(w, 0, 0)
+	frame := s.Render()
+	if strings.Contains(frame, "extremely-long-title") {
+		t.Errorf("title not truncated:\n%s", frame)
+	}
+	if !strings.Contains(frame, "[extre") {
+		t.Errorf("truncated title missing:\n%s", frame)
+	}
+}
+
+func TestGridDefensiveColumns(t *testing.T) {
+	screen, windows := Grid([]string{"a"}, 0, 5, 2)
+	if len(windows) != 1 {
+		t.Fatal("grid broken")
+	}
+	if screen.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload provides the mockup satellite applications of the
+// paper's prototype (Sect. 6): four RTEMS-style partitions "representative
+// of typical functions present in a satellite system" — AOCS (Attitude and
+// Orbit Control), OBDH (Onboard Data Handling), TTC (Telemetry, Tracking and
+// Command) and FDIR (Fault Detection, Isolation and Recovery) — wired over
+// the Fig. 8 partition scheduling tables, with optional injection of the
+// faulty process on P1 used in the deadline violation demonstration.
+package workload
+
+import (
+	"fmt"
+
+	"air/internal/apex"
+	"air/internal/core"
+	"air/internal/hm"
+	"air/internal/ipc"
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// Output receives application console lines, keyed by partition — the
+// examples and airsim route these into VITRAL windows.
+type Output func(p model.PartitionName, line string)
+
+// Options configures the satellite scenario.
+type Options struct {
+	// Output sinks partition console lines; nil discards them.
+	Output Output
+	// InjectFault installs the faulty process on P1 (Sect. 6): it never
+	// completes, its deadline expires while P1 is inactive, and the HM
+	// restart action re-arms it — reproducing "detected and reported every
+	// time (except the first) that P1 is scheduled and dispatched".
+	InjectFault bool
+	// FaultDeadline is the faulty process's time capacity (default 220,
+	// expiring between P1's windows).
+	FaultDeadline tick.Ticks
+	// FDIRSwitchOnStale makes the FDIR partition request the chi2 schedule
+	// after observing consecutive stale attitude samples — mode-based
+	// schedule adaptation for fault accommodation (Sect. 4).
+	FDIRSwitchOnStale int
+	// ChangeActions optionally sets per-partition restart actions on chi2.
+	ChangeActions map[model.PartitionName]model.ScheduleChangeAction
+	// TraceCapacity forwards to core.Config.
+	TraceCapacity int
+}
+
+func (o *Options) emit(p model.PartitionName, format string, args ...any) {
+	if o.Output != nil {
+		o.Output(p, fmt.Sprintf(format, args...))
+	}
+}
+
+// Config builds the complete core configuration for the satellite scenario
+// over the Fig. 8 system.
+func Config(opts Options) core.Config {
+	if opts.FaultDeadline == 0 {
+		opts.FaultDeadline = 220
+	}
+	sys := model.Fig8System()
+	for i := range sys.Schedules[1].Requirements {
+		q := &sys.Schedules[1].Requirements[i]
+		if a, ok := opts.ChangeActions[q.Partition]; ok {
+			q.ChangeAction = a
+		}
+	}
+	return core.Config{
+		System:        sys,
+		TraceCapacity: opts.TraceCapacity,
+		Sampling: []ipc.SamplingConfig{{
+			Name: "attitude", MaxMessage: 64, Refresh: 1300,
+			Source: ipc.PortRef{Partition: "P1", Port: "att_out"},
+			Destinations: []ipc.PortRef{
+				{Partition: "P2", Port: "att_in"},
+				{Partition: "P4", Port: "att_in"},
+			},
+		}},
+		Queuing: []ipc.QueuingConfig{{
+			Name: "housekeeping", MaxMessage: 128, Depth: 16,
+			Source:      ipc.PortRef{Partition: "P2", Port: "hk_out"},
+			Destination: ipc.PortRef{Partition: "P3", Port: "hk_in"},
+		}},
+		Partitions: []core.PartitionConfig{
+			{
+				Name: "P1", System: true, Init: aocsInit(&opts),
+				HMProcessTable: hm.Table{
+					hm.ErrDeadlineMissed: hm.Rule{Action: hm.ActionRestartProcess},
+				},
+			},
+			{Name: "P2", Init: obdhInit(&opts)},
+			{Name: "P3", Init: ttcInit(&opts)},
+			{Name: "P4", System: true, Init: fdirInit(&opts)},
+		},
+	}
+}
+
+// aocsInit is P1: the Attitude and Orbit Control Subsystem. A periodic
+// control process integrates a mock attitude state and publishes it on the
+// attitude sampling channel. With fault injection enabled, a second process
+// that never completes is installed.
+func aocsInit(opts *Options) core.InitFunc {
+	return func(sv *core.Services) {
+		sv.CreateSamplingPort("att_out", apex.Source)
+		sv.CreateProcess(model.TaskSpec{
+			Name: "aocs_control", Period: 1300, Deadline: 650,
+			BasePriority: 1, WCET: 150, Periodic: true,
+		}, func(sv *core.Services) {
+			var angle int64
+			for {
+				sv.Compute(120) // sensor fusion + control law
+				angle = (angle + 7) % 3600
+				msg := fmt.Sprintf("q:%04d t:%d", angle, sv.GetTime())
+				if rc := sv.WriteSamplingMessage("att_out", []byte(msg)); rc != apex.NoError {
+					sv.ReportApplicationMessage("attitude publish failed: " + rc.String())
+				}
+				opts.emit("P1", "AOCS attitude %04d published", angle)
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess("aocs_control")
+		if opts.InjectFault {
+			sv.CreateProcess(model.TaskSpec{
+				Name: "faulty", Period: 1300, Deadline: opts.FaultDeadline,
+				BasePriority: 8, WCET: 200, Periodic: true,
+			}, func(sv *core.Services) {
+				opts.emit("P1", "faulty process activated")
+				for {
+					sv.Compute(1 << 30) // runaway computation, never yields
+				}
+			})
+			sv.StartProcess("faulty")
+		}
+		sv.SetPartitionMode(model.ModeNormal)
+	}
+}
+
+// obdhInit is P2: Onboard Data Handling. Each activation samples the
+// attitude port and queues a housekeeping frame toward TTC.
+func obdhInit(opts *Options) core.InitFunc {
+	return func(sv *core.Services) {
+		sv.CreateSamplingPort("att_in", apex.Destination)
+		sv.CreateQueuingPort("hk_out", apex.Source)
+		sv.CreateProcess(model.TaskSpec{
+			Name: "obdh_housekeeping", Period: 650, Deadline: 650,
+			BasePriority: 2, WCET: 80, Periodic: true,
+		}, func(sv *core.Services) {
+			seq := 0
+			for {
+				sv.Compute(60)
+				att, validity, rc := sv.ReadSamplingMessage("att_in")
+				frame := fmt.Sprintf("hk#%03d att=%q valid=%v", seq, att, validity == apex.Valid)
+				if rc != apex.NoError {
+					frame = fmt.Sprintf("hk#%03d att=unavailable", seq)
+				}
+				if rc := sv.SendQueuingMessage("hk_out", []byte(frame), 0); rc == apex.NoError {
+					opts.emit("P2", "OBDH queued %s", frame)
+				} else {
+					opts.emit("P2", "OBDH hk overflow: %s", rc)
+				}
+				seq++
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess("obdh_housekeeping")
+		sv.SetPartitionMode(model.ModeNormal)
+	}
+}
+
+// ttcInit is P3: Telemetry, Tracking and Command. It drains the
+// housekeeping queue and "downlinks" the frames.
+func ttcInit(opts *Options) core.InitFunc {
+	return func(sv *core.Services) {
+		sv.CreateQueuingPort("hk_in", apex.Destination)
+		sv.CreateProcess(model.TaskSpec{
+			Name: "ttc_downlink", Period: 650, Deadline: 650,
+			BasePriority: 2, WCET: 80, Periodic: true,
+		}, func(sv *core.Services) {
+			downlinked := 0
+			for {
+				sv.Compute(20)
+				for {
+					frame, rc := sv.ReceiveQueuingMessage("hk_in", 0)
+					if rc != apex.NoError {
+						break
+					}
+					downlinked++
+					sv.Compute(5) // radio framing
+					opts.emit("P3", "TTC downlink %s (total %d)", frame, downlinked)
+				}
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess("ttc_downlink")
+		sv.SetPartitionMode(model.ModeNormal)
+	}
+}
+
+// fdirInit is P4: Fault Detection, Isolation and Recovery. It monitors the
+// attitude channel validity; with FDIRSwitchOnStale > 0, consecutive stale
+// or missing samples trigger a mode-based schedule switch to chi2 — the
+// paper's motivating use of schedule switching for "accommodation of
+// component failures".
+func fdirInit(opts *Options) core.InitFunc {
+	return func(sv *core.Services) {
+		sv.CreateSamplingPort("att_in", apex.Destination)
+		sv.CreateProcess(model.TaskSpec{
+			Name: "fdir_monitor", Period: 1300, Deadline: 1300,
+			BasePriority: 1, WCET: 90, Periodic: true,
+		}, func(sv *core.Services) {
+			stale := 0
+			switched := false
+			for {
+				sv.Compute(50)
+				_, validity, rc := sv.ReadSamplingMessage("att_in")
+				if rc != apex.NoError || validity != apex.Valid {
+					stale++
+					opts.emit("P4", "FDIR stale attitude (%d consecutive)", stale)
+				} else {
+					stale = 0
+					opts.emit("P4", "FDIR attitude nominal")
+				}
+				if !switched && opts.FDIRSwitchOnStale > 0 && stale >= opts.FDIRSwitchOnStale {
+					st := sv.GetModuleScheduleStatus()
+					if st.CurrentName != "chi2" {
+						if rc := sv.SetModuleScheduleByName("chi2"); rc == apex.NoError {
+							switched = true
+							opts.emit("P4", "FDIR requested schedule chi2")
+						}
+					}
+				}
+				sv.PeriodicWait()
+			}
+		})
+		sv.StartProcess("fdir_monitor")
+		sv.SetPartitionMode(model.ModeNormal)
+	}
+}
