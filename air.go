@@ -42,6 +42,7 @@ import (
 	"io"
 
 	"air/internal/apex"
+	"air/internal/campaign"
 	"air/internal/config"
 	"air/internal/core"
 	"air/internal/hm"
@@ -54,6 +55,7 @@ import (
 	"air/internal/report"
 	"air/internal/sched"
 	"air/internal/tick"
+	"air/internal/workload"
 )
 
 // Time base.
@@ -360,3 +362,55 @@ func AssignRateMonotonic(ts TaskSet) TaskSet { return sched.AssignRateMonotonic(
 
 // AssignDeadlineMonotonic assigns priorities by relative deadline.
 func AssignDeadlineMonotonic(ts TaskSet) TaskSet { return sched.AssignDeadlineMonotonic(ts) }
+
+// Fault-injection campaigns (robustness evaluation over many module runs).
+type (
+	// FaultKind classifies an injectable fault.
+	FaultKind = workload.FaultKind
+	// FaultSpec configures one fault injection into a workload.
+	FaultSpec = workload.FaultSpec
+	// CampaignSpec configures a fault-injection campaign.
+	CampaignSpec = campaign.Spec
+	// CampaignScenario is one weighted entry of a campaign fault matrix.
+	CampaignScenario = campaign.Scenario
+	// CampaignFaultRange is a fault class with sweepable parameter ranges.
+	CampaignFaultRange = campaign.FaultRange
+	// CampaignRange is an inclusive parameter range ([Min, Min] when pinned).
+	CampaignRange = campaign.Range
+	// CampaignResult is a completed campaign: per-run observations plus the
+	// aggregate, serializable deterministically via its JSON method.
+	CampaignResult = campaign.Result
+	// CampaignObservation is one run's measurements.
+	CampaignObservation = campaign.Observation
+	// CampaignAggregate is the campaign-level fold of all observations.
+	CampaignAggregate = campaign.Aggregate
+)
+
+// Injectable fault classes.
+const (
+	FaultDeadlineOverrun  = workload.FaultDeadlineOverrun
+	FaultMemoryViolation  = workload.FaultMemoryViolation
+	FaultModeSwitchStorm  = workload.FaultModeSwitchStorm
+	FaultSporadicOverload = workload.FaultSporadicOverload
+	FaultIPCFlood         = workload.FaultIPCFlood
+)
+
+// RunCampaign executes a fault-injection campaign: Spec.Runs independent
+// module simulations distributed over a worker pool, each seeded
+// deterministically from Spec.Seed, sweeping the scenario matrix. Results
+// are byte-identical across repetitions and worker counts.
+func RunCampaign(spec CampaignSpec) (*CampaignResult, error) { return campaign.Run(spec) }
+
+// LoadCampaign reads and validates a JSON campaign matrix from disk; convert
+// it with CampaignFromConfig.
+func LoadCampaign(path string) (*config.Campaign, error) { return config.LoadCampaign(path) }
+
+// CampaignFromConfig converts a campaign configuration document into a
+// runnable Spec.
+func CampaignFromConfig(doc *config.Campaign) (CampaignSpec, error) { return campaign.FromConfig(doc) }
+
+// WriteCampaignReport renders a campaign result as Markdown. Timing is
+// included only when requested (it is wall-clock-dependent).
+func WriteCampaignReport(w io.Writer, res *CampaignResult, includeTiming bool) error {
+	return report.WriteCampaign(w, res, includeTiming)
+}

@@ -138,3 +138,32 @@ func exerciseConfigRoundTrip(path string) error {
 	doc := config.Fig8Module()
 	return doc.Save(path)
 }
+
+func TestFacadeRunCampaign(t *testing.T) {
+	res, err := RunCampaign(CampaignSpec{
+		Runs: 3, Workers: 2, Seed: 13, MTFs: 3,
+		Matrix: []CampaignScenario{{
+			Name: "overrun+flood",
+			Faults: []CampaignFaultRange{
+				{Kind: FaultDeadlineOverrun},
+				{Kind: FaultIPCFlood, Magnitude: CampaignRange{Min: 8, Max: 32}},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Runs != 3 || res.Aggregate.Degraded != 0 {
+		t.Fatalf("aggregate = %+v", res.Aggregate)
+	}
+	if res.Aggregate.HMByFaultKind[FaultDeadlineOverrun.String()] == 0 {
+		t.Errorf("no overrun HM events: %v", res.Aggregate.HMByFaultKind)
+	}
+	var b strings.Builder
+	if err := WriteCampaignReport(&b, res, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# Fault-injection campaign report") {
+		t.Error("campaign report header missing")
+	}
+}

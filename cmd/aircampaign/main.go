@@ -1,0 +1,232 @@
+// Command aircampaign runs a parallel fault-injection campaign: many
+// independent module simulations distributed over a worker pool, sweeping a
+// declarative fault matrix (deadline overruns, out-of-partition memory
+// writes, mode-switch storms, sporadic-arrival overload, IPC flooding) and
+// folding the per-run observations into an aggregate robustness report
+// (JSON + Markdown).
+//
+// Usage:
+//
+//	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
+//	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling]
+//	aircampaign -write-matrix file.json
+//
+// Results are deterministic in (-seed, -runs, -mtfs, matrix): the JSON and
+// Markdown artifacts are byte-identical across repetitions and worker
+// counts. Wall-clock throughput goes to stdout (and into the Markdown
+// report only with -timing, which makes the report nondeterministic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"air/internal/campaign"
+	"air/internal/config"
+	"air/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aircampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aircampaign", flag.ContinueOnError)
+	var (
+		runs        = fs.Int("runs", 100, "number of independent simulation runs")
+		workers     = fs.Int("workers", runtime.NumCPU(), "worker pool size (affects wall clock only, never results)")
+		matrixPath  = fs.String("matrix", "", "campaign matrix JSON (default: built-in mixed-fault matrix)")
+		outPath     = fs.String("out", "", "write result JSON here (and Markdown to the .md sibling)")
+		seed        = fs.Uint64("seed", 1, "campaign master seed")
+		mtfs        = fs.Int("mtfs", 20, "major time frames per run")
+		watchdog    = fs.Duration("watchdog", 0, "per-run wall-clock watchdog (0 = off; tripped runs degrade)")
+		timing      = fs.Bool("timing", false, "include wall-clock throughput in the Markdown report (nondeterministic)")
+		scaling     = fs.Bool("scaling", false, "sweep worker counts {1,2,4,NumCPU} and print a throughput table")
+		writeMatrix = fs.String("write-matrix", "", "write the built-in matrix to this file and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *writeMatrix != "" {
+		if err := config.DefaultCampaign().Save(*writeMatrix); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote built-in matrix to %s\n", *writeMatrix)
+		return nil
+	}
+
+	spec := campaign.Spec{Seed: *seed}
+	if *matrixPath != "" {
+		doc, err := config.LoadCampaign(*matrixPath)
+		if err != nil {
+			return err
+		}
+		spec, err = campaign.FromConfig(doc)
+		if err != nil {
+			return err
+		}
+	}
+	// Explicit flags override matrix-document execution defaults; flag
+	// defaults fill whatever remains unset.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["runs"] || spec.Runs == 0 {
+		spec.Runs = *runs
+	}
+	if set["workers"] || spec.Workers == 0 {
+		spec.Workers = *workers
+	}
+	if set["seed"] || spec.Seed == 0 {
+		spec.Seed = *seed
+	}
+	if set["mtfs"] || spec.MTFs == 0 {
+		spec.MTFs = *mtfs
+	}
+	if set["watchdog"] {
+		spec.Watchdog = *watchdog
+	}
+
+	if *scaling {
+		return runScaling(out, spec)
+	}
+
+	before := runtime.NumGoroutine()
+	res, err := campaign.Run(spec)
+	if err != nil {
+		return err
+	}
+	after := waitGoroutineBaseline(before)
+
+	agg := res.Aggregate
+	fmt.Fprintf(out, "campaign: %d runs × %d MTFs, seed %d, %d workers\n",
+		res.Runs, res.MTFs, res.Seed, res.Timing.Workers)
+	fmt.Fprintf(out, "  completed %d, degraded %d, halted %d\n",
+		agg.Runs-agg.Degraded, agg.Degraded, agg.Halted)
+	fmt.Fprintf(out, "  %d ticks in %v — %.0f ticks/s aggregate\n",
+		agg.Ticks, res.Timing.Elapsed.Round(time.Millisecond), res.Timing.TicksPerSecond)
+	fmt.Fprintf(out, "  deadline misses %d (mean detection latency %.1f ticks, max %d)\n",
+		agg.DeadlineMisses, agg.DetectionLatencyMean, agg.DetectionLatencyMax)
+	fmt.Fprintf(out, "  HM events %d, partition restarts %d, process restarts %d, schedule switches %d\n",
+		agg.HMEvents, agg.PartitionRestarts, agg.ProcessRestarts, agg.ScheduleSwitches)
+	fmt.Fprintf(out, "  HM events by fault class:\n")
+	for _, line := range faultKindLines(agg) {
+		fmt.Fprintf(out, "    %s\n", line)
+	}
+	fmt.Fprintf(out, "  goroutines: %d before, %d after\n", before, after)
+
+	if *outPath != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		mdPath := mdSibling(*outPath)
+		md, err := os.Create(mdPath)
+		if err != nil {
+			return err
+		}
+		werr := report.WriteCampaign(md, res, *timing)
+		if cerr := md.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "  wrote %s and %s\n", *outPath, mdPath)
+	}
+	return nil
+}
+
+// runScaling reruns the identical campaign at increasing worker counts and
+// prints the aggregate throughput of each, verifying on the way that the
+// serialized results stay byte-identical.
+func runScaling(out io.Writer, spec campaign.Spec) error {
+	counts := workerSweep(runtime.NumCPU())
+	fmt.Fprintf(out, "scaling sweep: %d runs × %d MTFs, seed %d (results identical across worker counts)\n",
+		spec.Runs, spec.MTFs, spec.Seed)
+	fmt.Fprintf(out, "  workers   elapsed        ticks/s   speedup\n")
+	var baseline float64
+	var ref []byte
+	for _, w := range counts {
+		spec.Workers = w
+		res, err := campaign.Run(spec)
+		if err != nil {
+			return err
+		}
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if ref == nil {
+			ref = data
+		} else if string(ref) != string(data) {
+			return fmt.Errorf("results at %d workers differ from baseline", w)
+		}
+		tps := res.Timing.TicksPerSecond
+		if baseline == 0 {
+			baseline = tps
+		}
+		fmt.Fprintf(out, "  %7d   %-12v %9.0f   %.2fx\n",
+			w, res.Timing.Elapsed.Round(time.Millisecond), tps, tps/baseline)
+	}
+	return nil
+}
+
+// workerSweep is {1, 2, 4, NumCPU} deduplicated and ordered.
+func workerSweep(ncpu int) []int {
+	counts := []int{1, 2, 4}
+	if ncpu > 4 {
+		counts = append(counts, ncpu)
+	}
+	return counts
+}
+
+// waitGoroutineBaseline briefly polls for process goroutines still winding
+// down after Shutdown, so the reported "after" count reflects steady state.
+func waitGoroutineBaseline(baseline int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func faultKindLines(agg campaign.Aggregate) []string {
+	keys := make([]string, 0, len(agg.HMByFaultKind))
+	for k := range agg.HMByFaultKind {
+		keys = append(keys, k)
+	}
+	// Small fixed set; insertion sort keeps it dependency-free.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = fmt.Sprintf("%-18s %d", k, agg.HMByFaultKind[k])
+	}
+	return lines
+}
+
+func mdSibling(jsonPath string) string {
+	if strings.HasSuffix(jsonPath, ".json") {
+		return strings.TrimSuffix(jsonPath, ".json") + ".md"
+	}
+	return jsonPath + ".md"
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "result.json")
+	var sb strings.Builder
+	err := run([]string{"-runs", "4", "-workers", "2", "-seed", "5", "-mtfs", "2",
+		"-out", outPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := sb.String()
+	for _, want := range []string{"campaign: 4 runs", "ticks/s", "HM events by fault class", "goroutines:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"seed": 5`) {
+		t.Error("result JSON missing seed")
+	}
+	md, err := os.ReadFile(filepath.Join(dir, "result.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "# Fault-injection campaign report") {
+		t.Error("Markdown sibling missing report header")
+	}
+	if strings.Contains(string(md), "## Throughput") {
+		t.Error("timing section present without -timing")
+	}
+}
+
+func TestRunDeterministicArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	render := func(name string, workers string) []byte {
+		outPath := filepath.Join(dir, name)
+		var sb strings.Builder
+		err := run([]string{"-runs", "5", "-workers", workers, "-seed", "77",
+			"-mtfs", "2", "-out", outPath}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := render("a.json", "1")
+	b := render("b.json", "3")
+	if string(a) != string(b) {
+		t.Fatal("same seed, different workers: result JSON differs")
+	}
+}
+
+func TestRunMatrixFlow(t *testing.T) {
+	dir := t.TempDir()
+	matrixPath := filepath.Join(dir, "matrix.json")
+	var sb strings.Builder
+	if err := run([]string{"-write-matrix", matrixPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(matrixPath); err != nil {
+		t.Fatal(err)
+	}
+	// Matrix document supplies defaults; explicit flags override them.
+	sb.Reset()
+	if err := run([]string{"-matrix", matrixPath, "-runs", "3", "-mtfs", "2",
+		"-seed", "4", "-workers", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "campaign: 3 runs × 2 MTFs, seed 4") {
+		t.Errorf("flag precedence over matrix defaults broken:\n%s", sb.String())
+	}
+}
+
+func TestRunScalingSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scaling", "-runs", "4", "-seed", "6", "-mtfs", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scaling sweep", "workers", "speedup", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadMatrix(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x", "scenarios": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-matrix", bad}, &sb); err == nil {
+		t.Fatal("invalid matrix accepted")
+	}
+	if err := run([]string{"-matrix", filepath.Join(dir, "missing.json")}, &sb); err == nil {
+		t.Fatal("missing matrix accepted")
+	}
+}
+
+func TestMdSibling(t *testing.T) {
+	if got := mdSibling("out/result.json"); got != "out/result.md" {
+		t.Errorf("mdSibling: %s", got)
+	}
+	if got := mdSibling("result"); got != "result.md" {
+		t.Errorf("mdSibling: %s", got)
+	}
+}
+
+func TestWorkerSweep(t *testing.T) {
+	if got := workerSweep(1); len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Errorf("workerSweep(1): %v", got)
+	}
+	if got := workerSweep(8); len(got) != 4 || got[3] != 8 {
+		t.Errorf("workerSweep(8): %v", got)
+	}
+}

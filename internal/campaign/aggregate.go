@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Observation is the structured outcome of one simulation run. All fields
+// serialized to JSON are deterministic functions of (seed, run index,
+// matrix); wall-clock timing is collected but excluded from serialization
+// so campaign artifacts stay byte-identical across repetitions.
+type Observation struct {
+	Run      int    `json:"run"`
+	Seed     uint64 `json:"seed"`
+	Scenario string `json:"scenario"`
+	// Faults records the resolved parameter draws injected into this run.
+	Faults []FaultDraw `json:"faults"`
+	// Ticks is the module clock at the end of the run.
+	Ticks int64 `json:"ticks"`
+	// Halted reports a module-level halt (HM shutdown action).
+	Halted bool `json:"halted,omitempty"`
+	// Degraded marks a run that crashed, errored or tripped the watchdog;
+	// Error carries the cause. Degraded runs still contribute whatever was
+	// observed before the failure.
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// DeadlineMisses counts DEADLINE_MISSED health-monitoring events;
+	// DetectedMisses counts the corresponding trace records carrying
+	// detection latencies (equal unless the trace ring overflowed).
+	DeadlineMisses int `json:"deadlineMisses"`
+	DetectedMisses int `json:"detectedMisses,omitempty"`
+	// DetectionLatencySum/Max aggregate the deadline-violation detection
+	// latency (ticks from deadline instant to PAL detection, Sect. 5/6).
+	DetectionLatencySum int64 `json:"detectionLatencySum,omitempty"`
+	DetectionLatencyMax int64 `json:"detectionLatencyMax,omitempty"`
+	// HMByLevel/HMByCode histogram the health-monitoring log; HMByFaultKind
+	// attributes events to the injected fault class that provoked them.
+	HMByLevel     map[string]int `json:"hmByLevel"`
+	HMByCode      map[string]int `json:"hmByCode"`
+	HMByFaultKind map[string]int `json:"hmByFaultKind"`
+	// Recovery-action counters from the module trace.
+	PartitionRestarts int `json:"partitionRestarts,omitempty"`
+	ProcessRestarts   int `json:"processRestarts,omitempty"`
+	ScheduleSwitches  int `json:"scheduleSwitches,omitempty"`
+	// WallNanos is the run's wall-clock duration — nondeterministic, kept
+	// out of the serialized artifact.
+	WallNanos int64 `json:"-"`
+}
+
+// FaultDraw is the serialized form of one resolved fault injection (zero
+// parameters mean "per-kind default", resolved inside the workload).
+type FaultDraw struct {
+	Kind      string `json:"kind"`
+	Partition string `json:"partition,omitempty"`
+	Deadline  int64  `json:"deadlineTicks,omitempty"`
+	Magnitude int64  `json:"magnitude,omitempty"`
+	Period    int64  `json:"periodTicks,omitempty"`
+	Phase     int64  `json:"phaseTicks,omitempty"`
+}
+
+// ClassAgg accumulates the observations of one class of runs (a scenario or
+// a fault kind).
+type ClassAgg struct {
+	Runs              int `json:"runs"`
+	Degraded          int `json:"degraded,omitempty"`
+	Halted            int `json:"halted,omitempty"`
+	DeadlineMisses    int `json:"deadlineMisses"`
+	HMEvents          int `json:"hmEvents"`
+	PartitionRestarts int `json:"partitionRestarts,omitempty"`
+	ProcessRestarts   int `json:"processRestarts,omitempty"`
+	ScheduleSwitches  int `json:"scheduleSwitches,omitempty"`
+}
+
+// Aggregate is the campaign-wide fold of all observations.
+type Aggregate struct {
+	Runs     int   `json:"runs"`
+	Degraded int   `json:"degraded"`
+	Halted   int   `json:"halted"`
+	Ticks    int64 `json:"ticks"`
+
+	DeadlineMisses       int     `json:"deadlineMisses"`
+	DetectionLatencyMean float64 `json:"detectionLatencyMean"`
+	DetectionLatencyMax  int64   `json:"detectionLatencyMax"`
+
+	HMEvents      int            `json:"hmEvents"`
+	HMByLevel     map[string]int `json:"hmByLevel"`
+	HMByCode      map[string]int `json:"hmByCode"`
+	HMByFaultKind map[string]int `json:"hmByFaultKind"`
+
+	PartitionRestarts int `json:"partitionRestarts"`
+	ProcessRestarts   int `json:"processRestarts"`
+	ScheduleSwitches  int `json:"scheduleSwitches"`
+
+	ByScenario  map[string]*ClassAgg `json:"byScenario"`
+	ByFaultKind map[string]*ClassAgg `json:"byFaultKind"`
+}
+
+// Timing carries the campaign's wall-clock throughput. It is informational
+// and nondeterministic: excluded from Result serialization.
+type Timing struct {
+	Workers        int
+	Elapsed        time.Duration
+	Ticks          int64
+	TicksPerSecond float64
+}
+
+// Result is the complete campaign artifact.
+type Result struct {
+	Seed         uint64        `json:"seed"`
+	Runs         int           `json:"runs"`
+	MTFs         int           `json:"mtfsPerRun"`
+	Scenarios    []string      `json:"scenarios"`
+	Observations []Observation `json:"observations"`
+	Aggregate    Aggregate     `json:"aggregate"`
+	// Timing is wall-clock throughput, excluded from JSON (see Timing).
+	Timing *Timing `json:"-"`
+}
+
+// JSON serializes the result deterministically (map keys sorted by
+// encoding/json, observations ordered by run index, no timing fields).
+func (r *Result) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// aggregate folds the observations in run order (deterministic).
+func aggregate(observations []Observation) Aggregate {
+	agg := Aggregate{
+		Runs:          len(observations),
+		HMByLevel:     map[string]int{},
+		HMByCode:      map[string]int{},
+		HMByFaultKind: map[string]int{},
+		ByScenario:    map[string]*ClassAgg{},
+		ByFaultKind:   map[string]*ClassAgg{},
+	}
+	var latencyCount int64
+	for i := range observations {
+		o := &observations[i]
+		if o.Degraded {
+			agg.Degraded++
+		}
+		if o.Halted {
+			agg.Halted++
+		}
+		agg.Ticks += o.Ticks
+		agg.DeadlineMisses += o.DeadlineMisses
+		latencyCount += int64(o.DetectedMisses)
+		agg.DetectionLatencyMean += float64(o.DetectionLatencySum)
+		if o.DetectionLatencyMax > agg.DetectionLatencyMax {
+			agg.DetectionLatencyMax = o.DetectionLatencyMax
+		}
+		for k, v := range o.HMByLevel {
+			agg.HMByLevel[k] += v
+			agg.HMEvents += v
+		}
+		for k, v := range o.HMByCode {
+			agg.HMByCode[k] += v
+		}
+		agg.PartitionRestarts += o.PartitionRestarts
+		agg.ProcessRestarts += o.ProcessRestarts
+		agg.ScheduleSwitches += o.ScheduleSwitches
+
+		sc := classFor(agg.ByScenario, o.Scenario)
+		sc.add(o, hmTotal(o.HMByLevel))
+		seenKinds := map[string]bool{}
+		for _, f := range o.Faults {
+			if seenKinds[f.Kind] {
+				continue
+			}
+			seenKinds[f.Kind] = true
+			classFor(agg.ByFaultKind, f.Kind).add(o, o.HMByFaultKind[f.Kind])
+		}
+		for k, v := range o.HMByFaultKind {
+			agg.HMByFaultKind[k] += v
+		}
+	}
+	if latencyCount > 0 {
+		agg.DetectionLatencyMean /= float64(latencyCount)
+	} else {
+		agg.DetectionLatencyMean = 0
+	}
+	return agg
+}
+
+func classFor(m map[string]*ClassAgg, key string) *ClassAgg {
+	if c, ok := m[key]; ok {
+		return c
+	}
+	c := &ClassAgg{}
+	m[key] = c
+	return c
+}
+
+func (c *ClassAgg) add(o *Observation, hmEvents int) {
+	c.Runs++
+	if o.Degraded {
+		c.Degraded++
+	}
+	if o.Halted {
+		c.Halted++
+	}
+	c.DeadlineMisses += o.DeadlineMisses
+	c.HMEvents += hmEvents
+	c.PartitionRestarts += o.PartitionRestarts
+	c.ProcessRestarts += o.ProcessRestarts
+	c.ScheduleSwitches += o.ScheduleSwitches
+}
+
+func hmTotal(byLevel map[string]int) int {
+	n := 0
+	for _, v := range byLevel {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkCampaignThroughput measures aggregate simulation throughput
+// (module ticks per wall-clock second) of a mixed-fault campaign at several
+// worker-pool sizes. Runs are independent single-threaded simulations, so
+// throughput should scale with workers up to the core count; results stay
+// byte-identical regardless (see TestCampaignDeterminism).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var ticks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Spec{Runs: 8, Workers: workers, Seed: 17, MTFs: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ticks += res.Aggregate.Ticks
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "ticks/s")
+			}
+		})
+	}
+}

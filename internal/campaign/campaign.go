@@ -1,0 +1,376 @@
+// Package campaign is the parallel fault-injection campaign engine: it runs
+// many independent module simulations concurrently across a worker pool,
+// sweeping a declarative fault matrix over the satellite scenario (deadline
+// overruns of varying magnitude and phase, out-of-partition memory writes,
+// mode-switch storms, sporadic-arrival overload, IPC flooding) and folding
+// the per-run observations into an aggregate robustness report.
+//
+// Each module is deterministic and single-threaded (strict alternation),
+// so runs parallelize perfectly: a campaign's results depend only on
+// (seed, run index, matrix) — never on worker count or scheduling — and are
+// byte-identical across repetitions. A crashed or wedged run is contained:
+// it is recorded as a degraded observation, its goroutines reaped via
+// Module.Shutdown, and the campaign continues.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"air/internal/core"
+	"air/internal/hm"
+	"air/internal/model"
+	"air/internal/tick"
+	"air/internal/workload"
+)
+
+// Range is an inclusive parameter interval; the per-run generator draws
+// uniformly from it. Max <= Min pins the parameter to Min (zero Range = use
+// the fault kind's default).
+type Range struct {
+	Min tick.Ticks
+	Max tick.Ticks
+}
+
+// FaultRange declares one fault of a scenario with sweepable parameters;
+// see workload.FaultSpec for the parameter semantics.
+type FaultRange struct {
+	Kind      workload.FaultKind
+	Partition model.PartitionName
+	Deadline  Range
+	Magnitude Range
+	Period    Range
+	Phase     Range
+}
+
+// Scenario is one row of the fault matrix: a named fault combination with a
+// selection weight.
+type Scenario struct {
+	Name string
+	// Weight biases scenario selection; values <= 0 count as 1.
+	Weight int
+	// Faults lists the faults injected together in this scenario; empty
+	// means a fault-free baseline run.
+	Faults []FaultRange
+}
+
+// Spec configures a campaign.
+type Spec struct {
+	// Runs is the number of independent simulations (default 1).
+	Runs int
+	// Workers sizes the worker pool (default runtime.NumCPU()). Worker
+	// count affects only wall-clock time, never results.
+	Workers int
+	// Seed is the campaign master seed; per-run seeds derive from it.
+	Seed uint64
+	// MTFs is each run's length in major time frames (default 20).
+	MTFs int
+	// Watchdog bounds each run's wall-clock time; a run exceeding it is
+	// recorded as degraded (checked between MTF-sized chunks). 0 disables
+	// the watchdog, keeping results fully deterministic.
+	Watchdog time.Duration
+	// TraceCapacity sizes each module's trace ring (default 1<<16).
+	TraceCapacity int
+	// Matrix is the fault matrix (default DefaultMatrix()).
+	Matrix []Scenario
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Runs <= 0 {
+		s.Runs = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.NumCPU()
+	}
+	if s.MTFs <= 0 {
+		s.MTFs = 20
+	}
+	if s.TraceCapacity == 0 {
+		s.TraceCapacity = 1 << 16
+	}
+	if len(s.Matrix) == 0 {
+		s.Matrix = DefaultMatrix()
+	}
+	return s
+}
+
+// Validate rejects structurally broken campaign specifications. It operates
+// on the defaulted spec, so a zero Spec is valid.
+func (s Spec) Validate() error {
+	seen := make(map[string]bool, len(s.Matrix))
+	for i, sc := range s.Matrix {
+		if sc.Name == "" {
+			return fmt.Errorf("campaign: scenario %d has no name", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("campaign: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		for j, fr := range sc.Faults {
+			if err := (workload.FaultSpec{Kind: fr.Kind, Partition: fr.Partition}).Validate(); err != nil {
+				return fmt.Errorf("campaign: scenario %q fault %d: %w", sc.Name, j, err)
+			}
+			for _, r := range []Range{fr.Deadline, fr.Magnitude, fr.Period, fr.Phase} {
+				if r.Min < 0 || r.Max < 0 {
+					return fmt.Errorf("campaign: scenario %q fault %d: negative range", sc.Name, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- deterministic per-run randomness ----------------------------------------
+
+const golden = 0x9E3779B97F4A7C15
+
+// rng is a splitmix64 stream. Each run gets its own stream derived from the
+// campaign seed and the run index, so a run's draws are independent of
+// every other run and of the worker that executes it.
+type rng struct{ state uint64 }
+
+func runSeed(seed uint64, run int) uint64 {
+	return seed ^ (uint64(run)+1)*golden
+}
+
+func newRunRNG(seed uint64, run int) *rng {
+	return &rng{state: runSeed(seed, run)}
+}
+
+func (r *rng) next() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) draw(rr Range) tick.Ticks {
+	if rr.Max <= rr.Min {
+		return rr.Min
+	}
+	return rr.Min + tick.Ticks(r.next()%uint64(rr.Max-rr.Min+1))
+}
+
+func pickScenario(matrix []Scenario, r *rng) Scenario {
+	total := 0
+	for _, sc := range matrix {
+		total += weightOf(sc)
+	}
+	n := r.intn(total)
+	for _, sc := range matrix {
+		n -= weightOf(sc)
+		if n < 0 {
+			return sc
+		}
+	}
+	return matrix[len(matrix)-1]
+}
+
+func weightOf(sc Scenario) int {
+	if sc.Weight <= 0 {
+		return 1
+	}
+	return sc.Weight
+}
+
+// --- campaign execution -------------------------------------------------------
+
+// Run executes the campaign: Runs independent simulations distributed over
+// a pool of Workers goroutines, folded into an aggregate Result. Results
+// are a pure function of (Seed, Runs, MTFs, Matrix); Workers and wall time
+// only appear in Result.Timing, which is excluded from serialization.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	observations := make([]Observation, spec.Runs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				observations[run] = runOne(spec, run)
+			}
+		}()
+	}
+	for i := 0; i < spec.Runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Seed:         spec.Seed,
+		Runs:         spec.Runs,
+		MTFs:         spec.MTFs,
+		Scenarios:    scenarioNames(spec.Matrix),
+		Observations: observations,
+		Aggregate:    aggregate(observations),
+	}
+	res.Timing = &Timing{
+		Workers: spec.Workers,
+		Elapsed: elapsed,
+		Ticks:   res.Aggregate.Ticks,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Timing.TicksPerSecond = float64(res.Aggregate.Ticks) / sec
+	}
+	return res, nil
+}
+
+func scenarioNames(matrix []Scenario) []string {
+	names := make([]string, len(matrix))
+	for i, sc := range matrix {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// runOne executes one simulation. It never panics: application faults are
+// contained by the module itself, and anything escaping (a kernel-side
+// defect, an out-of-memory in trace collection) is recovered into a
+// degraded observation after the module's goroutines are reaped.
+func runOne(spec Spec, run int) (obs Observation) {
+	r := newRunRNG(spec.Seed, run)
+	scenario := pickScenario(spec.Matrix, r)
+	faults := make([]workload.FaultSpec, len(scenario.Faults))
+	for i, fr := range scenario.Faults {
+		faults[i] = workload.FaultSpec{
+			Kind:      fr.Kind,
+			Partition: fr.Partition,
+			Deadline:  r.draw(fr.Deadline),
+			Magnitude: r.draw(fr.Magnitude),
+			Period:    r.draw(fr.Period),
+			Phase:     r.draw(fr.Phase),
+		}
+	}
+	obs = Observation{
+		Run:      run,
+		Seed:     runSeed(spec.Seed, run),
+		Scenario: scenario.Name,
+		Faults:   describeFaults(faults),
+	}
+	start := time.Now()
+	defer func() {
+		obs.WallNanos = time.Since(start).Nanoseconds()
+		if rec := recover(); rec != nil {
+			obs.Degraded = true
+			obs.Error = fmt.Sprintf("panic: %v", rec)
+		}
+	}()
+
+	m, err := core.NewModule(workload.Config(workload.Options{
+		Faults:        faults,
+		TraceCapacity: spec.TraceCapacity,
+	}))
+	if err != nil {
+		obs.Degraded = true
+		obs.Error = err.Error()
+		return obs
+	}
+	defer m.Shutdown()
+	if err := m.Start(); err != nil {
+		obs.Degraded = true
+		obs.Error = err.Error()
+		collect(m, &obs)
+		return obs
+	}
+	mtf := model.Fig8System().Schedules[0].MTF
+	for i := 0; i < spec.MTFs; i++ {
+		if spec.Watchdog > 0 && time.Since(start) > spec.Watchdog {
+			obs.Degraded = true
+			obs.Error = fmt.Sprintf("watchdog: run exceeded %v after %d MTFs", spec.Watchdog, i)
+			break
+		}
+		if err := m.Run(mtf); err != nil {
+			obs.Degraded = true
+			obs.Error = err.Error()
+			break
+		}
+		if m.Halted() {
+			break
+		}
+	}
+	collect(m, &obs)
+	return obs
+}
+
+// collect folds the module's health-monitoring log and trace into the
+// observation.
+func collect(m *core.Module, obs *Observation) {
+	obs.Ticks = int64(m.Now())
+	obs.Halted = m.Halted()
+	obs.HMByLevel = map[string]int{}
+	obs.HMByCode = map[string]int{}
+	obs.HMByFaultKind = map[string]int{}
+	for _, e := range m.Health().Events() {
+		obs.HMByLevel[e.Level.String()]++
+		obs.HMByCode[e.Code.String()]++
+		if k, ok := attributeEvent(e); ok {
+			obs.HMByFaultKind[k.String()]++
+		}
+		if e.Code == hm.ErrDeadlineMissed {
+			obs.DeadlineMisses++
+		}
+	}
+	for _, ev := range m.Trace() {
+		switch ev.Kind {
+		case core.EvDeadlineMiss:
+			obs.DetectedMisses++
+			obs.DetectionLatencySum += int64(ev.Latency)
+			if int64(ev.Latency) > obs.DetectionLatencyMax {
+				obs.DetectionLatencyMax = int64(ev.Latency)
+			}
+		case core.EvPartitionRestart:
+			obs.PartitionRestarts++
+		case core.EvProcessRestarted:
+			obs.ProcessRestarts++
+		case core.EvScheduleSwitch:
+			obs.ScheduleSwitches++
+		}
+	}
+}
+
+// attributeEvent maps an HM event back to the fault class that provoked it:
+// by injector process name for process-level errors, and by error code for
+// the memory violations (partition-level, no process attribution) only the
+// memory-violation injector produces in this workload.
+func attributeEvent(e hm.Event) (workload.FaultKind, bool) {
+	if e.Code == hm.ErrMemoryViolation {
+		return workload.FaultMemoryViolation, true
+	}
+	if e.Process != "" {
+		return workload.FaultKindForProcess(e.Process)
+	}
+	return 0, false
+}
+
+func describeFaults(faults []workload.FaultSpec) []FaultDraw {
+	out := make([]FaultDraw, len(faults))
+	for i, f := range faults {
+		out[i] = FaultDraw{
+			Kind:      f.Kind.String(),
+			Partition: string(f.Partition),
+			Deadline:  int64(f.Deadline),
+			Magnitude: int64(f.Magnitude),
+			Period:    int64(f.Period),
+			Phase:     int64(f.Phase),
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"air/internal/config"
+	"air/internal/model"
+	"air/internal/tick"
+	"air/internal/workload"
+)
+
+// FromConfig translates a validated campaign configuration document into an
+// executable Spec. Document-level execution parameters (runs, workers,
+// seed, MTFs, watchdog) become the Spec defaults; callers may override them
+// before Run.
+func FromConfig(doc *config.Campaign) (Spec, error) {
+	if err := doc.Validate(); err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{
+		Runs:     doc.Runs,
+		Workers:  doc.Workers,
+		Seed:     doc.Seed,
+		MTFs:     doc.MTFsPerRun,
+		Watchdog: time.Duration(doc.WatchdogMillis) * time.Millisecond,
+	}
+	for _, sc := range doc.Scenarios {
+		scenario := Scenario{Name: sc.Name, Weight: sc.Weight}
+		for _, f := range sc.Faults {
+			kind, err := workload.ParseFaultKind(f.Kind)
+			if err != nil {
+				return Spec{}, fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+			}
+			scenario.Faults = append(scenario.Faults, FaultRange{
+				Kind:      kind,
+				Partition: model.PartitionName(f.Partition),
+				Deadline:  rangeOf(f.Deadline),
+				Magnitude: rangeOf(f.Magnitude),
+				Period:    rangeOf(f.Period),
+				Phase:     rangeOf(f.Phase),
+			})
+		}
+		spec.Matrix = append(spec.Matrix, scenario)
+	}
+	return spec, nil
+}
+
+func rangeOf(r *config.CampaignRange) Range {
+	if r == nil {
+		return Range{}
+	}
+	return Range{Min: tick.Ticks(r.Min), Max: tick.Ticks(r.Max)}
+}
+
+// DefaultMatrix is the built-in mixed-fault matrix: the executable form of
+// config.DefaultCampaign().
+func DefaultMatrix() []Scenario {
+	spec, err := FromConfig(config.DefaultCampaign())
+	if err != nil {
+		// The built-in document is statically valid; failing here is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	return spec.Matrix
+}

@@ -1,0 +1,210 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"air/internal/model"
+	"air/internal/workload"
+)
+
+// Campaign is the root document of a fault-injection campaign matrix: the
+// integration-time artifact describing which adversarial scenarios a module
+// must survive and in what proportion.
+type Campaign struct {
+	Name string `json:"name"`
+	// Runs/Workers/Seed/MTFsPerRun are campaign defaults; command-line
+	// flags override them.
+	Runs       int    `json:"runs,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	MTFsPerRun int    `json:"mtfsPerRun,omitempty"`
+	// WatchdogMillis bounds each run's wall-clock time (0 = no watchdog).
+	WatchdogMillis int64 `json:"watchdogMillis,omitempty"`
+	// Scenarios is the fault matrix.
+	Scenarios []CampaignScenario `json:"scenarios"`
+}
+
+// CampaignScenario is one named fault combination with a selection weight.
+type CampaignScenario struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight,omitempty"`
+	// Faults lists the faults injected together; empty = baseline run.
+	Faults []CampaignFault `json:"faults,omitempty"`
+}
+
+// CampaignFault declares one injected fault. Omitted parameters take the
+// fault kind's defaults (see workload.FaultSpec).
+type CampaignFault struct {
+	// Kind is the fault class spelling: "deadline-overrun",
+	// "memory-violation", "mode-switch-storm", "sporadic-overload" or
+	// "ipc-flood".
+	Kind      string         `json:"kind"`
+	Partition string         `json:"partition,omitempty"`
+	Deadline  *CampaignRange `json:"deadlineTicks,omitempty"`
+	Magnitude *CampaignRange `json:"magnitude,omitempty"`
+	Period    *CampaignRange `json:"periodTicks,omitempty"`
+	Phase     *CampaignRange `json:"phaseTicks,omitempty"`
+}
+
+// CampaignRange is an inclusive parameter interval. In JSON it reads either
+// as a bare number (pinned value) or as {"min": a, "max": b} (swept value).
+type CampaignRange struct {
+	Min int64
+	Max int64
+}
+
+// UnmarshalJSON accepts 220 and {"min": 150, "max": 400}.
+func (r *CampaignRange) UnmarshalJSON(data []byte) error {
+	if s := strings.TrimSpace(string(data)); len(s) > 0 && s[0] == '{' {
+		var obj struct {
+			Min int64 `json:"min"`
+			Max int64 `json:"max"`
+		}
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&obj); err != nil {
+			return fmt.Errorf("range: %w", err)
+		}
+		r.Min, r.Max = obj.Min, obj.Max
+		return nil
+	}
+	var v int64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("range: %w", err)
+	}
+	r.Min, r.Max = v, v
+	return nil
+}
+
+// MarshalJSON writes the compact form a pinned value allows.
+func (r CampaignRange) MarshalJSON() ([]byte, error) {
+	if r.Max <= r.Min {
+		return json.Marshal(r.Min)
+	}
+	return json.Marshal(struct {
+		Min int64 `json:"min"`
+		Max int64 `json:"max"`
+	}{r.Min, r.Max})
+}
+
+// ParseCampaign decodes a campaign document, rejecting unknown fields.
+func ParseCampaign(data []byte) (*Campaign, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var c Campaign
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("config: parse campaign: %w", err)
+	}
+	return &c, nil
+}
+
+// LoadCampaign reads, parses and validates a campaign file.
+func LoadCampaign(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	c, err := ParseCampaign(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Save encodes the campaign as indented JSON.
+func (c *Campaign) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: encode campaign: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate checks the campaign's structural sanity: known fault kinds,
+// known partitions, sane ranges and unique scenario names.
+func (c *Campaign) Validate() error {
+	if len(c.Scenarios) == 0 {
+		return fmt.Errorf("config: campaign %q has no scenarios", c.Name)
+	}
+	if c.Runs < 0 || c.Workers < 0 || c.MTFsPerRun < 0 || c.WatchdogMillis < 0 {
+		return fmt.Errorf("config: campaign %q has negative execution parameters", c.Name)
+	}
+	seen := make(map[string]bool, len(c.Scenarios))
+	for i, sc := range c.Scenarios {
+		if sc.Name == "" {
+			return fmt.Errorf("config: campaign scenario %d has no name", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("config: duplicate campaign scenario %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		for j, f := range sc.Faults {
+			kind, err := workload.ParseFaultKind(f.Kind)
+			if err != nil {
+				return fmt.Errorf("config: scenario %q fault %d: %w", sc.Name, j, err)
+			}
+			spec := workload.FaultSpec{Kind: kind, Partition: model.PartitionName(f.Partition)}
+			if err := spec.Validate(); err != nil {
+				return fmt.Errorf("config: scenario %q fault %d: %w", sc.Name, j, err)
+			}
+			for _, r := range []*CampaignRange{f.Deadline, f.Magnitude, f.Period, f.Phase} {
+				if r == nil {
+					continue
+				}
+				if r.Min < 0 || r.Max < 0 {
+					return fmt.Errorf("config: scenario %q fault %d: negative range", sc.Name, j)
+				}
+				if r.Max != 0 && r.Max < r.Min {
+					return fmt.Errorf("config: scenario %q fault %d: max %d below min %d",
+						sc.Name, j, r.Max, r.Min)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultCampaign is the built-in mixed-fault matrix: every fault class the
+// workload can inject, individually and combined, plus a fault-free
+// baseline — the systematic adversarial sweep the single-fault Sect. 6
+// demonstration lacks.
+func DefaultCampaign() *Campaign {
+	return &Campaign{
+		Name: "mixed-faults",
+		Scenarios: []CampaignScenario{
+			{Name: "baseline", Weight: 1},
+			{Name: "deadline-overrun", Weight: 3, Faults: []CampaignFault{{
+				Kind:     "deadline-overrun",
+				Deadline: &CampaignRange{Min: 150, Max: 400},
+			}}},
+			{Name: "memory-violation", Weight: 3, Faults: []CampaignFault{{
+				Kind:  "memory-violation",
+				Phase: &CampaignRange{Min: 100, Max: 1200},
+			}}},
+			{Name: "mode-switch-storm", Weight: 3, Faults: []CampaignFault{{
+				Kind:   "mode-switch-storm",
+				Period: &CampaignRange{Min: 200, Max: 650},
+			}}},
+			{Name: "sporadic-overload", Weight: 3, Faults: []CampaignFault{{
+				Kind:      "sporadic-overload",
+				Magnitude: &CampaignRange{Min: 200, Max: 600},
+				Period:    &CampaignRange{Min: 50, Max: 150},
+			}}},
+			{Name: "ipc-flood", Weight: 3, Faults: []CampaignFault{{
+				Kind:      "ipc-flood",
+				Magnitude: &CampaignRange{Min: 8, Max: 64},
+			}}},
+			{Name: "combined", Weight: 2, Faults: []CampaignFault{
+				{Kind: "deadline-overrun", Deadline: &CampaignRange{Min: 150, Max: 400}},
+				{Kind: "ipc-flood", Magnitude: &CampaignRange{Min: 8, Max: 64}},
+				{Kind: "sporadic-overload"},
+			}},
+		},
+	}
+}

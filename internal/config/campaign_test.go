@@ -1,0 +1,120 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDefaultCampaignValid(t *testing.T) {
+	c := DefaultCampaign()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("built-in campaign invalid: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, sc := range c.Scenarios {
+		for _, f := range sc.Faults {
+			kinds[f.Kind] = true
+		}
+	}
+	for _, want := range []string{"deadline-overrun", "memory-violation",
+		"mode-switch-storm", "sporadic-overload", "ipc-flood"} {
+		if !kinds[want] {
+			t.Errorf("built-in campaign misses fault class %s", want)
+		}
+	}
+}
+
+func TestCampaignSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	orig := DefaultCampaign()
+	orig.Runs = 50
+	orig.Seed = 99
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != orig.Name || loaded.Runs != 50 || loaded.Seed != 99 {
+		t.Fatalf("round-trip mangled header: %+v", loaded)
+	}
+	if len(loaded.Scenarios) != len(orig.Scenarios) {
+		t.Fatalf("round-trip lost scenarios: %d vs %d",
+			len(loaded.Scenarios), len(orig.Scenarios))
+	}
+	d := loaded.Scenarios[1].Faults[0].Deadline
+	if d == nil || d.Min != 150 || d.Max != 400 {
+		t.Fatalf("round-trip mangled range: %+v", d)
+	}
+}
+
+func TestCampaignRangeForms(t *testing.T) {
+	doc := []byte(`{
+  "name": "forms",
+  "scenarios": [
+    {"name": "pinned", "faults": [{"kind": "deadline-overrun", "deadlineTicks": 220}]},
+    {"name": "swept", "faults": [{"kind": "ipc-flood", "magnitude": {"min": 8, "max": 64}}]}
+  ]
+}`)
+	c, err := ParseCampaign(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pinned := c.Scenarios[0].Faults[0].Deadline
+	if pinned.Min != 220 || pinned.Max != 220 {
+		t.Fatalf("pinned range: %+v", pinned)
+	}
+	swept := c.Scenarios[1].Faults[0].Magnitude
+	if swept.Min != 8 || swept.Max != 64 {
+		t.Fatalf("swept range: %+v", swept)
+	}
+}
+
+func TestCampaignValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  Campaign
+	}{
+		{"no scenarios", Campaign{Name: "x"}},
+		{"unnamed scenario", Campaign{Scenarios: []CampaignScenario{{}}}},
+		{"duplicate scenario", Campaign{Scenarios: []CampaignScenario{
+			{Name: "a"}, {Name: "a"}}}},
+		{"unknown kind", Campaign{Scenarios: []CampaignScenario{
+			{Name: "a", Faults: []CampaignFault{{Kind: "bit-flip"}}}}}},
+		{"unknown partition", Campaign{Scenarios: []CampaignScenario{
+			{Name: "a", Faults: []CampaignFault{{Kind: "ipc-flood", Partition: "P9"}}}}}},
+		{"inverted range", Campaign{Scenarios: []CampaignScenario{
+			{Name: "a", Faults: []CampaignFault{{Kind: "ipc-flood",
+				Magnitude: &CampaignRange{Min: 64, Max: 8}}}}}}},
+		{"negative runs", Campaign{Runs: -1, Scenarios: []CampaignScenario{{Name: "a"}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.doc.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseCampaignRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseCampaign([]byte(`{"name": "x", "scenarios": [], "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadCampaignMissing(t *testing.T) {
+	if _, err := LoadCampaign(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name": "x", "scenarios": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCampaign(path); err == nil {
+		t.Fatal("invalid campaign accepted by LoadCampaign")
+	}
+}

@@ -312,7 +312,8 @@ func (m *Module) Step() error {
 		m.traceEvent(Event{Time: m.now, Kind: EvDeadlineMiss,
 			Partition: pt.name, Process: v.Entry.Name,
 			Detail: fmt.Sprintf("deadline %d missed, detected at %d → %s",
-				v.Entry.Deadline, v.Detected, v.Decision.Action)})
+				v.Entry.Deadline, v.Detected, v.Decision.Action),
+			Latency: v.Detected - v.Entry.Deadline})
 		pt.applyProcessDecision(v.Entry.Name, v.Decision)
 		if m.halted {
 			return nil

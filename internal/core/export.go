@@ -16,6 +16,7 @@ type traceRecord struct {
 	Partition string `json:"partition,omitempty"`
 	Process   string `json:"process,omitempty"`
 	Detail    string `json:"detail,omitempty"`
+	Latency   int64  `json:"latency,omitempty"`
 }
 
 // hmRecord is the JSON shape of an exported health-monitoring event.
@@ -40,6 +41,7 @@ func (m *Module) WriteTrace(w io.Writer) error {
 			Partition: string(e.Partition),
 			Process:   e.Process,
 			Detail:    e.Detail,
+			Latency:   int64(e.Latency),
 		}
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("core: export trace: %w", err)
@@ -85,6 +87,7 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 			Partition: model.PartitionName(rec.Partition),
 			Process:   rec.Process,
 			Detail:    rec.Detail,
+			Latency:   tick.Ticks(rec.Latency),
 		})
 	}
 	return out, nil

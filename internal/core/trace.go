@@ -65,6 +65,11 @@ type Event struct {
 	Partition model.PartitionName
 	Process   string
 	Detail    string
+	// Latency is the detection latency of EvDeadlineMiss events: how many
+	// ticks after the deadline instant the PAL violation monitoring detected
+	// the expiry (non-zero when the owning partition was inactive at the
+	// deadline, Sect. 6). Zero for other kinds.
+	Latency tick.Ticks
 }
 
 // String renders the event as a log line.

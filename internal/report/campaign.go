@@ -1,0 +1,118 @@
+package report
+
+import (
+	"io"
+	"sort"
+
+	"air/internal/campaign"
+)
+
+// WriteCampaign renders a fault-injection campaign result as Markdown: the
+// robustness summary a system integrator reviews — what was injected, what
+// the health monitor detected, how errors were confined and recovered.
+// Timing is included only when requested: it is wall-clock-dependent, so
+// reports meant to be byte-identical across repetitions omit it.
+func WriteCampaign(w io.Writer, res *campaign.Result, includeTiming bool) error {
+	b := &errWriter{w: w}
+	agg := res.Aggregate
+
+	b.printf("# Fault-injection campaign report\n\n")
+	b.printf("%d runs × %d MTFs, seed %d — scenarios: ", res.Runs, res.MTFs, res.Seed)
+	for i, name := range res.Scenarios {
+		if i > 0 {
+			b.printf(", ")
+		}
+		b.printf("`%s`", name)
+	}
+	b.printf("\n\n")
+
+	b.printf("## Outcome\n\n")
+	b.printf("| metric | value |\n|---|---|\n")
+	b.printf("| runs completed | %d |\n", agg.Runs-agg.Degraded)
+	b.printf("| runs degraded (crash/wedge/error) | %d |\n", agg.Degraded)
+	b.printf("| modules halted | %d |\n", agg.Halted)
+	b.printf("| total ticks simulated | %d |\n", agg.Ticks)
+	b.printf("| deadline misses | %d |\n", agg.DeadlineMisses)
+	b.printf("| mean detection latency (ticks) | %.1f |\n", agg.DetectionLatencyMean)
+	b.printf("| max detection latency (ticks) | %d |\n", agg.DetectionLatencyMax)
+	b.printf("| partition restarts | %d |\n", agg.PartitionRestarts)
+	b.printf("| process restarts | %d |\n", agg.ProcessRestarts)
+	b.printf("| schedule switches | %d |\n", agg.ScheduleSwitches)
+	b.printf("\n")
+
+	b.printf("## Health-monitoring events\n\n")
+	b.printf("%d events total.\n\n", agg.HMEvents)
+	b.printf("| level | events |\n|---|---|\n")
+	for _, k := range sortedKeys(agg.HMByLevel) {
+		b.printf("| %s | %d |\n", k, agg.HMByLevel[k])
+	}
+	b.printf("\n| error code | events |\n|---|---|\n")
+	for _, k := range sortedKeys(agg.HMByCode) {
+		b.printf("| %s | %d |\n", k, agg.HMByCode[k])
+	}
+	b.printf("\n")
+
+	b.printf("## By fault class (HM events attributed to the injector)\n\n")
+	b.printf("| fault class | runs | degraded | deadline misses | attributed HM events | partition restarts | process restarts |\n")
+	b.printf("|---|---|---|---|---|---|---|\n")
+	for _, k := range sortedClassKeys(agg.ByFaultKind) {
+		c := agg.ByFaultKind[k]
+		b.printf("| %s | %d | %d | %d | %d | %d | %d |\n",
+			k, c.Runs, c.Degraded, c.DeadlineMisses, c.HMEvents,
+			c.PartitionRestarts, c.ProcessRestarts)
+	}
+	b.printf("\n")
+
+	b.printf("## By scenario\n\n")
+	b.printf("| scenario | runs | degraded | deadline misses | HM events | schedule switches |\n")
+	b.printf("|---|---|---|---|---|---|\n")
+	for _, k := range sortedClassKeys(agg.ByScenario) {
+		c := agg.ByScenario[k]
+		b.printf("| %s | %d | %d | %d | %d | %d |\n",
+			k, c.Runs, c.Degraded, c.DeadlineMisses, c.HMEvents, c.ScheduleSwitches)
+	}
+	b.printf("\n")
+
+	degraded := 0
+	for _, o := range res.Observations {
+		if o.Degraded {
+			degraded++
+		}
+	}
+	if degraded > 0 {
+		b.printf("## Degraded runs\n\n")
+		b.printf("| run | scenario | error |\n|---|---|---|\n")
+		for _, o := range res.Observations {
+			if o.Degraded {
+				b.printf("| %d | %s | %s |\n", o.Run, o.Scenario, o.Error)
+			}
+		}
+		b.printf("\n")
+	}
+
+	if includeTiming && res.Timing != nil {
+		t := res.Timing
+		b.printf("## Throughput (wall clock — nondeterministic)\n\n")
+		b.printf("| workers | elapsed | aggregate ticks/s |\n|---|---|---|\n")
+		b.printf("| %d | %v | %.0f |\n\n", t.Workers, t.Elapsed, t.TicksPerSecond)
+	}
+	return b.err
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedClassKeys(m map[string]*campaign.ClassAgg) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"air/internal/campaign"
+)
+
+func TestWriteCampaign(t *testing.T) {
+	res, err := campaign.Run(campaign.Spec{Runs: 6, Workers: 2, Seed: 21, MTFs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCampaign(&sb, res, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Fault-injection campaign report",
+		"## Outcome",
+		"## Health-monitoring events",
+		"## By fault class",
+		"## By scenario",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "## Throughput") {
+		t.Error("timing section present without includeTiming")
+	}
+
+	var timed strings.Builder
+	if err := WriteCampaign(&timed, res, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(timed.String(), "## Throughput") {
+		t.Error("timing section missing with includeTiming")
+	}
+}
+
+func TestWriteCampaignDeterministic(t *testing.T) {
+	render := func() string {
+		res, err := campaign.Run(campaign.Spec{Runs: 4, Workers: 3, Seed: 8, MTFs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WriteCampaign(&sb, res, false); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Fatal("campaign report not byte-identical across repetitions")
+	}
+}

@@ -26,13 +26,20 @@ type Output func(p model.PartitionName, line string)
 type Options struct {
 	// Output sinks partition console lines; nil discards them.
 	Output Output
+	// Faults declares the injected faults for this run; see FaultSpec.
+	// Zero-valued spec parameters take per-kind defaults.
+	Faults []FaultSpec
 	// InjectFault installs the faulty process on P1 (Sect. 6): it never
 	// completes, its deadline expires while P1 is inactive, and the HM
 	// restart action re-arms it — reproducing "detected and reported every
 	// time (except the first) that P1 is scheduled and dispatched".
+	//
+	// Deprecated: equivalent to appending FaultSpec{Kind:
+	// FaultDeadlineOverrun, Partition: "P1", Deadline: FaultDeadline} to
+	// Faults; kept so the paper-era examples and tests read unchanged.
 	InjectFault bool
 	// FaultDeadline is the faulty process's time capacity (default 220,
-	// expiring between P1's windows).
+	// expiring between P1's windows). Used only with InjectFault.
 	FaultDeadline tick.Ticks
 	// FDIRSwitchOnStale makes the FDIR partition request the chi2 schedule
 	// after observing consecutive stale attitude samples — mode-based
@@ -63,6 +70,7 @@ func Config(opts Options) core.Config {
 			q.ChangeAction = a
 		}
 	}
+	inj := newInjection(&opts)
 	return core.Config{
 		System:        sys,
 		TraceCapacity: opts.TraceCapacity,
@@ -81,23 +89,26 @@ func Config(opts Options) core.Config {
 		}},
 		Partitions: []core.PartitionConfig{
 			{
-				Name: "P1", System: true, Init: aocsInit(&opts),
-				HMProcessTable: hm.Table{
+				Name: "P1", System: true, Init: aocsInit(&opts, inj),
+				HMProcessTable: inj.processTable("P1", hm.Table{
 					hm.ErrDeadlineMissed: hm.Rule{Action: hm.ActionRestartProcess},
-				},
+				}),
 			},
-			{Name: "P2", Init: obdhInit(&opts)},
-			{Name: "P3", Init: ttcInit(&opts)},
-			{Name: "P4", System: true, Init: fdirInit(&opts)},
+			{Name: "P2", Init: obdhInit(&opts, inj),
+				HMProcessTable: inj.processTable("P2", nil)},
+			{Name: "P3", Init: ttcInit(&opts, inj),
+				HMProcessTable: inj.processTable("P3", nil)},
+			{Name: "P4", System: true, Init: fdirInit(&opts, inj),
+				HMProcessTable: inj.processTable("P4", nil)},
 		},
 	}
 }
 
 // aocsInit is P1: the Attitude and Orbit Control Subsystem. A periodic
 // control process integrates a mock attitude state and publishes it on the
-// attitude sampling channel. With fault injection enabled, a second process
-// that never completes is installed.
-func aocsInit(opts *Options) core.InitFunc {
+// attitude sampling channel. Injected faults targeting P1 (by default the
+// Sect. 6 deadline-overrun process) install during initialization.
+func aocsInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateSamplingPort("att_out", apex.Source)
 		sv.CreateProcess(model.TaskSpec{
@@ -117,25 +128,14 @@ func aocsInit(opts *Options) core.InitFunc {
 			}
 		})
 		sv.StartProcess("aocs_control")
-		if opts.InjectFault {
-			sv.CreateProcess(model.TaskSpec{
-				Name: "faulty", Period: 1300, Deadline: opts.FaultDeadline,
-				BasePriority: 8, WCET: 200, Periodic: true,
-			}, func(sv *core.Services) {
-				opts.emit("P1", "faulty process activated")
-				for {
-					sv.Compute(1 << 30) // runaway computation, never yields
-				}
-			})
-			sv.StartProcess("faulty")
-		}
+		inj.install(sv, "P1")
 		sv.SetPartitionMode(model.ModeNormal)
 	}
 }
 
 // obdhInit is P2: Onboard Data Handling. Each activation samples the
 // attitude port and queues a housekeeping frame toward TTC.
-func obdhInit(opts *Options) core.InitFunc {
+func obdhInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateSamplingPort("att_in", apex.Destination)
 		sv.CreateQueuingPort("hk_out", apex.Source)
@@ -161,13 +161,14 @@ func obdhInit(opts *Options) core.InitFunc {
 			}
 		})
 		sv.StartProcess("obdh_housekeeping")
+		inj.install(sv, "P2")
 		sv.SetPartitionMode(model.ModeNormal)
 	}
 }
 
 // ttcInit is P3: Telemetry, Tracking and Command. It drains the
 // housekeeping queue and "downlinks" the frames.
-func ttcInit(opts *Options) core.InitFunc {
+func ttcInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateQueuingPort("hk_in", apex.Destination)
 		sv.CreateProcess(model.TaskSpec{
@@ -190,6 +191,7 @@ func ttcInit(opts *Options) core.InitFunc {
 			}
 		})
 		sv.StartProcess("ttc_downlink")
+		inj.install(sv, "P3")
 		sv.SetPartitionMode(model.ModeNormal)
 	}
 }
@@ -199,7 +201,7 @@ func ttcInit(opts *Options) core.InitFunc {
 // or missing samples trigger a mode-based schedule switch to chi2 — the
 // paper's motivating use of schedule switching for "accommodation of
 // component failures".
-func fdirInit(opts *Options) core.InitFunc {
+func fdirInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateSamplingPort("att_in", apex.Destination)
 		sv.CreateProcess(model.TaskSpec{
@@ -231,6 +233,7 @@ func fdirInit(opts *Options) core.InitFunc {
 			}
 		})
 		sv.StartProcess("fdir_monitor")
+		inj.install(sv, "P4")
 		sv.SetPartitionMode(model.ModeNormal)
 	}
 }
