@@ -8,7 +8,7 @@
 // Usage:
 //
 //	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
-//	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling]
+//	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling] [-metrics]
 //	aircampaign -write-matrix file.json
 //
 // Results are deterministic in (-seed, -runs, -mtfs, matrix): the JSON and
@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		watchdog    = fs.Duration("watchdog", 0, "per-run wall-clock watchdog (0 = off; tripped runs degrade)")
 		timing      = fs.Bool("timing", false, "include wall-clock throughput in the Markdown report (nondeterministic)")
 		scaling     = fs.Bool("scaling", false, "sweep worker counts {1,2,4,NumCPU} and print a throughput table")
+		metrics     = fs.Bool("metrics", false, "print per-fault-class spine counter deltas against the fault-free baseline scenario")
 		writeMatrix = fs.String("write-matrix", "", "write the built-in matrix to this file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +121,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  HM events by fault class:\n")
 	for _, line := range faultKindLines(agg) {
 		fmt.Fprintf(out, "    %s\n", line)
+	}
+	if *metrics {
+		matrix := spec.Matrix
+		if len(matrix) == 0 {
+			matrix = campaign.DefaultMatrix()
+		}
+		for _, line := range metricsLines(agg, baselineScenario(matrix)) {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
 	}
 	fmt.Fprintf(out, "  goroutines: %d before, %d after\n", before, after)
 
@@ -211,17 +221,96 @@ func faultKindLines(agg campaign.Aggregate) []string {
 	for k := range agg.HMByFaultKind {
 		keys = append(keys, k)
 	}
-	// Small fixed set; insertion sort keeps it dependency-free.
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sortedStrings(keys)
 	lines := make([]string, len(keys))
 	for i, k := range keys {
 		lines[i] = fmt.Sprintf("%-18s %d", k, agg.HMByFaultKind[k])
 	}
 	return lines
+}
+
+// baselineScenario names the matrix's fault-free scenario ("" when the
+// matrix has none), the reference the -metrics deltas are taken against.
+func baselineScenario(matrix []campaign.Scenario) string {
+	for _, sc := range matrix {
+		if len(sc.Faults) == 0 {
+			return sc.Name
+		}
+	}
+	return ""
+}
+
+// metricsLines renders the observability spine's per-fault-class counter
+// deltas: for every scenario, each event kind's per-run mean count minus the
+// fault-free baseline scenario's per-run mean — the counter surplus the
+// fault class provokes.
+func metricsLines(agg campaign.Aggregate, baseline string) []string {
+	perRun := func(name string) map[string]float64 {
+		ca := agg.ByScenario[name]
+		if ca == nil || ca.Runs == 0 {
+			return nil
+		}
+		means := make(map[string]float64, len(ca.Metrics.Counts))
+		for kind, c := range ca.Metrics.Counts {
+			means[kind] = float64(c) / float64(ca.Runs)
+		}
+		return means
+	}
+	base := perRun(baseline)
+	header := "spine counters by scenario (per-run mean)"
+	if base != nil {
+		header = fmt.Sprintf("spine counter deltas by scenario (per-run mean vs %s)", baseline)
+	}
+	lines := []string{header + ":"}
+	for _, name := range sortedStrings(scenarioKeys(agg.ByScenario)) {
+		if name == baseline && base != nil {
+			continue
+		}
+		means := perRun(name)
+		lines = append(lines, fmt.Sprintf("%s (%d runs):", name, agg.ByScenario[name].Runs))
+		kinds := map[string]bool{}
+		for k := range means {
+			kinds[k] = true
+		}
+		for k := range base {
+			kinds[k] = true
+		}
+		for _, k := range sortedStrings(boolKeys(kinds)) {
+			delta := means[k] - base[k]
+			if delta > -0.005 && delta < 0.005 {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("  %-22s %+8.2f/run", k, delta))
+		}
+	}
+	return lines
+}
+
+func scenarioKeys(m map[string]*campaign.ClassAgg) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func boolKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedStrings insertion-sorts in place and returns its argument (small
+// fixed sets; keeps the tool dependency-free).
+func sortedStrings(keys []string) []string {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
 }
 
 func mdSibling(jsonPath string) string {

@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	airtrace [-kind KIND] [-partition P] [-summary] file.jsonl
+//	airtrace [-kind KIND] [-partition P] [-summary|-metrics] file.jsonl
 //	airsim -mtfs 10 -fault -trace-out run.jsonl && airtrace -summary run.jsonl
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"air/internal/core"
 	"air/internal/model"
+	"air/internal/obs"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func run(args []string, out io.Writer) error {
 		kind      = fs.String("kind", "", "only events of this kind (e.g. DEADLINE_MISS)")
 		partition = fs.String("partition", "", "only events of this partition")
 		summary   = fs.Bool("summary", false, "print per-kind and per-partition counts only")
+		metrics   = fs.Bool("metrics", false, "replay the events through a metrics registry and print the snapshot JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +62,16 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		filtered = append(filtered, e)
+	}
+
+	if *metrics {
+		snap := obs.Replay(filtered)
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", data)
+		return nil
 	}
 
 	if *summary {

@@ -3,6 +3,8 @@ package campaign
 import (
 	"encoding/json"
 	"time"
+
+	"air/internal/obs"
 )
 
 // Observation is the structured outcome of one simulation run. All fields
@@ -25,8 +27,9 @@ type Observation struct {
 	Degraded bool   `json:"degraded,omitempty"`
 	Error    string `json:"error,omitempty"`
 	// DeadlineMisses counts DEADLINE_MISSED health-monitoring events;
-	// DetectedMisses counts the corresponding trace records carrying
-	// detection latencies (equal unless the trace ring overflowed).
+	// DetectedMisses counts the DEADLINE_MISS spine events carrying
+	// detection latencies. Both come from monotonic sources (HM log,
+	// metrics registry), so neither is bounded by trace-ring retention.
 	DeadlineMisses int `json:"deadlineMisses"`
 	DetectedMisses int `json:"detectedMisses,omitempty"`
 	// DetectionLatencySum/Max aggregate the deadline-violation detection
@@ -38,10 +41,14 @@ type Observation struct {
 	HMByLevel     map[string]int `json:"hmByLevel"`
 	HMByCode      map[string]int `json:"hmByCode"`
 	HMByFaultKind map[string]int `json:"hmByFaultKind"`
-	// Recovery-action counters from the module trace.
+	// Recovery-action counters, read from the observability spine's
+	// metrics registry.
 	PartitionRestarts int `json:"partitionRestarts,omitempty"`
 	ProcessRestarts   int `json:"processRestarts,omitempty"`
 	ScheduleSwitches  int `json:"scheduleSwitches,omitempty"`
+	// Metrics is the run's full spine snapshot: per-kind event counters
+	// plus detection-latency and window-gap histograms (internal/obs).
+	Metrics obs.Snapshot `json:"metrics"`
 	// WallNanos is the run's wall-clock duration — nondeterministic, kept
 	// out of the serialized artifact.
 	WallNanos int64 `json:"-"`
@@ -69,6 +76,10 @@ type ClassAgg struct {
 	PartitionRestarts int `json:"partitionRestarts,omitempty"`
 	ProcessRestarts   int `json:"processRestarts,omitempty"`
 	ScheduleSwitches  int `json:"scheduleSwitches,omitempty"`
+	// Metrics sums the class's per-run spine snapshots; dividing by Runs
+	// (or subtracting another class's per-run mean) yields the
+	// per-fault-class counter deltas reported by aircampaign -metrics.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // Aggregate is the campaign-wide fold of all observations.
@@ -90,6 +101,9 @@ type Aggregate struct {
 	PartitionRestarts int `json:"partitionRestarts"`
 	ProcessRestarts   int `json:"processRestarts"`
 	ScheduleSwitches  int `json:"scheduleSwitches"`
+
+	// Metrics is the campaign-wide sum of every run's spine snapshot.
+	Metrics obs.Snapshot `json:"metrics"`
 
 	ByScenario  map[string]*ClassAgg `json:"byScenario"`
 	ByFaultKind map[string]*ClassAgg `json:"byFaultKind"`
@@ -162,6 +176,7 @@ func aggregate(observations []Observation) Aggregate {
 		agg.PartitionRestarts += o.PartitionRestarts
 		agg.ProcessRestarts += o.ProcessRestarts
 		agg.ScheduleSwitches += o.ScheduleSwitches
+		agg.Metrics = agg.Metrics.Add(o.Metrics)
 
 		sc := classFor(agg.ByScenario, o.Scenario)
 		sc.add(o, hmTotal(o.HMByLevel))
@@ -207,6 +222,7 @@ func (c *ClassAgg) add(o *Observation, hmEvents int) {
 	c.PartitionRestarts += o.PartitionRestarts
 	c.ProcessRestarts += o.ProcessRestarts
 	c.ScheduleSwitches += o.ScheduleSwitches
+	c.Metrics = c.Metrics.Add(o.Metrics)
 }
 
 func hmTotal(byLevel map[string]int) int {

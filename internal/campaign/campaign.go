@@ -22,6 +22,7 @@ import (
 	"air/internal/core"
 	"air/internal/hm"
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 	"air/internal/workload"
 )
@@ -245,7 +246,7 @@ func scenarioNames(matrix []Scenario) []string {
 // contained by the module itself, and anything escaping (a kernel-side
 // defect, an out-of-memory in trace collection) is recovered into a
 // degraded observation after the module's goroutines are reaped.
-func runOne(spec Spec, run int) (obs Observation) {
+func runOne(spec Spec, run int) (ob Observation) {
 	r := newRunRNG(spec.Seed, run)
 	scenario := pickScenario(spec.Matrix, r)
 	faults := make([]workload.FaultSpec, len(scenario.Faults))
@@ -259,7 +260,7 @@ func runOne(spec Spec, run int) (obs Observation) {
 			Phase:     r.draw(fr.Phase),
 		}
 	}
-	obs = Observation{
+	ob = Observation{
 		Run:      run,
 		Seed:     runSeed(spec.Seed, run),
 		Scenario: scenario.Name,
@@ -267,10 +268,10 @@ func runOne(spec Spec, run int) (obs Observation) {
 	}
 	start := time.Now()
 	defer func() {
-		obs.WallNanos = time.Since(start).Nanoseconds()
+		ob.WallNanos = time.Since(start).Nanoseconds()
 		if rec := recover(); rec != nil {
-			obs.Degraded = true
-			obs.Error = fmt.Sprintf("panic: %v", rec)
+			ob.Degraded = true
+			ob.Error = fmt.Sprintf("panic: %v", rec)
 		}
 	}()
 
@@ -279,71 +280,68 @@ func runOne(spec Spec, run int) (obs Observation) {
 		TraceCapacity: spec.TraceCapacity,
 	}))
 	if err != nil {
-		obs.Degraded = true
-		obs.Error = err.Error()
-		return obs
+		ob.Degraded = true
+		ob.Error = err.Error()
+		return ob
 	}
 	defer m.Shutdown()
 	if err := m.Start(); err != nil {
-		obs.Degraded = true
-		obs.Error = err.Error()
-		collect(m, &obs)
-		return obs
+		ob.Degraded = true
+		ob.Error = err.Error()
+		collect(m, &ob)
+		return ob
 	}
 	mtf := model.Fig8System().Schedules[0].MTF
 	for i := 0; i < spec.MTFs; i++ {
 		if spec.Watchdog > 0 && time.Since(start) > spec.Watchdog {
-			obs.Degraded = true
-			obs.Error = fmt.Sprintf("watchdog: run exceeded %v after %d MTFs", spec.Watchdog, i)
+			ob.Degraded = true
+			ob.Error = fmt.Sprintf("watchdog: run exceeded %v after %d MTFs", spec.Watchdog, i)
 			break
 		}
 		if err := m.Run(mtf); err != nil {
-			obs.Degraded = true
-			obs.Error = err.Error()
+			ob.Degraded = true
+			ob.Error = err.Error()
 			break
 		}
 		if m.Halted() {
 			break
 		}
 	}
-	collect(m, &obs)
-	return obs
+	collect(m, &ob)
+	return ob
 }
 
-// collect folds the module's health-monitoring log and trace into the
-// observation.
-func collect(m *core.Module, obs *Observation) {
-	obs.Ticks = int64(m.Now())
-	obs.Halted = m.Halted()
-	obs.HMByLevel = map[string]int{}
-	obs.HMByCode = map[string]int{}
-	obs.HMByFaultKind = map[string]int{}
+// collect folds the module's health-monitoring log and its observability
+// metrics snapshot into the observation. The trace-derived counters come
+// from the spine's monotonic registry rather than a walk over the bounded
+// trace ring, so they are exact even when the ring overflowed.
+func (ob *Observation) fold(snap obs.Snapshot) {
+	ob.Metrics = snap
+	ob.DetectedMisses = int(snap.CountKind(obs.KindDeadlineMiss))
+	ob.DetectionLatencySum = int64(snap.DetectionLatency.Sum)
+	ob.DetectionLatencyMax = int64(snap.DetectionLatency.Max)
+	ob.PartitionRestarts = int(snap.CountKind(obs.KindPartitionRestart))
+	ob.ProcessRestarts = int(snap.CountKind(obs.KindProcessRestarted))
+	ob.ScheduleSwitches = int(snap.CountKind(obs.KindScheduleSwitch))
+}
+
+func collect(m *core.Module, ob *Observation) {
+	ob.Ticks = int64(m.Now())
+	ob.Halted = m.Halted()
+	ob.HMByLevel = map[string]int{}
+	ob.HMByCode = map[string]int{}
+	ob.HMByFaultKind = map[string]int{}
 	for _, e := range m.Health().Events() {
-		obs.HMByLevel[e.Level.String()]++
-		obs.HMByCode[e.Code.String()]++
+		ob.HMByLevel[e.Level.String()]++
+		ob.HMByCode[e.Code.String()]++
 		if k, ok := attributeEvent(e); ok {
-			obs.HMByFaultKind[k.String()]++
+			ob.HMByFaultKind[k.String()]++
 		}
 		if e.Code == hm.ErrDeadlineMissed {
-			obs.DeadlineMisses++
+			ob.DeadlineMisses++
 		}
 	}
-	for _, ev := range m.Trace() {
-		switch ev.Kind {
-		case core.EvDeadlineMiss:
-			obs.DetectedMisses++
-			obs.DetectionLatencySum += int64(ev.Latency)
-			if int64(ev.Latency) > obs.DetectionLatencyMax {
-				obs.DetectionLatencyMax = int64(ev.Latency)
-			}
-		case core.EvPartitionRestart:
-			obs.PartitionRestarts++
-		case core.EvProcessRestarted:
-			obs.ProcessRestarts++
-		case core.EvScheduleSwitch:
-			obs.ScheduleSwitches++
-		}
-	}
+	ob.fold(m.Metrics())
 }
 
 // attributeEvent maps an HM event back to the fault class that provoked it:

@@ -20,6 +20,7 @@ import (
 	"air/internal/ipc"
 	"air/internal/mmu"
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/pmk"
 	"air/internal/pos"
 	"air/internal/tick"
@@ -83,13 +84,19 @@ type Config struct {
 	// MemoryBytes sizes the simulated physical memory (default 16 MiB).
 	MemoryBytes int
 	// TraceCapacity bounds the trace ring (default 4096 events; <0
-	// disables tracing).
+	// disables trace retention — the spine's metrics still accumulate).
 	TraceCapacity int
+	// CoreID attributes this module's spine events to a processor core
+	// (only meaningful under a multicore shared platform).
+	CoreID int
+	// Sinks attaches additional observability sinks (streaming JSONL
+	// export, custom probes) to the module's spine at construction.
+	Sinks []obs.Sink
 	// Shared, when non-nil, injects platform components owned by an
 	// enclosing multicore module (paper Sect. 8 future work (iv)): the
-	// physical memory/MMU, the interpartition channel router and the
-	// health monitor are shared across cores while each core keeps its own
-	// partition scheduler and dispatcher.
+	// physical memory/MMU, the interpartition channel router, the health
+	// monitor and the observability spine are shared across cores while
+	// each core keeps its own partition scheduler and dispatcher.
 	Shared *SharedPlatform
 }
 
@@ -99,6 +106,11 @@ type SharedPlatform struct {
 	Memory *mmu.MMU
 	Router *ipc.Router
 	Health *hm.Monitor
+	// Bus, when non-nil, is the module-wide observability spine all cores
+	// emit into; Ring is its bounded retention sink (may be nil when
+	// retention is disabled).
+	Bus  *obs.Bus
+	Ring *obs.Ring
 }
 
 // DeviceMapping binds a memory-mapped I/O device into one partition's
@@ -138,7 +150,9 @@ type Module struct {
 	started bool
 	halted  bool
 
-	trace *trace
+	bus    *obs.Bus
+	ring   *obs.Ring
+	coreID int
 }
 
 // NewModule validates the configuration against the formal model and builds
@@ -162,7 +176,20 @@ func NewModule(cfg Config) (*Module, error) {
 		cfg:        cfg,
 		sys:        cfg.System,
 		partitions: make(map[model.PartitionName]*Partition, len(cfg.Partitions)),
-		trace:      newTrace(cfg.TraceCapacity),
+		coreID:     cfg.CoreID,
+	}
+	if cfg.Shared != nil && cfg.Shared.Bus != nil {
+		m.bus = cfg.Shared.Bus
+		m.ring = cfg.Shared.Ring
+	} else {
+		m.bus = obs.NewBus()
+		m.ring = newTraceRing(cfg.TraceCapacity)
+		if m.ring != nil {
+			m.bus.Attach(m.ring)
+		}
+	}
+	for _, s := range cfg.Sinks {
+		m.bus.Attach(s)
 	}
 	nowFn := func() tick.Ticks { return m.now }
 	if cfg.Shared != nil {
@@ -180,11 +207,13 @@ func NewModule(cfg Config) (*Module, error) {
 	} else {
 		m.memory = mmu.New(memBytes)
 		m.router = ipc.NewRouter()
+		m.router.AttachObs(obs.NewEmitter(m.bus, m.coreID))
 		m.health = hm.New(hm.Config{
 			Now:             nowFn,
 			ModuleTable:     cfg.HMModuleTable,
 			PartitionTables: partitionTables(cfg, func(pc PartitionConfig) hm.Table { return pc.HMPartitionTable }),
 			ProcessTables:   partitionTables(cfg, func(pc PartitionConfig) hm.Table { return pc.HMProcessTable }),
+			Obs:             obs.NewEmitter(m.bus, m.coreID),
 		})
 	}
 
@@ -212,12 +241,14 @@ func NewModule(cfg Config) (*Module, error) {
 		return nil, err
 	}
 	m.sched = sched
+	m.sched.AttachObs(obs.NewEmitter(m.bus, m.coreID))
 	m.disp = pmk.NewDispatcher(sched, pmk.Hooks{
 		SaveContext:                 func(model.PartitionName) {}, // page tables are per-partition; nothing to spill
 		RestoreContext:              m.restoreContext,
 		EnterIdle:                   m.memory.ClearContext,
 		PendingScheduleChangeAction: m.applyPendingScheduleAction,
 	})
+	m.disp.AttachObs(obs.NewEmitter(m.bus, m.coreID))
 
 	for _, pc := range cfg.Partitions {
 		pt, err := newPartition(m, pc)

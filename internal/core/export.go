@@ -1,23 +1,14 @@
 package core
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 
-	"air/internal/model"
-	"air/internal/tick"
+	"air/internal/hm"
+	"air/internal/obs"
 )
-
-// traceRecord is the JSON shape of an exported trace event.
-type traceRecord struct {
-	Time      int64  `json:"t"`
-	Kind      string `json:"kind"`
-	Partition string `json:"partition,omitempty"`
-	Process   string `json:"process,omitempty"`
-	Detail    string `json:"detail,omitempty"`
-	Latency   int64  `json:"latency,omitempty"`
-}
 
 // hmRecord is the JSON shape of an exported health-monitoring event.
 type hmRecord struct {
@@ -30,30 +21,27 @@ type hmRecord struct {
 	Message   string `json:"message,omitempty"`
 }
 
-// WriteTrace streams the module trace as JSON lines — one event per line —
-// for offline analysis tooling (timelines, dashboards, diffing runs).
-func (m *Module) WriteTrace(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	for _, e := range m.Trace() {
-		rec := traceRecord{
-			Time:      int64(e.Time),
-			Kind:      e.Kind.String(),
-			Partition: string(e.Partition),
-			Process:   e.Process,
-			Detail:    e.Detail,
-			Latency:   int64(e.Latency),
-		}
-		if err := enc.Encode(rec); err != nil {
-			return fmt.Errorf("core: export trace: %w", err)
-		}
+// EncodeTrace streams events as JSON lines in the unified spine record
+// format (obs.Record): one event per line, new fields (core, code, level,
+// action) omitted when zero so historical trace output is byte-stable.
+func EncodeTrace(w io.Writer, events []Event) error {
+	if err := obs.EncodeEvents(w, events); err != nil {
+		return fmt.Errorf("core: export trace: %w", err)
 	}
 	return nil
 }
 
-// WriteHealthLog streams the health monitor log as JSON lines.
-func (m *Module) WriteHealthLog(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	for _, e := range m.health.Events() {
+// WriteTrace streams the module trace as JSON lines — one event per line —
+// for offline analysis tooling (timelines, dashboards, diffing runs).
+func (m *Module) WriteTrace(w io.Writer) error {
+	return EncodeTrace(w, m.Trace())
+}
+
+// EncodeHealthLog streams health-monitoring events as JSON lines.
+func EncodeHealthLog(w io.Writer, events []hm.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
 		rec := hmRecord{
 			Time:      int64(e.Time),
 			Code:      e.Code.String(),
@@ -67,37 +55,24 @@ func (m *Module) WriteHealthLog(w io.Writer) error {
 			return fmt.Errorf("core: export health log: %w", err)
 		}
 	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: export health log: %w", err)
+	}
 	return nil
+}
+
+// WriteHealthLog streams the health monitor log as JSON lines.
+func (m *Module) WriteHealthLog(w io.Writer) error {
+	return EncodeHealthLog(w, m.health.Events())
 }
 
 // ReadTrace parses a JSON-lines trace produced by WriteTrace back into
 // events (round-trip tooling support). Unknown kinds parse with kind left
 // zero; times and strings are preserved.
 func ReadTrace(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
-	var out []Event
-	for dec.More() {
-		var rec traceRecord
-		if err := dec.Decode(&rec); err != nil {
-			return nil, fmt.Errorf("core: parse trace: %w", err)
-		}
-		out = append(out, Event{
-			Time:      tick.Ticks(rec.Time),
-			Kind:      kindFromString(rec.Kind),
-			Partition: model.PartitionName(rec.Partition),
-			Process:   rec.Process,
-			Detail:    rec.Detail,
-			Latency:   tick.Ticks(rec.Latency),
-		})
+	events, err := obs.DecodeEvents(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse trace: %w", err)
 	}
-	return out, nil
-}
-
-func kindFromString(s string) EventKind {
-	for k := EvPartitionSwitch; k <= EvMemoryViolation; k++ {
-		if k.String() == s {
-			return k
-		}
-	}
-	return 0
+	return events, nil
 }

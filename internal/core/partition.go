@@ -8,6 +8,7 @@ import (
 	"air/internal/hm"
 	"air/internal/mmu"
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/pal"
 	"air/internal/pos"
 	"air/internal/tick"
@@ -136,6 +137,7 @@ func (pt *Partition) buildKernel() {
 		Now:          nowFn,
 		Observer:     p,
 		MaxProcesses: pt.cfg.MaxProcesses,
+		Obs:          obs.NewEmitter(pt.mod.bus, pt.mod.coreID),
 	})
 	p.Bind(k)
 	pt.kernel = k

@@ -1,132 +1,75 @@
 package core
 
-import (
-	"fmt"
+import "air/internal/obs"
 
-	"air/internal/model"
-	"air/internal/tick"
-)
+// EventKind classifies trace events. It is an alias of the unified
+// observability spine's kind (internal/obs): the module trace is now one
+// view over the spine, and these names remain the stable core-facing API.
+type EventKind = obs.Kind
 
-// EventKind classifies trace events.
-type EventKind int
-
-// Trace event kinds.
+// Trace event kinds (numeric values and wire names unchanged from the
+// original trace format; see obs.Kind).
 const (
-	EvPartitionSwitch EventKind = iota + 1
-	EvScheduleSwitch
-	EvDeadlineMiss
-	EvHMAction
-	EvPartitionRestart
-	EvPartitionStopped
-	EvProcessStopped
-	EvProcessRestarted
-	EvApplicationMessage
-	EvModuleReset
-	EvModuleHalt
-	EvMemoryViolation
+	EvPartitionSwitch    = obs.KindPartitionSwitch
+	EvScheduleSwitch     = obs.KindScheduleSwitch
+	EvDeadlineMiss       = obs.KindDeadlineMiss
+	EvHMAction           = obs.KindHMAction
+	EvPartitionRestart   = obs.KindPartitionRestart
+	EvPartitionStopped   = obs.KindPartitionStopped
+	EvProcessStopped     = obs.KindProcessStopped
+	EvProcessRestarted   = obs.KindProcessRestarted
+	EvApplicationMessage = obs.KindApplicationMessage
+	EvModuleReset        = obs.KindModuleReset
+	EvModuleHalt         = obs.KindModuleHalt
+	EvMemoryViolation    = obs.KindMemoryViolation
 )
 
-// String renders the kind.
-func (k EventKind) String() string {
-	switch k {
-	case EvPartitionSwitch:
-		return "PARTITION_SWITCH"
-	case EvScheduleSwitch:
-		return "SCHEDULE_SWITCH"
-	case EvDeadlineMiss:
-		return "DEADLINE_MISS"
-	case EvHMAction:
-		return "HM_ACTION"
-	case EvPartitionRestart:
-		return "PARTITION_RESTART"
-	case EvPartitionStopped:
-		return "PARTITION_STOPPED"
-	case EvProcessStopped:
-		return "PROCESS_STOPPED"
-	case EvProcessRestarted:
-		return "PROCESS_RESTARTED"
-	case EvApplicationMessage:
-		return "APPLICATION_MESSAGE"
-	case EvModuleReset:
-		return "MODULE_RESET"
-	case EvModuleHalt:
-		return "MODULE_HALT"
-	case EvMemoryViolation:
-		return "MEMORY_VIOLATION"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
-	}
+// Event is one trace record — an alias of the spine event. For
+// EvDeadlineMiss events Latency is the detection latency: how many ticks
+// after the deadline instant the PAL violation monitoring detected the
+// expiry (non-zero when the owning partition was inactive at the deadline,
+// Sect. 6).
+type Event = obs.Event
+
+// traceEvent publishes one event on the module's spine with the module's
+// core attribution (0 on single-core modules).
+func (m *Module) traceEvent(e Event) {
+	e.Core = m.coreID
+	m.bus.Emit(e)
 }
 
-// Event is one trace record.
-type Event struct {
-	Time      tick.Ticks
-	Kind      EventKind
-	Partition model.PartitionName
-	Process   string
-	Detail    string
-	// Latency is the detection latency of EvDeadlineMiss events: how many
-	// ticks after the deadline instant the PAL violation monitoring detected
-	// the expiry (non-zero when the owning partition was inactive at the
-	// deadline, Sect. 6). Zero for other kinds.
-	Latency tick.Ticks
-}
-
-// String renders the event as a log line.
-func (e Event) String() string {
-	who := string(e.Partition)
-	if e.Process != "" {
-		who += "/" + e.Process
-	}
-	if who != "" {
-		who = " " + who
-	}
-	return fmt.Sprintf("[%6d] %s%s: %s", e.Time, e.Kind, who, e.Detail)
-}
-
-// trace is a bounded ring of events.
-type trace struct {
-	events   []Event
-	capacity int
-	disabled bool
-}
-
-func newTrace(capacity int) *trace {
-	switch {
-	case capacity < 0:
-		return &trace{disabled: true}
-	case capacity == 0:
+// newTraceRing sizes the module trace ring: capacity < 0 disables retention
+// (metrics still accumulate), 0 selects the 4096-event default. The ring
+// admits only the twelve historical trace kinds, so the spine's
+// high-frequency fine-grained events cannot crowd coarse trace records out
+// of bounded retention.
+func newTraceRing(capacity int) *obs.Ring {
+	if capacity == 0 {
 		capacity = 4096
 	}
-	return &trace{capacity: capacity}
+	return obs.NewRingKinds(capacity, obs.TraceKinds()...) // nil for capacity < 0
 }
 
-func (t *trace) add(e Event) {
-	if t.disabled {
-		return
-	}
-	t.events = append(t.events, e)
-	if len(t.events) > t.capacity {
-		t.events = t.events[len(t.events)-t.capacity:]
-	}
-}
+// Trace returns a copy of the events retained by the module's trace ring.
+// On a multicore shared spine this is the whole module trace, already in
+// (time, core) emission order.
+func (m *Module) Trace() []Event { return m.ring.Events() }
 
-func (m *Module) traceEvent(e Event) { m.trace.add(e) }
-
-// Trace returns a copy of the recorded events.
-func (m *Module) Trace() []Event {
-	out := make([]Event, len(m.trace.events))
-	copy(out, m.trace.events)
-	return out
-}
-
-// TraceKind returns the recorded events of one kind.
+// TraceKind returns the retained events of one kind.
 func (m *Module) TraceKind(kind EventKind) []Event {
 	var out []Event
-	for _, e := range m.trace.events {
+	for _, e := range m.ring.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
 	}
 	return out
 }
+
+// Bus exposes the module's observability spine so integrators can attach
+// additional sinks before Start (streaming JSONL export, custom probes).
+func (m *Module) Bus() *obs.Bus { return m.bus }
+
+// Metrics returns a snapshot of the spine's metrics registry: per-kind
+// event counters plus detection-latency and window-gap histograms.
+func (m *Module) Metrics() obs.Snapshot { return m.bus.Snapshot() }

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 )
 
@@ -203,6 +204,10 @@ type Config struct {
 	ProcessTables map[model.PartitionName]Table
 	// MaxLog bounds the in-memory event log; 0 means unbounded.
 	MaxLog int
+	// Obs publishes every recorded event on the module's observability
+	// spine as a structured KindHMReport record (code/level/action). The
+	// zero Emitter discards, so standalone monitors need no spine.
+	Obs obs.Emitter
 }
 
 // Monitor is the AIR Health Monitor instance for a module.
@@ -216,6 +221,7 @@ type Monitor struct {
 	events    []Event
 	maxLog    int
 	handlers  map[model.PartitionName]bool // error handler installed?
+	obs       obs.Emitter
 }
 
 type counterKey struct {
@@ -240,7 +246,17 @@ func New(cfg Config) *Monitor {
 		counters:  make(map[counterKey]int),
 		maxLog:    cfg.MaxLog,
 		handlers:  make(map[model.PartitionName]bool),
+		obs:       cfg.Obs,
 	}
+}
+
+// AttachObs installs the spine emitter after construction (multicore
+// configurations build the shared monitor before the shared spine's core
+// emitters exist).
+func (m *Monitor) AttachObs(em obs.Emitter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs = em
 }
 
 // SetPartitionTable installs or replaces the partition-level rule table for
@@ -359,6 +375,18 @@ func (m *Monitor) record(e Event) Decision {
 	if m.maxLog > 0 && len(m.events) > m.maxLog {
 		m.events = m.events[len(m.events)-m.maxLog:]
 	}
+	// The code/level/action strings are constant per enum value, so this
+	// publication allocates nothing on the hot path.
+	m.obs.Emit(obs.Event{
+		Time:      e.Time,
+		Kind:      obs.KindHMReport,
+		Partition: e.Partition,
+		Process:   e.Process,
+		Detail:    e.Message,
+		Code:      e.Code.String(),
+		Level:     e.Level.String(),
+		Action:    e.Action.String(),
+	})
 	return Decision{Action: e.Action, Event: e}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 )
 
@@ -67,6 +68,7 @@ type SamplingChannel struct {
 	slot   message
 	filled bool
 	writes uint64
+	obs    obs.Emitter
 }
 
 // Config returns the integration-time configuration.
@@ -91,6 +93,8 @@ func (c *SamplingChannel) Write(from model.PartitionName, data []byte, now tick.
 	c.slot = message{data: buf, sent: now}
 	c.filled = true
 	c.writes++
+	c.obs.Emit(obs.Event{Time: now, Kind: obs.KindPortSend,
+		Partition: from, Process: c.cfg.Source.Port, Detail: c.cfg.Name})
 	return nil
 }
 
@@ -118,11 +122,23 @@ func (c *SamplingChannel) Read(to model.PartitionName, now tick.Ticks) (ReadResu
 	out := make([]byte, len(c.slot.data))
 	copy(out, c.slot.data)
 	age := now - c.slot.sent - c.cfg.Latency
+	c.obs.Emit(obs.Event{Time: now, Kind: obs.KindPortReceive,
+		Partition: to, Process: c.destPort(to), Detail: c.cfg.Name})
 	return ReadResult{
 		Data:  out,
 		Valid: c.cfg.Refresh <= 0 || age <= c.cfg.Refresh,
 		Age:   age,
 	}, nil
+}
+
+// destPort resolves the destination partition's port name on this channel.
+func (c *SamplingChannel) destPort(p model.PartitionName) string {
+	for _, d := range c.cfg.Destinations {
+		if d.Partition == p {
+			return d.Port
+		}
+	}
+	return ""
 }
 
 // Writes returns the number of successful writes (diagnostics).
@@ -154,6 +170,7 @@ type QueuingChannel struct {
 	queue []message
 	sends uint64
 	drops uint64
+	obs   obs.Emitter
 }
 
 // Config returns the integration-time configuration.
@@ -181,6 +198,8 @@ func (c *QueuingChannel) Send(from model.PartitionName, data []byte, now tick.Ti
 	copy(buf, data)
 	c.queue = append(c.queue, message{data: buf, sent: now})
 	c.sends++
+	c.obs.Emit(obs.Event{Time: now, Kind: obs.KindPortSend,
+		Partition: from, Process: c.cfg.Source.Port, Detail: c.cfg.Name})
 	return nil
 }
 
@@ -198,6 +217,8 @@ func (c *QueuingChannel) Receive(to model.PartitionName, now tick.Ticks) ([]byte
 		return nil, fmt.Errorf("%w: %s (in flight)", ErrQueueEmpty, c.cfg.Name)
 	}
 	c.queue = c.queue[1:]
+	c.obs.Emit(obs.Event{Time: now, Kind: obs.KindPortReceive,
+		Partition: to, Process: c.cfg.Destination.Port, Detail: c.cfg.Name})
 	return head.data, nil
 }
 
@@ -216,6 +237,22 @@ func (c *QueuingChannel) Drops() uint64 { return c.drops }
 type Router struct {
 	sampling map[string]*SamplingChannel
 	queuing  map[string]*QueuingChannel
+	obs      obs.Emitter
+}
+
+// AttachObs publishes successful port transfers (KindPortSend on writes and
+// sends, KindPortReceive on reads and receives) on the module's
+// observability spine. It applies to the already-installed channels and to
+// channels added afterwards. The emitted fields are the channel's
+// integration-time strings, so publication never allocates.
+func (r *Router) AttachObs(em obs.Emitter) {
+	r.obs = em
+	for _, ch := range r.sampling {
+		ch.obs = em
+	}
+	for _, ch := range r.queuing {
+		ch.obs = em
+	}
 }
 
 // NewRouter creates an empty Router.
@@ -237,7 +274,7 @@ func (r *Router) AddSampling(cfg SamplingConfig) (*SamplingChannel, error) {
 	if len(cfg.Destinations) == 0 {
 		return nil, fmt.Errorf("ipc: channel %s: no destinations", cfg.Name)
 	}
-	ch := &SamplingChannel{cfg: cfg}
+	ch := &SamplingChannel{cfg: cfg, obs: r.obs}
 	r.sampling[cfg.Name] = ch
 	return ch, nil
 }
@@ -253,7 +290,7 @@ func (r *Router) AddQueuing(cfg QueuingConfig) (*QueuingChannel, error) {
 	if cfg.Depth <= 0 {
 		return nil, fmt.Errorf("ipc: channel %s: non-positive depth", cfg.Name)
 	}
-	ch := &QueuingChannel{cfg: cfg}
+	ch := &QueuingChannel{cfg: cfg, obs: r.obs}
 	r.queuing[cfg.Name] = ch
 	return ch, nil
 }

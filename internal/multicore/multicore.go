@@ -27,6 +27,7 @@ import (
 	"air/internal/ipc"
 	"air/internal/mmu"
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	HMModuleTable hm.Table
 	// MemoryBytes sizes the shared simulated physical memory.
 	MemoryBytes int
+	// TraceCapacity bounds the module-wide trace ring shared by all cores
+	// (0 inherits Cores[0].TraceCapacity, then the 4096 default; <0
+	// disables retention — spine metrics still accumulate).
+	TraceCapacity int
+	// Sinks attaches additional observability sinks to the shared spine.
+	Sinks []obs.Sink
 }
 
 // Multicore module errors.
@@ -90,15 +97,41 @@ func NewModule(cfg Config) (*Module, error) {
 	if memBytes == 0 {
 		memBytes = 16 << 20
 	}
+	traceCap := cfg.TraceCapacity
+	if traceCap == 0 {
+		traceCap = cfg.Cores[0].TraceCapacity
+	}
+	if traceCap == 0 {
+		traceCap = 4096
+	}
 	m := &Module{byPart: byPart}
+	// One observability spine spans the whole module: every core emits into
+	// it with its own core tag, so the shared ring holds the merged module
+	// trace in (time, core) emission order with no post-hoc sorting. The
+	// ring admits only the twelve trace kinds (bounded retention must not be
+	// crowded out by fine-grained scheduling events).
+	bus := obs.NewBus()
+	ring := obs.NewRingKinds(traceCap, obs.TraceKinds()...)
+	if ring != nil {
+		bus.Attach(ring)
+	}
+	for _, s := range cfg.Sinks {
+		bus.Attach(s)
+	}
 	m.shared = core.SharedPlatform{
 		Memory: mmu.New(memBytes),
 		Router: ipc.NewRouter(),
 		Health: hm.New(hm.Config{
 			Now:         func() tick.Ticks { return m.now },
 			ModuleTable: cfg.HMModuleTable,
+			// The monitor and router are module-wide components; their
+			// spine events carry core tag 0.
+			Obs: obs.NewEmitter(bus, 0),
 		}),
+		Bus:  bus,
+		Ring: ring,
 	}
+	m.shared.Router.AttachObs(obs.NewEmitter(bus, 0))
 	for _, sc := range cfg.Sampling {
 		if _, err := m.shared.Router.AddSampling(sc); err != nil {
 			return nil, err
@@ -111,6 +144,7 @@ func NewModule(cfg Config) (*Module, error) {
 	}
 	for i, cc := range cfg.Cores {
 		cc.Shared = &m.shared
+		cc.CoreID = i
 		cm, err := core.NewModule(cc)
 		if err != nil {
 			return nil, fmt.Errorf("core %d: %w", i, err)
@@ -212,15 +246,12 @@ func (m *Module) Health() *hm.Monitor { return m.shared.Health }
 // Memory exposes the shared MMU.
 func (m *Module) Memory() *mmu.MMU { return m.shared.Memory }
 
-// Trace merges all cores' traces in (time, core) order.
+// Trace returns the module-wide trace. Cores are stepped in index order at
+// every global tick, so the shared ring's emission order is already the
+// merged (time, core) order the old per-core merge sort produced — each
+// event carries the emitting core in Event.Core.
 func (m *Module) Trace() []core.Event {
-	var out []core.Event
-	for _, c := range m.cores {
-		out = append(out, c.Trace()...)
-	}
-	// Stable merge by time, preserving core order within a tick.
-	sortEventsByTime(out)
-	return out
+	return m.shared.Ring.Events()
 }
 
 // TraceKind filters the merged trace.
@@ -234,15 +265,11 @@ func (m *Module) TraceKind(kind core.EventKind) []core.Event {
 	return out
 }
 
-func sortEventsByTime(events []core.Event) {
-	// Insertion sort keeps the per-core relative order among equal times
-	// (stable) and the inputs are already mostly sorted.
-	for i := 1; i < len(events); i++ {
-		for j := i; j > 0 && events[j-1].Time > events[j].Time; j-- {
-			events[j-1], events[j] = events[j], events[j-1]
-		}
-	}
-}
+// Bus exposes the module-wide observability spine.
+func (m *Module) Bus() *obs.Bus { return m.shared.Bus }
+
+// Metrics returns a snapshot of the shared spine's metrics registry.
+func (m *Module) Metrics() obs.Snapshot { return m.shared.Bus.Snapshot() }
 
 // VerifyAffinity checks a multicore configuration's partition-to-core
 // assignment without building the module (integration tooling).

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// Record is the unified JSONL wire form of an Event. Field order and the
+// omitempty set are pinned by golden-file tests in internal/core: records
+// written for the original twelve trace kinds are byte-identical to the
+// historical trace exporter, and the new fields (core, code, level, action)
+// only appear when non-zero.
+type Record struct {
+	Time      int64  `json:"t"`
+	Kind      string `json:"kind"`
+	Core      int    `json:"core,omitempty"`
+	Partition string `json:"partition,omitempty"`
+	Process   string `json:"process,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	Latency   int64  `json:"latency,omitempty"`
+	Code      string `json:"code,omitempty"`
+	Level     string `json:"level,omitempty"`
+	Action    string `json:"action,omitempty"`
+}
+
+// ToRecord converts an event to its wire form.
+func ToRecord(e Event) Record {
+	return Record{
+		Time:      int64(e.Time),
+		Kind:      e.Kind.String(),
+		Core:      e.Core,
+		Partition: string(e.Partition),
+		Process:   e.Process,
+		Detail:    e.Detail,
+		Latency:   int64(e.Latency),
+		Code:      e.Code,
+		Level:     e.Level,
+		Action:    e.Action,
+	}
+}
+
+// FromRecord converts a wire record back to an event (unknown kind names
+// yield Kind 0, mirroring the historical trace reader).
+func (r Record) Event() Event {
+	return Event{
+		Time:      tick.Ticks(r.Time),
+		Kind:      KindFromString(r.Kind),
+		Core:      r.Core,
+		Partition: model.PartitionName(r.Partition),
+		Process:   r.Process,
+		Detail:    r.Detail,
+		Latency:   tick.Ticks(r.Latency),
+		Code:      r.Code,
+		Level:     r.Level,
+		Action:    r.Action,
+	}
+}
+
+// JSONLSink streams events to a writer as one JSON record per line, during
+// the run rather than from a post-hoc copy. It buffers internally; callers
+// must Flush (or Close) before reading the destination.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a streaming sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one record line. The first write error sticks and suppresses
+// further output; check it via Flush.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ToRecord(e))
+}
+
+// Flush drains the internal buffer and returns the first error encountered
+// by the sink.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return fmt.Errorf("obs: jsonl sink: %w", s.err)
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+		return fmt.Errorf("obs: jsonl sink: %w", err)
+	}
+	return nil
+}
+
+// EncodeEvents writes events as JSONL to w (the batch counterpart of
+// JSONLSink, used by the trace export facades).
+func EncodeEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(ToRecord(e)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeEvents reads JSONL records from r until EOF.
+func DecodeEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return events, err
+		}
+		events = append(events, rec.Event())
+	}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import "air/internal/tick"
+
+// histBuckets is the number of log2 latency buckets: bucket i counts
+// observations v with 2^(i-1) ≤ v < 2^i (bucket 0 counts v ≤ 0, which the
+// simulation never produces but the registry tolerates).
+const histBuckets = 16
+
+// Histogram is a fixed-size log2-bucket latency histogram. All fields are
+// plain values — observing never allocates.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+func (h *Histogram) observe(v tick.Ticks) {
+	h.count++
+	if v <= 0 {
+		h.buckets[0]++
+		return
+	}
+	u := uint64(v)
+	h.sum += u
+	if u > h.max {
+		h.max = u
+	}
+	b := 1
+	for x := u; x > 1 && b < histBuckets-1; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+}
+
+// HistSnapshot is the JSON-serializable state of a Histogram.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+	}
+	last := -1
+	for i, b := range h.buckets {
+		if b != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = make([]uint64, last+1)
+		copy(s.Buckets, h.buckets[:last+1])
+	}
+	return s
+}
+
+// Metrics is the spine's always-on registry: monotonic per-kind event
+// counters plus latency histograms for deadline-miss detection latency and
+// partition window gaps. All storage is fixed-size so observing an event on
+// the hot path performs zero heap allocations.
+type Metrics struct {
+	counts [kindCount + 1]uint64
+	// detection buckets DEADLINE_MISS detection latencies (PAL Algorithm 3,
+	// paper Sect. 6); windowGap buckets the ticks a partition spent off the
+	// processor before each window activation.
+	detection Histogram
+	windowGap Histogram
+}
+
+func (m *Metrics) observe(e Event) {
+	if e.Kind >= 1 && int(e.Kind) <= kindCount {
+		m.counts[e.Kind]++
+	}
+	switch e.Kind {
+	case KindDeadlineMiss:
+		m.detection.observe(e.Latency)
+	case KindWindowActivation:
+		m.windowGap.observe(e.Latency)
+	}
+}
+
+// Count returns the monotonic counter for one kind.
+func (m *Metrics) Count(k Kind) uint64 {
+	if m == nil || k < 1 || int(k) > kindCount {
+		return 0
+	}
+	return m.counts[k]
+}
+
+// Snapshot captures the registry state as a serializable value.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	var total uint64
+	var counts map[string]uint64
+	for k := 1; k <= kindCount; k++ {
+		if c := m.counts[k]; c != 0 {
+			if counts == nil {
+				counts = make(map[string]uint64, kindCount)
+			}
+			counts[Kind(k).String()] = c
+			total += c
+		}
+	}
+	return Snapshot{
+		Events:           total,
+		Counts:           counts,
+		DetectionLatency: m.detection.snapshot(),
+		WindowGap:        m.windowGap.snapshot(),
+	}
+}
+
+// Snapshot is a point-in-time copy of a Metrics registry, serializable to
+// JSON and subtractable to form deltas (per-fault-class counter deltas in
+// campaign reports, per-phase deltas in experiments).
+type Snapshot struct {
+	// Events is the total number of observed events across all kinds.
+	Events uint64 `json:"events"`
+	// Counts maps kind names to monotonic counters; zero counters are
+	// omitted so snapshots stay compact and deterministic.
+	Counts           map[string]uint64 `json:"counts,omitempty"`
+	DetectionLatency HistSnapshot      `json:"detectionLatency"`
+	WindowGap        HistSnapshot      `json:"windowGap"`
+}
+
+// Count returns the snapshot's counter for a kind name (0 when absent).
+func (s Snapshot) Count(kind string) uint64 { return s.Counts[kind] }
+
+// CountKind returns the snapshot's counter for a kind.
+func (s Snapshot) CountKind(k Kind) uint64 { return s.Counts[k.String()] }
+
+// Sub returns the per-counter delta s − base (counters are monotonic, so
+// deltas of a later snapshot against an earlier one are non-negative;
+// histograms subtract field-wise except Max, which keeps s's value).
+func (s Snapshot) Sub(base Snapshot) Snapshot {
+	d := Snapshot{
+		Events:           s.Events - base.Events,
+		DetectionLatency: subHist(s.DetectionLatency, base.DetectionLatency),
+		WindowGap:        subHist(s.WindowGap, base.WindowGap),
+	}
+	for name, c := range s.Counts {
+		if delta := c - base.Counts[name]; delta != 0 {
+			if d.Counts == nil {
+				d.Counts = make(map[string]uint64, len(s.Counts))
+			}
+			d.Counts[name] = delta
+		}
+	}
+	return d
+}
+
+// Add returns the per-counter sum s + other — how campaign aggregation folds
+// the per-run snapshots of one scenario or fault class into a class total.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	t := Snapshot{
+		Events:           s.Events + other.Events,
+		DetectionLatency: addHist(s.DetectionLatency, other.DetectionLatency),
+		WindowGap:        addHist(s.WindowGap, other.WindowGap),
+	}
+	if s.Counts != nil || other.Counts != nil {
+		t.Counts = make(map[string]uint64, len(s.Counts)+len(other.Counts))
+		for name, c := range s.Counts {
+			t.Counts[name] += c
+		}
+		for name, c := range other.Counts {
+			t.Counts[name] += c
+		}
+	}
+	return t
+}
+
+func addHist(a, b HistSnapshot) HistSnapshot {
+	t := HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Max: a.Max}
+	if b.Max > t.Max {
+		t.Max = b.Max
+	}
+	if t.Count > 0 {
+		t.Mean = float64(t.Sum) / float64(t.Count)
+	}
+	if n := max(len(a.Buckets), len(b.Buckets)); n > 0 {
+		t.Buckets = make([]uint64, n)
+		copy(t.Buckets, a.Buckets)
+		for i, v := range b.Buckets {
+			t.Buckets[i] += v
+		}
+	}
+	return t
+}
+
+func subHist(a, b HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: a.Count - b.Count, Sum: a.Sum - b.Sum, Max: a.Max}
+	if d.Count > 0 {
+		d.Mean = float64(d.Sum) / float64(d.Count)
+	}
+	n := len(a.Buckets)
+	if n > 0 {
+		d.Buckets = make([]uint64, n)
+		copy(d.Buckets, a.Buckets)
+		for i, v := range b.Buckets {
+			if i < n {
+				d.Buckets[i] -= v
+			}
+		}
+	}
+	return d
+}
+
+// Replay folds a recorded event stream through a fresh registry and returns
+// its snapshot — how cmd/airtrace derives metrics from an exported trace.
+func Replay(events []Event) Snapshot {
+	var m Metrics
+	for _, e := range events {
+		m.observe(e)
+	}
+	return m.Snapshot()
+}

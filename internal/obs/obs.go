@@ -1,0 +1,253 @@
+// Package obs is the module's unified observability spine: one typed event
+// stream spanning every layer of the architecture — partition scheduling
+// (PMK), process scheduling (POS), deadline monitoring (PAL via core),
+// health monitoring, interpartition communication and the module kernel —
+// published through a single Bus with pluggable sinks and an always-on,
+// allocation-free metrics registry.
+//
+// The design follows the uniform low-overhead instrumentation plane argued
+// for by partitioned-RTOS benchmarking practice: emitting an event with no
+// sink attached costs a handful of counter increments and performs zero heap
+// allocations, so instrumentation can stay enabled on the hot tick path.
+// Sinks (a bounded ring for post-hoc inspection, a streaming JSONL writer
+// for during-the-run export) are attached at integration time.
+//
+// Layer attribution: every event carries the emitting core's index
+// (multicore modules share one spine), the partition and process it concerns
+// and — for health-monitoring reports — the structured code/level/action
+// triple of the HM decision.
+package obs
+
+import (
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/tick"
+)
+
+// Kind classifies spine events. The first twelve kinds are the module trace
+// kinds (their numeric values and names are part of the JSONL trace format);
+// the remaining kinds are the fine-grained scheduling and communication
+// events published by the PMK, POS and IPC layers.
+type Kind int
+
+// Event kinds.
+const (
+	KindPartitionSwitch Kind = iota + 1
+	KindScheduleSwitch
+	KindDeadlineMiss
+	KindHMAction
+	KindPartitionRestart
+	KindPartitionStopped
+	KindProcessStopped
+	KindProcessRestarted
+	KindApplicationMessage
+	KindModuleReset
+	KindModuleHalt
+	KindMemoryViolation
+	// KindWindowActivation is emitted by the partition dispatcher when a
+	// partition window begins (the heir partition receives the processor);
+	// Latency carries the elapsed ticks since the partition last ran.
+	KindWindowActivation
+	// KindHeirSelection is emitted by the partition scheduler at every
+	// partition preemption point, naming the selected heir.
+	KindHeirSelection
+	// KindPreemption is emitted when execution is taken away from a running
+	// entity: with an empty Process it is a partition losing the processor
+	// at a preemption point; with a Process it is a POS-level process
+	// preemption inside a partition.
+	KindPreemption
+	// KindPortSend / KindPortReceive are emitted by the interpartition
+	// communication channels on successful message transfer; Process carries
+	// the port name and Detail the channel name.
+	KindPortSend
+	KindPortReceive
+	// KindHMReport is emitted by the Health Monitor for every reported
+	// error, carrying the structured Code/Level/Action fields.
+	KindHMReport
+
+	kindCount = int(KindHMReport)
+)
+
+// TraceKinds lists the twelve historical module-trace kinds, the default
+// admission set of a module's bounded trace ring.
+func TraceKinds() []Kind {
+	out := make([]Kind, 0, int(KindMemoryViolation))
+	for k := KindPartitionSwitch; k <= KindMemoryViolation; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// kindNames indexes Kind → wire name. The first twelve entries are pinned by
+// the JSONL trace schema (see internal/core's golden-file test).
+var kindNames = [...]string{
+	KindPartitionSwitch:    "PARTITION_SWITCH",
+	KindScheduleSwitch:     "SCHEDULE_SWITCH",
+	KindDeadlineMiss:       "DEADLINE_MISS",
+	KindHMAction:           "HM_ACTION",
+	KindPartitionRestart:   "PARTITION_RESTART",
+	KindPartitionStopped:   "PARTITION_STOPPED",
+	KindProcessStopped:     "PROCESS_STOPPED",
+	KindProcessRestarted:   "PROCESS_RESTARTED",
+	KindApplicationMessage: "APPLICATION_MESSAGE",
+	KindModuleReset:        "MODULE_RESET",
+	KindModuleHalt:         "MODULE_HALT",
+	KindMemoryViolation:    "MEMORY_VIOLATION",
+	KindWindowActivation:   "WINDOW_ACTIVATION",
+	KindHeirSelection:      "HEIR_SELECTION",
+	KindPreemption:         "PREEMPTION",
+	KindPortSend:           "PORT_SEND",
+	KindPortReceive:        "PORT_RECEIVE",
+	KindHMReport:           "HM_REPORT",
+}
+
+// String renders the kind.
+func (k Kind) String() string {
+	if k >= 1 && int(k) <= kindCount {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// KindFromString parses a wire name back into a Kind (0 for unknown names).
+func KindFromString(s string) Kind {
+	for k := Kind(1); int(k) <= kindCount; k++ {
+		if kindNames[k] == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// Event is one spine record. The zero value of every field other than Time
+// and Kind means "not applicable": events are small comparable values and
+// are passed by value throughout, so emission never heap-allocates.
+type Event struct {
+	Time tick.Ticks
+	Kind Kind
+	// Core attributes the event to the emitting processor core (always 0 in
+	// single-core modules).
+	Core      int
+	Partition model.PartitionName
+	Process   string
+	Detail    string
+	// Latency is kind-dependent: for KindDeadlineMiss it is the detection
+	// latency of the miss (ticks from the deadline instant to PAL
+	// detection, Sect. 6); for KindWindowActivation it is the number of
+	// ticks since the partition last held the processor. Zero otherwise.
+	Latency tick.Ticks
+	// Code, Level and Action carry the Health Monitor's structured decision
+	// for KindHMReport events (ARINC 653 error code, error level and the
+	// recovery action decided). Empty for other kinds.
+	Code   string
+	Level  string
+	Action string
+}
+
+// String renders the event as a log line (the historical module trace
+// format, extended with a core tag on multicore spines).
+func (e Event) String() string {
+	who := string(e.Partition)
+	if e.Process != "" {
+		who += "/" + e.Process
+	}
+	if who != "" {
+		who = " " + who
+	}
+	if e.Core != 0 {
+		return fmt.Sprintf("[%6d] c%d %s%s: %s", e.Time, e.Core, e.Kind, who, e.Detail)
+	}
+	return fmt.Sprintf("[%6d] %s%s: %s", e.Time, e.Kind, who, e.Detail)
+}
+
+// Sink consumes published events. Sinks run synchronously on the emitting
+// path under the module's strict-alternation execution model: they must not
+// block and must not retain references into concurrently mutated state
+// (Event is a value; retaining it is fine).
+type Sink interface {
+	Emit(e Event)
+}
+
+// Bus is the spine: a metrics registry plus zero or more sinks. The zero
+// number of sinks is the hot-path case — Emit then only updates the fixed
+// counter arrays. A nil *Bus is valid and discards everything.
+//
+// A Bus is not internally synchronized: the module's strict alternation
+// already serializes all emitters of one spine (multicore modules step cores
+// in index order). Campaign workers each own a private spine.
+type Bus struct {
+	metrics Metrics
+	sinks   []Sink
+}
+
+// NewBus creates an empty spine.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach adds a sink. Attaching a nil sink is a no-op.
+func (b *Bus) Attach(s Sink) {
+	if b == nil || s == nil {
+		return
+	}
+	b.sinks = append(b.sinks, s)
+}
+
+// Active reports whether any sink is attached. Emitters can use it to skip
+// building expensive Detail strings for events nobody will read (metrics
+// never need them).
+func (b *Bus) Active() bool { return b != nil && len(b.sinks) > 0 }
+
+// Emit publishes one event: the metrics registry always observes it, then
+// every attached sink receives it in attach order.
+func (b *Bus) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	b.metrics.observe(e)
+	for _, s := range b.sinks {
+		s.Emit(e)
+	}
+}
+
+// Metrics exposes the bus's registry.
+func (b *Bus) Metrics() *Metrics {
+	if b == nil {
+		return nil
+	}
+	return &b.metrics
+}
+
+// Snapshot returns the registry's current state (nil-safe).
+func (b *Bus) Snapshot() Snapshot {
+	if b == nil {
+		return Snapshot{}
+	}
+	return b.metrics.Snapshot()
+}
+
+// Emitter couples a bus with a fixed core-attribution tag, giving the
+// emitting layers (PMK, POS, IPC, HM) a zero-value-usable handle: the zero
+// Emitter discards events, so layers need no nil checks and unit tests need
+// no spine.
+type Emitter struct {
+	bus  *Bus
+	core int
+}
+
+// NewEmitter binds a bus and a core tag.
+func NewEmitter(b *Bus, core int) Emitter { return Emitter{bus: b, core: core} }
+
+// Emit publishes the event with the emitter's core tag.
+func (em Emitter) Emit(e Event) {
+	if em.bus == nil {
+		return
+	}
+	e.Core = em.core
+	em.bus.Emit(e)
+}
+
+// Active reports whether emitted events reach any sink.
+func (em Emitter) Active() bool { return em.bus.Active() }
+
+// Bus returns the underlying bus (nil for the zero Emitter).
+func (em Emitter) Bus() *Bus { return em.bus }

@@ -1,0 +1,105 @@
+package obs
+
+// Ring is a bounded event sink backed by a true circular buffer: appending
+// past capacity overwrites the oldest event in place with no copying or
+// reallocation, so steady-state appends are O(1) regardless of capacity
+// (the previous module trace re-sliced its backing array, memmoving up to
+// capacity events on every add once full).
+type Ring struct {
+	buf  []Event
+	head int    // index of the oldest retained event
+	n    int    // number of retained events (≤ len(buf))
+	mask uint64 // bitmask of admitted kinds; 0 admits every kind
+}
+
+// NewRing creates a ring retaining the most recent capacity events.
+// Capacity ≤ 0 yields a nil ring, which is a valid no-op sink.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// NewRingKinds creates a ring that admits only the listed kinds, so bounded
+// retention of coarse events (e.g. the module trace) is not crowded out by
+// high-frequency fine-grained kinds sharing the spine.
+func NewRingKinds(capacity int, kinds ...Kind) *Ring {
+	r := NewRing(capacity)
+	if r == nil {
+		return nil
+	}
+	for _, k := range kinds {
+		if k >= 1 && k < 64 {
+			r.mask |= 1 << uint(k)
+		}
+	}
+	return r
+}
+
+// Emit appends the event, overwriting the oldest when full. Implements Sink.
+func (r *Ring) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	if r.mask != 0 && (e.Kind < 1 || e.Kind >= 64 || r.mask&(1<<uint(e.Kind)) == 0) {
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Events returns the retained events, oldest first, as a fresh slice the
+// caller owns.
+func (r *Ring) Events() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Event, r.n)
+	first := copy(out, r.buf[r.head:min(r.head+r.n, len(r.buf))])
+	copy(out[first:], r.buf[:r.n-first])
+	return out
+}
+
+// CountKind returns how many retained events have the given kind.
+func (r *Ring) CountKind(k Kind) int {
+	if r == nil {
+		return 0
+	}
+	count := 0
+	for i := 0; i < r.n; i++ {
+		if r.buf[(r.head+i)%len(r.buf)].Kind == k {
+			count++
+		}
+	}
+	return count
+}
+
+// Reset discards all retained events, keeping the buffer.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.head, r.n = 0, 0
+}

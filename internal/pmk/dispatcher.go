@@ -2,6 +2,7 @@ package pmk
 
 import (
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 )
 
@@ -49,6 +50,8 @@ type Dispatcher struct {
 	hasRun   bool
 	lastTick map[model.PartitionName]tick.Ticks
 	switches int
+
+	obs obs.Emitter
 }
 
 // NewDispatcher creates a Dispatcher bound to its scheduler and hooks.
@@ -74,6 +77,7 @@ func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
 			d.hooks.SaveContext(d.active.Partition)
 		}
 		d.lastTick[d.active.Partition] = ticks - 1
+		d.obs.Emit(obs.Event{Time: ticks, Kind: obs.KindPreemption, Partition: d.active.Partition})
 	}
 	// Line 6: ticks elapsed since the heir last held the processor.
 	var elapsed tick.Ticks
@@ -92,6 +96,10 @@ func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
 		if d.hooks.PendingScheduleChangeAction != nil {
 			d.hooks.PendingScheduleChangeAction(heir.Partition)
 		}
+		// The heir's window begins; Latency records how long the partition
+		// was off the processor (feeds the spine's window-gap histogram).
+		d.obs.Emit(obs.Event{Time: ticks, Kind: obs.KindWindowActivation,
+			Partition: heir.Partition, Latency: elapsed})
 	}
 	// Line 7: the heir becomes the active partition.
 	d.active = heir
@@ -99,6 +107,12 @@ func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
 	d.switches++
 	return DispatchResult{Switched: true, Active: heir, ElapsedTicks: elapsed}
 }
+
+// AttachObs publishes partition context switches on the module's
+// observability spine: a KindPreemption event for the outgoing partition
+// and a KindWindowActivation event (Latency = ticks off the processor) for
+// the incoming heir.
+func (d *Dispatcher) AttachObs(em obs.Emitter) { d.obs = em }
 
 // Active returns the partition currently holding the processing resources.
 func (d *Dispatcher) Active() Heir { return d.active }

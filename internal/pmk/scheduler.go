@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 )
 
@@ -51,6 +52,8 @@ type Scheduler struct {
 	// the first time the partition is dispatched after a schedule switch.
 	// The Dispatcher consumes it (Algorithm 2 line 9).
 	pendingActions map[model.PartitionName]model.ScheduleChangeAction
+
+	obs obs.Emitter
 }
 
 // NewScheduler creates a Scheduler over the compiled schedules. Schedule IDs
@@ -113,8 +116,14 @@ func (s *Scheduler) Tick() bool {
 	// Line 9: advance the table iterator modulo the number of partition
 	// preemption points.
 	s.tableIterator = (s.tableIterator + 1) % len(cs.Points)
+	s.obs.Emit(obs.Event{Time: s.ticks, Kind: obs.KindHeirSelection, Partition: s.heir.Partition})
 	return true
 }
+
+// AttachObs publishes every partition preemption point's heir selection as
+// a KindHeirSelection event on the module's observability spine (the
+// partition field is empty when the heir is the idle window).
+func (s *Scheduler) AttachObs(em obs.Emitter) { s.obs = em }
 
 // Heir returns the current heir partition.
 func (s *Scheduler) Heir() Heir { return s.heir }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"air/internal/model"
+	"air/internal/obs"
 	"air/internal/tick"
 )
 
@@ -88,6 +89,8 @@ type Kernel struct {
 	// running process is not preempted by higher-priority ready processes.
 	lockLevel int
 	running   ProcessID
+
+	obs obs.Emitter
 }
 
 // Options configures a Kernel.
@@ -101,6 +104,10 @@ type Options struct {
 	// MaxProcesses bounds the process table (0 = 256, a typical ARINC 653
 	// partition limit).
 	MaxProcesses int
+	// Obs publishes process-level scheduling events (KindPreemption when a
+	// running process loses the processor to a higher-priority heir) on the
+	// module's observability spine. The zero Emitter discards.
+	Obs obs.Emitter
 }
 
 // NewKernel creates a POS kernel.
@@ -124,6 +131,7 @@ func NewKernel(opts Options) *Kernel {
 		observer:  opts.Observer,
 		byName:    make(map[string]ProcessID),
 		maxProcs:  opts.MaxProcesses,
+		obs:       opts.Obs,
 	}
 }
 
@@ -517,6 +525,8 @@ func (k *Kernel) Dispatch() (*Process, bool) {
 		prev := k.procs[k.running-1]
 		if prev.State == model.StateRunning {
 			prev.State = model.StateReady
+			k.obs.Emit(obs.Event{Time: k.now(), Kind: obs.KindPreemption,
+				Partition: k.partition, Process: prev.Spec.Name})
 			// Antiquity is preserved: a preempted process keeps its
 			// position among equal-priority peers.
 		}
