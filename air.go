@@ -52,6 +52,7 @@ import (
 	"air/internal/model"
 	"air/internal/multicore"
 	"air/internal/pos"
+	"air/internal/recovery"
 	"air/internal/report"
 	"air/internal/sched"
 	"air/internal/tick"
@@ -393,7 +394,43 @@ const (
 	FaultModeSwitchStorm  = workload.FaultModeSwitchStorm
 	FaultSporadicOverload = workload.FaultSporadicOverload
 	FaultIPCFlood         = workload.FaultIPCFlood
+	FaultRestartStorm     = workload.FaultRestartStorm
+	FaultPartitionHang    = workload.FaultPartitionHang
 )
+
+// Recovery orchestration (restart budgets, partition quarantine, graceful
+// degradation to safe-mode schedules — internal/recovery). A RecoveryPolicy
+// plugs into Config.Recovery; the module then arbitrates every HM-decided
+// partition restart through it.
+type (
+	// RecoveryPolicy is a module's complete recovery-orchestration policy.
+	RecoveryPolicy = recovery.Policy
+	// RecoveryBudget is a partition's restart token-bucket.
+	RecoveryBudget = recovery.Budget
+	// RecoveryQuarantine configures the failed-recovery circuit breaker.
+	RecoveryQuarantine = recovery.Quarantine
+	// RecoveryDegradation configures safe-mode schedule escalation.
+	RecoveryDegradation = recovery.Degradation
+	// RecoveryRung is one step of the degradation ladder.
+	RecoveryRung = recovery.Rung
+	// RecoveryEngine is the per-module orchestrator (Module.Recovery()).
+	RecoveryEngine = recovery.Engine
+	// RecoveryStatus is a partition's recovery state.
+	RecoveryStatus = recovery.Status
+)
+
+// Recovery statuses (Module.Recovery().StatusOf).
+const (
+	RecoveryNormal      = recovery.StatusNormal
+	RecoveryDeferred    = recovery.StatusDeferred
+	RecoveryQuarantined = recovery.StatusQuarantined
+	RecoveryHalfOpen    = recovery.StatusHalfOpen
+)
+
+// DefaultRecoveryPolicy returns the conservative policy sized for the Fig. 8
+// prototype (budgeted restarts, quarantine after three failed recoveries,
+// empty degradation ladder — safe-mode schedules must be named explicitly).
+func DefaultRecoveryPolicy() RecoveryPolicy { return recovery.DefaultPolicy() }
 
 // RunCampaign executes a fault-injection campaign: Spec.Runs independent
 // module simulations distributed over a worker pool, each seeded

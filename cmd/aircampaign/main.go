@@ -9,7 +9,13 @@
 //
 //	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
 //	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling] [-metrics]
+//	            [-recovery]
 //	aircampaign -write-matrix file.json
+//
+// -recovery applies the built-in recovery-orchestration policy (restart
+// budgets, partition quarantine, graceful degradation to the chi2 safe-mode
+// schedule) to every run and reports its effectiveness: deferred restarts,
+// quarantine count, MTTR, ticks spent degraded and schedule restores.
 //
 // Results are deterministic in (-seed, -runs, -mtfs, matrix): the JSON and
 // Markdown artifacts are byte-identical across repetitions and worker
@@ -51,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		timing      = fs.Bool("timing", false, "include wall-clock throughput in the Markdown report (nondeterministic)")
 		scaling     = fs.Bool("scaling", false, "sweep worker counts {1,2,4,NumCPU} and print a throughput table")
 		metrics     = fs.Bool("metrics", false, "print per-fault-class spine counter deltas against the fault-free baseline scenario")
+		recov       = fs.Bool("recovery", false, "apply the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation) to every run")
 		writeMatrix = fs.String("write-matrix", "", "write the built-in matrix to this file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +102,12 @@ func run(args []string, out io.Writer) error {
 	if set["watchdog"] {
 		spec.Watchdog = *watchdog
 	}
+	// -recovery layers the built-in policy on top of whatever the matrix
+	// document configured (flag wins, matching the other overrides).
+	if *recov {
+		pol := config.DefaultRecovery().Policy()
+		spec.Recovery = &pol
+	}
 
 	if *scaling {
 		return runScaling(out, spec)
@@ -118,6 +131,14 @@ func run(args []string, out io.Writer) error {
 		agg.DeadlineMisses, agg.DetectionLatencyMean, agg.DetectionLatencyMax)
 	fmt.Fprintf(out, "  HM events %d, partition restarts %d, process restarts %d, schedule switches %d\n",
 		agg.HMEvents, agg.PartitionRestarts, agg.ProcessRestarts, agg.ScheduleSwitches)
+	fmt.Fprintf(out, "  containment: %d/%d runs confined HM activity to fault-target partitions\n",
+		agg.ContainedRuns, agg.Runs)
+	if spec.Recovery != nil || agg.Quarantines > 0 || agg.RestartsDeferred > 0 {
+		fmt.Fprintf(out, "  recovery: %d restarts deferred, %d quarantines, %d recovered (MTTR mean %.1f ticks, max %d)\n",
+			agg.RestartsDeferred, agg.Quarantines, agg.Recoveries, agg.MTTRMean, agg.MTTRMax)
+		fmt.Fprintf(out, "  degradation: %d ticks in safe-mode schedules, %d nominal-schedule restores\n",
+			agg.TicksDegraded, agg.ScheduleRestores)
+	}
 	fmt.Fprintf(out, "  HM events by fault class:\n")
 	for _, line := range faultKindLines(agg) {
 		fmt.Fprintf(out, "    %s\n", line)

@@ -41,6 +41,33 @@ func TestRunSmallCampaign(t *testing.T) {
 	}
 }
 
+// TestRunRecoveryFlag: -recovery applies the built-in policy and surfaces
+// the recovery-effectiveness lines on stdout and the report section in the
+// Markdown artifact.
+func TestRunRecoveryFlag(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "result.json")
+	var sb strings.Builder
+	err := run([]string{"-runs", "4", "-workers", "2", "-seed", "5", "-mtfs", "2",
+		"-recovery", "-out", outPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := sb.String()
+	for _, want := range []string{"containment:", "recovery:", "degradation:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"contained"`) {
+		t.Error("result JSON missing containment verdicts")
+	}
+}
+
 func TestRunDeterministicArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	render := func(name string, workers string) []byte {

@@ -7,11 +7,16 @@
 //
 // Usage:
 //
-//	airsim [-mtfs n] [-fault] [-switch-at mtf] [-frames n]
+//	airsim [-mtfs n] [-fault] [-faults list] [-recovery] [-switch-at mtf]
+//	       [-frames n]
 //
 // -fault injects the faulty process on P1 (deadline violation every P1
-// dispatch except the first). -switch-at requests the chi2 schedule at the
-// given MTF boundary, exercising mode-based schedules.
+// dispatch except the first). -faults injects a comma-separated list of
+// fault classes (e.g. "restart-storm,partition-hang") with per-kind
+// defaults. -recovery enables the built-in recovery-orchestration policy
+// (restart budgets, quarantine, chi2 safe-mode degradation). -switch-at
+// requests the chi2 schedule at the given MTF boundary, exercising
+// mode-based schedules.
 package main
 
 import (
@@ -19,9 +24,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"air/internal/config"
 	"air/internal/core"
 	"air/internal/model"
+	"air/internal/obs"
+	"air/internal/recovery"
 	"air/internal/vitral"
 	"air/internal/workload"
 )
@@ -36,17 +45,35 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("airsim", flag.ContinueOnError)
 	var (
-		mtfs     = fs.Int("mtfs", 6, "major time frames to simulate")
-		fault    = fs.Bool("fault", false, "inject the faulty process on P1")
-		switchAt = fs.Int("switch-at", -1, "request schedule chi2 at this MTF boundary (-1 = never)")
-		frames   = fs.Int("frames", 2, "VITRAL frames to print (evenly spaced; last frame always printed)")
-		traceOut = fs.String("trace-out", "", "write the module trace as JSON lines to this file")
-		hmOut    = fs.String("hm-out", "", "write the health monitor log as JSON lines to this file")
+		mtfs      = fs.Int("mtfs", 6, "major time frames to simulate")
+		fault     = fs.Bool("fault", false, "inject the faulty process on P1")
+		faultList = fs.String("faults", "", "comma-separated fault classes to inject with per-kind defaults (e.g. restart-storm,partition-hang)")
+		recov     = fs.Bool("recovery", false, "enable the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation)")
+		switchAt  = fs.Int("switch-at", -1, "request schedule chi2 at this MTF boundary (-1 = never)")
+		frames    = fs.Int("frames", 2, "VITRAL frames to print (evenly spaced; last frame always printed)")
+		traceOut  = fs.String("trace-out", "", "write the module trace as JSON lines to this file")
+		hmOut     = fs.String("hm-out", "", "write the health monitor log as JSON lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	const mtf = 1300
+
+	var faults []workload.FaultSpec
+	if *faultList != "" {
+		for _, name := range strings.Split(*faultList, ",") {
+			kind, err := workload.ParseFaultKind(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			faults = append(faults, workload.FaultSpec{Kind: kind})
+		}
+	}
+	var policy *recovery.Policy
+	if *recov {
+		pol := config.DefaultRecovery().Policy()
+		policy = &pol
+	}
 
 	screen, windows := vitral.Grid(
 		[]string{"P1 AOCS", "P2 OBDH", "P3 TTC", "P4 FDIR", "AIR PMK", "AIR Health Monitor"},
@@ -58,6 +85,8 @@ func run(args []string, out io.Writer) error {
 
 	m, err := core.NewModule(workload.Config(workload.Options{
 		InjectFault: *fault,
+		Faults:      faults,
+		Recovery:    policy,
 		Output: func(p model.PartitionName, line string) {
 			if w := byPartition[p]; w != nil {
 				w.Println(line)
@@ -115,6 +144,13 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "simulation complete: t=%d, deadline misses=%d, schedule switches=%d\n",
 		m.Now(), len(m.TraceKind(core.EvDeadlineMiss)), len(m.TraceKind(core.EvScheduleSwitch)))
+	if policy != nil {
+		snap := m.Metrics()
+		fmt.Fprintf(out, "recovery: %d restarts deferred, %d quarantines, %d recovered (MTTR mean %.1f ticks), %d ticks degraded, %d restores\n",
+			snap.CountKind(obs.KindRestartDeferred), snap.CountKind(obs.KindQuarantineEnter),
+			snap.CountKind(obs.KindQuarantineExit), snap.MTTR.Mean,
+			snap.DegradedTicks.Sum, snap.CountKind(obs.KindScheduleRestore))
+	}
 
 	if *traceOut != "" {
 		if err := writeExport(*traceOut, m.WriteTrace); err != nil {

@@ -45,9 +45,29 @@ func TestRunFaultSwitchAndExports(t *testing.T) {
 	}
 }
 
+// TestRunRecoveryStorm: -faults restart-storm under -recovery prints the
+// recovery-effectiveness summary with quarantine activity.
+func TestRunRecoveryStorm(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mtfs", "12", "-frames", "0",
+		"-faults", "restart-storm", "-recovery"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recovery:") {
+		t.Errorf("recovery summary missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "0 quarantines") {
+		t.Errorf("storm never quarantined:\n%s", out.String())
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-zzz"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-faults", "bit-flip"}, &out); err == nil {
+		t.Error("unknown fault kind accepted")
 	}
 }

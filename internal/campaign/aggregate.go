@@ -46,6 +46,22 @@ type Observation struct {
 	PartitionRestarts int `json:"partitionRestarts,omitempty"`
 	ProcessRestarts   int `json:"processRestarts,omitempty"`
 	ScheduleSwitches  int `json:"scheduleSwitches,omitempty"`
+	// Recovery-orchestration effectiveness (internal/recovery): deferred
+	// restarts, quarantine entries, lifted quarantines (each carrying an
+	// MTTR — ticks from quarantine entry to the healthy probe), ticks spent
+	// in safe-mode schedules and nominal-schedule restores. All zero when
+	// the campaign runs without a recovery policy.
+	RestartsDeferred int   `json:"restartsDeferred,omitempty"`
+	Quarantines      int   `json:"quarantines,omitempty"`
+	Recoveries       int   `json:"recoveries,omitempty"`
+	MTTRSum          int64 `json:"mttrSum,omitempty"`
+	MTTRMax          int64 `json:"mttrMax,omitempty"`
+	TicksDegraded    int64 `json:"ticksDegraded,omitempty"`
+	ScheduleRestores int   `json:"scheduleRestores,omitempty"`
+	// Contained reports error confinement: every HM event of the run lies
+	// on a partition targeted by an injected fault (vacuously true for the
+	// fault-free baseline).
+	Contained bool `json:"contained"`
 	// Metrics is the run's full spine snapshot: per-kind event counters
 	// plus detection-latency and window-gap histograms (internal/obs).
 	Metrics obs.Snapshot `json:"metrics"`
@@ -76,6 +92,17 @@ type ClassAgg struct {
 	PartitionRestarts int `json:"partitionRestarts,omitempty"`
 	ProcessRestarts   int `json:"processRestarts,omitempty"`
 	ScheduleSwitches  int `json:"scheduleSwitches,omitempty"`
+	// Recovery-orchestration effectiveness sums (see Observation).
+	RestartsDeferred int   `json:"restartsDeferred,omitempty"`
+	Quarantines      int   `json:"quarantines,omitempty"`
+	Recoveries       int   `json:"recoveries,omitempty"`
+	MTTRSum          int64 `json:"mttrSum,omitempty"`
+	MTTRMax          int64 `json:"mttrMax,omitempty"`
+	TicksDegraded    int64 `json:"ticksDegraded,omitempty"`
+	ScheduleRestores int   `json:"scheduleRestores,omitempty"`
+	// ContainedRuns counts the class's runs whose HM activity stayed on
+	// fault-target partitions.
+	ContainedRuns int `json:"containedRuns"`
 	// Metrics sums the class's per-run spine snapshots; dividing by Runs
 	// (or subtracting another class's per-run mean) yields the
 	// per-fault-class counter deltas reported by aircampaign -metrics.
@@ -101,6 +128,19 @@ type Aggregate struct {
 	PartitionRestarts int `json:"partitionRestarts"`
 	ProcessRestarts   int `json:"processRestarts"`
 	ScheduleSwitches  int `json:"scheduleSwitches"`
+
+	// Recovery-orchestration effectiveness across the whole campaign:
+	// MTTRMean is the mean quarantine duration over all Recoveries (0 when
+	// nothing recovered); ContainedRuns counts runs whose HM activity
+	// stayed on fault-target partitions.
+	RestartsDeferred int     `json:"restartsDeferred"`
+	Quarantines      int     `json:"quarantines"`
+	Recoveries       int     `json:"recoveries"`
+	MTTRMean         float64 `json:"mttrMean"`
+	MTTRMax          int64   `json:"mttrMax"`
+	TicksDegraded    int64   `json:"ticksDegraded"`
+	ScheduleRestores int     `json:"scheduleRestores"`
+	ContainedRuns    int     `json:"containedRuns"`
 
 	// Metrics is the campaign-wide sum of every run's spine snapshot.
 	Metrics obs.Snapshot `json:"metrics"`
@@ -176,6 +216,18 @@ func aggregate(observations []Observation) Aggregate {
 		agg.PartitionRestarts += o.PartitionRestarts
 		agg.ProcessRestarts += o.ProcessRestarts
 		agg.ScheduleSwitches += o.ScheduleSwitches
+		agg.RestartsDeferred += o.RestartsDeferred
+		agg.Quarantines += o.Quarantines
+		agg.Recoveries += o.Recoveries
+		agg.MTTRMean += float64(o.MTTRSum)
+		if o.MTTRMax > agg.MTTRMax {
+			agg.MTTRMax = o.MTTRMax
+		}
+		agg.TicksDegraded += o.TicksDegraded
+		agg.ScheduleRestores += o.ScheduleRestores
+		if o.Contained {
+			agg.ContainedRuns++
+		}
 		agg.Metrics = agg.Metrics.Add(o.Metrics)
 
 		sc := classFor(agg.ByScenario, o.Scenario)
@@ -196,6 +248,11 @@ func aggregate(observations []Observation) Aggregate {
 		agg.DetectionLatencyMean /= float64(latencyCount)
 	} else {
 		agg.DetectionLatencyMean = 0
+	}
+	if agg.Recoveries > 0 {
+		agg.MTTRMean /= float64(agg.Recoveries)
+	} else {
+		agg.MTTRMean = 0
 	}
 	return agg
 }
@@ -222,6 +279,18 @@ func (c *ClassAgg) add(o *Observation, hmEvents int) {
 	c.PartitionRestarts += o.PartitionRestarts
 	c.ProcessRestarts += o.ProcessRestarts
 	c.ScheduleSwitches += o.ScheduleSwitches
+	c.RestartsDeferred += o.RestartsDeferred
+	c.Quarantines += o.Quarantines
+	c.Recoveries += o.Recoveries
+	c.MTTRSum += o.MTTRSum
+	if o.MTTRMax > c.MTTRMax {
+		c.MTTRMax = o.MTTRMax
+	}
+	c.TicksDegraded += o.TicksDegraded
+	c.ScheduleRestores += o.ScheduleRestores
+	if o.Contained {
+		c.ContainedRuns++
+	}
 	c.Metrics = c.Metrics.Add(o.Metrics)
 }
 

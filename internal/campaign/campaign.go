@@ -23,6 +23,7 @@ import (
 	"air/internal/hm"
 	"air/internal/model"
 	"air/internal/obs"
+	"air/internal/recovery"
 	"air/internal/tick"
 	"air/internal/workload"
 )
@@ -76,6 +77,11 @@ type Spec struct {
 	TraceCapacity int
 	// Matrix is the fault matrix (default DefaultMatrix()).
 	Matrix []Scenario
+	// Recovery applies a recovery-orchestration policy (restart budgets,
+	// quarantine, safe-mode degradation) to every run, populating the
+	// recovery-effectiveness columns of the result. Nil runs without the
+	// recovery layer — the baseline the policy's effect is measured against.
+	Recovery *recovery.Policy
 }
 
 func (s Spec) withDefaults() Spec {
@@ -118,6 +124,16 @@ func (s Spec) Validate() error {
 					return fmt.Errorf("campaign: scenario %q fault %d: negative range", sc.Name, j)
 				}
 			}
+		}
+	}
+	if s.Recovery != nil {
+		sys := model.Fig8System()
+		schedules := make([]string, len(sys.Schedules))
+		for i, sched := range sys.Schedules {
+			schedules[i] = sched.Name
+		}
+		if err := s.Recovery.Validate(sys.Partitions, schedules); err != nil {
+			return fmt.Errorf("campaign: %w", err)
 		}
 	}
 	return nil
@@ -277,6 +293,7 @@ func runOne(spec Spec, run int) (ob Observation) {
 
 	m, err := core.NewModule(workload.Config(workload.Options{
 		Faults:        faults,
+		Recovery:      spec.Recovery,
 		TraceCapacity: spec.TraceCapacity,
 	}))
 	if err != nil {
@@ -288,7 +305,7 @@ func runOne(spec Spec, run int) (ob Observation) {
 	if err := m.Start(); err != nil {
 		ob.Degraded = true
 		ob.Error = err.Error()
-		collect(m, &ob)
+		collect(m, &ob, faults)
 		return ob
 	}
 	mtf := model.Fig8System().Schedules[0].MTF
@@ -307,7 +324,7 @@ func runOne(spec Spec, run int) (ob Observation) {
 			break
 		}
 	}
-	collect(m, &ob)
+	collect(m, &ob, faults)
 	return ob
 }
 
@@ -323,14 +340,26 @@ func (ob *Observation) fold(snap obs.Snapshot) {
 	ob.PartitionRestarts = int(snap.CountKind(obs.KindPartitionRestart))
 	ob.ProcessRestarts = int(snap.CountKind(obs.KindProcessRestarted))
 	ob.ScheduleSwitches = int(snap.CountKind(obs.KindScheduleSwitch))
+	ob.RestartsDeferred = int(snap.CountKind(obs.KindRestartDeferred))
+	ob.Quarantines = int(snap.CountKind(obs.KindQuarantineEnter))
+	ob.Recoveries = int(snap.CountKind(obs.KindQuarantineExit))
+	ob.MTTRSum = int64(snap.MTTR.Sum)
+	ob.MTTRMax = int64(snap.MTTR.Max)
+	ob.TicksDegraded = int64(snap.DegradedTicks.Sum)
+	ob.ScheduleRestores = int(snap.CountKind(obs.KindScheduleRestore))
 }
 
-func collect(m *core.Module, ob *Observation) {
+func collect(m *core.Module, ob *Observation, faults []workload.FaultSpec) {
 	ob.Ticks = int64(m.Now())
 	ob.Halted = m.Halted()
 	ob.HMByLevel = map[string]int{}
 	ob.HMByCode = map[string]int{}
 	ob.HMByFaultKind = map[string]int{}
+	targets := make(map[model.PartitionName]bool, len(faults))
+	for _, f := range faults {
+		targets[f.Target()] = true
+	}
+	ob.Contained = true
 	for _, e := range m.Health().Events() {
 		ob.HMByLevel[e.Level.String()]++
 		ob.HMByCode[e.Code.String()]++
@@ -340,17 +369,26 @@ func collect(m *core.Module, ob *Observation) {
 		if e.Code == hm.ErrDeadlineMissed {
 			ob.DeadlineMisses++
 		}
+		// Confinement verdict: an HM event on a partition no fault targets
+		// means the injected error propagated across a partition boundary.
+		if e.Partition != "" && !targets[e.Partition] {
+			ob.Contained = false
+		}
 	}
 	ob.fold(m.Metrics())
 }
 
 // attributeEvent maps an HM event back to the fault class that provoked it:
 // by injector process name for process-level errors, and by error code for
-// the memory violations (partition-level, no process attribution) only the
-// memory-violation injector produces in this workload.
+// the partition-level reports that carry no process attribution — memory
+// violations and liveness-watchdog hang detections, which in this workload
+// only their respective injectors produce.
 func attributeEvent(e hm.Event) (workload.FaultKind, bool) {
-	if e.Code == hm.ErrMemoryViolation {
+	switch e.Code {
+	case hm.ErrMemoryViolation:
 		return workload.FaultMemoryViolation, true
+	case hm.ErrPartitionHang:
+		return workload.FaultPartitionHang, true
 	}
 	if e.Process != "" {
 		return workload.FaultKindForProcess(e.Process)

@@ -25,6 +25,10 @@ func FromConfig(doc *config.Campaign) (Spec, error) {
 		MTFs:     doc.MTFsPerRun,
 		Watchdog: time.Duration(doc.WatchdogMillis) * time.Millisecond,
 	}
+	if doc.Recovery != nil {
+		pol := doc.Recovery.Policy()
+		spec.Recovery = &pol
+	}
 	for _, sc := range doc.Scenarios {
 		scenario := Scenario{Name: sc.Name, Weight: sc.Weight}
 		for _, f := range sc.Faults {

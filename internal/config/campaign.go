@@ -23,6 +23,9 @@ type Campaign struct {
 	MTFsPerRun int    `json:"mtfsPerRun,omitempty"`
 	// WatchdogMillis bounds each run's wall-clock time (0 = no watchdog).
 	WatchdogMillis int64 `json:"watchdogMillis,omitempty"`
+	// Recovery optionally applies a recovery-orchestration policy to every
+	// run of the campaign (see Recovery); nil runs without the layer.
+	Recovery *Recovery `json:"recovery,omitempty"`
 	// Scenarios is the fault matrix.
 	Scenarios []CampaignScenario `json:"scenarios"`
 }
@@ -39,8 +42,8 @@ type CampaignScenario struct {
 // fault kind's defaults (see workload.FaultSpec).
 type CampaignFault struct {
 	// Kind is the fault class spelling: "deadline-overrun",
-	// "memory-violation", "mode-switch-storm", "sporadic-overload" or
-	// "ipc-flood".
+	// "memory-violation", "mode-switch-storm", "sporadic-overload",
+	// "ipc-flood", "restart-storm" or "partition-hang".
 	Kind      string         `json:"kind"`
 	Partition string         `json:"partition,omitempty"`
 	Deadline  *CampaignRange `json:"deadlineTicks,omitempty"`
@@ -135,6 +138,11 @@ func (c *Campaign) Validate() error {
 	if c.Runs < 0 || c.Workers < 0 || c.MTFsPerRun < 0 || c.WatchdogMillis < 0 {
 		return fmt.Errorf("config: campaign %q has negative execution parameters", c.Name)
 	}
+	if c.Recovery != nil {
+		if err := c.Recovery.Validate(); err != nil {
+			return fmt.Errorf("config: campaign %q recovery: %w", c.Name, err)
+		}
+	}
 	seen := make(map[string]bool, len(c.Scenarios))
 	for i, sc := range c.Scenarios {
 		if sc.Name == "" {
@@ -199,6 +207,14 @@ func DefaultCampaign() *Campaign {
 			{Name: "ipc-flood", Weight: 3, Faults: []CampaignFault{{
 				Kind:      "ipc-flood",
 				Magnitude: &CampaignRange{Min: 8, Max: 64},
+			}}},
+			{Name: "restart-storm", Weight: 3, Faults: []CampaignFault{{
+				Kind:      "restart-storm",
+				Magnitude: &CampaignRange{Min: 4, Max: 16},
+			}}},
+			{Name: "partition-hang", Weight: 3, Faults: []CampaignFault{{
+				Kind:      "partition-hang",
+				Magnitude: &CampaignRange{Min: 1, Max: 3},
 			}}},
 			{Name: "combined", Weight: 2, Faults: []CampaignFault{
 				{Kind: "deadline-overrun", Deadline: &CampaignRange{Min: 150, Max: 400}},

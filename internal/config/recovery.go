@@ -1,0 +1,130 @@
+package config
+
+import (
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/recovery"
+	"air/internal/tick"
+)
+
+// Recovery is the declarative spelling of a recovery-orchestration policy
+// (internal/recovery): restart budgets, circuit-breaker quarantine and the
+// graceful-degradation ladder to safe-mode schedules. It is the
+// integration-time artifact a system integrator reviews alongside the fault
+// matrix; Policy() translates it into the executable form.
+type Recovery struct {
+	// Default is the restart budget applied to partitions without an entry
+	// in Budgets. A zero budget disables budgeting.
+	Default RecoveryBudget `json:"default,omitempty"`
+	// Budgets holds per-partition budget overrides, keyed by partition name.
+	Budgets map[string]RecoveryBudget `json:"budgets,omitempty"`
+	// Quarantine configures the circuit breaker; zero disables it.
+	Quarantine RecoveryQuarantine `json:"quarantine,omitempty"`
+	// Degradation configures the safe-mode schedule escalation ladder.
+	Degradation RecoveryDegradation `json:"degradation,omitempty"`
+}
+
+// RecoveryBudget is a partition's restart token-bucket (recovery.Budget).
+type RecoveryBudget struct {
+	MaxRestarts  int   `json:"maxRestarts,omitempty"`
+	WindowTicks  int64 `json:"windowTicks,omitempty"`
+	BackoffTicks int64 `json:"backoffTicks,omitempty"`
+	BackoffMax   int64 `json:"backoffMaxTicks,omitempty"`
+}
+
+// RecoveryQuarantine is the circuit-breaker configuration
+// (recovery.Quarantine).
+type RecoveryQuarantine struct {
+	Failures           int   `json:"failures,omitempty"`
+	FailureWindowTicks int64 `json:"failureWindowTicks,omitempty"`
+	CooldownTicks      int64 `json:"cooldownTicks,omitempty"`
+	CooldownMaxTicks   int64 `json:"cooldownMaxTicks,omitempty"`
+	ProbeTicks         int64 `json:"probeTicks,omitempty"`
+}
+
+// RecoveryRung is one escalation step: at Quarantined simultaneous
+// quarantines the module switches to Schedule.
+type RecoveryRung struct {
+	Quarantined int    `json:"quarantined"`
+	Schedule    string `json:"schedule"`
+}
+
+// RecoveryDegradation is the graceful-degradation configuration
+// (recovery.Degradation).
+type RecoveryDegradation struct {
+	Ladder            []RecoveryRung `json:"ladder,omitempty"`
+	OnModuleError     bool           `json:"onModuleError,omitempty"`
+	RestoreAfterTicks int64          `json:"restoreAfterTicks,omitempty"`
+}
+
+// Policy translates the document into the executable recovery.Policy.
+func (r *Recovery) Policy() recovery.Policy {
+	pol := recovery.Policy{
+		Default: r.Default.budget(),
+		Quarantine: recovery.Quarantine{
+			Failures:      r.Quarantine.Failures,
+			FailureWindow: tick.Ticks(r.Quarantine.FailureWindowTicks),
+			Cooldown:      tick.Ticks(r.Quarantine.CooldownTicks),
+			CooldownMax:   tick.Ticks(r.Quarantine.CooldownMaxTicks),
+			ProbeTicks:    tick.Ticks(r.Quarantine.ProbeTicks),
+		},
+		Degradation: recovery.Degradation{
+			OnModuleError: r.Degradation.OnModuleError,
+			RestoreAfter:  tick.Ticks(r.Degradation.RestoreAfterTicks),
+		},
+	}
+	for _, rung := range r.Degradation.Ladder {
+		pol.Degradation.Ladder = append(pol.Degradation.Ladder,
+			recovery.Rung{Quarantined: rung.Quarantined, Schedule: rung.Schedule})
+	}
+	if len(r.Budgets) > 0 {
+		pol.Budgets = make(map[model.PartitionName]recovery.Budget, len(r.Budgets))
+		for name, b := range r.Budgets {
+			pol.Budgets[model.PartitionName(name)] = b.budget()
+		}
+	}
+	return pol
+}
+
+func (b RecoveryBudget) budget() recovery.Budget {
+	return recovery.Budget{
+		MaxRestarts: b.MaxRestarts,
+		Window:      tick.Ticks(b.WindowTicks),
+		BackoffBase: tick.Ticks(b.BackoffTicks),
+		BackoffMax:  tick.Ticks(b.BackoffMax),
+	}
+}
+
+// Validate checks the document against the Fig. 8 prototype system the
+// campaign and airsim run (partitions P1–P4, schedules chi1/chi2).
+func (r *Recovery) Validate() error {
+	sys := model.Fig8System()
+	schedules := make([]string, len(sys.Schedules))
+	for i, s := range sys.Schedules {
+		schedules[i] = s.Name
+	}
+	if err := r.Policy().Validate(sys.Partitions, schedules); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// DefaultRecovery is the built-in policy for the Fig. 8 prototype:
+// recovery.DefaultPolicy() plus a one-rung degradation ladder that drops the
+// module to the chi2 safe-mode schedule while any partition is quarantined.
+func DefaultRecovery() *Recovery {
+	return &Recovery{
+		Default: RecoveryBudget{
+			MaxRestarts: 2, WindowTicks: 2600, BackoffTicks: 650, BackoffMax: 5200,
+		},
+		Quarantine: RecoveryQuarantine{
+			Failures: 3, FailureWindowTicks: 1300,
+			CooldownTicks: 2600, CooldownMaxTicks: 10400, ProbeTicks: 1300,
+		},
+		Degradation: RecoveryDegradation{
+			Ladder:            []RecoveryRung{{Quarantined: 1, Schedule: "chi2"}},
+			RestoreAfterTicks: 2600,
+		},
+	}
+}

@@ -1,0 +1,85 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"air/internal/recovery"
+)
+
+// TestDefaultRecoveryPolicy: the built-in document is valid against the
+// Fig. 8 system and translates to recovery.DefaultPolicy plus the one-rung
+// chi2 ladder.
+func TestDefaultRecoveryPolicy(t *testing.T) {
+	doc := DefaultRecovery()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("built-in recovery document invalid: %v", err)
+	}
+	pol := doc.Policy()
+	want := recovery.DefaultPolicy()
+	if pol.Default != want.Default {
+		t.Errorf("default budget = %+v, want %+v", pol.Default, want.Default)
+	}
+	if pol.Quarantine != want.Quarantine {
+		t.Errorf("quarantine = %+v, want %+v", pol.Quarantine, want.Quarantine)
+	}
+	if len(pol.Degradation.Ladder) != 1 || pol.Degradation.Ladder[0] !=
+		(recovery.Rung{Quarantined: 1, Schedule: "chi2"}) {
+		t.Errorf("ladder = %+v, want one chi2 rung", pol.Degradation.Ladder)
+	}
+	if pol.Degradation.RestoreAfter != want.Degradation.RestoreAfter {
+		t.Errorf("RestoreAfter = %d, want %d",
+			pol.Degradation.RestoreAfter, want.Degradation.RestoreAfter)
+	}
+}
+
+// TestRecoveryValidate rejects structurally broken documents.
+func TestRecoveryValidate(t *testing.T) {
+	bad := []*Recovery{
+		{Default: RecoveryBudget{MaxRestarts: 2}}, // budget without window
+		{Budgets: map[string]RecoveryBudget{"P9": {}}},
+		{Degradation: RecoveryDegradation{Ladder: []RecoveryRung{{Quarantined: 0, Schedule: "chi2"}}}},
+		{Degradation: RecoveryDegradation{Ladder: []RecoveryRung{{Quarantined: 1, Schedule: "chi9"}}}},
+		{Quarantine: RecoveryQuarantine{Failures: -1}},
+	}
+	for i, doc := range bad {
+		if err := doc.Validate(); err == nil {
+			t.Errorf("document %d accepted: %+v", i, doc)
+		}
+	}
+	if err := (&Recovery{}).Validate(); err != nil {
+		t.Errorf("zero recovery document rejected: %v", err)
+	}
+}
+
+// TestCampaignRecoveryRoundTrip: a campaign document embedding a recovery
+// section survives serialization and validation; a broken section is
+// rejected at campaign level.
+func TestCampaignRecoveryRoundTrip(t *testing.T) {
+	doc := DefaultCampaign()
+	doc.Recovery = DefaultRecovery()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("campaign with recovery invalid: %v", err)
+	}
+	path := t.TempDir() + "/campaign.json"
+	if err := doc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Recovery == nil {
+		t.Fatal("recovery section lost in round trip")
+	}
+	if got, want := loaded.Recovery.Policy(), doc.Recovery.Policy(); got.Default != want.Default ||
+		got.Quarantine != want.Quarantine {
+		t.Errorf("round-tripped policy differs: %+v vs %+v", got, want)
+	}
+
+	doc.Recovery.Degradation.Ladder[0].Schedule = "chi9"
+	err = doc.Validate()
+	if err == nil || !strings.Contains(err.Error(), "chi9") {
+		t.Errorf("unknown ladder schedule accepted: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"air/internal/obs"
 	"air/internal/pmk"
 	"air/internal/pos"
+	"air/internal/recovery"
 	"air/internal/tick"
 )
 
@@ -86,6 +87,19 @@ type Config struct {
 	// TraceCapacity bounds the trace ring (default 4096 events; <0
 	// disables trace retention — the spine's metrics still accumulate).
 	TraceCapacity int
+	// Recovery, when non-nil, layers the recovery orchestration policy
+	// engine (internal/recovery) between Health Monitor decisions and their
+	// execution: partition restarts are arbitrated against restart budgets,
+	// repeatedly failing partitions are quarantined, and the degradation
+	// ladder switches the module to safe-mode schedules. Nil preserves the
+	// direct HM-decision → kernel-action path.
+	Recovery *recovery.Policy
+	// HangTicks enables the partition liveness watchdog: a partition that
+	// consumes this many consecutive granted ticks without any process
+	// completing or blocking is reported to the Health Monitor as
+	// PARTITION_HANG (a no-progress hang that deadline monitoring cannot
+	// see). 0 disables the watchdog.
+	HangTicks tick.Ticks
 	// CoreID attributes this module's spine events to a processor core
 	// (only meaningful under a multicore shared platform).
 	CoreID int
@@ -149,6 +163,9 @@ type Module struct {
 	now     tick.Ticks
 	started bool
 	halted  bool
+
+	// recov is the recovery orchestration engine (nil without a policy).
+	recov *recovery.Engine
 
 	bus    *obs.Bus
 	ring   *obs.Ring
@@ -258,6 +275,26 @@ func NewModule(cfg Config) (*Module, error) {
 		m.partitions[pc.Name] = pt
 		m.order = append(m.order, pc.Name)
 	}
+
+	if cfg.Recovery != nil {
+		schedNames := make([]string, len(cfg.System.Schedules))
+		for i := range cfg.System.Schedules {
+			schedNames[i] = cfg.System.Schedules[i].Name
+		}
+		if err := cfg.Recovery.Validate(m.order, schedNames); err != nil {
+			return nil, err
+		}
+		m.recov = recovery.NewEngine(*cfg.Recovery, recovery.Options{
+			Now:        nowFn,
+			Obs:        obs.NewEmitter(m.bus, m.coreID),
+			Partitions: m.order,
+			Hooks: recovery.Hooks{
+				Restart:        m.recoveryRestart,
+				SwitchSchedule: m.recoverySwitchSchedule,
+				ScheduleName:   m.currentScheduleName,
+			},
+		})
+	}
 	return m, nil
 }
 
@@ -329,6 +366,15 @@ func (m *Module) Step() error {
 	}
 	preemption := m.sched.Tick()
 	m.now = m.sched.Ticks()
+	if m.recov != nil {
+		// Deferred-restart resumes, half-open quarantine probes and
+		// schedule restores fire before dispatch, so a partition revived at
+		// tick T is schedulable at tick T.
+		m.recov.OnTick(m.now)
+		if m.halted {
+			return nil
+		}
+	}
 	res := m.disp.Dispatch(m.sched.Heir(), m.now)
 	if preemption && res.Switched && !res.Active.Idle {
 		m.traceEvent(Event{Time: m.now, Kind: EvPartitionSwitch,
@@ -457,6 +503,57 @@ func (m *Module) resetModule() {
 	for _, name := range m.order {
 		m.partitions[name].restart(model.ModeColdStart)
 	}
+	if m.recov != nil {
+		// A module reset is a fresh start for every partition's recovery
+		// state, but it is also the strongest possible module-level error
+		// signal: activate the degradation ladder's module-error rung.
+		m.recov.Reset()
+		m.recov.NoteModuleError(m.now)
+	}
+}
+
+// Recovery exposes the recovery orchestration engine (nil when no policy is
+// configured) for diagnostics and campaign reporting.
+func (m *Module) Recovery() *recovery.Engine { return m.recov }
+
+// recoveryRestart is the engine's Restart hook: it executes a granted (or
+// resumed/probe) partition restart. The trace event's Latency field carries
+// the restart-budget window occupancy at grant time so the spine's
+// restarts-per-window histogram sees only engine-arbitrated restarts.
+func (m *Module) recoveryRestart(p model.PartitionName, mode model.OperatingMode, reason string, occupancy int) {
+	pt, ok := m.partitions[p]
+	if !ok {
+		return
+	}
+	m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart, Partition: p,
+		Detail: "recovery: " + reason, Latency: tick.Ticks(occupancy)})
+	pt.restart(mode)
+}
+
+// recoverySwitchSchedule is the engine's SwitchSchedule hook: the degradation
+// ladder requests a module schedule switch (effective at the next MTF
+// boundary, exactly like SET_MODULE_SCHEDULE).
+func (m *Module) recoverySwitchSchedule(name string) bool {
+	_, id, ok := m.sys.ScheduleByName(name)
+	if !ok {
+		return false
+	}
+	st := m.sched.Status()
+	if err := m.sched.RequestSwitch(id); err != nil {
+		return false
+	}
+	if st.Next != id {
+		m.traceEvent(Event{Time: m.now, Kind: EvScheduleSwitch,
+			Detail: "recovery requested schedule " + name})
+	}
+	return true
+}
+
+// currentScheduleName names the schedule the ladder should treat as the
+// restore target: the pending one if a switch is queued, else the current.
+func (m *Module) currentScheduleName() string {
+	st := m.sched.Status()
+	return m.sys.Schedules[st.Next].Name
 }
 
 // shutdownModule applies the SHUTDOWN_MODULE recovery action.

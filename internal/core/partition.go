@@ -11,6 +11,7 @@ import (
 	"air/internal/obs"
 	"air/internal/pal"
 	"air/internal/pos"
+	"air/internal/recovery"
 	"air/internal/tick"
 )
 
@@ -99,6 +100,11 @@ type Partition struct {
 	// process (idle/coldStart/warmStart), applied kernel-side after the
 	// requesting process terminates.
 	deferredMode model.OperatingMode
+
+	// noProgress counts consecutive granted ticks consumed without any
+	// process completing or blocking — the liveness watchdog's evidence of a
+	// no-progress hang (Config.HangTicks).
+	noProgress tick.Ticks
 
 	startCount int
 }
@@ -220,8 +226,13 @@ func (pt *Partition) runInit() {
 // the process table and all APEX objects.
 func (pt *Partition) restart(mode model.OperatingMode) {
 	pt.killAll()
+	pt.noProgress = 0
 	switch mode {
 	case model.ModeColdStart:
+		// A cold start is a fresh incarnation of the partition: stale HM
+		// escalation counters must not survive it, or a fault in the new
+		// incarnation inherits the old one's strike history.
+		pt.mod.health.ResetPartition(pt.name)
 		pt.buildKernel()
 		pt.clearObjects()
 		pt.coldStart()
@@ -236,6 +247,7 @@ func (pt *Partition) restart(mode model.OperatingMode) {
 // scheduler disabled.
 func (pt *Partition) stop() {
 	pt.killAll()
+	pt.noProgress = 0
 	pt.kernel.ResetAll()
 	pt.resetWaitQueues()
 	pt.mode = model.ModeIdle
@@ -373,11 +385,34 @@ func (pt *Partition) runOneTick() {
 		}
 		switch kind {
 		case yieldConsumed:
+			pt.noteTickConsumed()
 			return
 		case yieldBlocked, yieldDone:
+			pt.noProgress = 0
 			continue
 		}
 	}
+}
+
+// noteTickConsumed feeds the partition liveness watchdog: a partition whose
+// processes consume granted ticks without ever completing or blocking is
+// hung in a way deadline monitoring cannot see (a spin with no
+// deadline-carrying yield). After Config.HangTicks consecutive such ticks
+// the hang is reported to the Health Monitor as a partition-level
+// PARTITION_HANG error and its decision applied.
+func (pt *Partition) noteTickConsumed() {
+	threshold := pt.mod.cfg.HangTicks
+	if threshold <= 0 {
+		return
+	}
+	pt.noProgress++
+	if pt.noProgress < threshold {
+		return
+	}
+	pt.noProgress = 0
+	d := pt.mod.health.ReportPartition(pt.name, hm.ErrPartitionHang,
+		fmt.Sprintf("liveness watchdog: no process progress for %d granted ticks", threshold))
+	pt.applyPartitionDecision(d)
 }
 
 // applyPendingKernelOps applies decisions and mode transitions that a
@@ -448,6 +483,9 @@ func (pt *Partition) services(id pos.ProcessID, rt *procRuntime) *Services {
 // process-level error (Sect. 5 recovery actions).
 func (pt *Partition) applyProcessDecision(process string, d hm.Decision) {
 	m := pt.mod
+	// Any supervised recovery action counts as progress for the liveness
+	// watchdog: the partition is faulty but not silently hung.
+	pt.noProgress = 0
 	switch d.Action {
 	case hm.ActionIgnore:
 		// Logged by the HM; no recovery.
@@ -469,13 +507,9 @@ func (pt *Partition) applyProcessDecision(process string, d hm.Decision) {
 		m.traceEvent(Event{Time: m.now, Kind: EvProcessRestarted,
 			Partition: pt.name, Process: process, Detail: "HM restart"})
 	case hm.ActionWarmStartPartition:
-		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
-			Partition: pt.name, Detail: "HM warm start"})
-		pt.restart(model.ModeWarmStart)
+		pt.requestRestart(model.ModeWarmStart, "HM warm start")
 	case hm.ActionColdStartPartition:
-		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
-			Partition: pt.name, Detail: "HM cold start"})
-		pt.restart(model.ModeColdStart)
+		pt.requestRestart(model.ModeColdStart, "HM cold start")
 	case hm.ActionStopPartition:
 		pt.stop()
 	case hm.ActionResetModule:
@@ -492,13 +526,9 @@ func (pt *Partition) applyPartitionDecision(d hm.Decision) {
 	case hm.ActionIgnore, hm.ActionInvokeHandler:
 		// Partition-level errors have no application handler; treat as log.
 	case hm.ActionWarmStartPartition:
-		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
-			Partition: pt.name, Detail: "HM warm start"})
-		pt.restart(model.ModeWarmStart)
+		pt.requestRestart(model.ModeWarmStart, "HM warm start")
 	case hm.ActionColdStartPartition:
-		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
-			Partition: pt.name, Detail: "HM cold start"})
-		pt.restart(model.ModeColdStart)
+		pt.requestRestart(model.ModeColdStart, "HM cold start")
 	case hm.ActionStopPartition:
 		pt.stop()
 	case hm.ActionResetModule:
@@ -506,6 +536,34 @@ func (pt *Partition) applyPartitionDecision(d hm.Decision) {
 	case hm.ActionShutdownModule:
 		m.shutdownModule()
 	default:
+		pt.stop()
+	}
+}
+
+// requestRestart routes an HM-decided partition restart through the module's
+// recovery engine when one is configured. An allowed restart executes
+// immediately (the trace event's Latency carries the restart-budget window
+// occupancy); a deferred or quarantined restart drives the partition to idle
+// instead — the engine revives it from Module.Step once the backoff or
+// cooldown elapses.
+func (pt *Partition) requestRestart(mode model.OperatingMode, detail string) {
+	m := pt.mod
+	if m.recov == nil {
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
+			Partition: pt.name, Detail: detail})
+		pt.restart(mode)
+		return
+	}
+	d := m.recov.RequestRestart(pt.name, mode)
+	switch d.Verdict {
+	case recovery.VerdictAllow:
+		m.traceEvent(Event{Time: m.now, Kind: EvPartitionRestart,
+			Partition: pt.name, Detail: detail,
+			Latency: tick.Ticks(d.Occupancy)})
+		pt.restart(mode)
+	default:
+		// Deferred or quarantined: the restart storm stops here — the
+		// partition idles so healthy partitions keep their windows.
 		pt.stop()
 	}
 }

@@ -31,6 +31,11 @@ const (
 	ErrHardwareFault
 	ErrPowerFail
 	ErrConfigError
+	// ErrPartitionHang is raised by the kernel's liveness watchdog when a
+	// partition consumes its processor windows without any process making
+	// progress (completing or blocking) — a hang the deadline monitoring of
+	// Sect. 5 cannot see because no deadline-carrying process ever yields.
+	ErrPartitionHang
 )
 
 // String renders the error code in ARINC 653 spelling.
@@ -54,6 +59,8 @@ func (c ErrorCode) String() string {
 		return "POWER_FAIL"
 	case ErrConfigError:
 		return "CONFIG_ERROR"
+	case ErrPartitionHang:
+		return "PARTITION_HANG"
 	default:
 		return fmt.Sprintf("ErrorCode(%d)", int(c))
 	}
@@ -202,7 +209,10 @@ type Config struct {
 	// that decides whether a handler is consulted at all). Missing codes
 	// default to ActionInvokeHandler escalating to ActionStopProcess.
 	ProcessTables map[model.PartitionName]Table
-	// MaxLog bounds the in-memory event log; 0 means unbounded.
+	// MaxLog bounds the in-memory event log, retaining the most recent
+	// records. 0 applies DefaultMaxLog so a monitor never grows without
+	// bound under a sustained fault storm; negative disables the bound
+	// (appropriate only for short-lived diagnostic runs).
 	MaxLog int
 	// Obs publishes every recorded event on the module's observability
 	// spine as a structured KindHMReport record (code/level/action). The
@@ -231,12 +241,24 @@ type counterKey struct {
 	level     Level
 }
 
+// DefaultMaxLog is the event-log bound applied when Config.MaxLog is zero:
+// large enough to retain every record of any bounded scenario, small enough
+// that a restart storm sustained for millions of ticks cannot exhaust
+// memory through the log.
+const DefaultMaxLog = 4096
+
 // New creates a Monitor. A nil Now defaults to a constant-zero clock, which
 // is only appropriate in tests.
 func New(cfg Config) *Monitor {
 	now := cfg.Now
 	if now == nil {
 		now = func() tick.Ticks { return 0 }
+	}
+	switch {
+	case cfg.MaxLog == 0:
+		cfg.MaxLog = DefaultMaxLog
+	case cfg.MaxLog < 0:
+		cfg.MaxLog = 0 // explicit opt-out: unbounded
 	}
 	return &Monitor{
 		now:       now,
@@ -431,4 +453,20 @@ func (m *Monitor) Reset() {
 	defer m.mu.Unlock()
 	m.events = nil
 	m.counters = make(map[counterKey]int)
+}
+
+// ResetPartition clears the escalation counters of one partition's process-
+// and partition-level rules. The kernel calls it when the partition cold
+// starts: a cold start reinitialises the partition from scratch, so stale
+// LogThreshold state must not survive to instantly re-escalate the first
+// error of the fresh incarnation. The event log is untouched — it is the
+// module-wide record of what happened.
+func (m *Monitor) ResetPartition(p model.PartitionName) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.counters {
+		if k.partition == p && (k.level == LevelProcess || k.level == LevelPartition) {
+			delete(m.counters, k)
+		}
+	}
 }

@@ -170,6 +170,72 @@ func TestEventLogBounded(t *testing.T) {
 	}
 }
 
+func TestResetPartitionClearsEscalationCounters(t *testing.T) {
+	// Regression: LogThreshold counters used to survive a partition cold
+	// start (only a module Reset cleared them), so the fresh incarnation's
+	// first error escalated immediately.
+	rule := Rule{Action: ActionLogThreshold, Threshold: 2, Escalation: ActionStopProcess}
+	m := newTestMonitor(Config{
+		ProcessTables: map[model.PartitionName]Table{
+			"P1": {ErrDeadlineMissed: rule},
+			"P2": {ErrDeadlineMissed: rule},
+		},
+		PartitionTables: map[model.PartitionName]Table{
+			"P1": {ErrMemoryViolation: {Action: ActionLogThreshold, Threshold: 1,
+				Escalation: ActionColdStartPartition}},
+		},
+	})
+	// Exhaust P1's process threshold and reach its partition threshold.
+	for i := 0; i < 3; i++ {
+		m.ReportProcess("P1", "x", ErrDeadlineMissed, "")
+	}
+	m.ReportPartition("P1", ErrMemoryViolation, "")
+	// Burn one of P2's two logged strikes so cross-partition state exists.
+	m.ReportProcess("P2", "x", ErrDeadlineMissed, "")
+
+	m.ResetPartition("P1")
+
+	// P1 starts from a clean slate at both levels.
+	if d := m.ReportProcess("P1", "x", ErrDeadlineMissed, ""); d.Action != ActionIgnore {
+		t.Errorf("P1 process counter not cleared: action = %s, want IGNORE", d.Action)
+	}
+	if d := m.ReportPartition("P1", ErrMemoryViolation, ""); d.Action != ActionIgnore {
+		t.Errorf("P1 partition counter not cleared: action = %s, want IGNORE", d.Action)
+	}
+	// P2's accumulated strike is untouched: one more logs, the next
+	// escalates.
+	if d := m.ReportProcess("P2", "x", ErrDeadlineMissed, ""); d.Action != ActionIgnore {
+		t.Errorf("P2 second strike: action = %s, want IGNORE", d.Action)
+	}
+	if d := m.ReportProcess("P2", "x", ErrDeadlineMissed, ""); d.Action != ActionStopProcess {
+		t.Errorf("P2 over threshold: action = %s, want STOP_PROCESS", d.Action)
+	}
+	// The event log survives a partition reset (module-wide record).
+	if len(m.Events()) == 0 {
+		t.Error("ResetPartition must not clear the event log")
+	}
+}
+
+func TestDefaultMaxLogBoundsEventLog(t *testing.T) {
+	// Regression: MaxLog 0 used to mean "unbounded", so monitors built with
+	// a zero config grew without limit under a fault storm.
+	m := newTestMonitor(Config{})
+	for i := 0; i < DefaultMaxLog+100; i++ {
+		m.ReportModule(ErrPowerFail, "storm")
+	}
+	if n := len(m.Events()); n != DefaultMaxLog {
+		t.Errorf("log length = %d, want DefaultMaxLog (%d)", n, DefaultMaxLog)
+	}
+	// Negative MaxLog is the explicit unbounded opt-out.
+	u := newTestMonitor(Config{MaxLog: -1})
+	for i := 0; i < DefaultMaxLog+100; i++ {
+		u.ReportModule(ErrPowerFail, "storm")
+	}
+	if n := len(u.Events()); n != DefaultMaxLog+100 {
+		t.Errorf("unbounded log length = %d, want %d", n, DefaultMaxLog+100)
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{Time: 42, Code: ErrDeadlineMissed, Level: LevelProcess,
 		Partition: "P1", Process: "faulty", Message: "late", Action: ActionStopProcess}
@@ -187,7 +253,8 @@ func TestStringers(t *testing.T) {
 		ErrNumericError: "NUMERIC_ERROR", ErrIllegalRequest: "ILLEGAL_REQUEST",
 		ErrStackOverflow: "STACK_OVERFLOW", ErrMemoryViolation: "MEMORY_VIOLATION",
 		ErrHardwareFault: "HARDWARE_FAULT", ErrPowerFail: "POWER_FAIL",
-		ErrConfigError: "CONFIG_ERROR", ErrorCode(0): "ErrorCode(0)",
+		ErrConfigError: "CONFIG_ERROR", ErrPartitionHang: "PARTITION_HANG",
+		ErrorCode(0): "ErrorCode(0)",
 	}
 	for code, want := range codes {
 		if code.String() != want {

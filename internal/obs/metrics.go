@@ -72,6 +72,16 @@ type Metrics struct {
 	// processor before each window activation.
 	detection Histogram
 	windowGap Histogram
+	// Recovery-orchestration histograms (internal/recovery): mttr buckets
+	// the quarantine durations (QUARANTINE_EXIT latencies), degraded the
+	// ticks spent in a safe-mode schedule (SCHEDULE_RESTORE latencies),
+	// deferral the restart backoff delays (RESTART_DEFERRED latencies) and
+	// restartsWindow the sliding-window restart counts carried by
+	// recovery-granted PARTITION_RESTART events.
+	mttr           Histogram
+	degraded       Histogram
+	deferral       Histogram
+	restartsWindow Histogram
 }
 
 func (m *Metrics) observe(e Event) {
@@ -83,6 +93,18 @@ func (m *Metrics) observe(e Event) {
 		m.detection.observe(e.Latency)
 	case KindWindowActivation:
 		m.windowGap.observe(e.Latency)
+	case KindQuarantineExit:
+		m.mttr.observe(e.Latency)
+	case KindScheduleRestore:
+		m.degraded.observe(e.Latency)
+	case KindRestartDeferred:
+		m.deferral.observe(e.Latency)
+	case KindPartitionRestart:
+		// Only restarts granted through the recovery layer carry a window
+		// occupancy; the kernel's own restart events have zero Latency.
+		if e.Latency > 0 {
+			m.restartsWindow.observe(e.Latency)
+		}
 	}
 }
 
@@ -111,10 +133,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 	}
 	return Snapshot{
-		Events:           total,
-		Counts:           counts,
-		DetectionLatency: m.detection.snapshot(),
-		WindowGap:        m.windowGap.snapshot(),
+		Events:            total,
+		Counts:            counts,
+		DetectionLatency:  m.detection.snapshot(),
+		WindowGap:         m.windowGap.snapshot(),
+		MTTR:              m.mttr.snapshot(),
+		DegradedTicks:     m.degraded.snapshot(),
+		RestartDeferral:   m.deferral.snapshot(),
+		RestartsPerWindow: m.restartsWindow.snapshot(),
 	}
 }
 
@@ -129,6 +155,13 @@ type Snapshot struct {
 	Counts           map[string]uint64 `json:"counts,omitempty"`
 	DetectionLatency HistSnapshot      `json:"detectionLatency"`
 	WindowGap        HistSnapshot      `json:"windowGap"`
+	// Recovery-effectiveness histograms: quarantine durations (MTTR, in
+	// ticks), ticks spent in degraded-mode schedules, restart backoff
+	// deferrals and restart counts per sliding budget window.
+	MTTR              HistSnapshot `json:"mttr"`
+	DegradedTicks     HistSnapshot `json:"degradedTicks"`
+	RestartDeferral   HistSnapshot `json:"restartDeferral"`
+	RestartsPerWindow HistSnapshot `json:"restartsPerWindow"`
 }
 
 // Count returns the snapshot's counter for a kind name (0 when absent).
@@ -142,9 +175,13 @@ func (s Snapshot) CountKind(k Kind) uint64 { return s.Counts[k.String()] }
 // histograms subtract field-wise except Max, which keeps s's value).
 func (s Snapshot) Sub(base Snapshot) Snapshot {
 	d := Snapshot{
-		Events:           s.Events - base.Events,
-		DetectionLatency: subHist(s.DetectionLatency, base.DetectionLatency),
-		WindowGap:        subHist(s.WindowGap, base.WindowGap),
+		Events:            s.Events - base.Events,
+		DetectionLatency:  subHist(s.DetectionLatency, base.DetectionLatency),
+		WindowGap:         subHist(s.WindowGap, base.WindowGap),
+		MTTR:              subHist(s.MTTR, base.MTTR),
+		DegradedTicks:     subHist(s.DegradedTicks, base.DegradedTicks),
+		RestartDeferral:   subHist(s.RestartDeferral, base.RestartDeferral),
+		RestartsPerWindow: subHist(s.RestartsPerWindow, base.RestartsPerWindow),
 	}
 	for name, c := range s.Counts {
 		if delta := c - base.Counts[name]; delta != 0 {
@@ -161,9 +198,13 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 // the per-run snapshots of one scenario or fault class into a class total.
 func (s Snapshot) Add(other Snapshot) Snapshot {
 	t := Snapshot{
-		Events:           s.Events + other.Events,
-		DetectionLatency: addHist(s.DetectionLatency, other.DetectionLatency),
-		WindowGap:        addHist(s.WindowGap, other.WindowGap),
+		Events:            s.Events + other.Events,
+		DetectionLatency:  addHist(s.DetectionLatency, other.DetectionLatency),
+		WindowGap:         addHist(s.WindowGap, other.WindowGap),
+		MTTR:              addHist(s.MTTR, other.MTTR),
+		DegradedTicks:     addHist(s.DegradedTicks, other.DegradedTicks),
+		RestartDeferral:   addHist(s.RestartDeferral, other.RestartDeferral),
+		RestartsPerWindow: addHist(s.RestartsPerWindow, other.RestartsPerWindow),
 	}
 	if s.Counts != nil || other.Counts != nil {
 		t.Counts = make(map[string]uint64, len(s.Counts)+len(other.Counts))

@@ -65,8 +65,23 @@ const (
 	// KindHMReport is emitted by the Health Monitor for every reported
 	// error, carrying the structured Code/Level/Action fields.
 	KindHMReport
+	// KindRestartDeferred is emitted by the recovery orchestration layer when
+	// a partition restart exceeds its restart budget and is postponed;
+	// Latency carries the backoff delay in ticks.
+	KindRestartDeferred
+	// KindQuarantineEnter / KindQuarantineExit bracket a partition's
+	// circuit-breaker quarantine; the exit event's Latency carries the total
+	// ticks the partition spent quarantined (its MTTR contribution).
+	KindQuarantineEnter
+	KindQuarantineExit
+	// KindScheduleDegrade / KindScheduleRestore record graceful-degradation
+	// schedule changes: entering a safe-mode schedule and restoring the
+	// nominal one; the restore event's Latency carries the ticks spent in
+	// degraded mode.
+	KindScheduleDegrade
+	KindScheduleRestore
 
-	kindCount = int(KindHMReport)
+	kindCount = int(KindScheduleRestore)
 )
 
 // TraceKinds lists the twelve historical module-trace kinds, the default
@@ -77,6 +92,16 @@ func TraceKinds() []Kind {
 		out = append(out, k)
 	}
 	return out
+}
+
+// RecoveryKinds lists the recovery-orchestration kinds (internal/recovery):
+// coarse, low-frequency events admitted into the module trace ring alongside
+// the historical trace kinds.
+func RecoveryKinds() []Kind {
+	return []Kind{
+		KindRestartDeferred, KindQuarantineEnter, KindQuarantineExit,
+		KindScheduleDegrade, KindScheduleRestore,
+	}
 }
 
 // kindNames indexes Kind → wire name. The first twelve entries are pinned by
@@ -100,6 +125,11 @@ var kindNames = [...]string{
 	KindPortSend:           "PORT_SEND",
 	KindPortReceive:        "PORT_RECEIVE",
 	KindHMReport:           "HM_REPORT",
+	KindRestartDeferred:    "RESTART_DEFERRED",
+	KindQuarantineEnter:    "QUARANTINE_ENTER",
+	KindQuarantineExit:     "QUARANTINE_EXIT",
+	KindScheduleDegrade:    "SCHEDULE_DEGRADE",
+	KindScheduleRestore:    "SCHEDULE_RESTORE",
 }
 
 // String renders the kind.
@@ -135,7 +165,12 @@ type Event struct {
 	// Latency is kind-dependent: for KindDeadlineMiss it is the detection
 	// latency of the miss (ticks from the deadline instant to PAL
 	// detection, Sect. 6); for KindWindowActivation it is the number of
-	// ticks since the partition last held the processor. Zero otherwise.
+	// ticks since the partition last held the processor; for
+	// KindRestartDeferred the backoff delay; for KindQuarantineExit the
+	// ticks spent quarantined (MTTR); for KindScheduleRestore the ticks
+	// spent in degraded mode; for a KindPartitionRestart granted by the
+	// recovery layer, the partition's restart count in the sliding budget
+	// window. Zero otherwise.
 	Latency tick.Ticks
 	// Code, Level and Action carry the Health Monitor's structured decision
 	// for KindHMReport events (ARINC 653 error code, error level and the

@@ -38,7 +38,24 @@ func WriteCampaign(w io.Writer, res *campaign.Result, includeTiming bool) error 
 	b.printf("| partition restarts | %d |\n", agg.PartitionRestarts)
 	b.printf("| process restarts | %d |\n", agg.ProcessRestarts)
 	b.printf("| schedule switches | %d |\n", agg.ScheduleSwitches)
+	b.printf("| contained runs (HM activity on fault targets only) | %d / %d |\n",
+		agg.ContainedRuns, agg.Runs)
 	b.printf("\n")
+
+	if agg.RestartsDeferred > 0 || agg.Quarantines > 0 || agg.TicksDegraded > 0 {
+		b.printf("## Recovery orchestration\n\n")
+		b.printf("Restart budgets, partition quarantine and safe-mode degradation\n")
+		b.printf("(internal/recovery) across all runs:\n\n")
+		b.printf("| metric | value |\n|---|---|\n")
+		b.printf("| restarts deferred (budget backoff) | %d |\n", agg.RestartsDeferred)
+		b.printf("| quarantine entries | %d |\n", agg.Quarantines)
+		b.printf("| quarantines recovered | %d |\n", agg.Recoveries)
+		b.printf("| mean MTTR (ticks) | %.1f |\n", agg.MTTRMean)
+		b.printf("| max MTTR (ticks) | %d |\n", agg.MTTRMax)
+		b.printf("| ticks in safe-mode schedules | %d |\n", agg.TicksDegraded)
+		b.printf("| nominal-schedule restores | %d |\n", agg.ScheduleRestores)
+		b.printf("\n")
+	}
 
 	b.printf("## Health-monitoring events\n\n")
 	b.printf("%d events total.\n\n", agg.HMEvents)
@@ -53,13 +70,14 @@ func WriteCampaign(w io.Writer, res *campaign.Result, includeTiming bool) error 
 	b.printf("\n")
 
 	b.printf("## By fault class (HM events attributed to the injector)\n\n")
-	b.printf("| fault class | runs | degraded | deadline misses | attributed HM events | partition restarts | process restarts |\n")
-	b.printf("|---|---|---|---|---|---|---|\n")
+	b.printf("| fault class | runs | degraded | deadline misses | attributed HM events | partition restarts | process restarts | quarantines | recovered | contained |\n")
+	b.printf("|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, k := range sortedClassKeys(agg.ByFaultKind) {
 		c := agg.ByFaultKind[k]
-		b.printf("| %s | %d | %d | %d | %d | %d | %d |\n",
+		b.printf("| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d/%d |\n",
 			k, c.Runs, c.Degraded, c.DeadlineMisses, c.HMEvents,
-			c.PartitionRestarts, c.ProcessRestarts)
+			c.PartitionRestarts, c.ProcessRestarts,
+			c.Quarantines, c.Recoveries, c.ContainedRuns, c.Runs)
 	}
 	b.printf("\n")
 

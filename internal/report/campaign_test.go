@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"air/internal/campaign"
+	"air/internal/config"
+	"air/internal/workload"
 )
 
 func TestWriteCampaign(t *testing.T) {
@@ -31,6 +33,9 @@ func TestWriteCampaign(t *testing.T) {
 	if strings.Contains(out, "## Throughput") {
 		t.Error("timing section present without includeTiming")
 	}
+	if !strings.Contains(out, "contained runs") {
+		t.Error("outcome table missing the containment row")
+	}
 
 	var timed strings.Builder
 	if err := WriteCampaign(&timed, res, true); err != nil {
@@ -38,6 +43,50 @@ func TestWriteCampaign(t *testing.T) {
 	}
 	if !strings.Contains(timed.String(), "## Throughput") {
 		t.Error("timing section missing with includeTiming")
+	}
+}
+
+// TestWriteCampaignRecoverySection: a campaign run under a recovery policy
+// renders the recovery-orchestration section with its MTTR and safe-mode
+// residency rows; a policy-free campaign omits the section entirely.
+func TestWriteCampaignRecoverySection(t *testing.T) {
+	pol := config.DefaultRecovery().Policy()
+	res, err := campaign.Run(campaign.Spec{
+		Runs: 1, Workers: 1, Seed: 11, MTFs: 80,
+		Recovery: &pol,
+		Matrix: []campaign.Scenario{{Name: "restart-storm", Faults: []campaign.FaultRange{{
+			Kind: workload.FaultRestartStorm,
+		}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCampaign(&sb, res, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## Recovery orchestration",
+		"mean MTTR (ticks)",
+		"ticks in safe-mode schedules",
+		"nominal-schedule restores",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	plain, err := campaign.Run(campaign.Spec{Runs: 2, Workers: 1, Seed: 21, MTFs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteCampaign(&sb, plain, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "## Recovery orchestration") {
+		t.Error("recovery section present without a policy")
 	}
 }
 

@@ -46,6 +46,17 @@ const (
 	// housekeeping queuing channel beyond its depth, starving legitimate
 	// senders.
 	FaultIPCFlood
+	// FaultRestartStorm installs a process that raises an APPLICATION_ERROR
+	// whose HM rule cold-starts the partition — on every incarnation, for
+	// Magnitude incarnations. Each restart re-installs the injector, so the
+	// partition storms through restart after restart: the failure mode the
+	// recovery layer's budgets and quarantine exist to contain.
+	FaultRestartStorm
+	// FaultPartitionHang installs a process that busy-spins with no deadline
+	// for Magnitude incarnations: invisible to deadline monitoring, it
+	// silently consumes the partition's windows until the liveness watchdog
+	// (core.Config.HangTicks) reports PARTITION_HANG.
+	FaultPartitionHang
 )
 
 // String renders the fault kind in the spelling used by campaign
@@ -62,6 +73,10 @@ func (k FaultKind) String() string {
 		return "sporadic-overload"
 	case FaultIPCFlood:
 		return "ipc-flood"
+	case FaultRestartStorm:
+		return "restart-storm"
+	case FaultPartitionHang:
+		return "partition-hang"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -69,7 +84,7 @@ func (k FaultKind) String() string {
 
 // ParseFaultKind resolves the configuration-file spelling of a fault kind.
 func ParseFaultKind(s string) (FaultKind, error) {
-	for k := FaultDeadlineOverrun; k <= FaultIPCFlood; k++ {
+	for k := FaultDeadlineOverrun; k <= FaultPartitionHang; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -80,7 +95,8 @@ func ParseFaultKind(s string) (FaultKind, error) {
 // FaultKinds lists every fault class.
 func FaultKinds() []FaultKind {
 	return []FaultKind{FaultDeadlineOverrun, FaultMemoryViolation,
-		FaultModeSwitchStorm, FaultSporadicOverload, FaultIPCFlood}
+		FaultModeSwitchStorm, FaultSporadicOverload, FaultIPCFlood,
+		FaultRestartStorm, FaultPartitionHang}
 }
 
 // FaultKindForProcess maps an injector process name (stable across restarts)
@@ -109,7 +125,10 @@ type FaultSpec struct {
 	Deadline tick.Ticks
 	// Magnitude scales the fault: overrun computation per activation (0 =
 	// never completes), sporadic server minimum inter-arrival bound
-	// (default 400), flood burst size in messages (default 32).
+	// (default 400), flood burst size in messages (default 32), number of
+	// faulty incarnations for restart-storm (default 8) and partition-hang
+	// (default 2) — the counter survives cold restarts, which is what makes
+	// those faults storms rather than one-shot errors.
 	Magnitude tick.Ticks
 	// Period is the injector's activation period (per-kind default).
 	Period tick.Ticks
@@ -124,6 +143,8 @@ var faultDefaults = map[FaultKind]FaultSpec{
 	FaultModeSwitchStorm:  {Partition: "P4", Period: 325},
 	FaultSporadicOverload: {Partition: "P3", Magnitude: 400, Period: 100},
 	FaultIPCFlood:         {Partition: "P2", Magnitude: 32, Period: 650},
+	FaultRestartStorm:     {Partition: "P1", Magnitude: 8, Period: 650},
+	FaultPartitionHang:    {Partition: "P3", Magnitude: 2, Period: 650},
 }
 
 // withDefaults fills zero-valued parameters with the per-kind defaults and
@@ -163,6 +184,14 @@ func (f FaultSpec) withDefaults() FaultSpec {
 	return f
 }
 
+// Target resolves the partition this fault injects into, applying the
+// per-kind default when the spec leaves it unset — the set campaign runs use
+// to judge error confinement (HM events outside every fault's target mean
+// the fault leaked across partition boundaries).
+func (f FaultSpec) Target() model.PartitionName {
+	return f.withDefaults().Partition
+}
+
 // Validate rejects structurally impossible fault specifications. It is the
 // check campaign configuration loading applies before a sweep starts.
 func (f FaultSpec) Validate() error {
@@ -197,6 +226,11 @@ type faultInstance struct {
 	spec FaultSpec
 	name string // injector process
 	aux  string // auxiliary process (sporadic server)
+	// remaining counts the faulty incarnations left for restart-storm and
+	// partition-hang injectors. It lives outside the partition (on the
+	// injection, which survives cold restarts) so each re-installed
+	// incarnation continues the storm where the previous one left off.
+	remaining *int
 }
 
 // injection wires the resolved fault list into the partition initializers.
@@ -213,6 +247,8 @@ var injectorBaseNames = map[FaultKind]string{
 	FaultModeSwitchStorm:  "storm",
 	FaultSporadicOverload: "overload",
 	FaultIPCFlood:         "flood",
+	FaultRestartStorm:     "rstorm",
+	FaultPartitionHang:    "hang",
 }
 
 // newInjection resolves the options' fault list (including the deprecated
@@ -248,9 +284,25 @@ func newInjection(opts *Options) *injection {
 		if f.Kind == FaultSporadicOverload {
 			inst.aux = name + "_srv"
 		}
+		if f.Kind == FaultRestartStorm || f.Kind == FaultPartitionHang {
+			r := int(f.Magnitude)
+			inst.remaining = &r
+		}
 		inj.byPartition[f.Partition] = append(inj.byPartition[f.Partition], inst)
 	}
 	return inj
+}
+
+// hasKind reports whether any resolved injector is of the given kind.
+func (inj *injection) hasKind(kind FaultKind) bool {
+	for _, insts := range inj.byPartition {
+		for _, inst := range insts {
+			if inst.spec.Kind == kind {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // processTable merges the HM process-level rules the partition's injectors
@@ -276,6 +328,12 @@ func (inj *injection) processTable(p model.PartitionName, base hm.Table) hm.Tabl
 			if _, ok := t[hm.ErrApplicationError]; !ok {
 				t[hm.ErrApplicationError] = hm.Rule{Action: hm.ActionIgnore}
 			}
+		case FaultRestartStorm:
+			// The storm's APPLICATION_ERROR must cold-start the partition —
+			// that escalation IS the fault. It wins over the Ignore rule the
+			// reporting-style injectors install, so co-located injectors do
+			// not defuse the storm.
+			t[hm.ErrApplicationError] = hm.Rule{Action: hm.ActionColdStartPartition}
 		}
 	}
 	return t
@@ -297,6 +355,10 @@ func (inj *injection) install(sv *core.Services, p model.PartitionName) {
 			inj.installSporadicOverload(sv, p, inst)
 		case FaultIPCFlood:
 			inj.installIPCFlood(sv, p, inst)
+		case FaultRestartStorm:
+			inj.installRestartStorm(sv, p, inst)
+		case FaultPartitionHang:
+			inj.installPartitionHang(sv, p, inst)
 		}
 	}
 }
@@ -432,6 +494,63 @@ func (inj *injection) installSporadicOverload(sv *core.Services, p model.Partiti
 				opts.emit(p, "overload: %d/%d arrivals rejected", rejected, attempts)
 				sv.RaiseApplicationError(fmt.Sprintf(
 					"sporadic overload: %d/%d arrivals for %s rejected", rejected, attempts, aux))
+			}
+			sv.PeriodicWait()
+		}
+	})
+	startInjector(sv, inst.name, spec.Phase)
+}
+
+// installRestartStorm raises a partition-restarting APPLICATION_ERROR on
+// every incarnation while the cross-restart counter lasts; once exhausted
+// the incarnation behaves healthily, so a recovery layer's half-open probe
+// can eventually find the partition recovered (finite MTTR). The injector
+// runs at the highest priority (0: lower value = higher priority) so each
+// incarnation faults within a couple of granted ticks — the partition's
+// windows are consumed by back-to-back restarts, the storm failure mode.
+func (inj *injection) installRestartStorm(sv *core.Services, p model.PartitionName, inst faultInstance) {
+	spec := inst.spec
+	opts := inj.opts
+	sv.CreateProcess(model.TaskSpec{
+		Name: inst.name, Period: spec.Period, Deadline: tick.Infinity,
+		BasePriority: 0, WCET: 5, Periodic: true,
+	}, func(sv *core.Services) {
+		for {
+			sv.Compute(1)
+			if *inst.remaining > 0 {
+				*inst.remaining--
+				opts.emit(p, "restart storm: raising partition fault (%d left)", *inst.remaining)
+				// The cold-start action terminates this process; the re-run
+				// initialization re-installs it and the storm continues.
+				sv.RaiseApplicationError("restart storm: injected partition fault")
+			}
+			sv.PeriodicWait()
+		}
+	})
+	startInjector(sv, inst.name, spec.Phase)
+}
+
+// installPartitionHang busy-spins with an infinite deadline while the
+// cross-restart counter lasts: no deadline ever expires, so only the
+// partition liveness watchdog (core.Config.HangTicks) can detect the hang
+// and trigger the partition-level recovery that re-installs the injector.
+// Unlike the reporting-style injectors, the hang runs at the highest
+// priority (0: lower value = higher priority) so it starves the partition's
+// legitimate processes — a hang that yields to supervised work is not a
+// hang.
+func (inj *injection) installPartitionHang(sv *core.Services, p model.PartitionName, inst faultInstance) {
+	spec := inst.spec
+	opts := inj.opts
+	sv.CreateProcess(model.TaskSpec{
+		Name: inst.name, Period: spec.Period, Deadline: tick.Infinity,
+		BasePriority: 0, WCET: 5, Periodic: true,
+	}, func(sv *core.Services) {
+		for {
+			sv.Compute(1)
+			if *inst.remaining > 0 {
+				*inst.remaining--
+				opts.emit(p, "hang: entering busy spin (%d left)", *inst.remaining)
+				sv.Compute(1 << 30) // silent no-progress spin, no deadline
 			}
 			sv.PeriodicWait()
 		}

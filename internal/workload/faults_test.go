@@ -79,6 +79,12 @@ func TestFaultClassSignals(t *testing.T) {
 					attributed++
 					continue
 				}
+				// The hang is detected by the liveness watchdog at partition
+				// level: no process name is attached to the report.
+				if e.Code == hm.ErrPartitionHang && kind == FaultPartitionHang {
+					attributed++
+					continue
+				}
 				if k, ok := FaultKindForProcess(e.Process); ok && k == kind {
 					attributed++
 				}
@@ -174,6 +180,9 @@ func TestFaultKindForProcess(t *testing.T) {
 		"overload_srv": FaultSporadicOverload,
 		"flood":        FaultIPCFlood,
 		"memfault":     FaultMemoryViolation,
+		"rstorm":       FaultRestartStorm,
+		"rstorm_2":     FaultRestartStorm,
+		"hang":         FaultPartitionHang,
 	}
 	for name, want := range cases {
 		got, ok := FaultKindForProcess(name)
@@ -201,7 +210,7 @@ func TestFaultSpecValidate(t *testing.T) {
 	if err := (FaultSpec{Kind: FaultIPCFlood, Phase: -1}).Validate(); err == nil {
 		t.Fatal("negative parameter accepted")
 	}
-	if err := ValidateFaults([]FaultSpec{{Kind: FaultIPCFlood}, {Kind: FaultKind(7)}}); err == nil {
+	if err := ValidateFaults([]FaultSpec{{Kind: FaultIPCFlood}, {Kind: FaultKind(99)}}); err == nil {
 		t.Fatal("invalid list accepted")
 	}
 }

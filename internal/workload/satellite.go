@@ -15,6 +15,7 @@ import (
 	"air/internal/hm"
 	"air/internal/ipc"
 	"air/internal/model"
+	"air/internal/recovery"
 	"air/internal/tick"
 )
 
@@ -47,6 +48,14 @@ type Options struct {
 	FDIRSwitchOnStale int
 	// ChangeActions optionally sets per-partition restart actions on chi2.
 	ChangeActions map[model.PartitionName]model.ScheduleChangeAction
+	// Recovery forwards a recovery orchestration policy to core.Config:
+	// restart budgets, quarantine and safe-mode degradation for the
+	// scenario's partitions. Nil runs without the recovery layer.
+	Recovery *recovery.Policy
+	// HangWatchdog forwards to core.Config.HangTicks. 0 auto-enables a
+	// 260-tick watchdog when a partition-hang fault is injected (the hang is
+	// undetectable without it); negative disables the watchdog entirely.
+	HangWatchdog tick.Ticks
 	// TraceCapacity forwards to core.Config.
 	TraceCapacity int
 }
@@ -71,8 +80,17 @@ func Config(opts Options) core.Config {
 		}
 	}
 	inj := newInjection(&opts)
+	hangTicks := opts.HangWatchdog
+	if hangTicks == 0 && inj.hasKind(FaultPartitionHang) {
+		hangTicks = 260 // two of the hang target's 100-tick windows, plus margin
+	}
+	if hangTicks < 0 {
+		hangTicks = 0
+	}
 	return core.Config{
 		System:        sys,
+		Recovery:      opts.Recovery,
+		HangTicks:     hangTicks,
 		TraceCapacity: opts.TraceCapacity,
 		Sampling: []ipc.SamplingConfig{{
 			Name: "attitude", MaxMessage: 64, Refresh: 1300,
