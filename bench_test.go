@@ -38,6 +38,7 @@ import (
 	"air/internal/pos"
 	"air/internal/sched"
 	"air/internal/tick"
+	"air/internal/timeline"
 	"air/internal/workload"
 )
 
@@ -555,6 +556,28 @@ func BenchmarkModuleTickSatellite(b *testing.B) {
 // detection, HM reporting and restart along the run).
 func BenchmarkModuleTickSatelliteFaulty(b *testing.B) {
 	benchModuleTick(b, workload.Options{TraceCapacity: -1, InjectFault: true})
+}
+
+// BenchmarkModuleTickSatelliteTimeline: the nominal tick with the online
+// timeliness analyzer subscribed to the spine — the full observability tax
+// (metrics registry + trace ring + histograms, budget accounting, watermark
+// checks, flight recorder). Must stay allocation-free in steady state.
+func BenchmarkModuleTickSatelliteTimeline(b *testing.B) {
+	m, err := core.NewModule(workload.Config(workload.Options{TraceCapacity: -1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+	if err := m.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkMulticoreTick: one global tick of a dual-core module (two full

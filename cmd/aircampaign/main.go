@@ -9,8 +9,14 @@
 //
 //	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
 //	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling] [-metrics]
-//	            [-recovery]
+//	            [-recovery] [-telemetry addr] [-pprof addr]
 //	aircampaign -write-matrix file.json
+//
+// -telemetry serves the campaign's merged timeliness view live on the given
+// address (/metrics Prometheus text, /timeline.json for cmd/airmon, /flight,
+// /debug/pprof): each finished run folds into the served aggregate, so
+// watching the endpoints shows the campaign converge. -pprof serves only the
+// Go runtime profiles.
 //
 // -recovery applies the built-in recovery-orchestration policy (restart
 // budgets, partition quarantine, graceful degradation to the chi2 safe-mode
@@ -30,12 +36,48 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"air/internal/campaign"
 	"air/internal/config"
+	"air/internal/obs"
 	"air/internal/report"
+	"air/internal/timeline"
 )
+
+// mergedSource serves the campaign's live telemetry: finished runs fold
+// their snapshots in from worker goroutines while the HTTP handlers read the
+// merged view. The flight dump is empty — post-mortem recording is a
+// per-module notion; use airsim -telemetry for it.
+type mergedSource struct {
+	mu   sync.Mutex
+	snap timeline.Snapshot
+	reg  obs.Snapshot
+}
+
+func (s *mergedSource) fold(ob campaign.Observation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap = s.snap.Add(ob.Timeline)
+	s.reg = s.reg.Add(ob.Metrics)
+}
+
+func (s *mergedSource) Snapshot() timeline.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+func (s *mergedSource) Registry() obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg
+}
+
+func (s *mergedSource) Flight() timeline.FlightDump {
+	return timeline.FlightDump{Frames: []timeline.FlightFrame{}}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -43,6 +85,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// serveHook, when set (tests), is called with each started HTTP endpoint
+// while it is live — the seam the -telemetry/-pprof smoke tests probe
+// through, since both servers shut down when run returns.
+var serveHook func(kind, addr string)
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("aircampaign", flag.ContinueOnError)
@@ -59,6 +106,8 @@ func run(args []string, out io.Writer) error {
 		metrics     = fs.Bool("metrics", false, "print per-fault-class spine counter deltas against the fault-free baseline scenario")
 		recov       = fs.Bool("recovery", false, "apply the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation) to every run")
 		writeMatrix = fs.String("write-matrix", "", "write the built-in matrix to this file and exit")
+		telemetry   = fs.String("telemetry", "", "serve the merged campaign timeliness view (/metrics, /timeline.json, /flight, /debug/pprof) on this address while running")
+		pprofAddr   = fs.String("pprof", "", "serve Go runtime profiles (/debug/pprof) on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +158,31 @@ func run(args []string, out io.Writer) error {
 		spec.Recovery = &pol
 	}
 
+	if *pprofAddr != "" {
+		addr, shutdown, err := timeline.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(out, "pprof serving on %s\n", addr)
+		if serveHook != nil {
+			defer serveHook("pprof", addr)
+		}
+	}
+	if *telemetry != "" {
+		src := &mergedSource{}
+		spec.OnObservation = src.fold
+		addr, shutdown, err := timeline.Serve(*telemetry, src)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(out, "telemetry serving on %s\n", addr)
+		if serveHook != nil {
+			defer serveHook("telemetry", addr)
+		}
+	}
+
 	if *scaling {
 		return runScaling(out, spec)
 	}
@@ -133,6 +207,9 @@ func run(args []string, out io.Writer) error {
 		agg.HMEvents, agg.PartitionRestarts, agg.ProcessRestarts, agg.ScheduleSwitches)
 	fmt.Fprintf(out, "  containment: %d/%d runs confined HM activity to fault-target partitions\n",
 		agg.ContainedRuns, agg.Runs)
+	fmt.Fprintf(out, "  timeliness: response p50=%d p99=%d max=%d ticks, worst slack=%d, early warnings=%d (lead mean %.1f max %d), model violations=%d\n",
+		agg.ResponseP50, agg.ResponseP99, agg.ResponseMax, agg.WorstSlack,
+		agg.EarlyWarnings, agg.EarlyWarningLeadMean, agg.EarlyWarningLeadMax, agg.ModelViolations)
 	if spec.Recovery != nil || agg.Quarantines > 0 || agg.RestartsDeferred > 0 {
 		fmt.Fprintf(out, "  recovery: %d restarts deferred, %d quarantines, %d recovered (MTTR mean %.1f ticks, max %d)\n",
 			agg.RestartsDeferred, agg.Quarantines, agg.Recoveries, agg.MTTRMean, agg.MTTRMax)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,6 +90,81 @@ func TestRunDeterministicArtifacts(t *testing.T) {
 	b := render("b.json", "3")
 	if string(a) != string(b) {
 		t.Fatal("same seed, different workers: result JSON differs")
+	}
+}
+
+// TestRunTimelineArtifacts: the campaign's JSON artifact carries the merged
+// timeline quantiles and the Markdown sibling renders the Timeliness section
+// — the analyzer's numbers survive aggregation end to end.
+func TestRunTimelineArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "result.json")
+	var sb strings.Builder
+	err := run([]string{"-runs", "4", "-workers", "2", "-seed", "5", "-mtfs", "2",
+		"-out", outPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "timeliness: response p50=") {
+		t.Errorf("stdout missing timeliness summary:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"timeline"`, `"responseP50"`, `"responseP99"`,
+		`"responseMax"`, `"worstSlack"`, `"earlyWarningLeadMax"`, `"modelViolations"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("result JSON missing %s", want)
+		}
+	}
+	md, err := os.ReadFile(filepath.Join(dir, "result.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## Timeliness", "response time p99", "early warnings"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("Markdown report missing %q", want)
+		}
+	}
+}
+
+// TestRunPprofAndTelemetrySmoke: -pprof and -telemetry serve live endpoints
+// for the campaign's duration; the merged /metrics view reflects finished
+// runs by the time the campaign completes.
+func TestRunPprofAndTelemetrySmoke(t *testing.T) {
+	got := map[string]string{}
+	serveHook = func(kind, addr string) {
+		path := map[string]string{"pprof": "/debug/pprof/", "telemetry": "/metrics"}[kind]
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Errorf("%s endpoint: %v", kind, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s endpoint %s = %d", kind, path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		got[kind] = string(body)
+	}
+	defer func() { serveHook = nil }()
+	var sb strings.Builder
+	err := run([]string{"-runs", "2", "-workers", "1", "-seed", "5", "-mtfs", "2",
+		"-pprof", "127.0.0.1:0", "-telemetry", "127.0.0.1:0"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pprof serving on", "telemetry serving on"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, sb.String())
+		}
+	}
+	if !strings.Contains(got["pprof"], "goroutine") {
+		t.Errorf("pprof index lacks profiles:\n%s", got["pprof"])
+	}
+	if !strings.Contains(got["telemetry"], "air_response_ticks") {
+		t.Errorf("merged /metrics lacks analyzer series:\n%s", got["telemetry"])
 	}
 }
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"air/internal/core"
+	"air/internal/model"
+	"air/internal/timeline"
+	"air/internal/workload"
+)
+
+// liveTelemetry spins up a real (small) simulation and serves its analyzer
+// the same way airsim -telemetry does.
+func liveTelemetry(t *testing.T, opts workload.Options) *httptest.Server {
+	t.Helper()
+	m, err := core.NewModule(workload.Config(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	tl := timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(2 * 1300); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(timeline.Handler(tl))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestAirmonRendersFrame(t *testing.T) {
+	srv := liveTelemetry(t, workload.Options{})
+	var out bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-n", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"airmon", "P1", "P4", "utilization",
+		"aocs_control", "fdir_monitor", "model violations 0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAirmonShowsMisses(t *testing.T) {
+	srv := liveTelemetry(t, workload.Options{InjectFault: true})
+	var out bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-n", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deadline misses 2") {
+		t.Errorf("faulty frame lacks miss count:\n%s", out.String())
+	}
+}
+
+func TestAirmonUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:1", "-n", "1"}, &out); err == nil {
+		t.Error("connecting to a dead port succeeded")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 10); got != "[#####-----]" {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	if got := bar(-1, 4); got != "[----]" {
+		t.Errorf("bar(-1) = %q", got)
+	}
+	if got := bar(2, 4); got != "[####]" {
+		t.Errorf("bar(2) = %q", got)
+	}
+}

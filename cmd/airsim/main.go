@@ -8,7 +8,7 @@
 // Usage:
 //
 //	airsim [-mtfs n] [-fault] [-faults list] [-recovery] [-switch-at mtf]
-//	       [-frames n]
+//	       [-frames n] [-telemetry addr] [-pprof addr]
 //
 // -fault injects the faulty process on P1 (deadline violation every P1
 // dispatch except the first). -faults injects a comma-separated list of
@@ -16,7 +16,10 @@
 // defaults. -recovery enables the built-in recovery-orchestration policy
 // (restart budgets, quarantine, chi2 safe-mode degradation). -switch-at
 // requests the chi2 schedule at the given MTF boundary, exercising
-// mode-based schedules.
+// mode-based schedules. -telemetry serves /metrics (Prometheus text),
+// /timeline.json (cmd/airmon's feed), /flight (post-mortem JSON) and
+// /debug/pprof on the given address while the simulation runs; -pprof
+// serves only the Go runtime profiles.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"air/internal/model"
 	"air/internal/obs"
 	"air/internal/recovery"
+	"air/internal/timeline"
 	"air/internal/vitral"
 	"air/internal/workload"
 )
@@ -41,6 +45,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// serveHook, when set (tests), is called with each started HTTP endpoint
+// while it is live — the seam the -telemetry/-pprof smoke tests probe
+// through, since both servers shut down when run returns.
+var serveHook func(kind, addr string)
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("airsim", flag.ContinueOnError)
@@ -53,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		frames    = fs.Int("frames", 2, "VITRAL frames to print (evenly spaced; last frame always printed)")
 		traceOut  = fs.String("trace-out", "", "write the module trace as JSON lines to this file")
 		hmOut     = fs.String("hm-out", "", "write the health monitor log as JSON lines to this file")
+		telemetry = fs.String("telemetry", "", "serve telemetry (/metrics, /timeline.json, /flight, /debug/pprof) on this address while running")
+		pprofAddr = fs.String("pprof", "", "serve Go runtime profiles (/debug/pprof) on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +108,33 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer m.Shutdown()
+
+	// The timeliness analyzer always rides the spine (its summary line
+	// costs nothing); the HTTP endpoints are opt-in.
+	tl := timeline.Attach(m.Bus(), config.DefaultTelemetry().Options(model.Fig8System()))
+	if *telemetry != "" {
+		addr, shutdown, err := timeline.Serve(*telemetry, tl)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintln(out, "telemetry serving on", addr)
+		if serveHook != nil {
+			defer serveHook("telemetry", addr)
+		}
+	}
+	if *pprofAddr != "" {
+		addr, shutdown, err := timeline.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintln(out, "pprof serving on", addr)
+		if serveHook != nil {
+			defer serveHook("pprof", addr)
+		}
+	}
+
 	if err := m.Start(); err != nil {
 		return err
 	}
@@ -142,10 +180,16 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Counters come from the spine's monotonic metrics registry, not a walk
+	// over the bounded trace ring, so they are exact even after overflow.
+	snap := m.Metrics()
 	fmt.Fprintf(out, "simulation complete: t=%d, deadline misses=%d, schedule switches=%d\n",
-		m.Now(), len(m.TraceKind(core.EvDeadlineMiss)), len(m.TraceKind(core.EvScheduleSwitch)))
+		m.Now(), snap.CountKind(core.EvDeadlineMiss), snap.CountKind(core.EvScheduleSwitch))
+	ts := tl.Snapshot()
+	fmt.Fprintf(out, "timeliness: response p50=%d p99=%d max=%d ticks, worst slack=%d, early warnings=%d, model violations=%d\n",
+		ts.Response.Quantile(0.5), ts.Response.Quantile(0.99), ts.Response.Max,
+		ts.Slack.Min, ts.EarlyWarnings, ts.ModelViolations)
 	if policy != nil {
-		snap := m.Metrics()
 		fmt.Fprintf(out, "recovery: %d restarts deferred, %d quarantines, %d recovered (MTTR mean %.1f ticks), %d ticks degraded, %d restores\n",
 			snap.CountKind(obs.KindRestartDeferred), snap.CountKind(obs.KindQuarantineEnter),
 			snap.CountKind(obs.KindQuarantineExit), snap.MTTR.Mean,

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,6 +61,67 @@ func TestRunRecoveryStorm(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "0 quarantines") {
 		t.Errorf("storm never quarantined:\n%s", out.String())
+	}
+}
+
+// probeEndpoints wires serveHook to GET the given paths on each endpoint the
+// run starts (the hook fires while the server is still live) and returns the
+// collected kind→body results after run returns.
+func probeEndpoints(t *testing.T, paths map[string]string) (map[string]string, func()) {
+	t.Helper()
+	got := map[string]string{}
+	serveHook = func(kind, addr string) {
+		path, ok := paths[kind]
+		if !ok {
+			t.Errorf("unexpected endpoint kind %q", kind)
+			return
+		}
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Errorf("%s endpoint: %v", kind, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s endpoint %s = %d", kind, path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		got[kind] = string(body)
+	}
+	return got, func() { serveHook = nil }
+}
+
+// TestRunPprofSmoke: -pprof serves the Go runtime profile index on a local
+// port for the lifetime of the run.
+func TestRunPprofSmoke(t *testing.T) {
+	got, done := probeEndpoints(t, map[string]string{"pprof": "/debug/pprof/"})
+	defer done()
+	var out bytes.Buffer
+	if err := run([]string{"-mtfs", "1", "-frames", "0", "-pprof", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pprof serving on") {
+		t.Errorf("serving line missing:\n%s", out.String())
+	}
+	if !strings.Contains(got["pprof"], "goroutine") {
+		t.Errorf("pprof index lacks profiles:\n%s", got["pprof"])
+	}
+}
+
+// TestRunTelemetrySmoke: -telemetry serves the analyzer's Prometheus text
+// while the simulation runs.
+func TestRunTelemetrySmoke(t *testing.T) {
+	got, done := probeEndpoints(t, map[string]string{"telemetry": "/metrics"})
+	defer done()
+	var out bytes.Buffer
+	if err := run([]string{"-mtfs", "1", "-frames", "0", "-telemetry", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "telemetry serving on") {
+		t.Errorf("serving line missing:\n%s", out.String())
+	}
+	if !strings.Contains(got["telemetry"], "air_response_ticks") {
+		t.Errorf("/metrics lacks analyzer series:\n%s", got["telemetry"])
 	}
 }
 

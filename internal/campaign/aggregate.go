@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"air/internal/obs"
+	"air/internal/timeline"
 )
 
 // Observation is the structured outcome of one simulation run. All fields
@@ -65,6 +66,10 @@ type Observation struct {
 	// Metrics is the run's full spine snapshot: per-kind event counters
 	// plus detection-latency and window-gap histograms (internal/obs).
 	Metrics obs.Snapshot `json:"metrics"`
+	// Timeline is the run's derived timeliness state (internal/timeline):
+	// response/jitter/slack histograms, partition supply accounting, early
+	// warnings and live model-check verdicts.
+	Timeline timeline.Snapshot `json:"timeline"`
 	// WallNanos is the run's wall-clock duration — nondeterministic, kept
 	// out of the serialized artifact.
 	WallNanos int64 `json:"-"`
@@ -107,6 +112,8 @@ type ClassAgg struct {
 	// (or subtracting another class's per-run mean) yields the
 	// per-fault-class counter deltas reported by aircampaign -metrics.
 	Metrics obs.Snapshot `json:"metrics"`
+	// Timeline merges the class's per-run timeliness snapshots.
+	Timeline timeline.Snapshot `json:"timeline"`
 }
 
 // Aggregate is the campaign-wide fold of all observations.
@@ -144,6 +151,22 @@ type Aggregate struct {
 
 	// Metrics is the campaign-wide sum of every run's spine snapshot.
 	Metrics obs.Snapshot `json:"metrics"`
+
+	// Timeline merges every run's timeliness snapshot; the scalar fields
+	// below lift its headline quantiles into the report:
+	// response-time p50/p99/max (ticks), the worst completion slack seen
+	// anywhere in the campaign, early-warning counts and the mean/max lead
+	// time from slack warning to PAL deadline-miss detection, and the
+	// number of live scheduling-model checks that failed.
+	Timeline             timeline.Snapshot `json:"timeline"`
+	ResponseP50          uint64            `json:"responseP50"`
+	ResponseP99          uint64            `json:"responseP99"`
+	ResponseMax          uint64            `json:"responseMax"`
+	WorstSlack           uint64            `json:"worstSlack"`
+	EarlyWarnings        uint64            `json:"earlyWarnings"`
+	EarlyWarningLeadMean float64           `json:"earlyWarningLeadMean"`
+	EarlyWarningLeadMax  uint64            `json:"earlyWarningLeadMax"`
+	ModelViolations      uint64            `json:"modelViolations"`
 
 	ByScenario  map[string]*ClassAgg `json:"byScenario"`
 	ByFaultKind map[string]*ClassAgg `json:"byFaultKind"`
@@ -229,6 +252,7 @@ func aggregate(observations []Observation) Aggregate {
 			agg.ContainedRuns++
 		}
 		agg.Metrics = agg.Metrics.Add(o.Metrics)
+		agg.Timeline = agg.Timeline.Add(o.Timeline)
 
 		sc := classFor(agg.ByScenario, o.Scenario)
 		sc.add(o, hmTotal(o.HMByLevel))
@@ -254,6 +278,14 @@ func aggregate(observations []Observation) Aggregate {
 	} else {
 		agg.MTTRMean = 0
 	}
+	agg.ResponseP50 = agg.Timeline.Response.Quantile(0.5)
+	agg.ResponseP99 = agg.Timeline.Response.Quantile(0.99)
+	agg.ResponseMax = agg.Timeline.Response.Max
+	agg.WorstSlack, _ = agg.Timeline.WorstSlack()
+	agg.EarlyWarnings = agg.Timeline.EarlyWarnings
+	agg.EarlyWarningLeadMean = agg.Timeline.EarlyWarningLead.Mean
+	agg.EarlyWarningLeadMax = agg.Timeline.EarlyWarningLead.Max
+	agg.ModelViolations = agg.Timeline.ModelViolations
 	return agg
 }
 
@@ -292,6 +324,7 @@ func (c *ClassAgg) add(o *Observation, hmEvents int) {
 		c.ContainedRuns++
 	}
 	c.Metrics = c.Metrics.Add(o.Metrics)
+	c.Timeline = c.Timeline.Add(o.Timeline)
 }
 
 func hmTotal(byLevel map[string]int) int {

@@ -25,6 +25,7 @@ import (
 	"air/internal/obs"
 	"air/internal/recovery"
 	"air/internal/tick"
+	"air/internal/timeline"
 	"air/internal/workload"
 )
 
@@ -82,6 +83,11 @@ type Spec struct {
 	// recovery-effectiveness columns of the result. Nil runs without the
 	// recovery layer — the baseline the policy's effect is measured against.
 	Recovery *recovery.Policy
+	// OnObservation, when non-nil, is invoked with each run's finished
+	// observation — the live-telemetry hook (aircampaign -telemetry folds
+	// these into a served aggregate). Called from worker goroutines: the
+	// callback must be safe for concurrent use and should return quickly.
+	OnObservation func(Observation) `json:"-"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -221,6 +227,9 @@ func Run(spec Spec) (*Result, error) {
 			defer wg.Done()
 			for run := range jobs {
 				observations[run] = runOne(spec, run)
+				if spec.OnObservation != nil {
+					spec.OnObservation(observations[run])
+				}
 			}
 		}()
 	}
@@ -302,10 +311,13 @@ func runOne(spec Spec, run int) (ob Observation) {
 		return ob
 	}
 	defer m.Shutdown()
+	// The timeliness analyzer rides the module's observability spine;
+	// attached before Start so initialization-time process releases are seen.
+	tl := timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
 	if err := m.Start(); err != nil {
 		ob.Degraded = true
 		ob.Error = err.Error()
-		collect(m, &ob, faults)
+		collect(m, &ob, faults, tl)
 		return ob
 	}
 	mtf := model.Fig8System().Schedules[0].MTF
@@ -324,7 +336,7 @@ func runOne(spec Spec, run int) (ob Observation) {
 			break
 		}
 	}
-	collect(m, &ob, faults)
+	collect(m, &ob, faults, tl)
 	return ob
 }
 
@@ -349,9 +361,13 @@ func (ob *Observation) fold(snap obs.Snapshot) {
 	ob.ScheduleRestores = int(snap.CountKind(obs.KindScheduleRestore))
 }
 
-func collect(m *core.Module, ob *Observation, faults []workload.FaultSpec) {
+func collect(m *core.Module, ob *Observation, faults []workload.FaultSpec, tl *timeline.Timeline) {
 	ob.Ticks = int64(m.Now())
 	ob.Halted = m.Halted()
+	ob.Timeline = tl.Snapshot()
+	// The HM's monotonic per-code counter survives log truncation, unlike a
+	// walk over the MaxLog-bounded event slice below.
+	ob.DeadlineMisses = int(m.Health().Reported(hm.ErrDeadlineMissed))
 	ob.HMByLevel = map[string]int{}
 	ob.HMByCode = map[string]int{}
 	ob.HMByFaultKind = map[string]int{}
@@ -365,9 +381,6 @@ func collect(m *core.Module, ob *Observation, faults []workload.FaultSpec) {
 		ob.HMByCode[e.Code.String()]++
 		if k, ok := attributeEvent(e); ok {
 			ob.HMByFaultKind[k.String()]++
-		}
-		if e.Code == hm.ErrDeadlineMissed {
-			ob.DeadlineMisses++
 		}
 		// Confinement verdict: an HM event on a partition no fault targets
 		// means the injected error propagated across a partition boundary.

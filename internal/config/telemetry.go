@@ -1,0 +1,55 @@
+package config
+
+import (
+	"fmt"
+
+	"air/internal/model"
+	"air/internal/timeline"
+)
+
+// Telemetry is the declarative spelling of the online timeliness analyzer
+// and its exporter (internal/timeline): the integration-time artifact that
+// fixes the early-warning watermark and the flight-data-recorder depth, plus
+// the address the telemetry HTTP server binds when enabled.
+type Telemetry struct {
+	// Addr is the telemetry server's listen address (e.g. "127.0.0.1:9653"
+	// or ":0" for an ephemeral port). Empty disables the server; the
+	// analyzer itself runs regardless.
+	Addr string `json:"addr,omitempty"`
+	// WarnPercent is the early-warning slack watermark: a SLACK_WARNING is
+	// raised when an activation's remaining slack drops below this
+	// percentage of its release→deadline window. 0 selects the default
+	// (timeline.DefaultWarnPercent); negative disables early warning.
+	WarnPercent int `json:"warnPercent,omitempty"`
+	// FlightFrames bounds the flight-data recorder (frames retained, one
+	// per window activation). 0 selects timeline.DefaultFlightFrames;
+	// negative disables the recorder.
+	FlightFrames int `json:"flightFrames,omitempty"`
+}
+
+// DefaultTelemetry returns the telemetry configuration the cmd tools use
+// when -telemetry is given without further tuning.
+func DefaultTelemetry() Telemetry {
+	return Telemetry{
+		WarnPercent:  timeline.DefaultWarnPercent,
+		FlightFrames: timeline.DefaultFlightFrames,
+	}
+}
+
+// Options translates the configuration into analyzer options for the given
+// scheduling model.
+func (t Telemetry) Options(sys *model.System) timeline.Options {
+	return timeline.Options{
+		System:       sys,
+		WarnPercent:  t.WarnPercent,
+		FlightFrames: t.FlightFrames,
+	}
+}
+
+// Validate rejects nonsensical telemetry configurations.
+func (t Telemetry) Validate() error {
+	if t.WarnPercent > 100 {
+		return fmt.Errorf("config: telemetry warnPercent %d exceeds 100", t.WarnPercent)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package config
+
+import (
+	"testing"
+
+	"air/internal/model"
+	"air/internal/timeline"
+)
+
+// TestDefaultTelemetry: the built-in document is valid and translates to the
+// analyzer's own defaults with no server address.
+func TestDefaultTelemetry(t *testing.T) {
+	doc := DefaultTelemetry()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("built-in telemetry document invalid: %v", err)
+	}
+	if doc.Addr != "" {
+		t.Errorf("default Addr = %q, want disabled", doc.Addr)
+	}
+	if doc.WarnPercent != timeline.DefaultWarnPercent {
+		t.Errorf("WarnPercent = %d, want %d", doc.WarnPercent, timeline.DefaultWarnPercent)
+	}
+	if doc.FlightFrames != timeline.DefaultFlightFrames {
+		t.Errorf("FlightFrames = %d, want %d", doc.FlightFrames, timeline.DefaultFlightFrames)
+	}
+}
+
+// TestTelemetryOptions: the document's tuning reaches the analyzer options
+// verbatim, alongside the scheduling model it is asked to check against.
+func TestTelemetryOptions(t *testing.T) {
+	sys := model.Fig8System()
+	opts := Telemetry{WarnPercent: 40, FlightFrames: 16}.Options(sys)
+	if opts.System != sys {
+		t.Error("Options dropped the scheduling model")
+	}
+	if opts.WarnPercent != 40 || opts.FlightFrames != 16 {
+		t.Errorf("Options = %+v, want WarnPercent 40, FlightFrames 16", opts)
+	}
+}
+
+func TestTelemetryValidate(t *testing.T) {
+	if err := (Telemetry{WarnPercent: 101}).Validate(); err == nil {
+		t.Error("warnPercent > 100 accepted")
+	}
+	// Negative values are deliberate spellings (disable), not errors.
+	if err := (Telemetry{WarnPercent: -1, FlightFrames: -1}).Validate(); err != nil {
+		t.Errorf("disabling spellings rejected: %v", err)
+	}
+}

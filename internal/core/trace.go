@@ -41,13 +41,15 @@ func (m *Module) traceEvent(e Event) {
 // newTraceRing sizes the module trace ring: capacity < 0 disables retention
 // (metrics still accumulate), 0 selects the 4096-event default. The ring
 // admits only the twelve historical trace kinds plus the recovery
-// orchestration kinds, so the spine's high-frequency fine-grained events
-// cannot crowd coarse trace records out of bounded retention.
+// orchestration and timeline-analysis kinds, so the spine's high-frequency
+// fine-grained events cannot crowd coarse trace records out of bounded
+// retention.
 func newTraceRing(capacity int) *obs.Ring {
 	if capacity == 0 {
 		capacity = 4096
 	}
 	kinds := append(obs.TraceKinds(), obs.RecoveryKinds()...)
+	kinds = append(kinds, obs.TimelineKinds()...)
 	return obs.NewRingKinds(capacity, kinds...) // nil for capacity < 0
 }
 

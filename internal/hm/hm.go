@@ -228,6 +228,7 @@ type Monitor struct {
 	partition map[model.PartitionName]Table
 	process   map[model.PartitionName]Table
 	counters  map[counterKey]int
+	reported  map[ErrorCode]uint64
 	events    []Event
 	maxLog    int
 	handlers  map[model.PartitionName]bool // error handler installed?
@@ -266,6 +267,7 @@ func New(cfg Config) *Monitor {
 		partition: cfg.PartitionTables,
 		process:   cfg.ProcessTables,
 		counters:  make(map[counterKey]int),
+		reported:  make(map[ErrorCode]uint64),
 		maxLog:    cfg.MaxLog,
 		handlers:  make(map[model.PartitionName]bool),
 		obs:       cfg.Obs,
@@ -393,6 +395,7 @@ func (m *Monitor) resolve(rule Rule, key counterKey, handlerInstalled bool) Acti
 }
 
 func (m *Monitor) record(e Event) Decision {
+	m.reported[e.Code]++
 	m.events = append(m.events, e)
 	if m.maxLog > 0 && len(m.events) > m.maxLog {
 		m.events = m.events[len(m.events)-m.maxLog:]
@@ -434,7 +437,18 @@ func (m *Monitor) EventsFor(p model.PartitionName) []Event {
 	return out
 }
 
-// Count returns the number of logged events with the given code.
+// Reported returns the monotonic total of reports recorded with the given
+// code over the monitor's lifetime. Unlike Count it is not bounded by the
+// MaxLog retention window, so long fault storms cannot make it undercount;
+// campaign aggregation reads miss totals through it.
+func (m *Monitor) Reported(code ErrorCode) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reported[code]
+}
+
+// Count returns the number of logged events with the given code — bounded
+// by the MaxLog retention window; use Reported for an exact lifetime total.
 func (m *Monitor) Count(code ErrorCode) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -453,6 +467,7 @@ func (m *Monitor) Reset() {
 	defer m.mu.Unlock()
 	m.events = nil
 	m.counters = make(map[counterKey]int)
+	m.reported = make(map[ErrorCode]uint64)
 }
 
 // ResetPartition clears the escalation counters of one partition's process-

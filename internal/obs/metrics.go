@@ -108,6 +108,12 @@ func (m *Metrics) observe(e Event) {
 	}
 }
 
+// Observe folds one event into the registry. It is the exported form of the
+// bus's internal observation path, letting a sink (e.g. the timeline
+// analyzer) maintain a private registry under its own synchronization so
+// telemetry servers can read counters concurrently with the simulation.
+func (m *Metrics) Observe(e Event) { m.observe(e) }
+
 // Count returns the monotonic counter for one kind.
 func (m *Metrics) Count(k Kind) uint64 {
 	if m == nil || k < 1 || int(k) > kindCount {

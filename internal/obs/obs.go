@@ -80,8 +80,30 @@ const (
 	// degraded mode.
 	KindScheduleDegrade
 	KindScheduleRestore
+	// KindProcessRelease is emitted by the POS when a process activation is
+	// released (start, delayed-start expiry or periodic release point is
+	// announced); Latency carries the ticks from the announcement to the
+	// activation's absolute deadline (0 when the process has no deadline,
+	// negative when the deadline already passed while the partition was off
+	// the processor).
+	KindProcessRelease
+	// KindProcessComplete is emitted by the POS when a periodic process
+	// completes an activation (PERIODIC_WAIT); Latency carries the response
+	// time: the completion instant minus the activation's nominal release
+	// point.
+	KindProcessComplete
+	// KindSlackWarning is the deadline-miss early warning, emitted by the
+	// timeline analyzer (internal/timeline) when an open activation's
+	// remaining slack crosses the configured watermark — before the PAL/HM
+	// detect anything; Latency carries the remaining ticks to the deadline.
+	KindSlackWarning
+	// KindModelViolation is emitted by the timeline analyzer when a
+	// partition's supplied processor time over one activation cycle falls
+	// short of its contracted budget (eqs. (19)–(24)); Latency carries the
+	// shortfall in ticks.
+	KindModelViolation
 
-	kindCount = int(KindScheduleRestore)
+	kindCount = int(KindModelViolation)
 )
 
 // TraceKinds lists the twelve historical module-trace kinds, the default
@@ -102,6 +124,15 @@ func RecoveryKinds() []Kind {
 		KindRestartDeferred, KindQuarantineEnter, KindQuarantineExit,
 		KindScheduleDegrade, KindScheduleRestore,
 	}
+}
+
+// TimelineKinds lists the derived-analysis kinds published by the timeline
+// analyzer (internal/timeline): coarse, low-frequency events admitted into
+// the module trace ring. The per-activation KindProcessRelease and
+// KindProcessComplete events are deliberately excluded — like the other
+// fine-grained POS kinds they would crowd the bounded trace.
+func TimelineKinds() []Kind {
+	return []Kind{KindSlackWarning, KindModelViolation}
 }
 
 // kindNames indexes Kind → wire name. The first twelve entries are pinned by
@@ -130,6 +161,10 @@ var kindNames = [...]string{
 	KindQuarantineExit:     "QUARANTINE_EXIT",
 	KindScheduleDegrade:    "SCHEDULE_DEGRADE",
 	KindScheduleRestore:    "SCHEDULE_RESTORE",
+	KindProcessRelease:     "PROCESS_RELEASE",
+	KindProcessComplete:    "PROCESS_COMPLETE",
+	KindSlackWarning:       "SLACK_WARNING",
+	KindModelViolation:     "MODEL_VIOLATION",
 }
 
 // String renders the kind.

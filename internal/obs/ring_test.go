@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"testing"
+
+	"air/internal/tick"
+)
+
+// TestRingKindFilterWrapAround drives a kind-filtered ring far past capacity
+// with a mixed-kind stream and checks the retention invariants at the wrap
+// seam: filtered-out kinds must not consume slots or advance the head, the
+// retained window must be exactly the newest `capacity` admitted events in
+// oldest-first order, and CountKind must agree with Events() across the
+// seam.
+func TestRingKindFilterWrapAround(t *testing.T) {
+	const capacity = 4
+	r := NewRingKinds(capacity, KindDeadlineMiss, KindScheduleSwitch)
+
+	// Interleave admitted and rejected kinds: 10 admitted events (alternating
+	// the two admitted kinds) with high-frequency noise between every pair.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		k := KindDeadlineMiss
+		if i%2 == 1 {
+			k = KindScheduleSwitch
+		}
+		r.Emit(Event{Time: tick.Ticks(i), Kind: k})
+		admitted++
+		for j := 0; j < 3; j++ {
+			r.Emit(Event{Time: tick.Ticks(i), Kind: KindPreemption}) // filtered
+		}
+	}
+
+	if r.Len() != capacity {
+		t.Fatalf("Len = %d, want full ring %d", r.Len(), capacity)
+	}
+	events := r.Events()
+	if len(events) != capacity {
+		t.Fatalf("Events = %d, want %d", len(events), capacity)
+	}
+	// The newest 4 admitted events carry times 6..9, oldest first.
+	for i, e := range events {
+		wantTime := tick.Ticks(admitted - capacity + i)
+		if e.Time != wantTime {
+			t.Errorf("events[%d].Time = %d, want %d", i, e.Time, wantTime)
+		}
+		wantKind := KindDeadlineMiss
+		if wantTime%2 == 1 {
+			wantKind = KindScheduleSwitch
+		}
+		if e.Kind != wantKind {
+			t.Errorf("events[%d].Kind = %v, want %v", i, e.Kind, wantKind)
+		}
+		if e.Kind == KindPreemption {
+			t.Errorf("filtered kind retained at %d", i)
+		}
+	}
+
+	// CountKind walks the same circular window: times 6,8 are misses and
+	// 7,9 are switches.
+	if n := r.CountKind(KindDeadlineMiss); n != 2 {
+		t.Errorf("CountKind(miss) = %d, want 2", n)
+	}
+	if n := r.CountKind(KindScheduleSwitch); n != 2 {
+		t.Errorf("CountKind(switch) = %d, want 2", n)
+	}
+	if n := r.CountKind(KindPreemption); n != 0 {
+		t.Errorf("CountKind(filtered) = %d, want 0", n)
+	}
+}
+
+// TestRingKindMaskBounds pins the 64-bit mask edges: kind 63 is filterable,
+// kind 0 (invalid) and kinds ≥ 64 are always rejected by a filtered ring.
+func TestRingKindMaskBounds(t *testing.T) {
+	r := NewRingKinds(8, Kind(63))
+	r.Emit(Event{Kind: Kind(63)})
+	if r.Len() != 1 {
+		t.Errorf("kind 63 not admitted: Len = %d", r.Len())
+	}
+	r.Emit(Event{Kind: Kind(0)})
+	r.Emit(Event{Kind: Kind(64)})
+	if r.Len() != 1 {
+		t.Errorf("out-of-mask kinds admitted: Len = %d", r.Len())
+	}
+	// An unfiltered ring admits everything, including exotic kinds.
+	u := NewRing(8)
+	u.Emit(Event{Kind: Kind(0)})
+	u.Emit(Event{Kind: Kind(64)})
+	if u.Len() != 2 {
+		t.Errorf("unfiltered ring dropped events: Len = %d", u.Len())
+	}
+}
+
+// TestRingExactCapacityBoundary exercises the transition from filling to
+// wrapping: the event that lands exactly at capacity must not evict, and the
+// next one must evict exactly the oldest.
+func TestRingExactCapacityBoundary(t *testing.T) {
+	const capacity = 3
+	r := NewRing(capacity)
+	for i := 0; i < capacity; i++ {
+		r.Emit(Event{Time: tick.Ticks(i)})
+	}
+	if got := r.Events(); got[0].Time != 0 || got[len(got)-1].Time != capacity-1 {
+		t.Fatalf("filled ring = %+v", got)
+	}
+	r.Emit(Event{Time: capacity})
+	got := r.Events()
+	if len(got) != capacity || got[0].Time != 1 || got[capacity-1].Time != capacity {
+		t.Errorf("after first eviction = %+v, want times 1..%d", got, capacity)
+	}
+}

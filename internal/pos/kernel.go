@@ -244,6 +244,7 @@ func (k *Kernel) startAt(id ProcessID, delay tick.Ticks) error {
 		p.WakeAt = now + delay
 	} else {
 		k.makeReady(p)
+		k.emitRelease(p, now)
 	}
 	return nil
 }
@@ -403,6 +404,11 @@ func (k *Kernel) PeriodicWait(id ProcessID) error {
 		return fmt.Errorf("pos: cannot periodic-wait %s in state %s", p.Spec.Name, p.State)
 	}
 	now := k.now()
+	// The completing activation's nominal release point is the NextRelease
+	// computed when it was released (releaseBase for the first activation):
+	// publish the activation's response time before recomputing it.
+	k.obs.Emit(obs.Event{Time: now, Kind: obs.KindProcessComplete,
+		Partition: k.partition, Process: p.Spec.Name, Latency: now - p.NextRelease})
 	// Next release strictly after now.
 	elapsed := now - p.releaseBase
 	n := elapsed/p.Spec.Period + 1
@@ -442,11 +448,13 @@ func (k *Kernel) ClockAnnounce(now tick.Ticks) []*Process {
 		switch p.WaitingOn {
 		case WaitDelay:
 			k.makeReady(p)
+			k.emitRelease(p, now)
 			released = append(released, p)
 		case WaitPeriod:
 			// Release point reached; the activation's deadline was already
 			// registered at PeriodicWait time.
 			k.makeReady(p)
+			k.emitRelease(p, now)
 			released = append(released, p)
 		case WaitSuspended:
 			// Unbounded; nothing to do (defensive: WakeAt is Infinity).
@@ -592,6 +600,21 @@ func (k *Kernel) ResetAll() {
 	k.running = InvalidProcess
 	k.lockLevel = 0
 	k.rrCursor = 0
+}
+
+// emitRelease publishes a KindProcessRelease event for an activation that
+// just became eligible. Latency carries the ticks remaining to the
+// activation's absolute deadline (0 for deadline-free processes; negative
+// when the deadline expired while the owning partition was off the
+// processor), so the timeline analyzer can reconstruct the deadline instant
+// without any allocation on this path.
+func (k *Kernel) emitRelease(p *Process, now tick.Ticks) {
+	var remaining tick.Ticks
+	if p.HasDeadline {
+		remaining = p.Deadline - now
+	}
+	k.obs.Emit(obs.Event{Time: now, Kind: obs.KindProcessRelease,
+		Partition: k.partition, Process: p.Spec.Name, Latency: remaining})
 }
 
 func (k *Kernel) makeReady(p *Process) {

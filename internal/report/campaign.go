@@ -57,6 +57,31 @@ func WriteCampaign(w io.Writer, res *campaign.Result, includeTiming bool) error 
 		b.printf("\n")
 	}
 
+	if tl := agg.Timeline; tl.Response.Count > 0 {
+		b.printf("## Timeliness\n\n")
+		b.printf("Derived by the online analyzer (internal/timeline) from the\n")
+		b.printf("observability spine across all runs:\n\n")
+		b.printf("| metric | value |\n|---|---|\n")
+		b.printf("| response time p50 (ticks) | %d |\n", agg.ResponseP50)
+		b.printf("| response time p99 (ticks) | %d |\n", agg.ResponseP99)
+		b.printf("| response time max (ticks) | %d |\n", agg.ResponseMax)
+		b.printf("| worst completion slack (ticks) | %d |\n", agg.WorstSlack)
+		b.printf("| early warnings (slack watermark) | %d |\n", agg.EarlyWarnings)
+		b.printf("| early-warning lead mean (ticks) | %.1f |\n", agg.EarlyWarningLeadMean)
+		b.printf("| early-warning lead max (ticks) | %d |\n", agg.EarlyWarningLeadMax)
+		b.printf("| scheduling-model violations | %d |\n", agg.ModelViolations)
+		b.printf("\n")
+		if len(tl.Partitions) > 0 {
+			b.printf("| partition | windows | supplied ticks | utilization | budget shortfalls |\n")
+			b.printf("|---|---|---|---|---|\n")
+			for _, p := range tl.Partitions {
+				b.printf("| %s | %d | %d | %.3f | %d |\n",
+					p.Partition, p.Windows, p.Supplied, p.Utilization, p.Shortfalls)
+			}
+			b.printf("\n")
+		}
+	}
+
 	b.printf("## Health-monitoring events\n\n")
 	b.printf("%d events total.\n\n", agg.HMEvents)
 	b.printf("| level | events |\n|---|---|\n")

@@ -1,0 +1,89 @@
+package timeline
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"air/internal/obs"
+)
+
+// Source is what the telemetry server reads: a Timeline, or any aggregating
+// stand-in (cmd/aircampaign serves the merged view of a whole campaign
+// through one).
+type Source interface {
+	// Snapshot returns the derived timeliness state.
+	Snapshot() Snapshot
+	// Registry returns the metrics-registry snapshot backing /metrics.
+	Registry() obs.Snapshot
+	// Flight returns the flight-data-recorder post-mortem dump.
+	Flight() FlightDump
+}
+
+// Handler returns the telemetry endpoint set:
+//
+//	/metrics        Prometheus text exposition (0.0.4)
+//	/timeline.json  full derived snapshot as JSON (cmd/airmon's feed)
+//	/flight         flight-data-recorder post-mortem JSON
+//	/debug/pprof/   Go runtime profiles
+//
+// All handlers read through the Source on each request; a Timeline source is
+// internally synchronized, so serving concurrently with the simulation is
+// safe.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, src.Registry(), src.Snapshot())
+	})
+	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.Snapshot())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, src.Flight())
+	})
+	registerPprof(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts the telemetry server on addr (":0" picks a free port) and
+// returns the bound address plus a shutdown function. The server runs on a
+// background goroutine; the simulation loop never blocks on it.
+func Serve(addr string, src Source) (string, func() error, error) {
+	return serveMux(addr, Handler(src))
+}
+
+// ServePprof starts a bare pprof-only server — the cmd tools' -pprof flag.
+// It exposes /debug/pprof/ and nothing else, on its own mux (never the
+// http.DefaultServeMux).
+func ServePprof(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	registerPprof(mux)
+	return serveMux(addr, mux)
+}
+
+func serveMux(addr string, h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

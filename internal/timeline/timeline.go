@@ -1,0 +1,713 @@
+// Package timeline is the online timeliness analyzer: a sink on the
+// observability spine (internal/obs) that derives, while the module runs,
+// the temporal quantities an integrator actually verifies — per-process
+// response time, jitter and slack histograms, per-partition window
+// utilization and supplied-vs-demanded budget accounting checked live
+// against the scheduling model (eqs. (14)–(24)), a deadline-miss early
+// warning raised when an activation's remaining slack crosses a watermark
+// before the PAL/HM detect anything, and a bounded flight-data recorder for
+// post-mortem inspection after a Health Monitor error.
+//
+// The analyzer is allocation-conscious: all per-process and per-partition
+// state lives in fixed-shape structs reached through comparable-key map
+// lookups (which never allocate), and histograms are fixed log2-bucket
+// arrays, so steady-state event consumption performs zero heap allocations
+// and the module tick stays on its ~190 ns budget with the analyzer
+// subscribed. It is internally synchronized: the telemetry HTTP server and
+// cmd/airmon read snapshots concurrently with the simulation.
+//
+// Derived findings (SLACK_WARNING, MODEL_VIOLATION) are published back onto
+// the spine as first-class events, so they reach the module trace ring, the
+// JSONL export and the metrics registry like any kernel-emitted record.
+package timeline
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"air/internal/model"
+	"air/internal/obs"
+	"air/internal/tick"
+)
+
+// Options configures an analyzer.
+type Options struct {
+	// System supplies the scheduling model the analyzer checks reality
+	// against: the initial schedule's requirements seed the per-partition
+	// budget contract, and schedule-switch requests re-resolve against it.
+	// Nil disables budget/utilization model checking (process timing is
+	// still analyzed).
+	System *model.System
+	// WarnPercent sets the early-warning watermark: a SLACK_WARNING fires
+	// when an open activation's remaining slack drops below WarnPercent% of
+	// its release→deadline window. 0 selects DefaultWarnPercent; negative
+	// disables early warning.
+	WarnPercent int
+	// FlightFrames bounds the flight-data recorder (frames retained, one
+	// per partition window activation). 0 selects DefaultFlightFrames;
+	// negative disables the recorder.
+	FlightFrames int
+}
+
+// Defaults for Options.
+const (
+	DefaultWarnPercent  = 25
+	DefaultFlightFrames = 64
+)
+
+type procKey struct {
+	core int
+	part model.PartitionName
+	name string
+}
+
+// procState is the per-process derived state (one per core×partition×name).
+type procState struct {
+	key procKey
+
+	open        bool       // an activation is released and not yet completed
+	warned      bool       // early warning already raised for this activation
+	hasDeadline bool       // the open activation has a finite deadline
+	deadline    tick.Ticks // absolute deadline of the open activation
+	warnAt      tick.Ticks // instant the slack watermark is crossed
+	warnedAt    tick.Ticks // instant the warning was raised
+
+	lastResp tick.Ticks
+	hasResp  bool
+
+	releases    uint64
+	completions uint64
+	misses      uint64
+	warnings    uint64
+
+	response hist // completion − nominal release (ticks)
+	jitter   hist // |response − previous response|
+	slack    hist // deadline − completion (negative clamps to 0)
+}
+
+type partKey struct {
+	core int
+	name model.PartitionName
+}
+
+// partState is the per-partition supply accounting (eq. (20) windows vs the
+// eq. (19) ⟨P, η, d⟩ contract).
+type partState struct {
+	key partKey
+
+	active      bool
+	windowStart tick.Ticks
+
+	windows       uint64
+	supplied      uint64     // total supplied ticks
+	suppliedCycle tick.Ticks // supplied in the current activation cycle
+	cycleEnd      tick.Ticks // end of the current activation cycle
+	lastCycle     tick.Ticks // supplied in the last completed cycle
+
+	cycle      tick.Ticks // contracted cycle η (0 = partition not under contract)
+	budget     tick.Ticks // contracted budget d per cycle
+	shortfalls uint64
+}
+
+// Timeline is the analyzer. Attach it to a module's spine with Attach (or
+// bus.Attach plus Bind); it implements obs.Sink.
+type Timeline struct {
+	mu      sync.Mutex
+	sys     *model.System
+	bus     *obs.Bus
+	warnPct int
+
+	// reg is the analyzer's private metrics registry: a synchronized mirror
+	// of the module registry fed from the same event stream, so /metrics
+	// can be served concurrently with the simulation without racing the
+	// module's unsynchronized counters.
+	reg obs.Metrics
+
+	now      tick.Ticks
+	mtf      tick.Ticks
+	mtfEnd   tick.Ticks
+	schedule string // name of the schedule the contract came from
+	pending  string // requested switch, adopted at the MTF boundary
+	contract map[model.PartitionName]model.Requirement
+
+	parts    map[partKey]*partState
+	partList []*partState
+	procs    map[procKey]*procState
+	procList []*procState
+
+	warnings   uint64
+	violations uint64
+	misses     uint64
+	lead       hist // early-warning lead: PAL detection instant − warning instant
+
+	fdr *flight
+
+	// outbox defers self-emitted events until the mutex is released (the
+	// bus delivers them back to this sink re-entrantly). The slice is
+	// reused across emissions; it only grows on faulty runs.
+	outbox []obs.Event
+}
+
+// New creates an analyzer.
+func New(opts Options) *Timeline {
+	t := &Timeline{
+		sys:     opts.System,
+		warnPct: opts.WarnPercent,
+		parts:   make(map[partKey]*partState),
+		procs:   make(map[procKey]*procState),
+		outbox:  make([]obs.Event, 0, 8),
+	}
+	if t.warnPct == 0 {
+		t.warnPct = DefaultWarnPercent
+	}
+	frames := opts.FlightFrames
+	if frames == 0 {
+		frames = DefaultFlightFrames
+	}
+	if frames > 0 {
+		t.fdr = newFlight(frames)
+	}
+	if t.sys != nil && len(t.sys.Schedules) > 0 {
+		t.adopt(&t.sys.Schedules[0], 0)
+	}
+	return t
+}
+
+// Attach creates an analyzer, subscribes it to the bus and binds it for
+// re-emission of derived events — the one-call integration used by the
+// campaign engine and the cmd tools. Attach the analyzer before Module.Start
+// so initialization-time releases are seen.
+func Attach(bus *obs.Bus, opts Options) *Timeline {
+	t := New(opts)
+	t.Bind(bus)
+	bus.Attach(t)
+	return t
+}
+
+// Bind sets the bus the analyzer publishes SLACK_WARNING / MODEL_VIOLATION
+// events on. A nil bus keeps the findings internal (counters only).
+func (t *Timeline) Bind(bus *obs.Bus) {
+	t.mu.Lock()
+	t.bus = bus
+	t.mu.Unlock()
+}
+
+// adopt installs a schedule's requirement set as the active contract.
+// boundary anchors the cycle accounting (schedules take effect at MTF
+// boundaries, so every contracted cycle starts there — η divides the MTF by
+// eq. (21)).
+func (t *Timeline) adopt(s *model.Schedule, boundary tick.Ticks) {
+	t.schedule = s.Name
+	t.mtf = s.MTF
+	if t.mtfEnd <= boundary {
+		t.mtfEnd = boundary + s.MTF
+	}
+	if t.contract == nil {
+		t.contract = make(map[model.PartitionName]model.Requirement, len(s.Requirements))
+	} else {
+		for k := range t.contract {
+			delete(t.contract, k)
+		}
+	}
+	for _, q := range s.Requirements {
+		t.contract[q.Partition] = q
+	}
+	for _, ps := range t.partList {
+		q, ok := t.contract[ps.key.name]
+		if !ok {
+			ps.cycle, ps.budget = 0, 0
+			continue
+		}
+		ps.cycle, ps.budget = q.Cycle, q.Budget
+		ps.suppliedCycle = 0
+		ps.cycleEnd = boundary + q.Cycle
+	}
+}
+
+// Emit consumes one spine event. Implements obs.Sink.
+func (t *Timeline) Emit(e obs.Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	switch e.Kind {
+	case obs.KindSlackWarning, obs.KindModelViolation:
+		// Re-entrant delivery of this analyzer's own findings (already
+		// accounted when queued).
+		t.mu.Unlock()
+		return
+	}
+	t.reg.Observe(e)
+	switch e.Kind {
+	case obs.KindProcessRelease:
+		t.release(e)
+	case obs.KindProcessComplete:
+		t.complete(e)
+	case obs.KindDeadlineMiss:
+		t.miss(e)
+	case obs.KindWindowActivation:
+		t.windowOpen(e)
+	case obs.KindPreemption:
+		if e.Process == "" { // partition-level preemption: window closes
+			t.windowClose(e)
+		}
+	case obs.KindScheduleSwitch:
+		t.pending = scheduleNameFromDetail(e.Detail)
+	case obs.KindHMReport:
+		t.fdr.noteError(e)
+	}
+	t.advance(e.Time)
+	if e.Kind == obs.KindWindowActivation {
+		t.fdr.capture(t, e)
+	}
+	// Drain the outbox after releasing the mutex: the bus hands these
+	// events straight back to Emit above.
+	var out []obs.Event
+	if len(t.outbox) > 0 {
+		out = t.outbox
+	}
+	bus := t.bus
+	t.mu.Unlock()
+	if bus != nil {
+		for i := range out {
+			bus.Emit(out[i])
+		}
+	}
+	if out != nil {
+		t.mu.Lock()
+		t.outbox = t.outbox[:0]
+		t.mu.Unlock()
+	}
+}
+
+// queue records a derived finding in the private registry and defers its
+// publication until the analyzer's mutex is released.
+func (t *Timeline) queue(e obs.Event) {
+	t.reg.Observe(e)
+	t.outbox = append(t.outbox, e)
+}
+
+func (t *Timeline) procFor(e obs.Event) *procState {
+	k := procKey{core: e.Core, part: e.Partition, name: e.Process}
+	if st, ok := t.procs[k]; ok {
+		return st
+	}
+	st := &procState{key: k}
+	t.procs[k] = st
+	t.procList = append(t.procList, st)
+	return st
+}
+
+func (t *Timeline) partFor(e obs.Event) *partState {
+	k := partKey{core: e.Core, name: e.Partition}
+	if ps, ok := t.parts[k]; ok {
+		return ps
+	}
+	ps := &partState{key: k}
+	if q, ok := t.contract[k.name]; ok && q.Cycle > 0 {
+		ps.cycle, ps.budget = q.Cycle, q.Budget
+		// Cycles are anchored at t = 0 (schedule adoption re-anchors them
+		// at the MTF boundary); the first window of a partition always
+		// arrives inside its first cycle.
+		ps.cycleEnd = (e.Time/q.Cycle + 1) * q.Cycle
+	}
+	t.parts[k] = ps
+	t.partList = append(t.partList, ps)
+	return ps
+}
+
+func (t *Timeline) release(e obs.Event) {
+	st := t.procFor(e)
+	st.open = true
+	st.warned = false
+	st.releases++
+	st.hasDeadline = e.Latency != 0
+	if !st.hasDeadline {
+		return
+	}
+	st.deadline = e.Time + e.Latency
+	if t.warnPct < 0 {
+		st.warnAt = tick.Infinity
+		return
+	}
+	// Watermark: warn once the remaining slack is below warnPct% of the
+	// announce→deadline window. An activation announced after its deadline
+	// (partition held off the processor too long) warns immediately.
+	window := e.Latency
+	if window < 0 {
+		window = 0
+	}
+	st.warnAt = st.deadline - window*tick.Ticks(t.warnPct)/100
+}
+
+func (t *Timeline) complete(e obs.Event) {
+	st := t.procFor(e)
+	resp := e.Latency
+	st.open = false
+	st.completions++
+	st.response.observe(resp)
+	if st.hasResp {
+		d := resp - st.lastResp
+		if d < 0 {
+			d = -d
+		}
+		st.jitter.observe(d)
+	}
+	st.lastResp, st.hasResp = resp, true
+	if st.hasDeadline {
+		st.slack.observe(st.deadline - e.Time)
+	}
+}
+
+func (t *Timeline) miss(e obs.Event) {
+	st := t.procFor(e)
+	st.misses++
+	t.misses++
+	if st.warned {
+		// Early-warning lead time: how far ahead of the PAL/HM detection
+		// the watermark crossing was flagged.
+		t.lead.observe(e.Time - st.warnedAt)
+	}
+	st.open = false
+	st.warned = false
+}
+
+func (t *Timeline) windowOpen(e obs.Event) {
+	ps := t.partFor(e)
+	if ps.active { // defensive: a window cannot already be open
+		t.closeWindow(ps, e.Time)
+	}
+	ps.active = true
+	ps.windowStart = e.Time
+	ps.windows++
+}
+
+func (t *Timeline) windowClose(e obs.Event) {
+	if ps, ok := t.parts[partKey{core: e.Core, name: e.Partition}]; ok {
+		t.closeWindow(ps, e.Time)
+	}
+}
+
+func (t *Timeline) closeWindow(ps *partState, now tick.Ticks) {
+	if !ps.active {
+		return
+	}
+	// Roll any cycle boundary the window straddled first, so its head is
+	// credited to the finished cycle before the tail is accounted here.
+	t.rollCycles(ps, now)
+	if d := now - ps.windowStart; d > 0 {
+		ps.supplied += uint64(d)
+		ps.suppliedCycle += d
+	}
+	ps.active = false
+}
+
+// advance moves the analyzer clock to now, rolling partition cycles over
+// their boundaries (checking supplied time against the contracted budget),
+// adopting requested schedules at MTF boundaries, and raising early
+// warnings for open activations whose slack watermark was crossed.
+func (t *Timeline) advance(now tick.Ticks) {
+	if now < t.now {
+		return // same-instant reordering cannot move the clock back
+	}
+	t.now = now
+	for _, ps := range t.partList {
+		t.rollCycles(ps, now)
+	}
+	for t.mtf > 0 && now >= t.mtfEnd {
+		boundary := t.mtfEnd
+		if t.pending != "" && t.sys != nil {
+			if s, _, ok := t.sys.ScheduleByName(t.pending); ok {
+				t.adopt(s, boundary)
+			}
+			t.pending = ""
+		}
+		if t.mtfEnd == boundary { // adopt may already have advanced it
+			t.mtfEnd += t.mtf
+		}
+	}
+	if t.warnPct < 0 {
+		return
+	}
+	for _, st := range t.procList {
+		if st.open && !st.warned && st.hasDeadline && now >= st.warnAt {
+			st.warned = true
+			st.warnedAt = now
+			st.warnings++
+			t.warnings++
+			remaining := st.deadline - now
+			if remaining < 0 {
+				remaining = 0
+			}
+			t.queue(obs.Event{Time: now, Kind: obs.KindSlackWarning,
+				Core: st.key.core, Partition: st.key.part, Process: st.key.name,
+				Latency: remaining, Detail: "remaining slack below watermark"})
+		}
+	}
+}
+
+// rollCycles closes every contracted activation cycle that ended at or
+// before now: the supplied time of the finished cycle is compared against
+// the budget d of eq. (19), and a shortfall is flagged as a MODEL_VIOLATION
+// event (the supply the windows actually delivered broke the contract the
+// schedulability analysis assumed).
+func (t *Timeline) rollCycles(ps *partState, now tick.Ticks) {
+	for ps.cycle > 0 && now >= ps.cycleEnd {
+		if ps.active && ps.windowStart < ps.cycleEnd {
+			// A window straddles the boundary: account its head to the
+			// finished cycle.
+			d := ps.cycleEnd - ps.windowStart
+			ps.supplied += uint64(d)
+			ps.suppliedCycle += d
+			ps.windowStart = ps.cycleEnd
+		}
+		ps.lastCycle = ps.suppliedCycle
+		if ps.suppliedCycle < ps.budget {
+			ps.shortfalls++
+			t.violations++
+			t.queue(obs.Event{Time: ps.cycleEnd, Kind: obs.KindModelViolation,
+				Core: ps.key.core, Partition: ps.key.name,
+				Latency: ps.budget - ps.suppliedCycle,
+				Detail:  "supplied time below contracted budget"})
+		}
+		ps.suppliedCycle = 0
+		ps.cycleEnd += ps.cycle
+	}
+}
+
+// scheduleNameFromDetail recovers the target schedule name from a
+// SCHEDULE_SWITCH request's detail line ("requested schedule chi2",
+// "recovery requested schedule chi2"). Returns "" when the detail carries no
+// name; slicing allocates nothing.
+func scheduleNameFromDetail(detail string) string {
+	if i := strings.LastIndexByte(detail, ' '); i >= 0 {
+		return detail[i+1:]
+	}
+	return ""
+}
+
+// Registry returns the analyzer's private metrics registry snapshot — the
+// same counters and histograms as the module registry, but safe to read
+// while the module runs.
+func (t *Timeline) Registry() obs.Snapshot {
+	if t == nil {
+		return obs.Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reg.Snapshot()
+}
+
+// ProcSnap is the serialized per-process derived state.
+type ProcSnap struct {
+	Core        int      `json:"core,omitempty"`
+	Partition   string   `json:"partition"`
+	Process     string   `json:"process"`
+	Releases    uint64   `json:"releases"`
+	Completions uint64   `json:"completions"`
+	Misses      uint64   `json:"misses,omitempty"`
+	Warnings    uint64   `json:"warnings,omitempty"`
+	Response    HistSnap `json:"response"`
+	Jitter      HistSnap `json:"jitter"`
+	Slack       HistSnap `json:"slack"`
+}
+
+// PartSnap is the serialized per-partition supply accounting.
+type PartSnap struct {
+	Core              int     `json:"core,omitempty"`
+	Partition         string  `json:"partition"`
+	Windows           uint64  `json:"windows"`
+	Supplied          uint64  `json:"suppliedTicks"`
+	Utilization       float64 `json:"utilization"`
+	CycleTicks        uint64  `json:"cycleTicks,omitempty"`
+	BudgetTicks       uint64  `json:"budgetTicks,omitempty"`
+	LastCycleSupplied uint64  `json:"lastCycleSupplied,omitempty"`
+	Shortfalls        uint64  `json:"shortfalls,omitempty"`
+}
+
+// Snapshot is the analyzer's point-in-time derived state: deterministic
+// (sorted), JSON-serializable and mergeable, so campaign aggregation can
+// fold the per-run analyzers of a whole fault matrix.
+type Snapshot struct {
+	Ticks    uint64 `json:"ticks"`
+	Schedule string `json:"schedule,omitempty"`
+
+	Partitions []PartSnap `json:"partitions"`
+	Processes  []ProcSnap `json:"processes"`
+
+	// Merged process histograms across all processes.
+	Response HistSnap `json:"response"`
+	Jitter   HistSnap `json:"jitter"`
+	Slack    HistSnap `json:"slack"`
+
+	DeadlineMisses   uint64   `json:"deadlineMisses"`
+	EarlyWarnings    uint64   `json:"earlyWarnings"`
+	EarlyWarningLead HistSnap `json:"earlyWarningLead"`
+	ModelViolations  uint64   `json:"modelViolations"`
+}
+
+// Snapshot captures the analyzer's current derived state.
+func (t *Timeline) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Ticks:            uint64(t.now),
+		Schedule:         t.schedule,
+		DeadlineMisses:   t.misses,
+		EarlyWarnings:    t.warnings,
+		EarlyWarningLead: t.lead.snap(),
+		ModelViolations:  t.violations,
+	}
+	for _, ps := range t.partList {
+		p := PartSnap{
+			Core:              ps.key.core,
+			Partition:         string(ps.key.name),
+			Windows:           ps.windows,
+			Supplied:          ps.supplied,
+			CycleTicks:        uint64(ps.cycle),
+			BudgetTicks:       uint64(ps.budget),
+			LastCycleSupplied: uint64(ps.lastCycle),
+			Shortfalls:        ps.shortfalls,
+		}
+		supplied := ps.supplied
+		if ps.active && t.now > ps.windowStart {
+			supplied += uint64(t.now - ps.windowStart)
+		}
+		if t.now > 0 {
+			p.Utilization = float64(supplied) / float64(t.now)
+		}
+		s.Partitions = append(s.Partitions, p)
+	}
+	sort.Slice(s.Partitions, func(i, j int) bool {
+		a, b := s.Partitions[i], s.Partitions[j]
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		return a.Partition < b.Partition
+	})
+	for _, st := range t.procList {
+		p := ProcSnap{
+			Core:        st.key.core,
+			Partition:   string(st.key.part),
+			Process:     st.key.name,
+			Releases:    st.releases,
+			Completions: st.completions,
+			Misses:      st.misses,
+			Warnings:    st.warnings,
+			Response:    st.response.snap(),
+			Jitter:      st.jitter.snap(),
+			Slack:       st.slack.snap(),
+		}
+		s.Processes = append(s.Processes, p)
+		s.Response = s.Response.Add(p.Response)
+		s.Jitter = s.Jitter.Add(p.Jitter)
+		s.Slack = s.Slack.Add(p.Slack)
+	}
+	sort.Slice(s.Processes, func(i, j int) bool {
+		a, b := s.Processes[i], s.Processes[j]
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
+		}
+		return a.Process < b.Process
+	})
+	return s
+}
+
+// Add merges two snapshots (union of partitions and processes by key,
+// histograms and counters folded) — the campaign aggregation primitive.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := Snapshot{
+		Ticks:            s.Ticks + o.Ticks,
+		Schedule:         s.Schedule,
+		DeadlineMisses:   s.DeadlineMisses + o.DeadlineMisses,
+		EarlyWarnings:    s.EarlyWarnings + o.EarlyWarnings,
+		EarlyWarningLead: s.EarlyWarningLead.Add(o.EarlyWarningLead),
+		ModelViolations:  s.ModelViolations + o.ModelViolations,
+		Response:         s.Response.Add(o.Response),
+		Jitter:           s.Jitter.Add(o.Jitter),
+		Slack:            s.Slack.Add(o.Slack),
+	}
+	if out.Schedule == "" {
+		out.Schedule = o.Schedule
+	} else if o.Schedule != "" && o.Schedule != out.Schedule {
+		out.Schedule = "mixed"
+	}
+
+	parts := make(map[string]PartSnap, len(s.Partitions)+len(o.Partitions))
+	for _, lst := range [][]PartSnap{s.Partitions, o.Partitions} {
+		for _, p := range lst {
+			k := partSnapKey(p)
+			if have, ok := parts[k]; ok {
+				have.Windows += p.Windows
+				have.Supplied += p.Supplied
+				have.Shortfalls += p.Shortfalls
+				have.LastCycleSupplied = p.LastCycleSupplied
+				if have.CycleTicks == 0 {
+					have.CycleTicks, have.BudgetTicks = p.CycleTicks, p.BudgetTicks
+				}
+				parts[k] = have
+			} else {
+				parts[k] = p
+			}
+		}
+	}
+	for _, p := range parts {
+		out.Partitions = append(out.Partitions, p)
+	}
+	sort.Slice(out.Partitions, func(i, j int) bool {
+		return partSnapKey(out.Partitions[i]) < partSnapKey(out.Partitions[j])
+	})
+	if out.Ticks > 0 {
+		for i := range out.Partitions {
+			out.Partitions[i].Utilization =
+				float64(out.Partitions[i].Supplied) / float64(out.Ticks)
+		}
+	}
+
+	procs := make(map[string]ProcSnap, len(s.Processes)+len(o.Processes))
+	for _, lst := range [][]ProcSnap{s.Processes, o.Processes} {
+		for _, p := range lst {
+			k := procSnapKey(p)
+			if have, ok := procs[k]; ok {
+				have.Releases += p.Releases
+				have.Completions += p.Completions
+				have.Misses += p.Misses
+				have.Warnings += p.Warnings
+				have.Response = have.Response.Add(p.Response)
+				have.Jitter = have.Jitter.Add(p.Jitter)
+				have.Slack = have.Slack.Add(p.Slack)
+				procs[k] = have
+			} else {
+				procs[k] = p
+			}
+		}
+	}
+	for _, p := range procs {
+		out.Processes = append(out.Processes, p)
+	}
+	sort.Slice(out.Processes, func(i, j int) bool {
+		return procSnapKey(out.Processes[i]) < procSnapKey(out.Processes[j])
+	})
+	return out
+}
+
+func partSnapKey(p PartSnap) string {
+	return string(rune('0'+p.Core)) + "/" + p.Partition
+}
+
+func procSnapKey(p ProcSnap) string {
+	return string(rune('0'+p.Core)) + "/" + p.Partition + "/" + p.Process
+}
+
+// WorstSlack returns the minimum observed completion slack in ticks and
+// whether any deadline-constrained completion was observed.
+func (s Snapshot) WorstSlack() (uint64, bool) {
+	return s.Slack.Min, s.Slack.Count > 0
+}
