@@ -1,0 +1,258 @@
+// Command airescape cross-checks the //air:hotpath annotations against the
+// Go compiler's own escape analysis. airlint's airhotpath analyzer proves
+// the absence of allocation *constructs* syntactically; the compiler knows
+// what actually escapes to the heap after inlining and escape analysis. This
+// tool closes the gap: it rebuilds the module with -gcflags=-m=1, maps every
+// "escapes to heap" / "moved to heap" diagnostic back onto the source, and
+// fails when one lands inside an //air:hotpath function that does not carry
+// an //air:allow(alloc) (or, for function literals, //air:allow(closure))
+// suppression for it.
+//
+// Usage:
+//
+//	go run ./cmd/airescape [packages]
+//
+// with the same package patterns go build accepts (default ./...). Exit
+// status 1 means an unsuppressed heap allocation inside a hot function.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"air/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	module, err := goOutput("list", "-m")
+	if err != nil {
+		fmt.Fprintf(stderr, "airescape: go list -m: %v\n", err)
+		return 2
+	}
+	modPath := strings.TrimSpace(string(module))
+
+	files, err := goFiles(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "airescape: %v\n", err)
+		return 2
+	}
+	idx, err := buildHotIndex(files)
+	if err != nil {
+		fmt.Fprintf(stderr, "airescape: %v\n", err)
+		return 2
+	}
+	if len(idx.funcs) == 0 {
+		fmt.Fprintf(stdout, "airescape: no //air:hotpath functions in %s\n", strings.Join(patterns, " "))
+		return 0
+	}
+
+	// -gcflags diagnostics go to stderr; the build itself may also fail, in
+	// which case the compile errors are the findings.
+	buildArgs := append([]string{"build", "-gcflags=" + modPath + "/...=-m=1"}, patterns...)
+	cmd := exec.Command("go", buildArgs...)
+	var diag bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &diag
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			fmt.Fprintf(stderr, "airescape: go build: %v\n", err)
+			return 2
+		}
+		// ExitError with -m output still in diag is fine; a genuine compile
+		// failure yields no escape lines and is reported below.
+	}
+
+	escapes := parseEscapes(diag.Bytes())
+	if len(escapes) == 0 && diag.Len() > 0 && !bytes.Contains(diag.Bytes(), []byte(": can inline")) {
+		// No -m output at all: the build failed before escape analysis.
+		fmt.Fprintf(stderr, "airescape: go build failed:\n%s", diag.String())
+		return 2
+	}
+
+	findings := idx.match(escapes)
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "airescape: %d unsuppressed heap allocation(s) in //air:hotpath functions\n", len(findings))
+		return 1
+	}
+	fmt.Fprintf(stdout, "airescape: %d //air:hotpath function(s) allocation-free under -m=1\n", len(idx.funcs))
+	return 0
+}
+
+func goOutput(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}
+
+// goFiles expands package patterns to the absolute paths of their Go source
+// files (tests excluded: hot paths live in shipped code).
+func goFiles(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-f", `{{$dir := .Dir}}{{range .GoFiles}}{{$dir}}/{{.}}
+{{end}}`}, patterns...)
+	out, err := goOutput(args...)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			files = append(files, filepath.Clean(line))
+		}
+	}
+	return files, sc.Err()
+}
+
+// hotFunc is one //air:hotpath function's source extent.
+type hotFunc struct {
+	file       string // absolute path
+	name       string
+	start, end int // line range, inclusive
+	pos, endP  token.Pos
+}
+
+// hotIndex maps source positions to hot functions and their suppressions.
+type hotIndex struct {
+	fset  *token.FileSet
+	funcs []hotFunc
+	allow *analysis.AllowIndex
+}
+
+// buildHotIndex parses the files and records every //air:hotpath function's
+// extent plus the //air:allow suppression index over the same files.
+func buildHotIndex(files []string) (*hotIndex, error) {
+	idx := &hotIndex{fset: token.NewFileSet()}
+	var parsed []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(idx.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.IsHotpath(fd) {
+				continue
+			}
+			idx.funcs = append(idx.funcs, hotFunc{
+				file:  path,
+				name:  funcName(fd),
+				start: idx.fset.Position(fd.Pos()).Line,
+				end:   idx.fset.Position(fd.End()).Line,
+				pos:   fd.Pos(),
+				endP:  fd.End(),
+			})
+		}
+	}
+	idx.allow = analysis.NewAllowIndex(idx.fset, parsed)
+	return idx, nil
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// escape is one heap-allocation diagnostic from -gcflags=-m=1 output.
+type escape struct {
+	file      string // as printed (cwd-relative or absolute)
+	line, col int
+	msg       string
+	key       string // allow key that would suppress it: alloc or closure
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+?\.go):(\d+):(\d+): (.*)$`)
+
+// parseEscapes extracts the heap-allocation diagnostics from compiler -m=1
+// output, ignoring inlining chatter and "does not escape" confirmations.
+func parseEscapes(out []byte) []escape {
+	var escapes []escape
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		l, _ := strconv.Atoi(m[2])
+		c, _ := strconv.Atoi(m[3])
+		key := analysis.KeyAlloc
+		if strings.Contains(msg, "func literal") {
+			key = analysis.KeyClosure
+		}
+		escapes = append(escapes, escape{file: m[1], line: l, col: c, msg: msg, key: key})
+	}
+	return escapes
+}
+
+// match returns the formatted findings: escapes inside hot functions that no
+// //air:allow covers, sorted by position.
+func (idx *hotIndex) match(escapes []escape) []string {
+	var findings []string
+	for _, e := range escapes {
+		abs := e.file
+		if !filepath.IsAbs(abs) {
+			if a, err := filepath.Abs(abs); err == nil {
+				abs = a
+			}
+		}
+		abs = filepath.Clean(abs)
+		for _, hf := range idx.funcs {
+			if hf.file != abs || e.line < hf.start || e.line > hf.end {
+				continue
+			}
+			position := token.Position{Filename: abs, Line: e.line, Column: e.col}
+			if idx.allow.AllowedAt(position, hf.pos, e.key) {
+				break
+			}
+			findings = append(findings,
+				fmt.Sprintf("%s:%d:%d: [airescape] %s inside //air:hotpath function %s; eliminate the allocation or document it with //air:allow(%s) (DESIGN.md#airescape)",
+					e.file, e.line, e.col, e.msg, hf.name, e.key))
+			break
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}

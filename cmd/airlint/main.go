@@ -1,0 +1,291 @@
+// Command airlint is the driver for the air static-analysis suite
+// (internal/analysis). It speaks the go vet -vettool protocol, so the whole
+// suite runs with full type information and fact flow under the go command's
+// build cache:
+//
+//	go build -o bin/airlint ./cmd/airlint
+//	go vet -vettool=$(pwd)/bin/airlint ./...
+//
+// Invoked without a .cfg argument it re-execs itself under go vet, so
+// "go run ./cmd/airlint ./..." works too.
+//
+// The protocol (mirroring golang.org/x/tools/go/analysis/unitchecker on the
+// standard library alone): the go command probes the tool with -V=full (a
+// content-derived build ID keys the vet cache) and -flags, then invokes it
+// once per package with a JSON config file naming the sources, the export
+// data of every dependency, and the .vetx fact files the tool itself wrote
+// for those dependencies. The tool typechecks root packages against the
+// compiler's export data, runs the analyzers, writes its own .vetx, and
+// exits 2 if it found anything.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"air/internal/analysis"
+)
+
+// vetConfig is the JSON configuration the go command hands a vettool for
+// each package (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	jsonOut := false
+	var rest []string
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return 0
+		case "-flags", "--flags":
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
+			return 0
+		case "-json", "--json", "-json=true", "--json=true":
+			jsonOut = true
+		case "-json=false", "--json=false":
+			jsonOut = false
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return analyze(rest[0], jsonOut)
+	}
+	return standalone(args)
+}
+
+// standalone re-execs the binary under go vet so airlint can be invoked
+// directly on package patterns.
+func standalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers the go command's -V=full probe. The build ID is a
+// hash of the executable itself, so editing an analyzer invalidates the
+// go command's cached vet results.
+func printVersion() {
+	id := "unknown"
+	if self, err := os.Executable(); err == nil {
+		if f, err := os.Open(self); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("airlint version v1 buildID=%s\n", id)
+}
+
+func analyze(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "airlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// "pkg [pkg.test]" is the test-augmented variant of pkg; the analyzers
+	// see it under its clean path, minus its _test.go files — tests may
+	// freely use wall clocks, goroutines and allocation.
+	pkgPath := cfg.ImportPath
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	analyzable := analysis.IsAirPackage(pkgPath) && !cfg.Standard[cfg.ImportPath]
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	if analyzable {
+		for _, name := range cfg.GoFiles {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "airlint: %v\n", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+	}
+
+	// Facts flow: re-export everything the dependencies exported, plus this
+	// package's own syntax facts. The vetx must be written on every exit
+	// path or the go command records the vet action as failed.
+	depFacts := analysis.Facts{}
+	if analyzable {
+		for path, vetxFile := range cfg.PackageVetx {
+			if i := strings.IndexByte(path, ' '); i >= 0 {
+				path = path[:i]
+			}
+			if !analysis.IsAirPackage(path) {
+				continue
+			}
+			b, err := os.ReadFile(vetxFile)
+			if err != nil {
+				continue // dependency outside the fact flow
+			}
+			f, err := analysis.DecodeFacts(b)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "airlint: decoding facts of %s: %v\n", path, err)
+				return 1
+			}
+			depFacts.Merge(f)
+		}
+	}
+	exported := analysis.Facts{}
+	exported.Merge(depFacts)
+	if len(files) > 0 {
+		exported.Merge(analysis.CollectSyntaxFacts(pkgPath, fset, files))
+	}
+	if cfg.VetxOutput != "" {
+		b, err := exported.Encode()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, b, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "airlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(files) == 0 {
+		return 0
+	}
+
+	// Typecheck against the compiler's export data, remapping import paths
+	// through the config's vendor/test-variant map.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := cfg.PackageFile[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	tcfg := types.Config{
+		Importer:  mapImporter{m: cfg.ImportMap, under: importer.ForCompiler(fset, cfg.Compiler, lookup)},
+		GoVersion: languageVersion(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := tcfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "airlint: typechecking %s: %v\n", pkgPath, err)
+		return 1
+	}
+
+	diags := analysis.RunPackage(analysis.All(), fset, files, pkg, info, depFacts)
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		return printJSON(cfg.ID, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}
+
+// printJSON emits diagnostics in the unitchecker's -json shape:
+// {"pkgID": {"analyzer": [{"posn": ..., "message": ...}]}}. JSON mode
+// reports findings as data, not as a failure, so the exit status is 0.
+func printJSON(pkgID string, diags []analysis.Diagnostic) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Pos.String(),
+			Message: fmt.Sprintf("%s (%s)", d.Message, analysis.DocBase+"#"+d.Analyzer),
+		})
+	}
+	out, err := json.MarshalIndent(map[string]map[string][]jsonDiag{pkgID: byAnalyzer}, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	return 0
+}
+
+// languageVersion extracts the "go1.N" language version the type checker
+// accepts from the toolchain version string in the config.
+var languageVersionRE = regexp.MustCompile(`^go\d+\.\d+`)
+
+func languageVersion(v string) string { return languageVersionRE.FindString(v) }
+
+// mapImporter remaps import paths (vendoring, test variants) before loading
+// export data.
+type mapImporter struct {
+	m     map[string]string
+	under types.Importer
+}
+
+func (mi mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.m[path]; ok {
+		path = p
+	}
+	return mi.under.Import(path)
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the airlint binary once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "airlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/airlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a module named air in a temp dir so the driver's
+// package gating (air/... paths are analyzable) applies to the fixtures.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module air\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// vet runs go vet -vettool over pkgs inside dir, returning combined output
+// and the exit code.
+func vet(t *testing.T, bin, dir string, pkgs ...string) (string, int) {
+	t.Helper()
+	args := append([]string{"vet", "-vettool=" + bin}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go vet: %v\n%s", err, buf.String())
+	}
+	return buf.String(), code
+}
+
+func TestVettoolFlagsViolations(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		// Determinism: a tick-domain package reading the wall clock and
+		// spawning a goroutine.
+		"internal/sched/sched.go": `package sched
+
+import "time"
+
+func Jitter() time.Duration {
+	go func() {}()
+	return time.Since(time.Now())
+}
+`,
+		// Hotpath: an //air:hotpath function that allocates and calls fmt.
+		"internal/model/hot.go": `package model
+
+import "fmt"
+
+//air:hotpath
+func Hot(xs []int, x int) []int {
+	fmt.Println(x)
+	return append(xs, x)
+}
+`,
+		// Partition: the POS importing the kernel it runs under.
+		"internal/pmk/pmk.go": `package pmk
+
+type Heir struct{ Idle bool }
+`,
+		"internal/pos/pos.go": `package pos
+
+import "air/internal/pmk"
+
+func Peek() pmk.Heir { return pmk.Heir{} }
+`,
+		// HM routing: a Decision produced and dropped.
+		"internal/hm/hm.go": `package hm
+
+type Action int
+
+type Decision struct{ Action Action }
+
+type Monitor struct{}
+
+func (m *Monitor) Report(code int) Decision { return Decision{} }
+`,
+		"internal/core/core.go": `package core
+
+import "air/internal/hm"
+
+func Fail(m *hm.Monitor) {
+	m.Report(1)
+}
+`,
+	})
+
+	out, code := vet(t, bin, dir, "./...")
+	if code == 0 {
+		t.Fatalf("expected nonzero exit for seeded violations, got 0:\n%s", out)
+	}
+	for _, want := range []string{
+		"[airdeterminism]", "reads the wall clock in tick-domain package",
+		"go statement in tick-domain package",
+		"[airhotpath]", "fmt.Println boxes its operands",
+		"append may grow its backing array",
+		"[airpartition]", "forbidden import of air/internal/pmk",
+		"[airhmrouting]", "Health Monitor decision dropped",
+		"DESIGN.md#airdeterminism",
+		"DESIGN.md#airhotpath",
+		"DESIGN.md#airpartition",
+		"DESIGN.md#airhmrouting",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVettoolCleanPackage(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sched/sched.go": `package sched
+
+//air:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`,
+	})
+	out, code := vet(t, bin, dir, "./...")
+	if code != 0 {
+		t.Fatalf("expected clean exit, got %d:\n%s", code, out)
+	}
+}
+
+func TestVettoolAllowSuppresses(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sched/sched.go": `package sched
+
+import "time"
+
+func Stamp() time.Time {
+	//air:allow(wallclock): test fixture exercising the suppression path
+	return time.Now()
+}
+`,
+	})
+	out, code := vet(t, bin, dir, "./...")
+	if code != 0 {
+		t.Fatalf("expected allow directive to suppress the finding, got %d:\n%s", code, out)
+	}
+}
+
+func TestVettoolUnknownAllowKeyIsAFinding(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sched/sched.go": `package sched
+
+func ok() {
+	//air:allow(nosuchkey): bogus
+}
+`,
+	})
+	out, code := vet(t, bin, dir, "./...")
+	if code == 0 {
+		t.Fatalf("expected unknown allow key to fail, got 0:\n%s", out)
+	}
+	if !strings.Contains(out, `unknown //air:allow key "nosuchkey"`) {
+		t.Errorf("missing unknown-key diagnostic in:\n%s", out)
+	}
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The //air: directive language. Two directives exist:
+//
+//	//air:hotpath
+//	    In a function's doc comment: the function is part of the module-tick
+//	    spine and must satisfy the airhotpath invariant (0 allocs/op).
+//
+//	//air:allow(key): reason
+//	    Suppresses findings of class key. In a function's doc comment the
+//	    suppression covers the whole function; on a statement's line (or the
+//	    line immediately above it) it covers that line only. The reason is
+//	    mandatory: every escape hatch is documented at the point of use.
+
+// Finding classes, usable as //air:allow keys. Each analyzer documents which
+// classes it emits.
+const (
+	KeyWallclock     = "wallclock"     // time.Now/Since/... in a tick domain
+	KeyRand          = "rand"          // global math/rand state
+	KeyGoroutine     = "goroutine"     // go statement in a tick domain
+	KeySelectDefault = "selectdefault" // select with a default clause
+	KeyMapRange      = "maprange"      // map iteration order reaching state
+	KeyAlloc         = "alloc"         // heap allocation in a hot path
+	KeyClosure       = "closure"       // closure in a hot path
+	KeyBoxing        = "boxing"        // interface boxing in a hot path
+	KeyFmt           = "fmt"           // fmt machinery in a hot path
+	KeyCall          = "call"          // call leaving the hot-path set
+	KeyLayering      = "layering"      // spatial-separation import violation
+	KeyRawEvent      = "rawevent"      // obs.Event built off the emission path
+	KeyHMDrop        = "hmdrop"        // Health Monitor decision dropped
+)
+
+// knownKeys is the closed set of valid allow-keys; airallow flags anything
+// else so a typoed suppression is itself a lint error.
+var knownKeys = map[string]bool{
+	KeyWallclock:     true,
+	KeyRand:          true,
+	KeyGoroutine:     true,
+	KeySelectDefault: true,
+	KeyMapRange:      true,
+	KeyAlloc:         true,
+	KeyClosure:       true,
+	KeyBoxing:        true,
+	KeyFmt:           true,
+	KeyCall:          true,
+	KeyLayering:      true,
+	KeyRawEvent:      true,
+	KeyHMDrop:        true,
+}
+
+// directiveRE matches "air:<name>" optionally followed by "(arg)" and an
+// optional ": reason" tail.
+var directiveRE = regexp.MustCompile(`^air:(\w+)(?:\(([^)]*)\))?(?:\s*:\s*(.*))?$`)
+
+// A Directive is one parsed //air: comment.
+type Directive struct {
+	Pos    token.Pos
+	Name   string // "hotpath" or "allow"
+	Arg    string // allow key (empty for hotpath)
+	Reason string // text after ": " (empty if none)
+	raw    string
+}
+
+// ParseDirective parses a single comment's text ("//..." included). The
+// second result is false when the comment is not an //air: directive at all.
+// Malformed directives (e.g. "//air:") still return true so checkers can
+// flag them.
+func ParseDirective(c *ast.Comment) (Directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	// An //air: directive is machine-facing: it starts immediately after
+	// the slashes, like //go: directives.
+	if !strings.HasPrefix(text, "air:") {
+		return Directive{}, false
+	}
+	// Analyzer-fixture expectation markers share the directive's line; they
+	// are not part of the directive.
+	if i := strings.Index(text, " // want"); i >= 0 {
+		text = strings.TrimRight(text[:i], " \t")
+	}
+	d := Directive{Pos: c.Pos(), raw: text}
+	m := directiveRE.FindStringSubmatch(text)
+	if m == nil {
+		return d, true // malformed; Name stays empty
+	}
+	d.Name, d.Arg, d.Reason = m[1], m[2], strings.TrimSpace(m[3])
+	return d, true
+}
+
+// Directives returns every //air: directive in the file, including malformed
+// ones.
+func Directives(file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d, ok := ParseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// IsHotpath reports whether the function declaration's doc comment carries
+// //air:hotpath.
+func IsHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := ParseDirective(c); ok && d.Name == "hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// An AllowIndex resolves whether a position is covered by an //air:allow
+// suppression. Line-scoped allows cover the directive's own line and the
+// line immediately below it (so both end-of-line and line-above placement
+// work); function-doc allows cover the function's whole body.
+type AllowIndex struct {
+	// lines maps filename → line → allowed keys.
+	lines map[string]map[int]map[string]bool
+	// funcs are position ranges with function-scoped allows.
+	funcs []funcAllow
+}
+
+type funcAllow struct {
+	start, end token.Pos
+	keys       map[string]bool
+}
+
+// NewAllowIndex builds the suppression index for a package's files.
+func NewAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	idx := &AllowIndex{lines: map[string]map[int]map[string]bool{}}
+	for _, file := range files {
+		// Function-doc allows.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var keys map[string]bool
+			for _, c := range fd.Doc.List {
+				if d, ok := ParseDirective(c); ok && d.Name == "allow" && d.Arg != "" {
+					if keys == nil {
+						keys = map[string]bool{}
+					}
+					keys[d.Arg] = true
+				}
+			}
+			if keys != nil {
+				idx.funcs = append(idx.funcs, funcAllow{start: fd.Pos(), end: fd.End(), keys: keys})
+			}
+		}
+		// Line allows (any placement, including inside function bodies; the
+		// doc-comment ones also land here harmlessly).
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseDirective(c)
+				if !ok || d.Name != "allow" || d.Arg == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					idx.lines[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					keys := byLine[line]
+					if keys == nil {
+						keys = map[string]bool{}
+						byLine[line] = keys
+					}
+					keys[d.Arg] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// AllowedAt reports whether a finding of class key at the given position is
+// suppressed.
+func (idx *AllowIndex) AllowedAt(position token.Position, pos token.Pos, key string) bool {
+	if idx == nil {
+		return false
+	}
+	if byLine := idx.lines[position.Filename]; byLine != nil {
+		if keys := byLine[position.Line]; keys != nil && keys[key] {
+			return true
+		}
+	}
+	for _, fa := range idx.funcs {
+		if pos >= fa.start && pos < fa.end && fa.keys[key] {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowAnalyzer validates the //air: directive language itself: unknown
+// directives, unknown allow-keys, missing arguments, undocumented allows
+// (no ": reason") and //air:hotpath outside a function doc comment are all
+// findings. Suppression syntax that silently does nothing is how lint
+// escape hatches rot, so the hatch grammar is enforced as strictly as the
+// invariants it bypasses.
+var AllowAnalyzer = &Analyzer{
+	Name: "airallow",
+	Doc:  "validate //air: directives (unknown keys and undocumented suppressions are errors)",
+	Run:  runAllow,
+}
+
+func runAllow(pass *Pass) {
+	for _, file := range pass.Files {
+		// Positions of doc comments attached to function declarations:
+		// //air:hotpath is only meaningful there.
+		funcDoc := map[*ast.Comment]bool{}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					funcDoc[c] = true
+				}
+			}
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseDirective(c)
+				if !ok {
+					continue
+				}
+				switch d.Name {
+				case "":
+					pass.Reportf(d.Pos, "directive", "malformed //air: directive %q", d.raw)
+				case "hotpath":
+					if d.Arg != "" {
+						pass.Reportf(d.Pos, "directive", "//air:hotpath takes no argument")
+					} else if !funcDoc[c] {
+						pass.Reportf(d.Pos, "directive", "//air:hotpath must be in a function's doc comment")
+					}
+				case "allow":
+					switch {
+					case d.Arg == "":
+						pass.Reportf(d.Pos, "directive", "//air:allow needs a key: //air:allow(key): reason")
+					case !knownKeys[d.Arg]:
+						pass.Reportf(d.Pos, "directive", "unknown //air:allow key %q", d.Arg)
+					case d.Reason == "":
+						pass.Reportf(d.Pos, "directive", "//air:allow(%s) needs a documented reason: //air:allow(%s): why", d.Arg, d.Arg)
+					}
+				default:
+					pass.Reportf(d.Pos, "directive", "unknown //air: directive %q", d.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestAllowDirectives(t *testing.T) {
+	analysistest.Run(t, analysis.AllowAnalyzer,
+		"example.com/directives",
+	)
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		comment string
+		ok      bool
+		name    string
+		arg     string
+		reason  string
+	}{
+		{"// plain comment", false, "", "", ""},
+		{"// air:hotpath", false, "", "", ""}, // machine directives have no space
+		{"//air:hotpath", true, "hotpath", "", ""},
+		{"//air:allow(maprange): commutative fold", true, "allow", "maprange", "commutative fold"},
+		{"//air:allow(wallclock):   spaced   ", true, "allow", "wallclock", "spaced"},
+		{"//air:allow", true, "allow", "", ""},
+		{"//air:allow(x)", true, "allow", "x", ""},
+		{"//air:frobnicate", true, "frobnicate", "", ""},
+		{"//air:", true, "", "", ""}, // malformed: recognized but nameless
+		{"//air:allow(alloc): pool warmup // want `ignored`", true, "allow", "alloc", "pool warmup"},
+	}
+	for _, c := range cases {
+		d, ok := analysis.ParseDirective(&ast.Comment{Text: c.comment})
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q): recognized=%v, want %v", c.comment, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != c.name || d.Arg != c.arg || d.Reason != c.reason {
+			t.Errorf("ParseDirective(%q) = (%q, %q, %q), want (%q, %q, %q)",
+				c.comment, d.Name, d.Arg, d.Reason, c.name, c.arg, c.reason)
+		}
+	}
+}
+
+const allowScopeSrc = `package p
+
+// cold builds lookup tables once at module init.
+//
+//air:allow(alloc): init-time table build, off the tick path
+func cold() {
+	x := make([]int, 8)
+	_ = x
+}
+
+func mixed() {
+	a := 1 //air:allow(maprange): end-of-line placement
+	//air:allow(wallclock): line-above placement
+	b := 2
+	c := 3
+	_, _, _ = a, b, c
+}
+`
+
+func TestAllowIndexScoping(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", allowScopeSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := analysis.NewAllowIndex(fset, []*ast.File{file})
+
+	posOf := func(line int) (token.Position, token.Pos) {
+		tf := fset.File(file.Pos())
+		p := tf.LineStart(line)
+		return fset.Position(p), p
+	}
+
+	// Function-doc allow covers the whole body of cold (lines 6-9), for its
+	// key only.
+	for line := 6; line <= 9; line++ {
+		position, pos := posOf(line)
+		if !idx.AllowedAt(position, pos, analysis.KeyAlloc) {
+			t.Errorf("line %d: function-scoped allow(alloc) should cover cold's body", line)
+		}
+		if idx.AllowedAt(position, pos, analysis.KeyClosure) {
+			t.Errorf("line %d: allow(alloc) must not grant other keys", line)
+		}
+	}
+
+	// Line allows cover the directive line and the one below, nothing else.
+	for _, c := range []struct {
+		line  int
+		key   string
+		allow bool
+	}{
+		{12, analysis.KeyMapRange, true},  // end-of-line: its own line
+		{13, analysis.KeyMapRange, true},  // ... and the next
+		{14, analysis.KeyMapRange, false}, // but not two lines down
+		{13, analysis.KeyWallclock, true}, // line-above: directive's own line
+		{14, analysis.KeyWallclock, true}, // ... and the statement below
+		{15, analysis.KeyWallclock, false},
+		{12, analysis.KeyAlloc, false}, // cold's function allow does not leak
+	} {
+		position, pos := posOf(c.line)
+		if got := idx.AllowedAt(position, pos, c.key); got != c.allow {
+			t.Errorf("line %d key %s: AllowedAt = %v, want %v", c.line, c.key, got, c.allow)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package analysis is airlint: a purpose-built static-analysis suite that
+// enforces this repository's load-bearing invariants at compile time instead
+// of trusting tests and benchmarks to catch violations after they ship. It
+// follows the architecture of golang.org/x/tools/go/analysis (analyzers over
+// a typed syntax pass, facts flowing along the import graph, a vettool
+// driver) but is implemented on the standard library alone, so the suite
+// builds offline with nothing beyond the Go toolchain.
+//
+// The suite mirrors the paper's position that temporal and spatial
+// partitioning guarantees are verifiable properties, not conventions
+// (eqs. (1)–(24) and the formal-specification line of related work on
+// ARINC 653): each analyzer mechanically checks one invariant the
+// architecture depends on.
+//
+//   - airdeterminism: tick-domain packages advance on logical ticks only —
+//     no wall clock, no global math/rand, no goroutines, no racy selects,
+//     no map-iteration order reaching state or emitted events.
+//   - airhotpath: functions annotated //air:hotpath (the module-tick spine)
+//     must be statically allocation-free: no heap-bound composite literals,
+//     closures, fmt, interface boxing, or calls outside the hot-path set.
+//   - airpartition: the spatial-separation rule as an import-layering check,
+//     plus the spine discipline that raw obs.Event values are constructed
+//     only on the emission path.
+//   - airhmrouting: Health Monitor decisions must be acted on — never
+//     dropped or detoured into ad-hoc logging.
+//   - airallow: the //air: directive language itself is checked; an unknown
+//     directive or allow-key is a lint error, so suppressions cannot rot.
+//
+// Findings may be suppressed with a documented escape hatch:
+//
+//	//air:allow(key): reason
+//
+// placed on (or immediately above) the offending line, or in a function's
+// doc comment to cover the whole function. The reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DocBase is the base location for per-analyzer documentation; every
+// diagnostic carries DocBase#<analyzer-name> so a finding always links back
+// to the invariant it guards.
+const DocBase = "DESIGN.md"
+
+// An Analyzer checks one architectural invariant.
+type Analyzer struct {
+	// Name is the analyzer's identifier (also its enable/disable flag name
+	// in the airlint driver).
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+	// SyntaxFacts, if non-nil, extracts the facts this analyzer exports to
+	// dependent packages from syntax alone (no type information), so the
+	// driver can harvest facts from dependencies cheaply.
+	SyntaxFacts func(pkgPath string, fset *token.FileSet, files []*ast.File) Facts
+}
+
+// URL returns the documentation anchor for this analyzer's invariant.
+func (a *Analyzer) URL() string { return DocBase + "#" + a.Name }
+
+// All returns the full airlint suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AllowAnalyzer,
+		DeterminismAnalyzer,
+		HotpathAnalyzer,
+		PartitionAnalyzer,
+		HMRoutingAnalyzer,
+	}
+}
+
+// ByName resolves one analyzer (nil if unknown).
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	// Key is the finding class, usable in an //air:allow(key) suppression.
+	Key     string
+	Message string
+}
+
+// String renders the diagnostic the way the airlint driver prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s (%s#%s)", d.Pos, d.Analyzer, d.Message, DocBase, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test syntax trees. Test files are
+	// deliberately out of scope: tests may freely use wall clocks,
+	// goroutines and allocation to exercise the deterministic core.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Imported holds the merged facts exported by the package's
+	// dependencies (e.g. which imported functions are //air:hotpath).
+	Imported Facts
+
+	allow  *AllowIndex
+	report func(Diagnostic)
+}
+
+// Reportf records a finding of the given class at pos unless an
+// //air:allow(key) suppression covers it.
+func (p *Pass) Reportf(pos token.Pos, key, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.AllowedAt(position, pos, key) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Key:      key,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunPackage runs the given analyzers over one typed package and returns the
+// findings sorted by position. imported carries the dependencies' merged
+// facts (may be nil).
+func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported Facts) []Diagnostic {
+	allow := NewAllowIndex(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Imported: imported,
+			allow:    allow,
+			report:   func(d Diagnostic) { out = append(out, d) },
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// CollectSyntaxFacts harvests every analyzer's exported facts from a
+// package's syntax. The driver runs this over dependencies (and over the
+// package under analysis) without needing type information.
+func CollectSyntaxFacts(pkgPath string, fset *token.FileSet, files []*ast.File) Facts {
+	merged := Facts{}
+	for _, a := range All() {
+		if a.SyntaxFacts == nil {
+			continue
+		}
+		merged.Merge(a.SyntaxFacts(pkgPath, fset, files))
+	}
+	return merged
+}

@@ -1,0 +1,207 @@
+// Package analysistest is a self-contained test harness for the airlint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone. Fixture packages live under testdata/src/<path>
+// (a GOPATH-shaped tree): the import path of a fixture is its directory
+// path, so fixtures can shadow real paths — air/internal/* stubs exercise
+// the package-class tables and tiny stdlib stubs (time, math/rand) keep
+// type checking hermetic and fast.
+//
+// Expected findings are declared in the fixture source:
+//
+//	time.Now() // want `reads the wall clock`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match one diagnostic reported on that line; a
+// diagnostic with no matching want, or a want with no diagnostic, fails the
+// test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"air/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's findings against
+// the // want expectations in its sources.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		root:  filepath.Join(wd, "testdata", "src"),
+		fset:  token.NewFileSet(),
+		cache: map[string]*fixture{},
+	}
+	for _, path := range pkgPaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, ld, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, ld *loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	fx, err := ld.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	// The pass sees the facts of the fixture's direct imports, as the
+	// airlint driver would provide them.
+	imported := analysis.Facts{}
+	for _, dep := range fx.pkg.Imports() {
+		if d, ok := ld.cache[dep.Path()]; ok {
+			imported.Merge(d.exported)
+		}
+	}
+	diags := analysis.RunPackage([]*analysis.Analyzer{a}, ld.fset, fx.files, fx.pkg, fx.info, imported)
+
+	wants := collectWants(t, ld.fset, fx.files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Key, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixture is one loaded testdata package.
+type fixture struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	// exported is this package's syntax facts plus everything re-exported
+	// from its dependencies (the vetx closure the driver maintains).
+	exported analysis.Facts
+}
+
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*fixture
+}
+
+// Import implements types.Importer over the testdata tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	fx, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return fx.pkg, nil
+}
+
+func (ld *loader) load(path string) (*fixture, error) {
+	if fx, ok := ld.cache[path]; ok {
+		return fx, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q not under testdata/src: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{Importer: ld}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type checking fixture %q: %w", path, err)
+	}
+	fx := &fixture{pkg: pkg, files: files, info: info}
+	fx.exported = analysis.CollectSyntaxFacts(path, ld.fset, files)
+	for _, dep := range pkg.Imports() {
+		if d, ok := ld.cache[dep.Path()]; ok {
+			fx.exported.Merge(d.exported)
+		}
+	}
+	ld.cache[path] = fx
+	return fx, nil
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE matches each quoted or backquoted expectation after "want".
+var wantRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					re, err := regexp.Compile(q[1 : len(q)-1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}

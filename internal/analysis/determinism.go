@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the logical-tick execution model: inside the
+// tick domain — the packages whose state advances only with tick.Ticks —
+// nothing may observe the wall clock, draw from global math/rand state,
+// start goroutines, race on select defaults, or let map-iteration order
+// reach state or emitted events. These are exactly the nondeterminism
+// channels that would break the repo's replayable traces and the paper's
+// claim that temporal behaviour is a function of the configuration
+// (eqs. (1)–(13)), not of the host scheduler.
+//
+// Keys: wallclock, rand, goroutine, selectdefault, maprange.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "airdeterminism",
+	Doc:  "forbid wall-clock, global rand, goroutines, select-default and map-order nondeterminism in tick-domain packages",
+	Run:  runDeterminism,
+}
+
+// tickDomain lists the packages under the logical-tick execution model: the
+// module-tick spine and every layer it drives. All determinism checks apply.
+var tickDomain = map[string]bool{
+	"air/internal/tick":      true,
+	"air/internal/model":     true,
+	"air/internal/obs":       true,
+	"air/internal/apex":      true,
+	"air/internal/mmu":       true,
+	"air/internal/pal":       true,
+	"air/internal/sched":     true,
+	"air/internal/hm":        true,
+	"air/internal/ipc":       true,
+	"air/internal/pmk":       true,
+	"air/internal/pos":       true,
+	"air/internal/core":      true,
+	"air/internal/multicore": true,
+	"air/internal/timeline":  true,
+	"air/internal/recovery":  true,
+	"air/internal/workload":  true,
+}
+
+// seededDomain lists packages whose results must be a pure function of their
+// seed but which legitimately use goroutine pools and channels internally
+// (the campaign engine): only the wall-clock and global-rand checks apply —
+// those would leak host time into results; the concurrency is contained by
+// construction and covered by the race detector.
+var seededDomain = map[string]bool{
+	"air/internal/campaign": true,
+}
+
+// wallclockFuncs are the time-package functions that read or schedule on the
+// host clock. time.Duration arithmetic and time.Time formatting are fine.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand constructors that produce explicitly
+// seeded, locally owned generators — the blessed pattern.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	path := pass.Pkg.Path()
+	full := tickDomain[path]
+	if !full && !seededDomain[path] {
+		return
+	}
+
+	// Wall-clock and global-rand reads: resolved through type information so
+	// aliased imports and method values are caught.
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallclockFuncs[fn.Name()] {
+				pass.Reportf(ident.Pos(), KeyWallclock,
+					"time.%s reads the wall clock in tick-domain package %s; drive state from tick.Ticks or inject a clock seam", fn.Name(), path)
+			}
+		case "math/rand", "math/rand/v2":
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() == nil && !seededRandFuncs[fn.Name()] {
+				pass.Reportf(ident.Pos(), KeyRand,
+					"rand.%s draws from global math/rand state; use an explicitly seeded *rand.Rand", fn.Name())
+			}
+		}
+	}
+
+	if !full {
+		return
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(stmt.Pos(), KeyGoroutine,
+					"go statement in tick-domain package %s: concurrency must stay outside the logical-tick execution model", path)
+			case *ast.SelectStmt:
+				for _, clause := range stmt.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(cc.Pos(), KeySelectDefault,
+							"select with default races on channel readiness; tick-domain control flow must be deterministic")
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(stmt.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(stmt.Pos(), KeyMapRange,
+							"map iteration order is nondeterministic; iterate sorted keys, or document order-insensitivity with //air:allow(maprange)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.DeterminismAnalyzer,
+		"air/internal/sched",    // tick domain: every channel flagged
+		"air/internal/campaign", // seeded domain: wallclock+rand only
+		"example.com/plain",     // outside both domains: exempt
+	)
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Facts are the analyzer-exported observations that flow along the import
+// graph, serialized into the vet facts file (the .vetx the go command
+// threads from each package's analysis to its dependents). The suite needs
+// exactly one fact class today — "this function is //air:hotpath" — so Facts
+// is a flat set of function keys; the gob encoding keeps the driver protocol
+// compatible if more classes are added.
+type Facts struct {
+	// Hotpath holds FuncKey strings of //air:hotpath-annotated functions.
+	Hotpath map[string]bool
+}
+
+// Merge folds other into f.
+func (f *Facts) Merge(other Facts) {
+	if len(other.Hotpath) == 0 {
+		return
+	}
+	if f.Hotpath == nil {
+		f.Hotpath = map[string]bool{}
+	}
+	for k := range other.Hotpath {
+		f.Hotpath[k] = true
+	}
+}
+
+// Encode serializes the facts for a vetx file.
+func (f Facts) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts deserializes a vetx file. Empty input decodes to empty facts,
+// so placeholder vetx files written for skipped packages are valid.
+func DecodeFacts(data []byte) (Facts, error) {
+	var f Facts
+	if len(data) == 0 {
+		return f, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return Facts{}, err
+	}
+	return f, nil
+}
+
+// FuncKey canonicalizes a declared function as "pkgpath.Name" for
+// package-level functions and "pkgpath.Recv.Name" for methods (pointerness
+// of the receiver is erased: an annotation covers the one function that
+// exists). The same key is derivable from syntax alone (SyntaxFuncKey), so
+// fact harvesting over dependencies needs no type checking.
+func FuncKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if name := recvTypeName(sig.Recv().Type()); name != "" {
+			key += name + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name()
+	case *types.Alias:
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// SyntaxFuncKey derives the same key as FuncKey from an *ast.FuncDecl.
+func SyntaxFuncKey(pkgPath string, decl *ast.FuncDecl) string {
+	key := pkgPath + "."
+	if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		if name := astRecvTypeName(decl.Recv.List[0].Type); name != "" {
+			key += name + "."
+		}
+	}
+	return key + decl.Name.Name
+}
+
+func astRecvTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver [T]
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// airModulePrefix identifies this repository's packages: facts only flow
+// between them, and several analyzers key their package-class tables on
+// these paths.
+const airModulePrefix = "air/"
+
+// isAirPackage reports whether the import path belongs to this module.
+func isAirPackage(path string) bool {
+	return path == "air" || strings.HasPrefix(path, airModulePrefix)
+}
+
+// IsAirPackage is isAirPackage for drivers: the airlint driver analyzes (and
+// flows facts between) this module's packages only.
+func IsAirPackage(path string) bool { return isAirPackage(path) }

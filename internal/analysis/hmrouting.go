@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HMRoutingAnalyzer enforces the Health Monitor's routing contract (paper
+// Sect. 5): every reported error produces an hm.Decision carrying the
+// recovery action the integrator configured, and that decision must be
+// acted on. Two failure shapes are flagged:
+//
+//   - Dropped decisions: calling a Report* method as a statement, or
+//     assigning its result to the blank identifier, silently discards the
+//     configured recovery action — the error was "handled" by nobody.
+//
+//   - Ad-hoc logging: passing a just-obtained hm.Decision straight into
+//     fmt/log printing detours the error around the recovery orchestrator.
+//     (Rendering a decision that was already applied — e.g. in a trace
+//     event's detail string — is fine; only the print-instead-of-apply
+//     pattern is flagged.)
+//
+// Key: hmdrop.
+var HMRoutingAnalyzer = &Analyzer{
+	Name: "airhmrouting",
+	Doc:  "Health Monitor decisions must be applied or escalated, never dropped or detoured into ad-hoc logging",
+	Run:  runHMRouting,
+}
+
+const hmPkgPath = "air/internal/hm"
+
+func runHMRouting(pass *Pass) {
+	if pass.Pkg.Path() == hmPkgPath {
+		return // the monitor's own internals construct and route decisions freely
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isHMDecisionCall(pass, call) {
+					pass.Reportf(call.Pos(), KeyHMDrop,
+						"Health Monitor decision dropped: the configured recovery action is discarded; apply it or route it to the recovery orchestrator")
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range stmt.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" || len(stmt.Lhs) != len(stmt.Rhs) {
+						continue
+					}
+					if call, ok := stmt.Rhs[i].(*ast.CallExpr); ok && isHMDecisionCall(pass, call) {
+						pass.Reportf(stmt.Pos(), KeyHMDrop,
+							"Health Monitor decision assigned to the blank identifier; apply it or route it to the recovery orchestrator")
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, stmt); fn != nil && fn.Pkg() != nil && isPrintPkg(fn.Pkg().Path()) {
+					for _, arg := range stmt.Args {
+						if call, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isHMDecisionCall(pass, call) {
+							pass.Reportf(arg.Pos(), KeyHMDrop,
+								"Health Monitor decision logged ad hoc instead of being applied; report through the Health Monitor or recovery orchestrator")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isPrintPkg(path string) bool { return path == "fmt" || path == "log" }
+
+// isHMDecisionCall reports whether the call's (single) result is an
+// hm.Decision.
+func isHMDecisionCall(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Decision" && obj.Pkg() != nil && obj.Pkg().Path() == hmPkgPath
+}
+
+// calleeFunc resolves a call's static callee, nil for dynamic calls.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

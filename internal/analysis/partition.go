@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// PartitionAnalyzer is the paper's spatial-separation rule applied to the
+// codebase itself: the layers of the architecture (Fig. 1 — application /
+// APEX / POS / PAL / PMK) map onto packages, and a layer may only reach
+// down, never sideways or up. Two checks:
+//
+//  1. Import layering: every air/internal package has a rank; importing a
+//     package of the same or higher rank is a violation, as are a few
+//     explicitly forbidden pairs called out by the architecture (the POS
+//     and APEX must not see PMK internals; partition application code must
+//     not see the module schedulers).
+//
+//  2. Raw-event discipline: obs.Event values are the spine's wire format.
+//     Only the emitting layers may construct them, and only directly at an
+//     emission call site — anything else (tooling, workloads, storage of
+//     half-built events) must go through the spine's typed APIs, so every
+//     event in a trace is attributable to the layer that emitted it.
+//
+// Keys: layering, rawevent.
+var PartitionAnalyzer = &Analyzer{
+	Name: "airpartition",
+	Doc:  "enforce the spatial-separation layering of imports and the obs.Event construction discipline",
+	Run:  runPartition,
+}
+
+// layerRank orders the architecture's layers bottom-up. A package may import
+// only strictly lower ranks. Packages absent from the table (cmd/*, the air
+// facade, examples, vitral, iodev) are unconstrained importers, but are
+// still constrained as importees by the ranks of what they import — and by
+// the raw-event rule.
+var layerRank = map[string]int{
+	"air/internal/tick":      0,
+	"air/internal/vitral":    0,
+	"air/internal/iodev":     0,
+	"air/internal/model":     1,
+	"air/internal/obs":       2,
+	"air/internal/mmu":       3,
+	"air/internal/sched":     3,
+	"air/internal/apex":      3,
+	"air/internal/hm":        3,
+	"air/internal/ipc":       3,
+	"air/internal/pmk":       3,
+	"air/internal/pos":       3,
+	"air/internal/recovery":  3,
+	"air/internal/timeline":  3,
+	"air/internal/pal":       4,
+	"air/internal/core":      5,
+	"air/internal/multicore": 6,
+	"air/internal/workload":  6,
+	"air/internal/config":    7,
+	"air/internal/campaign":  8,
+	"air/internal/report":    9,
+}
+
+// forbiddenImports are architecture rules stronger than the rank order:
+// pairs the paper's separation argument singles out. Redundant rank
+// violations are kept here too so the diagnostic can cite the specific rule.
+var forbiddenImports = map[string]map[string]string{
+	"air/internal/pos": {
+		"air/internal/pmk": "the POS runs inside a partition; it must not see PMK scheduler internals",
+	},
+	"air/internal/apex": {
+		"air/internal/pmk": "the APEX interface is partition-side; it must not see PMK scheduler internals",
+	},
+	"air/internal/workload": {
+		"air/internal/sched": "partition application code must not reach the schedulability analyzer",
+		"air/internal/pmk":   "partition application code must not reach the module scheduler",
+	},
+}
+
+// emitPath lists the packages allowed to construct raw obs.Event values:
+// the layers that own an emission point on the spine.
+var emitPath = map[string]bool{
+	"air/internal/obs":       true,
+	"air/internal/pmk":       true,
+	"air/internal/pos":       true,
+	"air/internal/ipc":       true,
+	"air/internal/hm":        true,
+	"air/internal/pal":       true,
+	"air/internal/core":      true,
+	"air/internal/multicore": true,
+	"air/internal/recovery":  true,
+	"air/internal/timeline":  true,
+}
+
+const obsPkgPath = "air/internal/obs"
+
+func runPartition(pass *Pass) {
+	path := pass.Pkg.Path()
+	checkLayering(pass, path)
+	checkRawEvents(pass, path)
+}
+
+func checkLayering(pass *Pass, path string) {
+	rank, ranked := layerRank[path]
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !isAirPackage(target) {
+				continue
+			}
+			if reason, ok := forbiddenImports[path][target]; ok {
+				pass.Reportf(imp.Pos(), KeyLayering, "forbidden import of %s: %s", target, reason)
+				continue
+			}
+			if !ranked {
+				continue
+			}
+			if tRank, ok := layerRank[target]; ok && tRank >= rank {
+				pass.Reportf(imp.Pos(), KeyLayering,
+					"layering violation: %s (layer %d) imports %s (layer %d); a layer may only reach strictly down",
+					path, rank, target, tRank)
+			}
+		}
+	}
+}
+
+// checkRawEvents flags obs.Event composite literals outside the emission
+// path, and — inside it — literals that are not the direct argument of a
+// call (i.e. events built up, stored, or mutated instead of being emitted
+// where they are made). Package obs itself is free.
+func checkRawEvents(pass *Pass, path string) {
+	if path == obsPkgPath {
+		return
+	}
+	for _, file := range pass.Files {
+		// parent tracks each composite literal's enclosing node so "direct
+		// call argument" is decidable.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isObsEvent(pass.Info.TypeOf(lit)) {
+				return true
+			}
+			if !emitPath[path] {
+				pass.Reportf(lit.Pos(), KeyRawEvent,
+					"package %s constructs a raw obs.Event; only the emitting layers build spine events — consume them through the spine's typed APIs", path)
+				return true
+			}
+			if !isDirectCallArg(stack, lit) {
+				pass.Reportf(lit.Pos(), KeyRawEvent,
+					"obs.Event must be constructed directly at its emission call site, not built up or stored")
+			}
+			return true
+		})
+	}
+}
+
+// isObsEvent reports whether t is the spine's Event type.
+func isObsEvent(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == obsPkgPath
+}
+
+// isDirectCallArg reports whether the innermost literal is an argument of
+// the nearest enclosing call expression.
+func isDirectCallArg(stack []ast.Node, lit *ast.CompositeLit) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == lit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestPartition(t *testing.T) {
+	analysistest.Run(t, analysis.PartitionAnalyzer,
+		"air/internal/pos",      // forbidden pair: POS → PMK
+		"air/internal/workload", // forbidden pairs: workload → sched, pmk
+		"air/internal/model",    // rank violation + raw event off the emit path
+		"air/internal/ipc",      // emit path: direct arg fine, stored event flagged
+		"example.com/tool",      // outside emit path entirely
+	)
+}

@@ -1,0 +1,20 @@
+// Package campaign is an airdeterminism fixture for the seeded domain:
+// results must not read the wall clock or global rand, but internal
+// goroutine pools are legitimate (contained by construction, covered by the
+// race detector).
+package campaign
+
+import (
+	"math/rand"
+	"time"
+)
+
+func worker(jobs chan int) {}
+
+func run() {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	_ = start
+	_ = rand.Int() // want `rand\.Int draws from global math/rand state`
+	jobs := make(chan int)
+	go worker(jobs) // seeded domain: goroutine pools allowed
+}

@@ -1,0 +1,23 @@
+// Package hm is a fixture stub of air/internal/hm: the Decision type and a
+// Monitor with the Report* surface the airhmrouting fixtures exercise.
+package hm
+
+type ErrorCode int
+
+type Decision struct {
+	Action int
+}
+
+type Monitor struct{}
+
+func (m *Monitor) ReportProcess(p, process string, code ErrorCode, msg string) Decision {
+	return Decision{}
+}
+
+func (m *Monitor) ReportPartition(p string, code ErrorCode, msg string) Decision {
+	return Decision{}
+}
+
+func (m *Monitor) ReportModule(code ErrorCode, msg string) Decision {
+	return Decision{}
+}

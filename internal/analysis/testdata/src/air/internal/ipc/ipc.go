@@ -1,0 +1,17 @@
+// Package ipc is an airpartition fixture for the raw-event discipline on
+// the emission path: events are built directly at the emission call site,
+// never stored half-built.
+package ipc
+
+import "air/internal/obs"
+
+type channel struct {
+	em obs.Emitter
+}
+
+func (c *channel) send(now int64) {
+	c.em.Emit(obs.Event{Time: now, Kind: 1}) // direct emission: fine
+	e := obs.Event{Time: now}                // want `obs\.Event must be constructed directly at its emission call site`
+	e.Kind = 2
+	c.em.Emit(e)
+}

@@ -1,0 +1,7 @@
+// Package model is an airpartition fixture: a layer-1 package importing the
+// layer-2 observability spine reaches up the stack.
+package model
+
+import "air/internal/obs" // want `layering violation: air/internal/model \(layer 1\) imports air/internal/obs \(layer 2\)`
+
+func uses() obs.Event { return obs.Event{} } // want `constructs a raw obs.Event`

@@ -1,0 +1,19 @@
+// Package obs is a fixture stub of air/internal/obs: the Event wire type,
+// an Emitter with an //air:hotpath Emit, and one deliberately cold function
+// for the cross-package fact tests.
+package obs
+
+type Event struct {
+	Time      int64
+	Kind      int
+	Partition string
+	Latency   int64
+}
+
+type Emitter struct{ core int }
+
+//air:hotpath
+func (em Emitter) Emit(e Event) {}
+
+// Flush is deliberately not //air:hotpath.
+func Flush() {}

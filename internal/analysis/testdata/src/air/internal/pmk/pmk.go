@@ -1,0 +1,5 @@
+// Package pmk is a fixture stub of air/internal/pmk, an import target for
+// the airpartition layering fixtures.
+package pmk
+
+type Heir struct{ Idle bool }

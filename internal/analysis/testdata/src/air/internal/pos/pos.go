@@ -1,0 +1,10 @@
+// Package pos is an airpartition fixture: the POS reaching into PMK
+// internals violates the spatial-separation rule.
+package pos
+
+import (
+	"air/internal/pmk" // want `forbidden import of air/internal/pmk: the POS runs inside a partition`
+	"air/internal/tick"
+)
+
+func uses() (pmk.Heir, tick.Ticks) { return pmk.Heir{}, 0 }

@@ -1,0 +1,49 @@
+// Package sched is an airdeterminism fixture: a tick-domain package
+// exercising every nondeterminism channel the analyzer guards.
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+type table struct{ prio map[string]int }
+
+func helper() {}
+
+func bad(t table) {
+	_ = time.Now()              // want `time\.Now reads the wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+	time.Sleep(1)               // want `time\.Sleep reads the wall clock`
+	_ = rand.Intn(4)            // want `rand\.Intn draws from global math/rand state`
+	_ = rand.Float64()          // want `rand\.Float64 draws from global math/rand state`
+	go helper()                 // want `go statement in tick-domain package`
+	ch := make(chan int)
+	select {
+	case <-ch:
+	default: // want `select with default races on channel readiness`
+	}
+	for k := range t.prio { // want `map iteration order is nondeterministic`
+		_ = k
+	}
+}
+
+func good(t table) {
+	r := rand.New(rand.NewSource(42)) // seeded, locally owned: allowed
+	_ = r.Intn(4)
+	var d time.Duration // using time's types (not its clock) is fine
+	_ = d
+	keys := []string{"a", "b"}
+	for _, k := range keys { // slice iteration is ordered
+		_ = t.prio[k]
+	}
+}
+
+// allowedFold documents an order-insensitive fold with the escape hatch.
+func allowedFold(t table) int {
+	sum := 0
+	for _, v := range t.prio { //air:allow(maprange): commutative sum, order-insensitive
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,4 @@
+// Package tick is a fixture stub of air/internal/tick.
+package tick
+
+type Ticks int64

@@ -1,0 +1,13 @@
+// Package workload is an airpartition fixture: partition application code
+// must not reach the module scheduler or the schedulability analyzer.
+package workload
+
+import (
+	"air/internal/pmk"     // want `forbidden import of air/internal/pmk: partition application code`
+	_ "air/internal/sched" // want `forbidden import of air/internal/sched: partition application code`
+	"air/internal/tick"
+)
+
+func uses() (pmk.Heir, tick.Ticks) {
+	return pmk.Heir{}, 0
+}

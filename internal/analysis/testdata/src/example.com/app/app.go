@@ -1,0 +1,28 @@
+// Package app is the airhmrouting fixture: Health Monitor decisions must be
+// applied or escalated, never dropped or detoured into ad-hoc logging.
+package app
+
+import (
+	"fmt"
+	"log"
+
+	"air/internal/hm"
+)
+
+func apply(d hm.Decision) {}
+
+func handle(m *hm.Monitor) {
+	m.ReportPartition("p1", 1, "boom")              // want `Health Monitor decision dropped`
+	_ = m.ReportProcess("p1", "t", 2, "boom")       // want `decision assigned to the blank identifier`
+	fmt.Println(m.ReportPartition("p1", 1, "boom")) // want `decision logged ad hoc`
+	log.Printf("%v", m.ReportModule(3, "cfg"))      // want `decision logged ad hoc`
+
+	d := m.ReportPartition("p1", 1, "boom") // captured and applied: fine
+	apply(d)
+	fmt.Println(d) // rendering an already-applied decision is fine
+}
+
+func suppressed(m *hm.Monitor) {
+	//air:allow(hmdrop): ActionIgnore table entry, decision is a no-op by configuration
+	m.ReportModule(3, "cfg")
+}

@@ -1,0 +1,27 @@
+// Package directives is the airallow fixture: the //air: directive grammar
+// is itself linted, so suppressions cannot silently rot.
+package directives
+
+//air:frobnicate // want `unknown //air: directive "frobnicate"`
+func a() {}
+
+//air:allow(nosuchkey): because // want `unknown //air:allow key "nosuchkey"`
+func b() {}
+
+//air:allow(maprange) // want `needs a documented reason`
+func c() {}
+
+//air:allow // want `//air:allow needs a key`
+func d() {}
+
+func e() {
+	_ = 1 //air:hotpath // want `must be in a function's doc comment`
+}
+
+//air:hotpath
+func hot() {}
+
+// wellFormed carries a valid, documented suppression: no findings.
+//
+//air:allow(maprange): demonstration of a well-formed function-scoped allow
+func wellFormed() {}

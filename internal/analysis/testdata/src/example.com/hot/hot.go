@@ -1,0 +1,79 @@
+// Package hot is the airhotpath fixture: one annotated function per finding
+// class, the blessed patterns that must stay silent, and the cross-package
+// fact flow against the air/internal/obs stub.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"air/internal/obs"
+)
+
+type pair struct{ a, b int }
+
+type counters struct {
+	mu   sync.Mutex
+	vals []int
+	em   obs.Emitter
+}
+
+func (c *counters) helper() {}
+
+//air:hotpath
+func (c *counters) tick(v int) {
+	c.mu.Lock() // sync.Mutex is on the allocation-free stdlib allowlist
+	p := pair{a: v}
+	_ = p                         // value composite literal: stack, fine
+	c.em.Emit(obs.Event{Time: 1}) // cross-package //air:hotpath callee: fine
+	c.vals = append(c.vals, v)    // want `append may grow its backing array`
+	m := map[string]int{}         // want `map/slice literal allocates`
+	_ = m
+	s := []int{v} // want `map/slice literal allocates`
+	_ = s
+	pp := &pair{a: v} // want `address-taken composite literal`
+	_ = pp
+	f := func() {} // want `closure in hot path`
+	_ = f
+	fmt.Println(v)      // want `fmt\.Println boxes its operands`
+	_ = strconv.Itoa(v) // want `not on the allocation-free stdlib allowlist`
+	obs.Flush()         // want `air/internal/obs\.Flush, which is not //air:hotpath`
+	c.helper()          // want `calls helper, which is not //air:hotpath`
+	c.mu.Unlock()
+}
+
+//air:hotpath
+func box(v int, sink *counters) any {
+	var x any = v // want `value of type int is boxed into interface`
+	_ = x
+	var cb func()
+	cb()     // want `call through function-typed value cb`
+	return v // want `value of type int is boxed into interface`
+}
+
+//air:hotpath
+func strings2(a, b string, bs []byte) {
+	_ = a + b      // want `string concatenation allocates`
+	_ = []byte(a)  // want `conversion between string and \[\]byte copies`
+	_ = string(bs) // want `conversion between string and \[\]byte copies`
+}
+
+// coldInit is hot-annotated but wholly amortized: the function-scoped allow
+// covers the growth path.
+//
+//air:hotpath
+//air:allow(alloc): first-seen growth is amortized across the run
+func coldInit(c *counters, v int) {
+	c.vals = append(c.vals, v)
+}
+
+//air:hotpath
+func lineAllow(c *counters, v int) {
+	c.vals = append(c.vals, v) //air:allow(alloc): ring is preallocated at attach time
+}
+
+// notHot is unannotated: nothing in it is checked.
+func notHot() {
+	_ = fmt.Sprintf("%d", 7)
+}

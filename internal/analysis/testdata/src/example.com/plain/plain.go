@@ -1,0 +1,10 @@
+// Package plain is outside every airlint determinism domain: wall-clock and
+// concurrency use is unconstrained here.
+package plain
+
+import "time"
+
+func fine() {
+	_ = time.Now()
+	go func() {}()
+}

@@ -1,0 +1,11 @@
+// Package tool is an airpartition fixture: tooling outside the emission
+// path may consume spine events but never fabricate them.
+package tool
+
+import "air/internal/obs"
+
+func fabricate(em obs.Emitter) {
+	em.Emit(obs.Event{Kind: 3}) // want `package example.com/tool constructs a raw obs\.Event`
+}
+
+func consume(e obs.Event) int64 { return e.Time } // consuming events is fine

@@ -1,0 +1,8 @@
+// Package fmt is a hermetic stub of the standard library's fmt package for
+// the airlint fixtures.
+package fmt
+
+func Sprintf(format string, a ...any) string      { return "" }
+func Printf(format string, a ...any) (int, error) { return 0, nil }
+func Println(a ...any) (int, error)               { return 0, nil }
+func Errorf(format string, a ...any) error        { return nil }

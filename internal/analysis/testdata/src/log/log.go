@@ -1,0 +1,6 @@
+// Package log is a hermetic stub of the standard library's log package for
+// the airlint fixtures.
+package log
+
+func Printf(format string, v ...any) {}
+func Println(v ...any)               {}

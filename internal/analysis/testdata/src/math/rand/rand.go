@@ -1,0 +1,16 @@
+// Package rand is a hermetic stub of math/rand for the airlint fixtures.
+package rand
+
+type Source struct{}
+
+type Rand struct{}
+
+func NewSource(seed int64) Source { return Source{} }
+func New(src Source) *Rand        { return &Rand{} }
+
+func (*Rand) Intn(n int) int             { return 0 }
+func (*Rand) Float64() float64           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Int() int                           { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}

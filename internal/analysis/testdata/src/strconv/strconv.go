@@ -1,0 +1,5 @@
+// Package strconv is a hermetic stub of the standard library's strconv
+// package for the airlint fixtures.
+package strconv
+
+func Itoa(i int) string { return "" }

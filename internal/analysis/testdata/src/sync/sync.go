@@ -1,0 +1,8 @@
+// Package sync is a hermetic stub of the standard library's sync package
+// for the airlint fixtures.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}

@@ -1,0 +1,14 @@
+// Package time is a hermetic stub of the standard library's time package:
+// just enough surface for the airlint fixtures to type check offline.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+func Now() Time                    { return Time{} }
+func Since(t Time) Duration        { return 0 }
+func Until(t Time) Duration        { return 0 }
+func Sleep(d Duration)             {}
+func (t Time) Sub(u Time) Duration { return 0 }
+func (t Time) Add(d Duration) Time { return t }

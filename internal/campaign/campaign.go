@@ -88,6 +88,12 @@ type Spec struct {
 	// these into a served aggregate). Called from worker goroutines: the
 	// callback must be safe for concurrent use and should return quickly.
 	OnObservation func(Observation) `json:"-"`
+	// Clock supplies wall-clock readings for the engine's only
+	// nondeterministic inputs — Timing, per-run WallNanos and the watchdog —
+	// none of which feed simulation results. Nil defaults to the real clock;
+	// tests inject a fake to exercise the watchdog deterministically. Called
+	// from worker goroutines: must be safe for concurrent use.
+	Clock func() time.Time `json:"-"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -106,7 +112,17 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Matrix) == 0 {
 		s.Matrix = DefaultMatrix()
 	}
+	if s.Clock == nil {
+		s.Clock = wallClock
+	}
 	return s
+}
+
+// wallClock is the campaign engine's single wall-clock tap: every
+// elapsed-time reading goes through Spec.Clock, which defaults here.
+func wallClock() time.Time {
+	//air:allow(wallclock): host wall time feeds only Timing and the watchdog, never simulation state; tests inject a fake via Spec.Clock
+	return time.Now()
 }
 
 // Validate rejects structurally broken campaign specifications. It operates
@@ -220,7 +236,7 @@ func Run(spec Spec) (*Result, error) {
 	observations := make([]Observation, spec.Runs)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := spec.Clock()
 	for w := 0; w < spec.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -238,7 +254,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := spec.Clock().Sub(start)
 
 	res := &Result{
 		Seed:         spec.Seed,
@@ -291,9 +307,9 @@ func runOne(spec Spec, run int) (ob Observation) {
 		Scenario: scenario.Name,
 		Faults:   describeFaults(faults),
 	}
-	start := time.Now()
+	start := spec.Clock()
 	defer func() {
-		ob.WallNanos = time.Since(start).Nanoseconds()
+		ob.WallNanos = spec.Clock().Sub(start).Nanoseconds()
 		if rec := recover(); rec != nil {
 			ob.Degraded = true
 			ob.Error = fmt.Sprintf("panic: %v", rec)
@@ -322,7 +338,7 @@ func runOne(spec Spec, run int) (ob Observation) {
 	}
 	mtf := model.Fig8System().Schedules[0].MTF
 	for i := 0; i < spec.MTFs; i++ {
-		if spec.Watchdog > 0 && time.Since(start) > spec.Watchdog {
+		if spec.Watchdog > 0 && spec.Clock().Sub(start) > spec.Watchdog {
 			ob.Degraded = true
 			ob.Error = fmt.Sprintf("watchdog: run exceeded %v after %d MTFs", spec.Watchdog, i)
 			break

@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -192,6 +194,38 @@ func TestCampaignWatchdog(t *testing.T) {
 		if o.Error == "" {
 			t.Fatalf("degraded run %d has no error", o.Run)
 		}
+	}
+}
+
+// TestCampaignFakeClock: Spec.Clock is the engine's only wall-clock tap, so
+// injecting a fake makes the watchdog fire deterministically — every
+// reading advances a full second against a half-second budget, degrading
+// each run on its first MTF check — while timing stays internally
+// consistent.
+func TestCampaignFakeClock(t *testing.T) {
+	var now atomic.Int64
+	spec := Spec{
+		Runs: 3, Workers: 2, Seed: 7, MTFs: 10,
+		Watchdog: 500 * time.Millisecond,
+		Clock:    func() time.Time { return time.Unix(0, now.Add(int64(time.Second))) },
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Degraded != res.Runs {
+		t.Fatalf("expected all %d runs watchdog-degraded, got %d", res.Runs, res.Aggregate.Degraded)
+	}
+	for _, o := range res.Observations {
+		if !strings.HasPrefix(o.Error, "watchdog:") {
+			t.Errorf("run %d: error %q, want watchdog", o.Run, o.Error)
+		}
+		if o.WallNanos <= 0 {
+			t.Errorf("run %d: WallNanos = %d, want > 0 from the fake clock", o.Run, o.WallNanos)
+		}
+	}
+	if res.Timing == nil || res.Timing.Elapsed <= 0 {
+		t.Fatalf("Timing = %+v, want positive fake-clock elapsed", res.Timing)
 	}
 }
 

@@ -433,7 +433,19 @@ func (m *Module) Shutdown() {
 func (m *Module) restoreContext(p model.PartitionName) {
 	// The context was mapped at Start; a failure here would be a PMK bug.
 	if err := m.memory.SetContext(p); err != nil {
-		m.health.ReportModule(hm.ErrConfigError, err.Error())
+		m.applyModuleDecision(m.health.ReportModule(hm.ErrConfigError, err.Error()))
+	}
+}
+
+// applyModuleDecision carries out a module-level Health Monitor decision.
+// Module-level errors know no finer containment domain, so anything beyond
+// logging escalates to a module reset or shutdown.
+func (m *Module) applyModuleDecision(d hm.Decision) {
+	switch d.Action {
+	case hm.ActionResetModule:
+		m.resetModule()
+	case hm.ActionShutdownModule:
+		m.shutdownModule()
 	}
 }
 

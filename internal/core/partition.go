@@ -257,6 +257,8 @@ func (pt *Partition) stop() {
 
 // resetWaitQueues clears waiters from all APEX objects (the waiting
 // processes were terminated).
+//
+//air:allow(maprange): every queue is cleared independently; order-insensitive
 func (pt *Partition) resetWaitQueues() {
 	for _, b := range pt.buffers {
 		b.senders.clear()
@@ -274,6 +276,8 @@ func (pt *Partition) resetWaitQueues() {
 }
 
 // killAll force-terminates every live process goroutine.
+//
+//air:allow(maprange): each runtime is killed and removed independently; order-insensitive
 func (pt *Partition) killAll() {
 	for id, rt := range pt.runtimes {
 		if rt.alive {
@@ -316,6 +320,7 @@ func (pt *Partition) spawn(id pos.ProcessID) {
 	}
 	pt.runtimes[id] = rt
 	sv := pt.services(id, rt)
+	//air:allow(goroutine): process runtimes are goroutines by design, lock-stepped with the kernel via the grant/yield handshake
 	go func() {
 		defer close(rt.done)
 		defer func() {

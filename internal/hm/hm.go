@@ -479,7 +479,7 @@ func (m *Monitor) Reset() {
 func (m *Monitor) ResetPartition(p model.PartitionName) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for k := range m.counters {
+	for k := range m.counters { //air:allow(maprange): each matching counter is deleted independently; order-insensitive
 		if k.partition == p && (k.level == LevelProcess || k.level == LevelPartition) {
 			delete(m.counters, k)
 		}

@@ -16,6 +16,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"air/internal/model"
 	"air/internal/obs"
@@ -247,10 +248,10 @@ type Router struct {
 // integration-time strings, so publication never allocates.
 func (r *Router) AttachObs(em obs.Emitter) {
 	r.obs = em
-	for _, ch := range r.sampling {
+	for _, ch := range r.sampling { //air:allow(maprange): broadcast attach; every channel gets the same emitter
 		ch.obs = em
 	}
-	for _, ch := range r.queuing {
+	for _, ch := range r.queuing { //air:allow(maprange): broadcast attach; every channel gets the same emitter
 		ch.obs = em
 	}
 }
@@ -329,7 +330,7 @@ func (r *Router) Queuing(name string) (*QueuingChannel, error) {
 // SamplingByPort resolves the sampling channel bound to a partition's port
 // (either end). The bool reports whether the partition is the source.
 func (r *Router) SamplingByPort(p model.PartitionName, port string) (*SamplingChannel, bool, error) {
-	for _, ch := range r.sampling {
+	for _, ch := range r.sampling { //air:allow(maprange): port bindings are unique, so at most one channel matches
 		if ch.cfg.Source.Partition == p && ch.cfg.Source.Port == port {
 			return ch, true, nil
 		}
@@ -344,7 +345,7 @@ func (r *Router) SamplingByPort(p model.PartitionName, port string) (*SamplingCh
 
 // QueuingByPort resolves the queuing channel bound to a partition's port.
 func (r *Router) QueuingByPort(p model.PartitionName, port string) (*QueuingChannel, bool, error) {
-	for _, ch := range r.queuing {
+	for _, ch := range r.queuing { //air:allow(maprange): port bindings are unique, so at most one channel matches
 		if ch.cfg.Source.Partition == p && ch.cfg.Source.Port == port {
 			return ch, true, nil
 		}
@@ -355,20 +356,31 @@ func (r *Router) QueuingByPort(p model.PartitionName, port string) (*QueuingChan
 	return nil, false, fmt.Errorf("%w: no queuing channel at %s.%s", ErrUnknownChannel, p, port)
 }
 
-// SamplingChannels returns all sampling channels (diagnostics).
+// SamplingChannels returns all sampling channels in name order
+// (diagnostics).
 func (r *Router) SamplingChannels() []*SamplingChannel {
-	out := make([]*SamplingChannel, 0, len(r.sampling))
-	for _, ch := range r.sampling {
-		out = append(out, ch)
+	names := make([]string, 0, len(r.sampling))
+	for name := range r.sampling { //air:allow(maprange): collected into a slice and sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*SamplingChannel, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.sampling[name])
 	}
 	return out
 }
 
-// QueuingChannels returns all queuing channels (diagnostics).
+// QueuingChannels returns all queuing channels in name order (diagnostics).
 func (r *Router) QueuingChannels() []*QueuingChannel {
-	out := make([]*QueuingChannel, 0, len(r.queuing))
-	for _, ch := range r.queuing {
-		out = append(out, ch)
+	names := make([]string, 0, len(r.queuing))
+	for name := range r.queuing { //air:allow(maprange): collected into a slice and sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*QueuingChannel, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.queuing[name])
 	}
 	return out
 }

@@ -16,6 +16,7 @@ type Histogram struct {
 	buckets [histBuckets]uint64
 }
 
+//air:hotpath
 func (h *Histogram) observe(v tick.Ticks) {
 	h.count++
 	if v <= 0 {
@@ -84,6 +85,7 @@ type Metrics struct {
 	restartsWindow Histogram
 }
 
+//air:hotpath
 func (m *Metrics) observe(e Event) {
 	if e.Kind >= 1 && int(e.Kind) <= kindCount {
 		m.counts[e.Kind]++
@@ -112,6 +114,8 @@ func (m *Metrics) observe(e Event) {
 // bus's internal observation path, letting a sink (e.g. the timeline
 // analyzer) maintain a private registry under its own synchronization so
 // telemetry servers can read counters concurrently with the simulation.
+//
+//air:hotpath
 func (m *Metrics) Observe(e Event) { m.observe(e) }
 
 // Count returns the monotonic counter for one kind.
@@ -189,7 +193,7 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 		RestartDeferral:   subHist(s.RestartDeferral, base.RestartDeferral),
 		RestartsPerWindow: subHist(s.RestartsPerWindow, base.RestartsPerWindow),
 	}
-	for name, c := range s.Counts {
+	for name, c := range s.Counts { //air:allow(maprange): map-to-map difference; order-insensitive
 		if delta := c - base.Counts[name]; delta != 0 {
 			if d.Counts == nil {
 				d.Counts = make(map[string]uint64, len(s.Counts))
@@ -214,10 +218,10 @@ func (s Snapshot) Add(other Snapshot) Snapshot {
 	}
 	if s.Counts != nil || other.Counts != nil {
 		t.Counts = make(map[string]uint64, len(s.Counts)+len(other.Counts))
-		for name, c := range s.Counts {
+		for name, c := range s.Counts { //air:allow(maprange): commutative map-to-map sum; order-insensitive
 			t.Counts[name] += c
 		}
-		for name, c := range other.Counts {
+		for name, c := range other.Counts { //air:allow(maprange): commutative map-to-map sum; order-insensitive
 			t.Counts[name] += c
 		}
 	}

@@ -38,6 +38,8 @@ func NewRingKinds(capacity int, kinds ...Kind) *Ring {
 }
 
 // Emit appends the event, overwriting the oldest when full. Implements Sink.
+//
+//air:hotpath
 func (r *Ring) Emit(e Event) {
 	if r == nil {
 		return

@@ -66,6 +66,9 @@ func NewDispatcher(s *Scheduler, hooks Hooks) *Dispatcher {
 
 // Dispatch is Algorithm 2: invoked with the heir selected by the scheduler
 // and the current value of the global tick counter.
+//
+//air:hotpath
+//air:allow(call): the PAL hook functions are the integration seam to the platform layer; their cost is the integrator's contract
 func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
 	// Line 1: heirPartition == activePartition → only account one tick.
 	if d.hasRun && heir == d.active {

@@ -85,6 +85,8 @@ func (s *Scheduler) Start() (Heir, error) {
 // Tick is Algorithm 1, executed at every system clock tick. It returns true
 // when a partition preemption point was reached (the heir may have changed —
 // the Dispatcher must run), false in the frequent fast-path case.
+//
+//air:hotpath
 func (s *Scheduler) Tick() bool {
 	// Line 1: increment the global system clock tick counter.
 	s.ticks++
@@ -107,7 +109,7 @@ func (s *Scheduler) Tick() bool {
 		// Arm the per-partition restart actions for the new schedule; the
 		// Dispatcher performs each partition's action the first time that
 		// partition is dispatched under the new schedule (Sect. 4.3).
-		for p, action := range cs.ChangeActions {
+		for p, action := range cs.ChangeActions { //air:allow(maprange): map-to-map copy; order-insensitive
 			s.pendingActions[p] = action
 		}
 	}

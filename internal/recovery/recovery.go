@@ -140,7 +140,7 @@ func (p Policy) Validate(partitions []model.PartitionName, schedules []string) e
 		known[name] = true
 	}
 	names := make([]string, 0, len(p.Budgets))
-	for name := range p.Budgets {
+	for name := range p.Budgets { //air:allow(maprange): collected into a slice and sorted below
 		names = append(names, string(name))
 	}
 	sort.Strings(names)

@@ -78,7 +78,7 @@ func Synthesize(name string, reqs []model.Requirement) (*model.Schedule, error) 
 		return jobs[i].partition < jobs[j].partition
 	})
 	releases := make([]tick.Ticks, 0, len(releaseSet))
-	for r := range releaseSet {
+	for r := range releaseSet { //air:allow(maprange): collected into a slice and sorted below
 		releases = append(releases, r)
 	}
 	sort.Slice(releases, func(i, j int) bool { return releases[i] < releases[j] })
@@ -174,7 +174,7 @@ func Synthesize(name string, reqs []model.Requirement) (*model.Schedule, error) 
 func SynthesizeSystem(partitions []model.PartitionName, reqSets map[string][]model.Requirement) (*model.System, error) {
 	sys := &model.System{Partitions: partitions}
 	names := make([]string, 0, len(reqSets))
-	for name := range reqSets {
+	for name := range reqSets { //air:allow(maprange): collected into a slice and sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)

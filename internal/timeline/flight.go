@@ -71,6 +71,8 @@ func newFlight(frames int) *flight {
 
 // capture records one frame. Called with the analyzer's mutex held, after
 // advance(), on every window activation.
+//
+//air:hotpath
 func (f *flight) capture(t *Timeline, e obs.Event) {
 	if f == nil {
 		return
@@ -112,6 +114,8 @@ func (f *flight) capture(t *Timeline, e obs.Event) {
 // noteError freezes the recorder on the first HM report: the ring is copied
 // (oldest-first) into the preallocated frozen buffer and the triggering
 // event retained as the cause.
+//
+//air:hotpath
 func (f *flight) noteError(e obs.Event) {
 	if f == nil || f.hasErr {
 		return

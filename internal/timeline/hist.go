@@ -24,6 +24,8 @@ type hist struct {
 // analyzer tracks signed quantities like slack separately from miss counts,
 // so a negative slack shows up as a zero-bucket observation plus a recorded
 // deadline miss.
+//
+//air:hotpath
 func (h *hist) observe(v tick.Ticks) {
 	var u uint64
 	if v > 0 {

@@ -84,6 +84,7 @@ func serveMux(addr string, h http.Handler) (string, func() error, error) {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: h}
+	//air:allow(goroutine): the telemetry HTTP server lives off the tick domain by design
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

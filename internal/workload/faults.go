@@ -104,7 +104,7 @@ func FaultKinds() []FaultKind {
 // the fault class that provoked them. Reports false for regular application
 // processes.
 func FaultKindForProcess(name string) (FaultKind, bool) {
-	for k, base := range injectorBaseNames {
+	for k, base := range injectorBaseNames { //air:allow(maprange): base names are distinct, so at most one entry matches
 		if name == base || strings.HasPrefix(name, base+"_") {
 			return k, true
 		}
@@ -295,7 +295,7 @@ func newInjection(opts *Options) *injection {
 
 // hasKind reports whether any resolved injector is of the given kind.
 func (inj *injection) hasKind(kind FaultKind) bool {
-	for _, insts := range inj.byPartition {
+	for _, insts := range inj.byPartition { //air:allow(maprange): existence check over all entries; order-insensitive
 		for _, inst := range insts {
 			if inst.spec.Kind == kind {
 				return true
@@ -315,7 +315,7 @@ func (inj *injection) processTable(p model.PartitionName, base hm.Table) hm.Tabl
 		return base
 	}
 	t := make(hm.Table, len(base)+2)
-	for code, rule := range base {
+	for code, rule := range base { //air:allow(maprange): map-to-map copy; order-insensitive
 		t[code] = rule
 	}
 	for _, inst := range insts {
