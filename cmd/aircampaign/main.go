@@ -9,8 +9,14 @@
 //
 //	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
 //	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling] [-metrics]
-//	            [-recovery] [-telemetry addr] [-pprof addr]
+//	            [-recovery] [-journal file] [-telemetry addr] [-pprof addr]
 //	aircampaign -write-matrix file.json
+//
+// Campaigns execute through the fleet coordinator (internal/fleet) with
+// in-process worker shards — the same lease dispatch and in-order merge
+// that cmd/aircampaignd distributes across processes — so -journal makes a
+// long campaign resumable: re-invoking an interrupted run with the same
+// spec and journal re-runs only the leases that never completed.
 //
 // -telemetry serves the campaign's merged timeliness view live on the given
 // address (/metrics Prometheus text, /timeline.json for cmd/airmon, /flight,
@@ -41,6 +47,7 @@ import (
 
 	"air/internal/campaign"
 	"air/internal/config"
+	"air/internal/fleet"
 	"air/internal/obs"
 	"air/internal/report"
 	"air/internal/timeline"
@@ -95,7 +102,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("aircampaign", flag.ContinueOnError)
 	var (
 		runs        = fs.Int("runs", 100, "number of independent simulation runs")
-		workers     = fs.Int("workers", runtime.NumCPU(), "worker pool size (affects wall clock only, never results)")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (affects wall clock only, never results)")
+		journal     = fs.String("journal", "", "checkpoint journal (JSONL); an interrupted campaign re-invoked with the same spec and journal resumes, re-running only unfinished leases")
 		matrixPath  = fs.String("matrix", "", "campaign matrix JSON (default: built-in mixed-fault matrix)")
 		outPath     = fs.String("out", "", "write result JSON here (and Markdown to the .md sibling)")
 		seed        = fs.Uint64("seed", 1, "campaign master seed")
@@ -187,8 +195,16 @@ func run(args []string, out io.Writer) error {
 		return runScaling(out, spec)
 	}
 
+	if max := runtime.GOMAXPROCS(0); spec.Workers > max {
+		fmt.Fprintf(out, "warning: -workers %d oversubscribes %d schedulable CPUs; extra workers cost scheduling churn, never results\n",
+			spec.Workers, max)
+	}
+
+	// The local run is the fleet coordinator with in-process shards: same
+	// lease dispatch, same in-order merge, byte-identical to the
+	// single-process engine — and resumable when -journal is set.
 	before := runtime.NumGoroutine()
-	res, err := campaign.Run(spec)
+	res, err := fleet.RunLocal(spec, fleet.LocalOptions{Shards: spec.Workers, JournalPath: *journal})
 	if err != nil {
 		return err
 	}

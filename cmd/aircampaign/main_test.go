@@ -5,8 +5,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
+
+	"air/internal/campaign"
+	"air/internal/fleet"
 )
 
 func TestRunSmallCampaign(t *testing.T) {
@@ -233,5 +238,77 @@ func TestWorkerSweep(t *testing.T) {
 	}
 	if got := workerSweep(8); len(got) != 4 || got[3] != 8 {
 		t.Errorf("workerSweep(8): %v", got)
+	}
+}
+
+// TestRunOversubscriptionWarning: -workers beyond the schedulable CPUs
+// warns (and changes nothing else — determinism across worker counts is
+// covered by the scaling sweep).
+func TestRunOversubscriptionWarning(t *testing.T) {
+	over := runtime.GOMAXPROCS(0) * 4
+	var sb strings.Builder
+	err := run([]string{"-runs", "2", "-seed", "5", "-mtfs", "2",
+		"-workers", strconv.Itoa(over)}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "oversubscribes") {
+		t.Errorf("stdout missing oversubscription warning:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-runs", "2", "-seed", "5", "-mtfs", "2", "-workers", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "oversubscribes") {
+		t.Errorf("spurious oversubscription warning:\n%s", sb.String())
+	}
+}
+
+// TestRunJournalResume: a -journal campaign interrupted after one lease
+// resumes instead of restarting, and its artifact is byte-identical to an
+// uninterrupted run.
+func TestRunJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "fleet.journal")
+	refPath := filepath.Join(dir, "ref.json")
+	outPath := filepath.Join(dir, "resumed.json")
+	args := []string{"-runs", "6", "-workers", "2", "-seed", "5", "-mtfs", "2"}
+
+	var sb strings.Builder
+	if err := run(append(args, "-out", refPath), &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage the interruption: a coordinator over the journal completes one
+	// 2-run lease, then dies.
+	spec := campaign.Spec{Runs: 6, Workers: 2, Seed: 5, MTFs: 2}.Defaulted()
+	c, err := fleet.New(fleet.Options{LeaseSize: 2, JournalPath: journal, KeepObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fleet.Work(c, fleet.WorkerOptions{ID: "doomed", MaxLeases: 1}); err != nil || n != 1 {
+		t.Fatalf("staged interruption: n=%d err=%v", n, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sb.Reset()
+	if err := run(append(args, "-journal", journal, "-out", outPath), &sb); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(resumed) {
+		t.Error("resumed campaign artifact differs from uninterrupted run")
 	}
 }

@@ -1,0 +1,243 @@
+// Command aircampaignd is the long-running campaign fleet daemon: it shards
+// campaign matrices of up to millions of (run, seed) cells across any number
+// of worker shards — in-process goroutines, worker processes on the same
+// host, or workers across a network — while guaranteeing the defining
+// property of the campaign engine: the merged result is byte-identical to a
+// single-process aircampaign run of the same matrix.
+//
+// Coordinator mode (default):
+//
+//	aircampaignd [-config fleet.json] [-addr :9464] [-journal fleet.journal]
+//	             [-lease n] [-lease-ttl d] [-liveness d] [-keep-observations]
+//	             [-workers n] [-matrix file.json]
+//
+// The daemon serves the fleet API (POST /campaigns submits a campaign
+// matrix document, GET /campaigns/{id} reports progress, GET
+// /campaigns/{id}/result returns the final artifact) alongside the standard
+// telemetry endpoints: /metrics carries the merged simulation counters plus
+// the air_fleet_* coordination gauges (lease ledgers, shard liveness),
+// /timeline.json the merged timeliness view. Leases are dispatched
+// pull-style — fast shards acquire more, and an issued lease uncompleted
+// past -lease-ttl is reclaimed and reissued, so slow or dead shards only
+// cost latency, never results. With -journal the fleet is durable: a
+// restarted daemon replays the journal and re-runs only the leases that
+// never completed. -workers N additionally runs N in-process worker shards,
+// so a single daemon is also a complete execution fleet.
+//
+// Worker mode:
+//
+//	aircampaignd -join http://coordinator:9464 [-id name] [-workers n]
+//	             [-poll d] [-linger] [-max-leases n] [-ship-observations]
+//
+// A worker process acquires leases from the coordinator over HTTP, executes
+// them with its local simulation pool (-workers goroutines) and reports the
+// per-lease partial aggregates back. Without -linger it exits once the
+// coordinator drains; with it, it keeps polling for future campaigns.
+// -ship-observations must match the coordinator's -keep-observations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"air/internal/campaign"
+	"air/internal/config"
+	"air/internal/fleet"
+	"air/internal/timeline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aircampaignd:", err)
+		os.Exit(1)
+	}
+}
+
+// serveHook, when set (tests), is called with the live coordinator address
+// and makes run return instead of blocking on signals — the seam the smoke
+// tests probe through.
+var serveHook func(kind, addr string)
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aircampaignd", flag.ContinueOnError)
+	var (
+		confPath  = fs.String("config", "", "coordinator: fleet configuration JSON supplying flag defaults (explicit flags override)")
+		addr      = fs.String("addr", ":9464", "coordinator: HTTP listen address for the fleet API and telemetry endpoints")
+		journal   = fs.String("journal", "", "coordinator: JSONL lease journal path; set to make campaigns durable and resumable")
+		leaseSize = fs.Int("lease", 64, "coordinator: runs per lease (the work-stealing and checkpoint grain)")
+		leaseTTL  = fs.Duration("lease-ttl", 2*time.Minute, "coordinator: reclaim an issued lease after this long without completion (0 = never)")
+		liveness  = fs.Duration("liveness", 15*time.Second, "coordinator: shard liveness window for /campaigns and /metrics")
+		keepObs   = fs.Bool("keep-observations", false, "coordinator: retain per-run observations for /campaigns/{id}/result (memory grows with campaign size; workers must -ship-observations)")
+		matrix    = fs.String("matrix", "", "coordinator: campaign matrix JSON to submit at startup")
+		workers   = fs.Int("workers", 0, "coordinator: in-process worker shards (0 = coordinate only); worker mode: simulation goroutines per lease")
+		join      = fs.String("join", "", "worker mode: base URL of the coordinator to join (switches modes)")
+		id        = fs.String("id", "", "worker mode: shard name (default shard-<pid>)")
+		poll      = fs.Duration("poll", 500*time.Millisecond, "worker mode: acquire back-off while no lease is pending")
+		linger    = fs.Bool("linger", false, "worker mode: keep polling after the coordinator drains instead of exiting")
+		maxLeases = fs.Int("max-leases", 0, "worker mode: exit after completing this many leases (0 = run to drain)")
+		shipObs   = fs.Bool("ship-observations", false, "worker mode: ship per-run observations with each lease (required by a -keep-observations coordinator)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *join != "" {
+		return runWorker(out, *join, *id, *workers, *poll, *linger, *maxLeases, *shipObs)
+	}
+
+	// A -config document supplies coordinator defaults; explicit flags
+	// override it, matching aircampaign's matrix-document precedence.
+	if *confPath != "" {
+		doc, err := config.LoadFleet(*confPath)
+		if err != nil {
+			return err
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["addr"] && doc.Addr != "" {
+			*addr = doc.Addr
+		}
+		if !set["journal"] && doc.Journal != "" {
+			*journal = doc.Journal
+		}
+		if !set["lease"] && doc.LeaseRuns != 0 {
+			*leaseSize = doc.LeaseRuns
+		}
+		if !set["lease-ttl"] && doc.LeaseTTLMillis != 0 {
+			*leaseTTL = time.Duration(doc.LeaseTTLMillis) * time.Millisecond
+		}
+		if !set["liveness"] && doc.LivenessMillis != 0 {
+			*liveness = time.Duration(doc.LivenessMillis) * time.Millisecond
+		}
+		if !set["workers"] && doc.Workers != 0 {
+			*workers = doc.Workers
+		}
+		if !set["keep-observations"] {
+			*keepObs = doc.KeepObservations
+		}
+	}
+
+	c, err := fleet.New(fleet.Options{
+		LeaseSize:        *leaseSize,
+		LeaseTTL:         *leaseTTL,
+		LivenessWindow:   *liveness,
+		JournalPath:      *journal,
+		KeepObservations: *keepObs,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if *matrix != "" {
+		doc, err := config.LoadCampaign(*matrix)
+		if err != nil {
+			return err
+		}
+		spec, err := campaign.FromConfig(doc)
+		if err != nil {
+			return err
+		}
+		cid, err := c.Submit(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "submitted %s as campaign %s\n", *matrix, cid)
+	}
+
+	bound, shutdown, err := timeline.ServeHandler(*addr, fleetMux(c))
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	fmt.Fprintf(out, "aircampaignd coordinating on %s (lease %d runs, ttl %v)\n", bound, *leaseSize, *leaseTTL)
+
+	for i := 0; i < *workers; i++ {
+		shard := fmt.Sprintf("local-%d", i)
+		//air:allow(goroutine): in-process worker shards live off the tick domain by design
+		go func() {
+			for {
+				// Work returns on drain; a daemon shard lingers for the
+				// next campaign.
+				if _, err := fleet.Work(c, fleet.WorkerOptions{ID: shard, Workers: 1, Poll: *poll, DropObservations: !*keepObs}); err != nil {
+					fmt.Fprintf(os.Stderr, "aircampaignd: shard %s: %v\n", shard, err)
+					return
+				}
+				time.Sleep(*poll)
+			}
+		}()
+	}
+	if *workers > 0 {
+		fmt.Fprintf(out, "  running %d in-process worker shards\n", *workers)
+	}
+
+	if serveHook != nil {
+		serveHook("fleet", bound)
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(out, "aircampaignd: shutting down")
+	return nil
+}
+
+// fleetMux mounts the fleet API beside the telemetry endpoints, with
+// /metrics extended by the air_fleet_* coordination gauges.
+func fleetMux(c *fleet.Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	fh := fleet.Handler(c)
+	mux.Handle("/campaigns", fh)
+	mux.Handle("/campaigns/", fh)
+	mux.Handle("/fleet/", fh)
+	tl := timeline.Handler(c)
+	mux.Handle("/timeline.json", tl)
+	mux.Handle("/flight", tl)
+	mux.Handle("/debug/pprof/", tl)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = timeline.WritePrometheus(w, c.Registry(), c.Snapshot())
+		_ = fleet.WritePrometheus(w, c.FleetStatus())
+	})
+	return mux
+}
+
+// runWorker is worker mode: one shard process joining a remote coordinator.
+func runWorker(out io.Writer, base, id string, pool int, poll time.Duration, linger bool, maxLeases int, shipObs bool) error {
+	if id == "" {
+		id = fmt.Sprintf("shard-%d", os.Getpid())
+	}
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	cl := &fleet.Client{Base: base}
+	total := 0
+	for {
+		n, err := fleet.Work(cl, fleet.WorkerOptions{
+			ID:               id,
+			Workers:          pool,
+			Poll:             poll,
+			DropObservations: !shipObs,
+			MaxLeases:        maxLeases,
+		})
+		total += n
+		if err != nil {
+			return err
+		}
+		if maxLeases > 0 && n >= maxLeases {
+			fmt.Fprintf(out, "%s: lease budget reached after %d leases\n", id, total)
+			return nil
+		}
+		if !linger {
+			fmt.Fprintf(out, "%s: coordinator drained after %d leases\n", id, total)
+			return nil
+		}
+		time.Sleep(poll)
+	}
+}

@@ -56,6 +56,7 @@ var layerRank = map[string]int{
 	"air/internal/workload":  6,
 	"air/internal/config":    7,
 	"air/internal/campaign":  8,
+	"air/internal/fleet":     9,
 	"air/internal/report":    9,
 }
 
@@ -88,6 +89,7 @@ var emitPath = map[string]bool{
 	"air/internal/multicore": true,
 	"air/internal/recovery":  true,
 	"air/internal/timeline":  true,
+	"air/internal/fleet":     true,
 }
 
 const obsPkgPath = "air/internal/obs"

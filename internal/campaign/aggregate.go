@@ -203,89 +203,187 @@ func (r *Result) JSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// aggregate folds the observations in run order (deterministic).
-func aggregate(observations []Observation) Aggregate {
-	agg := Aggregate{
-		Runs:          len(observations),
+// NewAggregate returns an empty aggregate ready for incremental folding.
+// Build campaign-wide state by calling Fold for each observation in run
+// order, or by merging per-shard aggregates in shard order (Merge); the two
+// paths produce byte-identical results for any contiguous partitioning of
+// the run space (TestFoldMergePartitioning).
+func NewAggregate() Aggregate {
+	return Aggregate{
 		HMByLevel:     map[string]int{},
 		HMByCode:      map[string]int{},
 		HMByFaultKind: map[string]int{},
 		ByScenario:    map[string]*ClassAgg{},
 		ByFaultKind:   map[string]*ClassAgg{},
 	}
-	var latencyCount int64
-	for i := range observations {
-		o := &observations[i]
-		if o.Degraded {
-			agg.Degraded++
-		}
-		if o.Halted {
-			agg.Halted++
-		}
-		agg.Ticks += o.Ticks
-		agg.DeadlineMisses += o.DeadlineMisses
-		latencyCount += int64(o.DetectedMisses)
-		agg.DetectionLatencyMean += float64(o.DetectionLatencySum)
-		if o.DetectionLatencyMax > agg.DetectionLatencyMax {
-			agg.DetectionLatencyMax = o.DetectionLatencyMax
-		}
-		for k, v := range o.HMByLevel {
-			agg.HMByLevel[k] += v
-			agg.HMEvents += v
-		}
-		for k, v := range o.HMByCode {
-			agg.HMByCode[k] += v
-		}
-		agg.PartitionRestarts += o.PartitionRestarts
-		agg.ProcessRestarts += o.ProcessRestarts
-		agg.ScheduleSwitches += o.ScheduleSwitches
-		agg.RestartsDeferred += o.RestartsDeferred
-		agg.Quarantines += o.Quarantines
-		agg.Recoveries += o.Recoveries
-		agg.MTTRMean += float64(o.MTTRSum)
-		if o.MTTRMax > agg.MTTRMax {
-			agg.MTTRMax = o.MTTRMax
-		}
-		agg.TicksDegraded += o.TicksDegraded
-		agg.ScheduleRestores += o.ScheduleRestores
-		if o.Contained {
-			agg.ContainedRuns++
-		}
-		agg.Metrics = agg.Metrics.Add(o.Metrics)
-		agg.Timeline = agg.Timeline.Add(o.Timeline)
+}
 
-		sc := classFor(agg.ByScenario, o.Scenario)
-		sc.add(o, hmTotal(o.HMByLevel))
-		seenKinds := map[string]bool{}
-		for _, f := range o.Faults {
-			if seenKinds[f.Kind] {
-				continue
-			}
-			seenKinds[f.Kind] = true
-			classFor(agg.ByFaultKind, f.Kind).add(o, o.HMByFaultKind[f.Kind])
+// init makes the zero Aggregate usable as a fold target, so aggregates
+// deserialized from JSON (whose empty maps decode to nil) fold safely.
+func (a *Aggregate) init() {
+	if a.HMByLevel == nil {
+		a.HMByLevel = map[string]int{}
+	}
+	if a.HMByCode == nil {
+		a.HMByCode = map[string]int{}
+	}
+	if a.HMByFaultKind == nil {
+		a.HMByFaultKind = map[string]int{}
+	}
+	if a.ByScenario == nil {
+		a.ByScenario = map[string]*ClassAgg{}
+	}
+	if a.ByFaultKind == nil {
+		a.ByFaultKind = map[string]*ClassAgg{}
+	}
+}
+
+// Fold accumulates one observation into the aggregate — the streaming form
+// of campaign aggregation. Observations of one aggregate must be folded in
+// run order (merging the campaign's Timeline snapshots is order-sensitive in
+// its last-cycle fields); derived means and quantiles are recomputed after
+// every fold, so the aggregate is always consistent and serializable.
+func (a *Aggregate) Fold(o Observation) {
+	a.init()
+	a.Runs++
+	if o.Degraded {
+		a.Degraded++
+	}
+	if o.Halted {
+		a.Halted++
+	}
+	a.Ticks += o.Ticks
+	a.DeadlineMisses += o.DeadlineMisses
+	if o.DetectionLatencyMax > a.DetectionLatencyMax {
+		a.DetectionLatencyMax = o.DetectionLatencyMax
+	}
+	for k, v := range o.HMByLevel {
+		a.HMByLevel[k] += v
+		a.HMEvents += v
+	}
+	for k, v := range o.HMByCode {
+		a.HMByCode[k] += v
+	}
+	a.PartitionRestarts += o.PartitionRestarts
+	a.ProcessRestarts += o.ProcessRestarts
+	a.ScheduleSwitches += o.ScheduleSwitches
+	a.RestartsDeferred += o.RestartsDeferred
+	a.Quarantines += o.Quarantines
+	a.Recoveries += o.Recoveries
+	if o.MTTRMax > a.MTTRMax {
+		a.MTTRMax = o.MTTRMax
+	}
+	a.TicksDegraded += o.TicksDegraded
+	a.ScheduleRestores += o.ScheduleRestores
+	if o.Contained {
+		a.ContainedRuns++
+	}
+	a.Metrics = a.Metrics.Add(o.Metrics)
+	a.Timeline = a.Timeline.Add(o.Timeline)
+
+	sc := classFor(a.ByScenario, o.Scenario)
+	sc.add(&o, hmTotal(o.HMByLevel))
+	seenKinds := map[string]bool{}
+	for _, f := range o.Faults {
+		if seenKinds[f.Kind] {
+			continue
 		}
-		for k, v := range o.HMByFaultKind {
-			agg.HMByFaultKind[k] += v
-		}
+		seenKinds[f.Kind] = true
+		classFor(a.ByFaultKind, f.Kind).add(&o, o.HMByFaultKind[f.Kind])
 	}
-	if latencyCount > 0 {
-		agg.DetectionLatencyMean /= float64(latencyCount)
+	for k, v := range o.HMByFaultKind {
+		a.HMByFaultKind[k] += v
+	}
+	a.derive()
+}
+
+// Merge folds another aggregate into this one — the shard-combination form
+// of campaign aggregation. If a covers runs [0, k) and b covers [k, n), the
+// merged aggregate is byte-identical to folding all n observations into one
+// aggregate. Merges must be applied in run order (a's runs strictly precede
+// b's); the fleet coordinator guarantees this by merging lease partials in
+// lease order.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.init()
+	a.Runs += b.Runs
+	a.Degraded += b.Degraded
+	a.Halted += b.Halted
+	a.Ticks += b.Ticks
+	a.DeadlineMisses += b.DeadlineMisses
+	if b.DetectionLatencyMax > a.DetectionLatencyMax {
+		a.DetectionLatencyMax = b.DetectionLatencyMax
+	}
+	a.HMEvents += b.HMEvents
+	for k, v := range b.HMByLevel {
+		a.HMByLevel[k] += v
+	}
+	for k, v := range b.HMByCode {
+		a.HMByCode[k] += v
+	}
+	for k, v := range b.HMByFaultKind {
+		a.HMByFaultKind[k] += v
+	}
+	a.PartitionRestarts += b.PartitionRestarts
+	a.ProcessRestarts += b.ProcessRestarts
+	a.ScheduleSwitches += b.ScheduleSwitches
+	a.RestartsDeferred += b.RestartsDeferred
+	a.Quarantines += b.Quarantines
+	a.Recoveries += b.Recoveries
+	if b.MTTRMax > a.MTTRMax {
+		a.MTTRMax = b.MTTRMax
+	}
+	a.TicksDegraded += b.TicksDegraded
+	a.ScheduleRestores += b.ScheduleRestores
+	a.ContainedRuns += b.ContainedRuns
+	a.Metrics = a.Metrics.Add(b.Metrics)
+	a.Timeline = a.Timeline.Add(b.Timeline)
+	for name, c := range b.ByScenario {
+		classFor(a.ByScenario, name).merge(c)
+	}
+	for name, c := range b.ByFaultKind {
+		classFor(a.ByFaultKind, name).merge(c)
+	}
+	a.derive()
+}
+
+// derive recomputes the aggregate's derived means and quantiles from its
+// accumulated sums. Every input is an integer total, so the derived values
+// depend only on what was folded, never on how the folds were partitioned
+// into shards.
+//
+// The detection-latency and MTTR means come out of the spine's metrics
+// histograms rather than dedicated accumulators: the registry observes
+// exactly one detection latency per DEADLINE_MISS event and one quarantine
+// duration per QUARANTINE_EXIT event, so Metrics.DetectionLatency.{Sum,Count}
+// and Metrics.MTTR.Sum are identical to the per-observation sums the batch
+// aggregation historically kept.
+func (a *Aggregate) derive() {
+	if c := a.Metrics.DetectionLatency.Count; c > 0 {
+		a.DetectionLatencyMean = float64(a.Metrics.DetectionLatency.Sum) / float64(c)
 	} else {
-		agg.DetectionLatencyMean = 0
+		a.DetectionLatencyMean = 0
 	}
-	if agg.Recoveries > 0 {
-		agg.MTTRMean /= float64(agg.Recoveries)
+	if a.Recoveries > 0 {
+		a.MTTRMean = float64(a.Metrics.MTTR.Sum) / float64(a.Recoveries)
 	} else {
-		agg.MTTRMean = 0
+		a.MTTRMean = 0
 	}
-	agg.ResponseP50 = agg.Timeline.Response.Quantile(0.5)
-	agg.ResponseP99 = agg.Timeline.Response.Quantile(0.99)
-	agg.ResponseMax = agg.Timeline.Response.Max
-	agg.WorstSlack, _ = agg.Timeline.WorstSlack()
-	agg.EarlyWarnings = agg.Timeline.EarlyWarnings
-	agg.EarlyWarningLeadMean = agg.Timeline.EarlyWarningLead.Mean
-	agg.EarlyWarningLeadMax = agg.Timeline.EarlyWarningLead.Max
-	agg.ModelViolations = agg.Timeline.ModelViolations
+	a.ResponseP50 = a.Timeline.Response.Quantile(0.5)
+	a.ResponseP99 = a.Timeline.Response.Quantile(0.99)
+	a.ResponseMax = a.Timeline.Response.Max
+	a.WorstSlack, _ = a.Timeline.WorstSlack()
+	a.EarlyWarnings = a.Timeline.EarlyWarnings
+	a.EarlyWarningLeadMean = a.Timeline.EarlyWarningLead.Mean
+	a.EarlyWarningLeadMax = a.Timeline.EarlyWarningLead.Max
+	a.ModelViolations = a.Timeline.ModelViolations
+}
+
+// aggregate folds the observations in run order (deterministic).
+func aggregate(observations []Observation) Aggregate {
+	agg := NewAggregate()
+	for i := range observations {
+		agg.Fold(observations[i])
+	}
 	return agg
 }
 
@@ -323,6 +421,31 @@ func (c *ClassAgg) add(o *Observation, hmEvents int) {
 	if o.Contained {
 		c.ContainedRuns++
 	}
+	c.Metrics = c.Metrics.Add(o.Metrics)
+	c.Timeline = c.Timeline.Add(o.Timeline)
+}
+
+// merge folds another class accumulator into this one (the ClassAgg form of
+// Aggregate.Merge; same run-order requirement).
+func (c *ClassAgg) merge(o *ClassAgg) {
+	c.Runs += o.Runs
+	c.Degraded += o.Degraded
+	c.Halted += o.Halted
+	c.DeadlineMisses += o.DeadlineMisses
+	c.HMEvents += o.HMEvents
+	c.PartitionRestarts += o.PartitionRestarts
+	c.ProcessRestarts += o.ProcessRestarts
+	c.ScheduleSwitches += o.ScheduleSwitches
+	c.RestartsDeferred += o.RestartsDeferred
+	c.Quarantines += o.Quarantines
+	c.Recoveries += o.Recoveries
+	c.MTTRSum += o.MTTRSum
+	if o.MTTRMax > c.MTTRMax {
+		c.MTTRMax = o.MTTRMax
+	}
+	c.TicksDegraded += o.TicksDegraded
+	c.ScheduleRestores += o.ScheduleRestores
+	c.ContainedRuns += o.ContainedRuns
 	c.Metrics = c.Metrics.Add(o.Metrics)
 	c.Timeline = c.Timeline.Add(o.Timeline)
 }

@@ -118,6 +118,11 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Defaulted returns the spec with unset execution parameters filled in —
+// the concrete form the fleet coordinator (internal/fleet) journals, leases
+// against and hands to worker shards.
+func (s Spec) Defaulted() Spec { return s.withDefaults() }
+
 // wallClock is the campaign engine's single wall-clock tap: every
 // elapsed-time reading goes through Spec.Clock, which defaults here.
 func wallClock() time.Time {
@@ -233,27 +238,8 @@ func Run(spec Spec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	observations := make([]Observation, spec.Runs)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	start := spec.Clock()
-	for w := 0; w < spec.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range jobs {
-				observations[run] = runOne(spec, run)
-				if spec.OnObservation != nil {
-					spec.OnObservation(observations[run])
-				}
-			}
-		}()
-	}
-	for i := 0; i < spec.Runs; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	observations := runRange(spec, 0, spec.Runs)
 	elapsed := spec.Clock().Sub(start)
 
 	res := &Result{
@@ -273,6 +259,69 @@ func Run(spec Spec) (*Result, error) {
 		res.Timing.TicksPerSecond = float64(res.Aggregate.Ticks) / sec
 	}
 	return res, nil
+}
+
+// Shard is the outcome of executing one contiguous slice of a campaign's
+// run space — the unit a fleet worker computes per lease. Observations are
+// ordered by run index and Aggregate is their in-order fold, so merging
+// shard aggregates in shard order reproduces the whole-campaign aggregate
+// byte-for-byte.
+type Shard struct {
+	// Start and End delimit the half-open run range [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Observations holds the range's per-run outcomes, indexed run-Start.
+	Observations []Observation `json:"observations"`
+	// Aggregate is the in-order fold of Observations.
+	Aggregate Aggregate `json:"aggregate"`
+}
+
+// RunShard executes the run range [start, end) of the campaign. Every
+// observation is identical to what Run would produce for the same run index
+// — per-run seeds depend only on (Seed, run) — so a campaign sharded across
+// any number of workers or processes reassembles exactly.
+func RunShard(spec Spec, start, end int) (*Shard, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || end > spec.Runs || start > end {
+		return nil, fmt.Errorf("campaign: shard [%d, %d) outside run space [0, %d)", start, end, spec.Runs)
+	}
+	sh := &Shard{Start: start, End: end, Observations: runRange(spec, start, end)}
+	sh.Aggregate = aggregate(sh.Observations)
+	return sh, nil
+}
+
+// runRange executes runs [start, end) over a pool of spec.Workers
+// goroutines (clamped to the range size) and returns the observations in
+// run order. spec must be defaulted and validated.
+func runRange(spec Spec, start, end int) []Observation {
+	observations := make([]Observation, end-start)
+	workers := spec.Workers
+	if n := end - start; workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				observations[run-start] = runOne(spec, run)
+				if spec.OnObservation != nil {
+					spec.OnObservation(observations[run-start])
+				}
+			}
+		}()
+	}
+	for i := start; i < end; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return observations
 }
 
 func scenarioNames(matrix []Scenario) []string {

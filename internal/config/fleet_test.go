@@ -1,0 +1,55 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultFleetValidates(t *testing.T) {
+	if err := DefaultFleet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	f := DefaultFleet()
+	f.Journal = "fleet.journal"
+	f.Workers = 3
+	f.KeepObservations = true
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *f {
+		t.Fatalf("round trip changed document: %+v != %+v", got, f)
+	}
+}
+
+func TestParseFleetRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseFleet([]byte(`{"addr": ":1", "shards": 4}`)); err == nil {
+		t.Fatal("want unknown-field error")
+	} else if !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("error does not name the field: %v", err)
+	}
+}
+
+func TestFleetValidateRejections(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Fleet
+	}{
+		{"negative lease", Fleet{LeaseRuns: -1}},
+		{"negative ttl", Fleet{LeaseTTLMillis: -1}},
+		{"negative liveness", Fleet{LivenessMillis: -1}},
+		{"negative workers", Fleet{Workers: -1}},
+	} {
+		if err := tc.f.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package fleet
+
+import (
+	"testing"
+
+	"air/internal/campaign"
+)
+
+// BenchmarkFleetThroughput measures the cost of fleet coordination: the
+// same 8-run mixed-fault campaign BenchmarkCampaignThroughput runs through
+// the raw engine, executed here through the coordinator with two in-process
+// shards — lease dispatch, streaming fold and in-order merge included (no
+// journal, no HTTP). The delta against BenchmarkCampaignThroughput is the
+// coordination tax; CI gates this against BENCH_fleet.json.
+func BenchmarkFleetThroughput(b *testing.B) {
+	var ticks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunLocal(campaign.Spec{Runs: 8, Seed: 17, MTFs: 3},
+			LocalOptions{Shards: 2, LeaseSize: 2, DropObservations: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks += res.Aggregate.Ticks
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "ticks/s")
+	}
+}

@@ -1,0 +1,542 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"air/internal/campaign"
+	"air/internal/obs"
+	"air/internal/tick"
+	"air/internal/timeline"
+)
+
+// leaseState tracks one lease through its lifecycle.
+type leaseState int
+
+const (
+	leasePending leaseState = iota
+	leaseIssued
+	leaseDone
+)
+
+// lease is the coordinator-side record of one run-range lease.
+type lease struct {
+	start, end int
+	state      leaseState
+	worker     string
+	// deadline is the reclamation instant of an issued lease (zero = never
+	// reclaimed).
+	deadline time.Time
+	// partial holds the shard aggregate between completion and its in-order
+	// merge, after which it is released (nil).
+	partial *campaign.Aggregate
+	// observations are retained only under Options.KeepObservations.
+	observations []campaign.Observation
+}
+
+// campaignState is one accepted campaign.
+type campaignState struct {
+	id        string
+	spec      campaign.Spec
+	leaseSize int
+	leases    []*lease
+	// cursor is the lowest index that might still be pending (monotone;
+	// acquire scans from here).
+	cursor int
+	// mergedThrough counts leases [0, mergedThrough) folded into merged.
+	mergedThrough int
+	merged        campaign.Aggregate
+	runsDone      int
+	pending       int
+	issued        int
+	done          int
+}
+
+func (cs *campaignState) complete() bool { return cs.done == len(cs.leases) }
+
+// workerInfo tracks one shard's coordinator contacts.
+type workerInfo struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	leases    int
+}
+
+// Coordinator shards campaign run spaces into leases, dispatches them to
+// worker shards with work-stealing reclamation, and folds the returned
+// partial aggregates into deterministic merged results. Safe for concurrent
+// use; implements Service (for in-process shards) and timeline.Source (for
+// the telemetry server).
+type Coordinator struct {
+	mu        sync.Mutex
+	opts      Options
+	campaigns map[string]*campaignState
+	order     []string
+	workers   map[string]*workerInfo
+	journal   *journal
+	// metrics is the fleet-level registry: lease/shard/campaign events,
+	// exported through the same /metrics page as the merged simulation
+	// counters.
+	metrics obs.Metrics
+	seq     int
+}
+
+// New creates a coordinator. With Options.JournalPath set, an existing
+// journal is replayed first: journaled campaigns come back with their
+// completed leases done and everything else pending, so only unfinished
+// seeds re-run.
+func New(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:      opts,
+		campaigns: map[string]*campaignState{},
+		workers:   map[string]*workerInfo{},
+	}
+	if opts.JournalPath != "" {
+		j, records, err := openJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		for _, r := range records {
+			if err := c.replay(r); err != nil {
+				j.close()
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Close releases the journal handle. The coordinator stays queryable.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.close()
+	c.journal = nil
+	return err
+}
+
+// replay applies one journal record during New.
+func (c *Coordinator) replay(r journalRecord) error {
+	switch r.Op {
+	case opSubmit:
+		if r.Spec == nil {
+			return fmt.Errorf("fleet: journal submit record for %q has no spec", r.ID)
+		}
+		if err := c.addCampaign(r.ID, *r.Spec, r.LeaseSize); err != nil {
+			return err
+		}
+	case opComplete:
+		cs := c.campaigns[r.ID]
+		if cs == nil {
+			return fmt.Errorf("fleet: journal completes lease of unknown campaign %q", r.ID)
+		}
+		if r.Lease < 0 || r.Lease >= len(cs.leases) || r.Aggregate == nil {
+			return fmt.Errorf("fleet: journal lease record %q/%d malformed", r.ID, r.Lease)
+		}
+		if c.opts.KeepObservations && len(r.Observations) != r.End-r.Start {
+			return fmt.Errorf("fleet: journal lease %q/%d carries no observations — it was written without observation retention; resume with the same setting", r.ID, r.Lease)
+		}
+		c.finishLease(cs, r.Lease, r.Aggregate, r.Observations, "journal", false)
+	default:
+		return fmt.Errorf("fleet: unknown journal op %q", r.Op)
+	}
+	return nil
+}
+
+// Submit accepts a campaign spec, shards its run space into leases and
+// returns the assigned campaign ID. The spec's function fields (clock,
+// observation hook) stay live for in-process shards but are excluded from
+// the journal and the HTTP spec — remote shards run with the defaults.
+func (c *Coordinator) Submit(spec campaign.Spec) (string, error) {
+	spec = spec.Defaulted()
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := fmt.Sprintf("c%d", c.seq+1)
+	if c.journal != nil {
+		if err := c.journal.append(journalRecord{
+			Op: opSubmit, ID: id, Spec: &spec, LeaseSize: c.opts.LeaseSize,
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := c.addCampaign(id, spec, c.opts.LeaseSize); err != nil {
+		return "", err
+	}
+	c.metrics.Observe(obs.Event{Kind: obs.KindCampaignSubmitted, Detail: id, Latency: tick.Ticks(spec.Runs)})
+	return id, nil
+}
+
+// addCampaign registers a campaign under the caller-chosen ID (c.mu held or
+// construction-time).
+func (c *Coordinator) addCampaign(id string, spec campaign.Spec, leaseSize int) error {
+	if leaseSize <= 0 {
+		return fmt.Errorf("fleet: campaign %q has lease size %d", id, leaseSize)
+	}
+	if _, dup := c.campaigns[id]; dup {
+		return fmt.Errorf("fleet: duplicate campaign id %q", id)
+	}
+	cs := &campaignState{id: id, spec: spec, leaseSize: leaseSize, merged: campaign.NewAggregate()}
+	for start := 0; start < spec.Runs; start += leaseSize {
+		end := start + leaseSize
+		if end > spec.Runs {
+			end = spec.Runs
+		}
+		cs.leases = append(cs.leases, &lease{start: start, end: end})
+	}
+	cs.pending = len(cs.leases)
+	c.campaigns[id] = cs
+	c.order = append(c.order, id)
+	if n := numericSuffix(id); n > c.seq {
+		c.seq = n
+	}
+	return nil
+}
+
+// numericSuffix parses the coordinator's own "c<N>" IDs back to N (0 for
+// foreign IDs), keeping the sequence monotone across journal replays.
+func numericSuffix(id string) int {
+	if len(id) < 2 || id[0] != 'c' {
+		return 0
+	}
+	n := 0
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// Acquire implements Service: it issues the first pending lease in
+// submission order, or — when none is pending — steals the longest-expired
+// issued lease from its quiet holder. Wait means unfinished leases are
+// outstanding elsewhere; Drained means every campaign is complete.
+func (c *Coordinator) Acquire(worker string) (Lease, AcquireState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.touch(worker, now)
+
+	for _, id := range c.order {
+		cs := c.campaigns[id]
+		if idx, ok := c.nextPending(cs); ok {
+			return c.issue(cs, idx, worker, now), Granted, nil
+		}
+	}
+	// Work stealing: no pending lease anywhere — reclaim the most
+	// overdue expired lease and reissue it to the asking shard.
+	var victim *campaignState
+	victimIdx := -1
+	var oldest time.Time
+	for _, id := range c.order {
+		cs := c.campaigns[id]
+		for idx, l := range cs.leases {
+			if l.state != leaseIssued || l.deadline.IsZero() || now.Before(l.deadline) {
+				continue
+			}
+			if victimIdx < 0 || l.deadline.Before(oldest) {
+				victim, victimIdx, oldest = cs, idx, l.deadline
+			}
+		}
+	}
+	if victimIdx >= 0 {
+		l := victim.leases[victimIdx]
+		c.metrics.Observe(obs.Event{Kind: obs.KindLeaseReclaimed, Detail: victim.id, Process: l.worker, Latency: tick.Ticks(l.end - l.start)})
+		victim.issued--
+		victim.pending++
+		l.state = leasePending
+		l.worker = ""
+		return c.issue(victim, victimIdx, worker, now), Granted, nil
+	}
+	for _, cs := range c.campaigns {
+		if !cs.complete() {
+			return Lease{}, Wait, nil
+		}
+	}
+	return Lease{}, Drained, nil
+}
+
+// nextPending advances the campaign's cursor to its first pending lease.
+func (c *Coordinator) nextPending(cs *campaignState) (int, bool) {
+	for cs.cursor < len(cs.leases) {
+		if cs.leases[cs.cursor].state == leasePending {
+			return cs.cursor, true
+		}
+		cs.cursor++
+	}
+	// Reclaimed leases sit behind the cursor; find them when the tail is
+	// exhausted.
+	if cs.pending > 0 {
+		for idx, l := range cs.leases {
+			if l.state == leasePending {
+				return idx, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// issue marks a lease issued to a worker (c.mu held).
+func (c *Coordinator) issue(cs *campaignState, idx int, worker string, now time.Time) Lease {
+	l := cs.leases[idx]
+	l.state = leaseIssued
+	l.worker = worker
+	l.deadline = time.Time{}
+	if c.opts.LeaseTTL > 0 {
+		l.deadline = now.Add(c.opts.LeaseTTL)
+	}
+	cs.pending--
+	cs.issued++
+	c.metrics.Observe(obs.Event{Kind: obs.KindLeaseIssued, Detail: cs.id, Process: worker, Latency: tick.Ticks(l.end - l.start)})
+	return Lease{Campaign: cs.id, Index: idx, Start: l.start, End: l.end}
+}
+
+// Spec implements Service.
+func (c *Coordinator) Spec(campaignID string) (campaign.Spec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := c.campaigns[campaignID]
+	if cs == nil {
+		return campaign.Spec{}, fmt.Errorf("fleet: unknown campaign %q", campaignID)
+	}
+	return cs.spec, nil
+}
+
+// Complete implements Service: it journals and merges one finished lease.
+// Shard results arrive in any order; the merge applies them strictly in
+// lease order, holding out-of-order partials until their predecessors
+// land. Completions of already-completed leases (a stolen lease finished
+// twice) are dropped — by determinism both copies are byte-identical.
+func (c *Coordinator) Complete(worker string, l Lease, sh *campaign.Shard) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.touch(worker, now)
+	cs := c.campaigns[l.Campaign]
+	if cs == nil {
+		return fmt.Errorf("fleet: completion for unknown campaign %q", l.Campaign)
+	}
+	if l.Index < 0 || l.Index >= len(cs.leases) {
+		return fmt.Errorf("fleet: completion for unknown lease %s/%d", l.Campaign, l.Index)
+	}
+	ls := cs.leases[l.Index]
+	if ls.state == leaseDone {
+		return nil
+	}
+	if sh == nil || sh.Start != ls.start || sh.End != ls.end {
+		return fmt.Errorf("fleet: shard result bounds mismatch lease %s/%d", l.Campaign, l.Index)
+	}
+	if c.opts.KeepObservations && len(sh.Observations) != ls.end-ls.start {
+		return fmt.Errorf("fleet: lease %s/%d shipped %d observations for %d runs; this coordinator retains observations — run the shard without observation dropping",
+			l.Campaign, l.Index, len(sh.Observations), ls.end-ls.start)
+	}
+	if c.journal != nil {
+		if err := c.journal.append(journalRecord{
+			Op: opComplete, ID: cs.id, Lease: l.Index, Start: sh.Start, End: sh.End,
+			Aggregate: &sh.Aggregate, Observations: c.keptObservations(sh),
+		}); err != nil {
+			return err
+		}
+	}
+	c.finishLease(cs, l.Index, &sh.Aggregate, c.keptObservations(sh), worker, true)
+	return nil
+}
+
+// keptObservations returns the shard's observations when retention is on.
+func (c *Coordinator) keptObservations(sh *campaign.Shard) []campaign.Observation {
+	if !c.opts.KeepObservations {
+		return nil
+	}
+	return sh.Observations
+}
+
+// finishLease marks a lease done, advances the in-order merge frontier and
+// emits the fleet events (c.mu held; live=false during journal replay).
+func (c *Coordinator) finishLease(cs *campaignState, idx int, agg *campaign.Aggregate, observations []campaign.Observation, worker string, live bool) {
+	l := cs.leases[idx]
+	if l.state == leaseDone {
+		return
+	}
+	if l.state == leaseIssued {
+		cs.issued--
+	} else {
+		cs.pending--
+	}
+	l.state = leaseDone
+	l.worker = worker
+	l.partial = agg
+	l.observations = observations
+	cs.done++
+	cs.runsDone += l.end - l.start
+	if live {
+		c.metrics.Observe(obs.Event{Kind: obs.KindLeaseCompleted, Detail: cs.id, Process: worker, Latency: tick.Ticks(l.end - l.start)})
+		if wi := c.workers[worker]; wi != nil {
+			wi.leases++
+		}
+	}
+	// Advance the deterministic merge frontier: fold every completed lease
+	// whose predecessors are all folded, releasing its partial.
+	for cs.mergedThrough < len(cs.leases) && cs.leases[cs.mergedThrough].state == leaseDone {
+		next := cs.leases[cs.mergedThrough]
+		cs.merged.Merge(*next.partial)
+		next.partial = nil
+		cs.mergedThrough++
+	}
+	if cs.complete() && live {
+		c.metrics.Observe(obs.Event{Kind: obs.KindCampaignDone, Detail: cs.id, Latency: tick.Ticks(cs.spec.Runs)})
+	}
+}
+
+// touch records a shard contact (c.mu held).
+func (c *Coordinator) touch(worker string, now time.Time) {
+	wi := c.workers[worker]
+	if wi == nil {
+		wi = &workerInfo{firstSeen: now}
+		c.workers[worker] = wi
+		c.metrics.Observe(obs.Event{Kind: obs.KindShardJoined, Process: worker})
+	}
+	wi.lastSeen = now
+}
+
+// Progress returns one campaign's status.
+func (c *Coordinator) Progress(id string) (Status, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := c.campaigns[id]
+	if cs == nil {
+		return Status{}, fmt.Errorf("fleet: unknown campaign %q", id)
+	}
+	return c.statusOf(cs), nil
+}
+
+func (c *Coordinator) statusOf(cs *campaignState) Status {
+	runsMerged := 0
+	for i := 0; i < cs.mergedThrough; i++ {
+		runsMerged += cs.leases[i].end - cs.leases[i].start
+	}
+	return Status{
+		ID:         cs.id,
+		Seed:       cs.spec.Seed,
+		Runs:       cs.spec.Runs,
+		MTFs:       cs.spec.MTFs,
+		RunsDone:   cs.runsDone,
+		RunsMerged: runsMerged,
+		Leases: LeaseCounts{
+			Total:   len(cs.leases),
+			Pending: cs.pending,
+			Issued:  cs.issued,
+			Done:    cs.done,
+		},
+		Done: cs.complete(),
+	}
+}
+
+// FleetStatus returns the coordinator-wide view: every campaign in
+// submission order plus shard liveness.
+func (c *Coordinator) FleetStatus() FleetStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	fs := FleetStatus{}
+	for _, id := range c.order {
+		fs.Campaigns = append(fs.Campaigns, c.statusOf(c.campaigns[id]))
+	}
+	if len(c.workers) > 0 {
+		fs.Workers = make(map[string]WorkerStatus, len(c.workers))
+		for name, wi := range c.workers {
+			fs.Workers[name] = WorkerStatus{
+				FirstSeenMillis: wi.firstSeen.UnixMilli(),
+				LastSeenMillis:  wi.lastSeen.UnixMilli(),
+				Leases:          wi.leases,
+				Live:            now.Sub(wi.lastSeen) <= c.opts.LivenessWindow,
+			}
+		}
+	}
+	return fs
+}
+
+// Result assembles a completed campaign's artifact. The aggregate is the
+// in-order merge of all lease partials — byte-identical to a single-process
+// campaign.Run of the same spec. Observations are populated only under
+// Options.KeepObservations (streamed campaigns keep O(1) state).
+func (c *Coordinator) Result(id string) (*campaign.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := c.campaigns[id]
+	if cs == nil {
+		return nil, fmt.Errorf("fleet: unknown campaign %q", id)
+	}
+	if !cs.complete() {
+		return nil, fmt.Errorf("fleet: campaign %q incomplete (%d/%d runs)", id, cs.runsDone, cs.spec.Runs)
+	}
+	res := &campaign.Result{
+		Seed:      cs.spec.Seed,
+		Runs:      cs.spec.Runs,
+		MTFs:      cs.spec.MTFs,
+		Aggregate: cs.merged,
+	}
+	for _, sc := range cs.spec.Matrix {
+		res.Scenarios = append(res.Scenarios, sc.Name)
+	}
+	if c.opts.KeepObservations {
+		res.Observations = make([]campaign.Observation, 0, cs.spec.Runs)
+		for _, l := range cs.leases {
+			res.Observations = append(res.Observations, l.observations...)
+		}
+	}
+	return res, nil
+}
+
+// Drained reports whether every campaign's every lease has completed.
+func (c *Coordinator) Drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cs := range c.campaigns {
+		if !cs.complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// --- timeline.Source ---------------------------------------------------------
+
+// Snapshot implements timeline.Source: the merged timeliness view across
+// every campaign's merged prefix.
+func (c *Coordinator) Snapshot() timeline.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s timeline.Snapshot
+	for _, id := range c.order {
+		s = s.Add(c.campaigns[id].merged.Timeline)
+	}
+	return s
+}
+
+// Registry implements timeline.Source: the fleet coordination counters
+// (lease/shard/campaign events) plus every campaign's merged simulation
+// metrics, on one page.
+func (c *Coordinator) Registry() obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.metrics.Snapshot()
+	for _, id := range c.order {
+		s = s.Add(c.campaigns[id].merged.Metrics)
+	}
+	return s
+}
+
+// Flight implements timeline.Source. Post-mortem flight recording is a
+// per-module notion; the fleet view is empty.
+func (c *Coordinator) Flight() timeline.FlightDump {
+	return timeline.FlightDump{Frames: []timeline.FlightFrame{}}
+}

@@ -1,0 +1,182 @@
+// Package fleet is the sharded campaign coordinator: it scales the
+// fault-injection campaign engine (internal/campaign) from one process to a
+// fleet of worker shards, keeping the engine's defining property — results
+// are a pure function of (seed, runs, matrix), byte-identical however the
+// work is distributed.
+//
+// The design exploits the campaign engine's structure. Every run is an
+// independent, deterministic simulation keyed by (campaign seed, run
+// index), so the campaign matrix is a seed space that can be partitioned
+// arbitrarily. The coordinator slices the run space [0, Runs) into
+// contiguous, fixed-size leases and hands them to worker shards on demand
+// (pull-based work stealing: fast shards simply acquire more leases, and a
+// lease whose holder goes quiet past its TTL is reclaimed and reissued to
+// the next shard that asks). Workers execute a lease with
+// campaign.RunShard, fold the observations into a partial
+// campaign.Aggregate as they go, and ship only the partial back — the
+// streaming fold that keeps both worker and coordinator memory independent
+// of campaign size. The coordinator merges lease partials strictly in lease
+// order (Aggregate.Merge is exact for in-order contiguous merges), so the
+// final aggregate is byte-identical to a single-process campaign.Run.
+//
+// Durability: every accepted campaign and every completed lease is appended
+// to a JSONL journal. A restarted coordinator replays the journal and
+// reissues only the leases that never completed; a killed shard loses only
+// its in-flight leases. Completion is idempotent — if a reclaimed lease is
+// finished by both the slow original holder and the reissued one, the
+// second completion is dropped (both are byte-identical by determinism).
+//
+// The coordinator is exposed three ways: in-process (RunLocal, the
+// cmd/aircampaign local mode), over HTTP (Handler/Client, the
+// cmd/aircampaignd daemon and its worker processes), and through the
+// existing telemetry surface — it implements timeline.Source, so the
+// merged campaign state and fleet-level lease/shard metrics ride the
+// /metrics Prometheus exporter unchanged.
+package fleet
+
+import (
+	"time"
+
+	"air/internal/campaign"
+)
+
+// Lease is one contiguous slice of a campaign's run space, handed to a
+// worker shard for execution. Leases are identified by (Campaign, Index);
+// Index orders the merge.
+type Lease struct {
+	// Campaign is the owning campaign's coordinator-assigned ID.
+	Campaign string `json:"campaign"`
+	// Index is the lease's position in the campaign's lease sequence.
+	Index int `json:"index"`
+	// Start and End delimit the half-open run range [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Runs is the number of runs the lease covers.
+func (l Lease) Runs() int { return l.End - l.Start }
+
+// AcquireState is the outcome of asking the coordinator for work.
+type AcquireState int
+
+const (
+	// Granted: a lease was issued; execute it and Complete.
+	Granted AcquireState = iota
+	// Wait: no lease is available right now, but unfinished leases are
+	// outstanding on other shards — poll again (one may be reclaimed).
+	Wait
+	// Drained: every lease of every campaign is complete; a finite worker
+	// can exit.
+	Drained
+)
+
+// String renders the state.
+func (s AcquireState) String() string {
+	switch s {
+	case Granted:
+		return "granted"
+	case Wait:
+		return "wait"
+	case Drained:
+		return "drained"
+	}
+	return "unknown"
+}
+
+// Service is the coordinator surface a worker shard needs. The Coordinator
+// implements it directly (in-process shards); Client implements it over
+// HTTP (worker processes).
+type Service interface {
+	// Acquire asks for a lease on behalf of the named worker.
+	Acquire(worker string) (Lease, AcquireState, error)
+	// Spec returns the executable spec of a campaign (fetched once per
+	// campaign by each shard, then cached).
+	Spec(campaignID string) (campaign.Spec, error)
+	// Complete reports a finished lease with its shard result. Completing
+	// an already-completed lease is a no-op.
+	Complete(worker string, l Lease, sh *campaign.Shard) error
+}
+
+// LeaseCounts breaks a campaign's leases down by state.
+type LeaseCounts struct {
+	Total   int `json:"total"`
+	Pending int `json:"pending"`
+	Issued  int `json:"issued"`
+	Done    int `json:"done"`
+}
+
+// Status is one campaign's progress view (GET /campaigns/{id}).
+type Status struct {
+	ID   string `json:"id"`
+	Seed uint64 `json:"seed"`
+	Runs int    `json:"runs"`
+	MTFs int    `json:"mtfsPerRun"`
+	// RunsDone counts runs whose lease has completed; RunsMerged counts
+	// runs already folded into the in-order merge prefix (RunsMerged ≤
+	// RunsDone: a completed lease waits for its predecessors).
+	RunsDone   int         `json:"runsDone"`
+	RunsMerged int         `json:"runsMerged"`
+	Leases     LeaseCounts `json:"leases"`
+	Done       bool        `json:"done"`
+}
+
+// WorkerStatus is one shard's liveness view.
+type WorkerStatus struct {
+	// FirstSeenMillis/LastSeenMillis are Unix milliseconds of the shard's
+	// first and latest coordinator contact.
+	FirstSeenMillis int64 `json:"firstSeenMillis"`
+	LastSeenMillis  int64 `json:"lastSeenMillis"`
+	// Leases counts the shard's completed leases.
+	Leases int `json:"leases"`
+	// Live reports contact within the coordinator's liveness window.
+	Live bool `json:"live"`
+}
+
+// FleetStatus is the coordinator-wide progress view (GET /campaigns).
+type FleetStatus struct {
+	Campaigns []Status                `json:"campaigns"`
+	Workers   map[string]WorkerStatus `json:"workers,omitempty"`
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// LeaseSize is the number of runs per lease (default 64). Smaller
+	// leases steal and resume at finer grain; larger leases amortize
+	// coordination. The journal pins each campaign's lease size at submit,
+	// so resumed campaigns reshard identically.
+	LeaseSize int
+	// LeaseTTL bounds how long an issued lease may go uncompleted before
+	// the work-stealing dispatcher reclaims it for reissue. 0 disables
+	// reclamation (in-process shards cannot die independently).
+	LeaseTTL time.Duration
+	// LivenessWindow bounds how stale a shard's last contact may be before
+	// Status reports it dead (default 15s).
+	LivenessWindow time.Duration
+	// JournalPath, when non-empty, makes the coordinator durable: accepted
+	// campaigns and completed leases append to this JSONL file, and a new
+	// coordinator constructed over the same path resumes with only
+	// unfinished leases pending.
+	JournalPath string
+	// KeepObservations retains per-run observations for finished
+	// campaigns' Result artifacts. Off, the coordinator stores only the
+	// O(1) merged aggregate — the configuration for campaigns of millions
+	// of runs.
+	KeepObservations bool
+	// Clock supplies wall time for lease TTLs and shard liveness — never
+	// simulation state. Nil defaults to the real clock; tests inject a
+	// fake to exercise reclamation deterministically.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseSize <= 0 {
+		o.LeaseSize = 64
+	}
+	if o.LivenessWindow <= 0 {
+		o.LivenessWindow = 15 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}

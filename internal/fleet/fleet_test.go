@@ -1,0 +1,400 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"air/internal/campaign"
+	"air/internal/config"
+)
+
+// fakeClock is an injectable wall clock for lease TTL / liveness tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// testSpec is a small, fast campaign whose results still exercise every
+// aggregate column (the default mixed-fault matrix).
+func testSpec(runs int) campaign.Spec {
+	return campaign.Spec{Runs: runs, Seed: 99, MTFs: 3, Workers: 2}
+}
+
+func resultJSON(t *testing.T, res *campaign.Result) []byte {
+	t.Helper()
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatalf("result JSON: %v", err)
+	}
+	return data
+}
+
+func TestCoordinatorLeaseLifecycle(t *testing.T) {
+	c, err := New(Options{LeaseSize: 4, KeepObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leases.Total != 3 || st.Leases.Pending != 3 {
+		t.Fatalf("want 3 pending leases, got %+v", st.Leases)
+	}
+
+	// Leases issue in run order and exhaust into Wait.
+	var leases []Lease
+	for i := 0; i < 3; i++ {
+		l, state, err := c.Acquire("w1")
+		if err != nil || state != Granted {
+			t.Fatalf("acquire %d: state=%v err=%v", i, state, err)
+		}
+		if l.Index != i || l.Start != i*4 {
+			t.Fatalf("lease %d out of order: %+v", i, l)
+		}
+		leases = append(leases, l)
+	}
+	if _, state, _ := c.Acquire("w2"); state != Wait {
+		t.Fatalf("want Wait while leases are in flight, got %v", state)
+	}
+
+	spec, err := c.Spec(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range leases {
+		sh, err := campaign.RunShard(spec, l.Start, l.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Complete("w1", l, sh); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotent: a second completion of the same lease is a no-op.
+		if err := c.Complete("w1", l, sh); err != nil {
+			t.Fatalf("duplicate completion: %v", err)
+		}
+	}
+	if _, state, _ := c.Acquire("w2"); state != Drained {
+		t.Fatalf("want Drained, got %v", state)
+	}
+	st, _ = c.Progress(id)
+	if !st.Done || st.RunsDone != 10 || st.RunsMerged != 10 {
+		t.Fatalf("campaign not fully merged: %+v", st)
+	}
+
+	// The merged result is byte-identical to the single-process run.
+	want, err := campaign.Run(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+		t.Fatal("fleet result differs from campaign.Run")
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	c, err := New(Options{LeaseSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := c.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w1", Lease{Campaign: "nope", Index: 0}, &campaign.Shard{}); err == nil {
+		t.Fatal("want error for unknown campaign")
+	}
+	if err := c.Complete("w1", Lease{Campaign: id, Index: 9}, &campaign.Shard{}); err == nil {
+		t.Fatal("want error for unknown lease index")
+	}
+	if err := c.Complete("w1", l, &campaign.Shard{Start: 1, End: 3}); err == nil {
+		t.Fatal("want error for bounds mismatch")
+	}
+}
+
+func TestWorkStealingReclaim(t *testing.T) {
+	clk := newFakeClock()
+	c, err := New(Options{LeaseSize: 8, LeaseTTL: time.Minute, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard "slow" takes the only lease and goes quiet.
+	slow, state, err := c.Acquire("slow")
+	if err != nil || state != Granted {
+		t.Fatalf("acquire: %v %v", state, err)
+	}
+	if _, state, _ := c.Acquire("fast"); state != Wait {
+		t.Fatalf("lease not expired yet, want Wait, got %v", state)
+	}
+	// Past the TTL the lease is reclaimed and reissued to the next asker.
+	clk.Advance(2 * time.Minute)
+	stolen, state, err := c.Acquire("fast")
+	if err != nil || state != Granted {
+		t.Fatalf("steal: %v %v", state, err)
+	}
+	if stolen != slow {
+		t.Fatalf("stolen lease %+v differs from original %+v", stolen, slow)
+	}
+
+	// Both the thief and the original (slow, not dead) holder report the
+	// lease; the first write wins, the duplicate is dropped, and the result
+	// matches the single-process run.
+	spec, _ := c.Spec(id)
+	sh, err := campaign.RunShard(spec, slow.Start, slow.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("fast", stolen, sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("slow", slow, sh); err != nil {
+		t.Fatalf("late duplicate completion: %v", err)
+	}
+	got, err := c.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := campaign.Run(testSpec(8))
+	// Observations are not retained here, so compare aggregates only.
+	want.Observations = nil
+	if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+		t.Fatal("result after steal differs from campaign.Run")
+	}
+}
+
+func TestRunLocalMatchesRun(t *testing.T) {
+	spec := testSpec(24)
+	want, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 7} {
+		got, err := RunLocal(spec, LocalOptions{Shards: shards, LeaseSize: 5})
+		if err != nil {
+			t.Fatalf("RunLocal shards=%d: %v", shards, err)
+		}
+		if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+			t.Fatalf("RunLocal shards=%d differs from campaign.Run", shards)
+		}
+		if got.Timing == nil || got.Timing.Workers != shards {
+			t.Fatalf("RunLocal shards=%d timing not populated: %+v", shards, got.Timing)
+		}
+	}
+}
+
+func TestRunLocalJournalResume(t *testing.T) {
+	spec := testSpec(20)
+	journal := filepath.Join(t.TempDir(), "fleet.journal")
+
+	// Simulate a crashed run: a coordinator over the journal completes only
+	// the first lease, then dies (Close without finishing).
+	c, err := New(Options{LeaseSize: 4, JournalPath: journal, KeepObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(spec.Defaulted()); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Work(c, WorkerOptions{ID: "doomed", MaxLeases: 1}); err != nil || n != 1 {
+		t.Fatalf("doomed shard: n=%d err=%v", n, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed run must re-execute only the 16 unfinished runs…
+	var reran atomic.Int64
+	resumeSpec := spec
+	resumeSpec.OnObservation = func(campaign.Observation) { reran.Add(1) }
+	got, err := RunLocal(resumeSpec, LocalOptions{Shards: 2, LeaseSize: 4, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reran.Load(); n != 16 {
+		t.Fatalf("resume re-ran %d runs, want 16 (one 4-run lease was journaled)", n)
+	}
+	// …and still produce the byte-identical full result.
+	want, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+		t.Fatal("resumed result differs from campaign.Run")
+	}
+}
+
+func TestJournalTornTailRecovery(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "fleet.journal")
+	spec := testSpec(8)
+
+	c, err := New(Options{LeaseSize: 8, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(spec.Defaulted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A kill mid-append leaves a torn, newline-less tail.
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"complete","id":"` + id + `","lease":0,`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Replay drops the torn tail: the lease is pending again and the
+	// journal accepts new appends cleanly.
+	c2, err := New(Options{LeaseSize: 8, JournalPath: journal})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	st, err := c2.Progress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leases.Pending != 1 || st.Leases.Done != 0 {
+		t.Fatalf("torn completion must not count: %+v", st.Leases)
+	}
+	if n, err := Work(c2, WorkerOptions{ID: "w"}); err != nil || n != 1 {
+		t.Fatalf("drain after torn tail: n=%d err=%v", n, err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repaired journal replays to a complete campaign.
+	c3, err := New(Options{LeaseSize: 8, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if st, _ := c3.Progress(id); !st.Done {
+		t.Fatalf("journal did not persist completion: %+v", st)
+	}
+}
+
+func TestHTTPFleetRoundTrip(t *testing.T) {
+	doc := &config.Campaign{
+		Name:       "http-test",
+		Runs:       18,
+		Seed:       5,
+		MTFsPerRun: 3,
+		Scenarios: []config.CampaignScenario{
+			{Name: "baseline"},
+			{Name: "overrun", Weight: 2, Faults: []config.CampaignFault{{Kind: "deadline-overrun"}}},
+		},
+	}
+
+	c, err := New(Options{LeaseSize: 4, KeepObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL}
+
+	id, err := cl.Submit(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two worker shards drain the coordinator purely over HTTP.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids := []string{"shard-a", "shard-b"}
+			_, errs[i] = Work(cl, WorkerOptions{ID: ids[i], Workers: 1, Poll: time.Millisecond})
+		}(i)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			t.Fatal(werr)
+		}
+	}
+
+	// Progress and result arrive over the API…
+	st, err := c.Progress(id)
+	if err != nil || !st.Done {
+		t.Fatalf("campaign not done over HTTP: %+v err=%v", st, err)
+	}
+	res, err := cl.http().Get(srv.URL + "/campaigns/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var gotBuf bytes.Buffer
+	if _, err := gotBuf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	// …and match the single-process run of the same document byte-for-byte.
+	spec, err := campaign.FromConfig(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), resultJSON(t, want)) {
+		t.Fatal("HTTP fleet result differs from campaign.Run")
+	}
+
+	// Fleet status shows both shards as live contributors.
+	fs := c.FleetStatus()
+	if len(fs.Workers) != 2 {
+		t.Fatalf("want 2 workers in fleet status, got %+v", fs.Workers)
+	}
+	for name, w := range fs.Workers {
+		if !w.Live || w.Leases == 0 {
+			t.Fatalf("worker %s not live/credited: %+v", name, w)
+		}
+	}
+}

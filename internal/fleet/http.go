@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"air/internal/campaign"
+	"air/internal/config"
+)
+
+// API paths. The campaign surface is operator-facing; the /fleet surface is
+// the worker-shard protocol (Client speaks it, Handler serves it).
+const (
+	pathCampaigns = "/campaigns"
+	pathAcquire   = "/fleet/acquire"
+	pathComplete  = "/fleet/complete"
+)
+
+// submitResponse is POST /campaigns's body.
+type submitResponse struct {
+	ID string `json:"id"`
+}
+
+// acquireRequest is POST /fleet/acquire's body.
+type acquireRequest struct {
+	Worker string `json:"worker"`
+}
+
+// acquireResponse is its reply: State is "granted" (Lease set), "wait" or
+// "drained".
+type acquireResponse struct {
+	State string `json:"state"`
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+// completeRequest is POST /fleet/complete's body.
+type completeRequest struct {
+	Worker string          `json:"worker"`
+	Lease  Lease           `json:"lease"`
+	Shard  *campaign.Shard `json:"shard"`
+}
+
+// Handler serves the coordinator's HTTP API:
+//
+//	POST /campaigns              submit a campaign matrix document (config.Campaign JSON)
+//	GET  /campaigns              fleet-wide progress and shard liveness
+//	GET  /campaigns/{id}         one campaign's progress
+//	GET  /campaigns/{id}/spec    the executable spec (worker shards fetch this)
+//	GET  /campaigns/{id}/result  the final Result JSON (409 until complete)
+//	POST /fleet/acquire          worker shard asks for a lease
+//	POST /fleet/complete         worker shard reports a finished lease
+//
+// Mount it alongside the telemetry handlers (the coordinator implements
+// timeline.Source, so /metrics, /timeline.json and /flight come from
+// timeline.Handler over the same Coordinator).
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var doc config.Campaign
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<22)).Decode(&doc); err != nil {
+			http.Error(w, "bad campaign document: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec, err := campaign.FromConfig(&doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := c.Submit(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusCreated, submitResponse{ID: id})
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.FleetStatus())
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := c.Progress(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/spec", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := c.Spec(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, spec)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := c.Result(r.PathValue("id"))
+		if err != nil {
+			code := http.StatusConflict
+			if _, perr := c.Progress(r.PathValue("id")); perr != nil {
+				code = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		data, err := res.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("POST /fleet/acquire", func(w http.ResponseWriter, r *http.Request) {
+		var req acquireRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, "bad acquire request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		l, state, err := c.Acquire(req.Worker)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := acquireResponse{State: state.String()}
+		if state == Granted {
+			resp.Lease = &l
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /fleet/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<30)).Decode(&req); err != nil {
+			http.Error(w, "bad complete request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Complete(req.Worker, req.Lease, req.Shard); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+// Client implements Service over the Handler's /fleet protocol: a worker
+// process joins a remote coordinator with
+//
+//	n, err := fleet.Work(&fleet.Client{Base: "http://coord:9464"}, opts)
+type Client struct {
+	// Base is the coordinator's base URL (no trailing slash).
+	Base string
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (cl *Client) http() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Acquire implements Service.
+func (cl *Client) Acquire(worker string) (Lease, AcquireState, error) {
+	var resp acquireResponse
+	if err := cl.post(pathAcquire, acquireRequest{Worker: worker}, &resp); err != nil {
+		return Lease{}, Wait, err
+	}
+	switch resp.State {
+	case "granted":
+		if resp.Lease == nil {
+			return Lease{}, Wait, fmt.Errorf("fleet: coordinator granted no lease")
+		}
+		return *resp.Lease, Granted, nil
+	case "wait":
+		return Lease{}, Wait, nil
+	case "drained":
+		return Lease{}, Drained, nil
+	}
+	return Lease{}, Wait, fmt.Errorf("fleet: unknown acquire state %q", resp.State)
+}
+
+// Spec implements Service.
+func (cl *Client) Spec(campaignID string) (campaign.Spec, error) {
+	var spec campaign.Spec
+	res, err := cl.http().Get(cl.Base + pathCampaigns + "/" + campaignID + "/spec")
+	if err != nil {
+		return spec, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return spec, httpError(res)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&spec); err != nil {
+		return spec, fmt.Errorf("fleet: decode spec: %w", err)
+	}
+	return spec, nil
+}
+
+// Complete implements Service.
+func (cl *Client) Complete(worker string, l Lease, sh *campaign.Shard) error {
+	return cl.post(pathComplete, completeRequest{Worker: worker, Lease: l, Shard: sh}, nil)
+}
+
+// Submit ships a campaign matrix document and returns its campaign ID —
+// the programmatic face of POST /campaigns.
+func (cl *Client) Submit(doc *config.Campaign) (string, error) {
+	var resp submitResponse
+	if err := cl.post(pathCampaigns, doc, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// post sends body as JSON and decodes the reply into out (nil = discard).
+func (cl *Client) post(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	res, err := cl.http().Post(cl.Base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode < 200 || res.StatusCode > 299 {
+		return httpError(res)
+	}
+	if out == nil {
+		io.Copy(io.Discard, res.Body)
+		return nil
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+func httpError(res *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(res.Body, 1<<12))
+	return fmt.Errorf("fleet: coordinator %s: %s", res.Status, bytes.TrimSpace(msg))
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the fleet coordination state — campaign progress,
+// lease ledgers, shard liveness — in the Prometheus text exposition format,
+// matching internal/timeline's hand-written, library-free style. It is
+// meant to be appended to the same /metrics page timeline.WritePrometheus
+// produces over the coordinator (cmd/aircampaignd does exactly that), so
+// one scrape covers the merged simulation counters and the fleet that
+// computed them. Output is deterministic: campaigns render in submission
+// order, workers sorted by name.
+func WritePrometheus(w io.Writer, fs FleetStatus) error {
+	p := &fleetPrinter{w: w}
+
+	p.metric("air_fleet_campaign_runs", "gauge", "Total runs in the campaign's matrix.")
+	for _, st := range fs.Campaigns {
+		p.series("air_fleet_campaign_runs", campaignLabel(st), float64(st.Runs))
+	}
+	p.metric("air_fleet_campaign_runs_done", "gauge", "Runs whose lease has completed.")
+	for _, st := range fs.Campaigns {
+		p.series("air_fleet_campaign_runs_done", campaignLabel(st), float64(st.RunsDone))
+	}
+	p.metric("air_fleet_campaign_runs_merged", "gauge", "Runs folded into the in-order merge prefix.")
+	for _, st := range fs.Campaigns {
+		p.series("air_fleet_campaign_runs_merged", campaignLabel(st), float64(st.RunsMerged))
+	}
+	p.metric("air_fleet_campaign_complete", "gauge", "1 once every lease of the campaign has completed.")
+	for _, st := range fs.Campaigns {
+		v := 0.0
+		if st.Done {
+			v = 1
+		}
+		p.series("air_fleet_campaign_complete", campaignLabel(st), v)
+	}
+	p.metric("air_fleet_leases", "gauge", "Campaign leases by state.")
+	for _, st := range fs.Campaigns {
+		for _, s := range []struct {
+			state string
+			n     int
+		}{
+			{"pending", st.Leases.Pending},
+			{"issued", st.Leases.Issued},
+			{"done", st.Leases.Done},
+		} {
+			p.series("air_fleet_leases", fmt.Sprintf(`campaign=%q,state=%q`, st.ID, s.state), float64(s.n))
+		}
+	}
+
+	workers := make([]string, 0, len(fs.Workers))
+	for name := range fs.Workers { //air:allow(maprange): collected into a slice and sorted below
+		workers = append(workers, name)
+	}
+	sort.Strings(workers)
+	p.metric("air_fleet_worker_live", "gauge", "1 while the shard has contacted the coordinator within the liveness window.")
+	for _, name := range workers {
+		v := 0.0
+		if fs.Workers[name].Live {
+			v = 1
+		}
+		p.series("air_fleet_worker_live", fmt.Sprintf(`worker=%q`, name), v)
+	}
+	p.metric("air_fleet_worker_leases_total", "counter", "Leases completed by the shard.")
+	for _, name := range workers {
+		p.series("air_fleet_worker_leases_total", fmt.Sprintf(`worker=%q`, name), float64(fs.Workers[name].Leases))
+	}
+	return p.err
+}
+
+func campaignLabel(st Status) string { return fmt.Sprintf(`campaign=%q`, st.ID) }
+
+// fleetPrinter mirrors internal/timeline's printer: error-latching
+// formatted writes.
+type fleetPrinter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *fleetPrinter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *fleetPrinter) metric(name, kind, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func (p *fleetPrinter) series(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %g\n", name, v)
+		return
+	}
+	p.printf("%s{%s} %g\n", name, labels, v)
+}

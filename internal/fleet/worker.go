@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"air/internal/campaign"
+)
+
+// WorkerOptions configures one worker shard's lease loop.
+type WorkerOptions struct {
+	// ID names the shard to the coordinator (liveness, lease attribution).
+	// Empty defaults to "shard".
+	ID string
+	// Workers sizes the shard's local simulation pool per lease (defaults
+	// to runtime.GOMAXPROCS(0); affects wall clock only, never results).
+	Workers int
+	// Poll is the back-off between Acquire attempts while the coordinator
+	// reports Wait (default 50ms).
+	Poll time.Duration
+	// DropObservations ships only the lease's partial aggregate, keeping
+	// the transport O(1) in lease size. The coordinator's observation
+	// retention is authoritative for what is stored; this flag governs
+	// what crosses the wire.
+	DropObservations bool
+	// MaxLeases bounds how many leases the shard executes before
+	// returning (0 = until Drained). Tests use 1 to stage shard deaths.
+	MaxLeases int
+	// Sleep is the Poll seam (nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.ID == "" {
+		o.ID = "shard"
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Poll <= 0 {
+		o.Poll = 50 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Work runs one shard's lease loop against a coordinator: acquire a lease,
+// execute its run range with campaign.RunShard, fold the observations into
+// a partial aggregate and report it back; repeat until the coordinator is
+// drained (or MaxLeases executed). Returns the number of leases completed.
+//
+// Any number of Work loops — goroutines in one process or processes on one
+// coordinator — compose into the same byte-identical campaign results; only
+// wall-clock time changes.
+func Work(svc Service, opts WorkerOptions) (int, error) {
+	opts = opts.withDefaults()
+	specs := map[string]campaign.Spec{}
+	completed := 0
+	for {
+		l, state, err := svc.Acquire(opts.ID)
+		if err != nil {
+			return completed, fmt.Errorf("fleet: worker %s: acquire: %w", opts.ID, err)
+		}
+		switch state {
+		case Drained:
+			return completed, nil
+		case Wait:
+			opts.Sleep(opts.Poll)
+			continue
+		}
+		spec, ok := specs[l.Campaign]
+		if !ok {
+			spec, err = svc.Spec(l.Campaign)
+			if err != nil {
+				return completed, fmt.Errorf("fleet: worker %s: spec %s: %w", opts.ID, l.Campaign, err)
+			}
+			spec.Workers = opts.Workers
+			specs[l.Campaign] = spec
+		}
+		sh, err := campaign.RunShard(spec, l.Start, l.End)
+		if err != nil {
+			return completed, fmt.Errorf("fleet: worker %s: lease %s/%d: %w", opts.ID, l.Campaign, l.Index, err)
+		}
+		if opts.DropObservations {
+			sh.Observations = nil
+		}
+		if err := svc.Complete(opts.ID, l, sh); err != nil {
+			return completed, fmt.Errorf("fleet: worker %s: complete %s/%d: %w", opts.ID, l.Campaign, l.Index, err)
+		}
+		completed++
+		if opts.MaxLeases > 0 && completed >= opts.MaxLeases {
+			return completed, nil
+		}
+	}
+}

@@ -102,8 +102,30 @@ const (
 	// short of its contracted budget (eqs. (19)–(24)); Latency carries the
 	// shortfall in ticks.
 	KindModelViolation
+	// KindCampaignSubmitted is emitted by the fleet coordinator
+	// (internal/fleet) when a campaign matrix is accepted; Latency carries
+	// the campaign's run count. Fleet kinds live on the coordinator's own
+	// registry — they never appear on a module's tick-domain spine — but
+	// share the spine's kind space so the existing /metrics exporter
+	// surfaces them without special cases.
+	KindCampaignSubmitted
+	// KindCampaignDone is emitted when a campaign's last lease merges;
+	// Latency carries the campaign's run count.
+	KindCampaignDone
+	// KindLeaseIssued / KindLeaseCompleted bracket one lease of a
+	// campaign's run space handed to a worker shard; Latency carries the
+	// lease's run count.
+	KindLeaseIssued
+	KindLeaseCompleted
+	// KindLeaseReclaimed is emitted when the work-stealing dispatcher takes
+	// an expired lease back from a slow or dead shard for reissue; Latency
+	// carries the lease's run count.
+	KindLeaseReclaimed
+	// KindShardJoined is emitted the first time a worker shard contacts the
+	// coordinator.
+	KindShardJoined
 
-	kindCount = int(KindModelViolation)
+	kindCount = int(KindShardJoined)
 )
 
 // TraceKinds lists the twelve historical module-trace kinds, the default
@@ -123,6 +145,17 @@ func RecoveryKinds() []Kind {
 	return []Kind{
 		KindRestartDeferred, KindQuarantineEnter, KindQuarantineExit,
 		KindScheduleDegrade, KindScheduleRestore,
+	}
+}
+
+// FleetKinds lists the campaign-fleet coordination kinds (internal/fleet):
+// coarse, low-frequency events observed on the coordinator's own registry,
+// never on a module spine.
+func FleetKinds() []Kind {
+	return []Kind{
+		KindCampaignSubmitted, KindCampaignDone,
+		KindLeaseIssued, KindLeaseCompleted, KindLeaseReclaimed,
+		KindShardJoined,
 	}
 }
 
@@ -165,6 +198,12 @@ var kindNames = [...]string{
 	KindProcessComplete:    "PROCESS_COMPLETE",
 	KindSlackWarning:       "SLACK_WARNING",
 	KindModelViolation:     "MODEL_VIOLATION",
+	KindCampaignSubmitted:  "CAMPAIGN_SUBMITTED",
+	KindCampaignDone:       "CAMPAIGN_DONE",
+	KindLeaseIssued:        "LEASE_ISSUED",
+	KindLeaseCompleted:     "LEASE_COMPLETED",
+	KindLeaseReclaimed:     "LEASE_RECLAIMED",
+	KindShardJoined:        "SHARD_JOINED",
 }
 
 // String renders the kind.

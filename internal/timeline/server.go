@@ -69,6 +69,14 @@ func Serve(addr string, src Source) (string, func() error, error) {
 	return serveMux(addr, Handler(src))
 }
 
+// ServeHandler starts an HTTP server for a caller-composed handler set on
+// addr (":0" picks a free port) and returns the bound address plus a
+// shutdown function — cmd/aircampaignd mounts the fleet coordination API
+// next to the telemetry endpoints through this.
+func ServeHandler(addr string, h http.Handler) (string, func() error, error) {
+	return serveMux(addr, h)
+}
+
 // ServePprof starts a bare pprof-only server — the cmd tools' -pprof flag.
 // It exposes /debug/pprof/ and nothing else, on its own mux (never the
 // http.DefaultServeMux).
