@@ -9,7 +9,8 @@
 //
 //	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
 //	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling] [-metrics]
-//	            [-recovery] [-journal file] [-telemetry addr] [-pprof addr]
+//	            [-recovery] [-fork-prefix] [-prefix-mtfs n] [-journal file]
+//	            [-telemetry addr] [-pprof addr]
 //	aircampaign -write-matrix file.json
 //
 // Campaigns execute through the fleet coordinator (internal/fleet) with
@@ -28,6 +29,14 @@
 // budgets, partition quarantine, graceful degradation to the chi2 safe-mode
 // schedule) to every run and reports its effectiveness: deferred restarts,
 // quarantine count, MTTR, ticks spent degraded and schedule restores.
+//
+// -fork-prefix shares the fault-free warm-up across runs: the coordinator
+// simulates the first -prefix-mtfs major frames once, snapshots the module at
+// a quiescent point, and forks every run's fault variant from that snapshot
+// instead of re-simulating the prefix. Results stay deterministic in the same
+// inputs but differ from non-fork campaigns by construction — every fault
+// activates after the shared prefix, and the timeliness view covers only the
+// post-fork suffix.
 //
 // Results are deterministic in (-seed, -runs, -mtfs, matrix): the JSON and
 // Markdown artifacts are byte-identical across repetitions and worker
@@ -113,6 +122,8 @@ func run(args []string, out io.Writer) error {
 		scaling     = fs.Bool("scaling", false, "sweep worker counts {1,2,4,NumCPU} and print a throughput table")
 		metrics     = fs.Bool("metrics", false, "print per-fault-class spine counter deltas against the fault-free baseline scenario")
 		recov       = fs.Bool("recovery", false, "apply the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation) to every run")
+		forkPrefix  = fs.Bool("fork-prefix", false, "simulate the fault-free warm-up prefix once and fork each run's variant from the snapshot (faults then activate after the prefix; timeline stats cover the suffix only)")
+		prefixMTFs  = fs.Int("prefix-mtfs", 0, "shared prefix length in MTFs for -fork-prefix (0 = half of -mtfs)")
 		writeMatrix = fs.String("write-matrix", "", "write the built-in matrix to this file and exit")
 		telemetry   = fs.String("telemetry", "", "serve the merged campaign timeliness view (/metrics, /timeline.json, /flight, /debug/pprof) on this address while running")
 		pprofAddr   = fs.String("pprof", "", "serve Go runtime profiles (/debug/pprof) on this address while running")
@@ -158,6 +169,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if set["watchdog"] {
 		spec.Watchdog = *watchdog
+	}
+	if set["fork-prefix"] {
+		spec.ForkPrefix = *forkPrefix
+	}
+	if set["prefix-mtfs"] || spec.PrefixMTFs == 0 {
+		spec.PrefixMTFs = *prefixMTFs
 	}
 	// -recovery layers the built-in policy on top of whatever the matrix
 	// document configured (flag wins, matching the other overrides).

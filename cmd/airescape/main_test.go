@@ -16,17 +16,30 @@ internal/obs/hot.go:14:6: moved to heap: buf
 internal/obs/hot.go:20:12: func literal escapes to heap
 internal/obs/hot.go:25:2: xs does not escape
 not a diagnostic line
+# air/internal/pal
+internal/pal/heap.go:159:6: can inline (*HeapQueue).fix
+internal/pal/heap.go:159:7: q does not escape
+internal/pal/queue.go:181:6: can inline less
+# air/internal/core
+internal/core/snapshot.go:200:14: make(map[pos.ProcessID]ForkableBody, len(pt.forkable)) escapes to heap
+internal/obs/obs.go:374:24: e escapes to heap
 `
 
 func TestParseEscapes(t *testing.T) {
 	got := parseEscapes([]byte(cannedM1))
-	if len(got) != 3 {
-		t.Fatalf("got %d escapes, want 3: %+v", len(got), got)
+	if len(got) != 5 {
+		t.Fatalf("got %d escapes, want 5: %+v", len(got), got)
 	}
 	want := []escape{
 		{file: "internal/obs/hot.go", line: 10, col: 9, msg: "new(int) escapes to heap", key: "alloc"},
 		{file: "internal/obs/hot.go", line: 14, col: 6, msg: "moved to heap: buf", key: "alloc"},
 		{file: "internal/obs/hot.go", line: 20, col: 12, msg: "func literal escapes to heap", key: "closure"},
+		// Fork-assembly allocations parse as plain allocs: they land in
+		// cold one-shot functions, so the hot index drops them downstream.
+		{file: "internal/core/snapshot.go", line: 200, col: 14, msg: "make(map[pos.ProcessID]ForkableBody, len(pt.forkable)) escapes to heap", key: "alloc"},
+		// Batched emission stages events by value; a diagnostic here must
+		// still surface so the //air:allow(alloc) on the append is audited.
+		{file: "internal/obs/obs.go", line: 374, col: 24, msg: "e escapes to heap", key: "alloc"},
 	}
 	for i, w := range want {
 		if got[i] != w {

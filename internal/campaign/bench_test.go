@@ -34,3 +34,42 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaignForkThroughput measures prefix-sharing against from-zero
+// execution: the identical campaign (16 runs of 24 MTFs, faults activating
+// after frame 21) run with and without ForkPrefix. The fork variant
+// simulates the 21-frame fault-free warm-up once and forks each run's
+// variant from the snapshot, replacing 16×24 = 384 simulated frames with
+// 21 + 16×3 = 69, an ideal 5.6× per-worker speedup; the CI gate requires
+// ≥3×. One worker, because the comparison is simulation work avoided per
+// worker — the prefix is sequential, so at worker counts approaching the
+// run count from-zero parallelism hides exactly the work fork sharing
+// skips.
+func BenchmarkCampaignForkThroughput(b *testing.B) {
+	spec := Spec{Runs: 16, Workers: 1, Seed: 17, MTFs: 24, PrefixMTFs: 21}
+	for _, mode := range []struct {
+		name string
+		fork bool
+	}{{"from-zero", false}, {"fork-prefix", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := spec
+			s.ForkPrefix = mode.fork
+			var logical int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Logical ticks: the simulated history every run's results
+				// cover, prefix included — the work prefix sharing avoids
+				// re-simulating, which is exactly what the speedup claims.
+				logical += int64(res.Runs) * int64(res.MTFs) * 1300
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(logical)/b.Elapsed().Seconds(), "ticks/s")
+			}
+		})
+	}
+}

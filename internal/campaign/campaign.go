@@ -74,10 +74,28 @@ type Spec struct {
 	// recorded as degraded (checked between MTF-sized chunks). 0 disables
 	// the watchdog, keeping results fully deterministic.
 	Watchdog time.Duration
-	// TraceCapacity sizes each module's trace ring (default 1<<16).
+	// TraceCapacity sizes each module's trace ring. Campaign observations
+	// derive entirely from the HM log and the metrics registry, so the
+	// default is -1 — no ring at all, sparing every run (and every
+	// prefix-fork clone) a multi-MiB allocation nothing reads. Set > 0 to
+	// retain per-run traces when debugging through OnObservation hooks.
 	TraceCapacity int
 	// Matrix is the fault matrix (default DefaultMatrix()).
 	Matrix []Scenario
+	// ForkPrefix enables campaign prefix sharing: the fault-free warm-up
+	// prefix (PrefixMTFs major time frames, identical for every run because
+	// faults are the only per-run variation) is simulated once, snapshotted
+	// at a quiescent point, and each run forks the snapshot and injects its
+	// fault variant instead of re-simulating the prefix from zero. Results
+	// remain a pure function of (Seed, Runs, MTFs, Matrix) — workers fork
+	// concurrently from one read-only snapshot — but differ from
+	// non-fork-mode results in one documented way: injected faults activate
+	// after the prefix rather than at tick zero, and the per-run timeline
+	// covers only the post-fork suffix.
+	ForkPrefix bool
+	// PrefixMTFs is the shared prefix length in major time frames (default
+	// MTFs/2, clamped to [1, MTFs-1]). Meaningful only with ForkPrefix.
+	PrefixMTFs int
 	// Recovery applies a recovery-orchestration policy (restart budgets,
 	// quarantine, safe-mode degradation) to every run, populating the
 	// recovery-effectiveness columns of the result. Nil runs without the
@@ -107,13 +125,26 @@ func (s Spec) withDefaults() Spec {
 		s.MTFs = 20
 	}
 	if s.TraceCapacity == 0 {
-		s.TraceCapacity = 1 << 16
+		s.TraceCapacity = -1
 	}
 	if len(s.Matrix) == 0 {
 		s.Matrix = DefaultMatrix()
 	}
 	if s.Clock == nil {
 		s.Clock = wallClock
+	}
+	if s.ForkPrefix {
+		if s.PrefixMTFs <= 0 {
+			s.PrefixMTFs = s.MTFs / 2
+		}
+		if s.PrefixMTFs > s.MTFs-1 {
+			s.PrefixMTFs = s.MTFs - 1
+		}
+		if s.PrefixMTFs < 1 {
+			// A 1-MTF run has no prefix to share.
+			s.ForkPrefix = false
+			s.PrefixMTFs = 0
+		}
 	}
 	return s
 }
@@ -239,7 +270,12 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	start := spec.Clock()
-	observations := runRange(spec, 0, spec.Runs)
+	pre, err := buildPrefix(spec)
+	if err != nil {
+		return nil, err
+	}
+	observations := runRange(spec, 0, spec.Runs, pre)
+	pre.close()
 	elapsed := spec.Clock().Sub(start)
 
 	res := &Result{
@@ -288,7 +324,12 @@ func RunShard(spec Spec, start, end int) (*Shard, error) {
 	if start < 0 || end > spec.Runs || start > end {
 		return nil, fmt.Errorf("campaign: shard [%d, %d) outside run space [0, %d)", start, end, spec.Runs)
 	}
-	sh := &Shard{Start: start, End: end, Observations: runRange(spec, start, end)}
+	pre, err := buildPrefix(spec)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shard{Start: start, End: end, Observations: runRange(spec, start, end, pre)}
+	pre.close()
 	sh.Aggregate = aggregate(sh.Observations)
 	return sh, nil
 }
@@ -296,7 +337,7 @@ func RunShard(spec Spec, start, end int) (*Shard, error) {
 // runRange executes runs [start, end) over a pool of spec.Workers
 // goroutines (clamped to the range size) and returns the observations in
 // run order. spec must be defaulted and validated.
-func runRange(spec Spec, start, end int) []Observation {
+func runRange(spec Spec, start, end int, pre *prefix) []Observation {
 	observations := make([]Observation, end-start)
 	workers := spec.Workers
 	if n := end - start; workers > n {
@@ -309,7 +350,7 @@ func runRange(spec Spec, start, end int) []Observation {
 		go func() {
 			defer wg.Done()
 			for run := range jobs {
-				observations[run-start] = runOne(spec, run)
+				observations[run-start] = runOne(spec, run, pre)
 				if spec.OnObservation != nil {
 					spec.OnObservation(observations[run-start])
 				}
@@ -332,11 +373,72 @@ func scenarioNames(matrix []Scenario) []string {
 	return names
 }
 
+// prefix is a campaign's shared fault-free warm-up: one module ticked
+// through PrefixMTFs major time frames and snapshotted at a quiescent
+// point. Worker goroutines fork it concurrently (Snapshot.Fork is read-only
+// on the parent).
+type prefix struct {
+	parent *core.Module
+	snap   *core.Snapshot
+}
+
+func (p *prefix) close() {
+	if p != nil {
+		p.parent.Shutdown()
+	}
+}
+
+// buildPrefix simulates the shared prefix once and snapshots it. The target
+// is the last tick of the PrefixMTFs-th major time frame — the scenario's
+// periodic work for the frame has completed and the next releases sit on
+// the frame boundary — stepping a few extra ticks if that instant happens
+// not to be quiescent, so the snapshot tick is still deterministic. Returns
+// nil when the spec does not request prefix sharing.
+func buildPrefix(spec Spec) (*prefix, error) {
+	if !spec.ForkPrefix {
+		return nil, nil
+	}
+	cfg := workload.Config(workload.Options{
+		Recovery:      spec.Recovery,
+		TraceCapacity: spec.TraceCapacity,
+	})
+	cfg.BatchObs = true
+	m, err := core.NewModule(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: prefix: %w", err)
+	}
+	if err := m.Start(); err != nil {
+		m.Shutdown()
+		return nil, fmt.Errorf("campaign: prefix: %w", err)
+	}
+	mtf := model.Fig8System().Schedules[0].MTF
+	if err := m.Run(tick.Ticks(spec.PrefixMTFs)*mtf - 1); err != nil {
+		m.Shutdown()
+		return nil, fmt.Errorf("campaign: prefix: %w", err)
+	}
+	var snap *core.Snapshot
+	for tries := tick.Ticks(0); ; tries++ {
+		snap, err = m.Snapshot()
+		if err == nil {
+			break
+		}
+		if tries >= mtf {
+			m.Shutdown()
+			return nil, fmt.Errorf("campaign: prefix never quiescent: %w", err)
+		}
+		if err := m.Step(); err != nil {
+			m.Shutdown()
+			return nil, fmt.Errorf("campaign: prefix: %w", err)
+		}
+	}
+	return &prefix{parent: m, snap: snap}, nil
+}
+
 // runOne executes one simulation. It never panics: application faults are
 // contained by the module itself, and anything escaping (a kernel-side
 // defect, an out-of-memory in trace collection) is recovered into a
 // degraded observation after the module's goroutines are reaped.
-func runOne(spec Spec, run int) (ob Observation) {
+func runOne(spec Spec, run int, pre *prefix) (ob Observation) {
 	r := newRunRNG(spec.Seed, run)
 	scenario := pickScenario(spec.Matrix, r)
 	faults := make([]workload.FaultSpec, len(scenario.Faults))
@@ -365,38 +467,73 @@ func runOne(spec Spec, run int) (ob Observation) {
 		}
 	}()
 
-	m, err := core.NewModule(workload.Config(workload.Options{
-		Faults:        faults,
-		Recovery:      spec.Recovery,
-		TraceCapacity: spec.TraceCapacity,
-	}))
-	if err != nil {
-		ob.Degraded = true
-		ob.Error = err.Error()
-		return ob
-	}
-	defer m.Shutdown()
-	// The timeliness analyzer rides the module's observability spine;
-	// attached before Start so initialization-time process releases are seen.
-	tl := timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
-	if err := m.Start(); err != nil {
-		ob.Degraded = true
-		ob.Error = err.Error()
-		collect(m, &ob, faults, tl)
-		return ob
-	}
 	mtf := model.Fig8System().Schedules[0].MTF
-	for i := 0; i < spec.MTFs; i++ {
+	var m *core.Module
+	var tl *timeline.Timeline
+	if pre != nil {
+		var err error
+		m, err = pre.snap.Fork()
+		if err != nil {
+			ob.Degraded = true
+			ob.Error = err.Error()
+			return ob
+		}
+		defer m.Shutdown()
+		// The timeliness analyzer rides the fork's spine from the fork point:
+		// attached before injection so injector process starts are seen. In
+		// fork mode the timeline covers only the post-prefix suffix.
+		tl = timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+		if err := workload.InjectFaults(m, workload.Options{Faults: faults}); err != nil {
+			ob.Degraded = true
+			ob.Error = err.Error()
+			collect(m, &ob, faults, tl)
+			return ob
+		}
+	} else {
+		cfg := workload.Config(workload.Options{
+			Faults:        faults,
+			Recovery:      spec.Recovery,
+			TraceCapacity: spec.TraceCapacity,
+		})
+		cfg.BatchObs = true
+		var err error
+		m, err = core.NewModule(cfg)
+		if err != nil {
+			ob.Degraded = true
+			ob.Error = err.Error()
+			return ob
+		}
+		defer m.Shutdown()
+		// The timeliness analyzer rides the module's observability spine;
+		// attached before Start so initialization-time process releases are seen.
+		tl = timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+		if err := m.Start(); err != nil {
+			ob.Degraded = true
+			ob.Error = err.Error()
+			collect(m, &ob, faults, tl)
+			return ob
+		}
+	}
+	// Both paths tick the module to MTFs major time frames of total
+	// simulated time, in MTF-sized chunks between watchdog checks. A fork
+	// resumes mid-campaign, so its remaining budget is the difference.
+	remaining := tick.Ticks(spec.MTFs)*mtf - m.Now()
+	for i := 0; remaining > 0; i++ {
 		if spec.Watchdog > 0 && spec.Clock().Sub(start) > spec.Watchdog {
 			ob.Degraded = true
 			ob.Error = fmt.Sprintf("watchdog: run exceeded %v after %d MTFs", spec.Watchdog, i)
 			break
 		}
-		if err := m.Run(mtf); err != nil {
+		chunk := mtf
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if err := m.Run(chunk); err != nil {
 			ob.Degraded = true
 			ob.Error = err.Error()
 			break
 		}
+		remaining -= chunk
 		if m.Halted() {
 			break
 		}

@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// TestCampaignForkPrefixDeterminism: fork-prefix campaigns are deterministic
+// in (seed, runs, MTFs, matrix) and independent of the worker count, exactly
+// like non-fork campaigns — the shared snapshot is forked concurrently by
+// the pool, so this also exercises parallel Fork() of one parent.
+func TestCampaignForkPrefixDeterminism(t *testing.T) {
+	spec := Spec{Runs: 10, Seed: 42, MTFs: 4, ForkPrefix: true}
+	var artifacts [][]byte
+	for _, workers := range []int{1, 1, 4} {
+		spec.Workers = workers
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	if string(artifacts[0]) != string(artifacts[1]) {
+		t.Fatal("same seed, same workers: fork-prefix results differ")
+	}
+	if string(artifacts[0]) != string(artifacts[2]) {
+		t.Fatal("same seed, different workers: fork-prefix results differ")
+	}
+}
+
+// TestCampaignForkPrefixCoverage: every fault class still lands and is
+// attributed when its injection happens post-fork rather than at
+// integration time.
+func TestCampaignForkPrefixCoverage(t *testing.T) {
+	res, err := Run(Spec{
+		Runs: 7, Workers: 4, Seed: 5, MTFs: 6,
+		ForkPrefix: true, PrefixMTFs: 2,
+		Matrix: allFaultsMatrix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Aggregate
+	if agg.HMEvents == 0 {
+		t.Fatal("fork-prefix campaign produced no HM events")
+	}
+	if agg.DeadlineMisses == 0 {
+		t.Fatal("fork-prefix campaign produced no deadline misses")
+	}
+	if agg.Halted != 0 {
+		t.Fatalf("%d runs halted", agg.Halted)
+	}
+	for kind, n := range agg.HMByFaultKind {
+		if n == 0 {
+			t.Errorf("fault class %s produced no HM events post-fork", kind)
+		}
+	}
+}
+
+// TestCampaignForkPrefixDefaults pins the PrefixMTFs clamping: unset
+// defaults to MTFs/2, out-of-range clamps into [1, MTFs-1], and MTFs=1
+// disables fork mode (no room for a suffix).
+func TestCampaignForkPrefixDefaults(t *testing.T) {
+	cases := []struct {
+		mtfs, prefix int
+		wantFork     bool
+		wantPrefix   int
+	}{
+		{mtfs: 4, prefix: 0, wantFork: true, wantPrefix: 2},
+		{mtfs: 4, prefix: 9, wantFork: true, wantPrefix: 3},
+		{mtfs: 2, prefix: 0, wantFork: true, wantPrefix: 1},
+		{mtfs: 1, prefix: 0, wantFork: false, wantPrefix: 0},
+	}
+	for _, c := range cases {
+		got := Spec{Runs: 1, MTFs: c.mtfs, ForkPrefix: true, PrefixMTFs: c.prefix}.Defaulted()
+		if got.ForkPrefix != c.wantFork || got.PrefixMTFs != c.wantPrefix {
+			t.Errorf("MTFs=%d PrefixMTFs=%d: got (fork=%v, prefix=%d), want (fork=%v, prefix=%d)",
+				c.mtfs, c.prefix, got.ForkPrefix, got.PrefixMTFs, c.wantFork, c.wantPrefix)
+		}
+	}
+}

@@ -19,11 +19,13 @@ func FromConfig(doc *config.Campaign) (Spec, error) {
 		return Spec{}, err
 	}
 	spec := Spec{
-		Runs:     doc.Runs,
-		Workers:  doc.Workers,
-		Seed:     doc.Seed,
-		MTFs:     doc.MTFsPerRun,
-		Watchdog: time.Duration(doc.WatchdogMillis) * time.Millisecond,
+		Runs:       doc.Runs,
+		Workers:    doc.Workers,
+		Seed:       doc.Seed,
+		MTFs:       doc.MTFsPerRun,
+		Watchdog:   time.Duration(doc.WatchdogMillis) * time.Millisecond,
+		ForkPrefix: doc.ForkPrefix,
+		PrefixMTFs: doc.PrefixMTFs,
 	}
 	if doc.Recovery != nil {
 		pol := doc.Recovery.Policy()

@@ -23,6 +23,14 @@ type Campaign struct {
 	MTFsPerRun int    `json:"mtfsPerRun,omitempty"`
 	// WatchdogMillis bounds each run's wall-clock time (0 = no watchdog).
 	WatchdogMillis int64 `json:"watchdogMillis,omitempty"`
+	// ForkPrefix ticks the fault-free warm-up prefix once, snapshots the
+	// module at a quiescent point, and forks every run's variant from the
+	// snapshot instead of simulating the prefix per run (see
+	// campaign.Spec.ForkPrefix for the semantics caveat).
+	ForkPrefix bool `json:"forkPrefix,omitempty"`
+	// PrefixMTFs is the shared prefix length in major time frames when
+	// ForkPrefix is set; 0 defaults to half of MTFsPerRun.
+	PrefixMTFs int `json:"prefixMTFs,omitempty"`
 	// Recovery optionally applies a recovery-orchestration policy to every
 	// run of the campaign (see Recovery); nil runs without the layer.
 	Recovery *Recovery `json:"recovery,omitempty"`
@@ -135,8 +143,12 @@ func (c *Campaign) Validate() error {
 	if len(c.Scenarios) == 0 {
 		return fmt.Errorf("config: campaign %q has no scenarios", c.Name)
 	}
-	if c.Runs < 0 || c.Workers < 0 || c.MTFsPerRun < 0 || c.WatchdogMillis < 0 {
+	if c.Runs < 0 || c.Workers < 0 || c.MTFsPerRun < 0 || c.WatchdogMillis < 0 || c.PrefixMTFs < 0 {
 		return fmt.Errorf("config: campaign %q has negative execution parameters", c.Name)
+	}
+	if c.PrefixMTFs > 0 && c.MTFsPerRun > 0 && c.PrefixMTFs >= c.MTFsPerRun {
+		return fmt.Errorf("config: campaign %q prefixMTFs %d must be shorter than mtfsPerRun %d",
+			c.Name, c.PrefixMTFs, c.MTFsPerRun)
 	}
 	if c.Recovery != nil {
 		if err := c.Recovery.Validate(); err != nil {

@@ -51,9 +51,14 @@ type PartitionConfig struct {
 	System bool
 	// Policy selects the POS scheduler; zero value = priority preemptive.
 	Policy pos.Policy
-	// UseTreeQueue selects the AVL deadline queue instead of the paper's
-	// linked list (Sect. 5.3 ablation).
+	// UseTreeQueue selects the AVL deadline queue instead of the default
+	// flat array-heap (Sect. 5.3 ablation).
 	UseTreeQueue bool
+	// UseListQueue selects the paper's sorted linked list (the original
+	// production structure) instead of the default flat array-heap. All
+	// three queues share the (deadline, pid) total order, so the choice
+	// never changes a trace byte — only the constant factors.
+	UseListQueue bool
 	// Init is the partition initialization entry point.
 	Init InitFunc
 	// Descriptors optionally overrides the partition's addressing space;
@@ -112,6 +117,18 @@ type Config struct {
 	// monitor and the observability spine are shared across cores while
 	// each core keeps its own partition scheduler and dispatcher.
 	Shared *SharedPlatform
+	// InterpretedScheduler runs the Partition Scheduler in its interpreted
+	// reference form (preemption-point struct walk, map-backed pending
+	// actions) instead of the compiled flat tables. Retained so the golden
+	// equivalence test can diff the two forms trace-byte for trace-byte.
+	InterpretedScheduler bool
+	// BatchObs defers spine sink delivery to once per partition window: hot
+	// layers stage events into the bus's fixed buffer and the kernel flushes
+	// at each partition preemption point. Metrics observe immediately either
+	// way, and every sink read path (trace, export, shutdown) flushes first,
+	// so batching never changes what any reader observes — only how often
+	// the sink fan-out runs.
+	BatchObs bool
 }
 
 // SharedPlatform carries the module-wide components shared by the cores of
@@ -234,6 +251,10 @@ func NewModule(cfg Config) (*Module, error) {
 		})
 	}
 
+	if cfg.BatchObs {
+		m.bus.SetBatching(true)
+	}
+
 	for _, sc := range cfg.Sampling {
 		if _, err := m.router.AddSampling(sc); err != nil {
 			return nil, err
@@ -256,6 +277,9 @@ func NewModule(cfg Config) (*Module, error) {
 	sched, err := pmk.NewScheduler(compiled)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.InterpretedScheduler {
+		sched.UseInterpreted()
 	}
 	m.sched = sched
 	m.sched.AttachObs(obs.NewEmitter(m.bus, m.coreID))
@@ -366,6 +390,11 @@ func (m *Module) Step() error {
 	}
 	preemption := m.sched.Tick()
 	m.now = m.sched.Ticks()
+	if preemption {
+		// Partition window boundary: hand the previous window's staged
+		// events to the sinks (no-op without BatchObs).
+		m.bus.Flush()
+	}
 	if m.recov != nil {
 		// Deferred-restart resumes, half-open quarantine probes and
 		// schedule restores fire before dispatch, so a partition revived at
@@ -425,6 +454,7 @@ func (m *Module) Shutdown() {
 		m.partitions[name].killAll()
 	}
 	m.halted = true
+	m.bus.Flush()
 }
 
 // restoreContext is the Dispatcher's RestoreContext hook: it installs the

@@ -52,6 +52,11 @@ type procRuntime struct {
 	// stackUsed tracks the simulated stack consumption for STACK_OVERFLOW
 	// detection (Services.StackProbe).
 	stackUsed int
+	// everGranted records whether the goroutine has ever received a grant:
+	// a never-granted goroutine is still parked at the body's entry point
+	// (DELAYED_START), which snapshot quiescence validation treats as
+	// fork-safe — the fork re-enters the body from the top.
+	everGranted bool
 }
 
 func (rt *procRuntime) waitGrant() {
@@ -80,7 +85,16 @@ type Partition struct {
 
 	runtimes map[pos.ProcessID]*procRuntime
 	bodies   map[pos.ProcessID]ProcessBody
-	handler  ErrorHandler
+	forkable map[pos.ProcessID]ForkableBody
+	// states holds the live state cell of each spawned forkable process;
+	// snapshot/fork clones these cells into the fork's re-spawned goroutines.
+	states  map[pos.ProcessID]any
+	handler ErrorHandler
+	// postInit is integration code injected after construction (fault
+	// injection on forked modules, Module.Inject). It re-runs with
+	// initialization-mode privileges on every partition restart, exactly as
+	// configuration-time Init code does.
+	postInit InitFunc
 
 	buffers     map[string]*buffer
 	blackboards map[string]*blackboard
@@ -126,10 +140,15 @@ func newPartition(m *Module, cfg PartitionConfig) (*Partition, error) {
 func (pt *Partition) buildKernel() {
 	nowFn := func() tick.Ticks { return pt.mod.now }
 	var queue pal.DeadlineQueue
-	if pt.cfg.UseTreeQueue {
+	switch {
+	case pt.cfg.UseTreeQueue:
 		queue = pal.NewTreeQueue()
-	} else {
+	case pt.cfg.UseListQueue:
 		queue = pal.NewListQueue()
+	default:
+		// Production default: the compiled flat array-heap. All queues share
+		// the (deadline, pid) total order, so traces are identical.
+		queue = pal.NewHeapQueue()
 	}
 	p := pal.New(pal.Config{
 		Partition: pt.name,
@@ -150,6 +169,8 @@ func (pt *Partition) buildKernel() {
 	pt.pal = p
 	pt.runtimes = make(map[pos.ProcessID]*procRuntime)
 	pt.bodies = make(map[pos.ProcessID]ProcessBody)
+	pt.forkable = make(map[pos.ProcessID]ForkableBody)
+	pt.states = make(map[pos.ProcessID]any)
 }
 
 func (pt *Partition) clearObjects() {
@@ -216,9 +237,20 @@ func (pt *Partition) runInit() {
 		// No initialization code: the partition boots straight to normal,
 		// which models configuration-only partitions.
 		pt.mode = model.ModeNormal
-		return
+	} else {
+		pt.cfg.Init(pt.services(pos.InvalidProcess, nil))
 	}
-	pt.cfg.Init(pt.services(pos.InvalidProcess, nil))
+	if pt.postInit != nil {
+		// Injected integration code runs with initialization-mode
+		// privileges even when Init already transitioned to normal, so it
+		// can create/start processes like configuration-time code.
+		prev := pt.mode
+		if prev == model.ModeNormal {
+			pt.mode = model.ModeColdStart
+		}
+		pt.postInit(pt.services(pos.InvalidProcess, nil))
+		pt.mode = prev
+	}
 }
 
 // restart applies a cold or warm partition restart: all process goroutines
@@ -305,12 +337,30 @@ func (pt *Partition) killProcess(id pos.ProcessID) {
 }
 
 // spawn starts the goroutine for a started process. The goroutine waits for
-// its first grant (first dispatch) before running the body.
+// its first grant (first dispatch) before running the body. A forkable
+// process gets a fresh state cell from its constructor: a process (re)start
+// is a new activation of the body, so state resets with it.
 func (pt *Partition) spawn(id pos.ProcessID) {
+	if fb, ok := pt.forkable[id]; ok {
+		pt.spawnForkable(id, fb, fb.New())
+		return
+	}
 	body := pt.bodies[id]
 	if body == nil {
 		return // model-only process: pure time consumer
 	}
+	pt.spawnBody(id, body)
+}
+
+// spawnForkable starts a forkable process goroutine around an explicit
+// state cell — fb.New() on a normal (re)start, a Clone of the parent's cell
+// on fork re-spawn.
+func (pt *Partition) spawnForkable(id pos.ProcessID, fb ForkableBody, state any) {
+	pt.states[id] = state
+	pt.spawnBody(id, func(sv *Services) { fb.Run(sv, state) })
+}
+
+func (pt *Partition) spawnBody(id pos.ProcessID, body ProcessBody) {
 	rt := &procRuntime{
 		grant: make(chan struct{}),
 		yield: make(chan yieldKind),
@@ -383,6 +433,7 @@ func (pt *Partition) runOneTick() {
 			// effect (a pure CPU burner used in analysis/benchmarks).
 			return
 		}
+		rt.everGranted = true
 		rt.grant <- struct{}{}
 		kind := <-rt.yield
 		if pt.applyPendingKernelOps() {

@@ -146,6 +146,7 @@ func (sv *Services) CreateProcess(spec model.TaskSpec, body ProcessBody) (pos.Pr
 	if existing, err := sv.pt.kernel.Lookup(spec.Name); err == nil {
 		if existing.Spec == spec {
 			sv.pt.bodies[existing.ID] = body
+			delete(sv.pt.forkable, existing.ID)
 			return existing.ID, apex.NoAction
 		}
 		return pos.InvalidProcess, apex.InvalidConfig
@@ -155,6 +156,35 @@ func (sv *Services) CreateProcess(spec model.TaskSpec, body ProcessBody) (pos.Pr
 		return pos.InvalidProcess, apex.InvalidParam
 	}
 	sv.pt.bodies[id] = body
+	return id, apex.NoError
+}
+
+// CreateForkableProcess implements CREATE_PROCESS for a body written in the
+// snapshot/fork-portable form: explicit state in a cell the runtime can
+// deep-copy (ForkableBody) instead of closure variables it cannot. The
+// rules are identical to CreateProcess — initialization mode only,
+// idempotent re-registration across warm starts. Only processes created
+// through this entry point survive Module.Snapshot validation while live.
+func (sv *Services) CreateForkableProcess(spec model.TaskSpec, fb ForkableBody) (pos.ProcessID, apex.ReturnCode) {
+	if fb.New == nil || fb.Clone == nil || fb.Run == nil {
+		return pos.InvalidProcess, apex.InvalidParam
+	}
+	if sv.pt.mode == model.ModeNormal {
+		return pos.InvalidProcess, apex.InvalidMode
+	}
+	if existing, err := sv.pt.kernel.Lookup(spec.Name); err == nil {
+		if existing.Spec == spec {
+			sv.pt.forkable[existing.ID] = fb
+			delete(sv.pt.bodies, existing.ID)
+			return existing.ID, apex.NoAction
+		}
+		return pos.InvalidProcess, apex.InvalidConfig
+	}
+	id, err := sv.pt.kernel.Create(spec)
+	if err != nil {
+		return pos.InvalidProcess, apex.InvalidParam
+	}
+	sv.pt.forkable[id] = fb
 	return id, apex.NoError
 }
 

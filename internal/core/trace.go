@@ -55,13 +55,17 @@ func newTraceRing(capacity int) *obs.Ring {
 
 // Trace returns a copy of the events retained by the module's trace ring.
 // On a multicore shared spine this is the whole module trace, already in
-// (time, core) emission order.
-func (m *Module) Trace() []Event { return m.ring.Events() }
+// (time, core) emission order. Staged batched events are flushed first, so
+// the view is always current.
+func (m *Module) Trace() []Event {
+	m.bus.Flush()
+	return m.ring.Events()
+}
 
 // TraceKind returns the retained events of one kind.
 func (m *Module) TraceKind(kind EventKind) []Event {
 	var out []Event
-	for _, e := range m.ring.Events() {
+	for _, e := range m.Trace() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}

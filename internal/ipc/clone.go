@@ -1,0 +1,45 @@
+package ipc
+
+import "air/internal/obs"
+
+// clone returns a deep copy of the channel: the slot's payload bytes are
+// copied so a fork's overwrite can never alias the parent's buffer.
+func (c *SamplingChannel) clone(em obs.Emitter) *SamplingChannel {
+	cp := *c
+	cp.obs = em
+	if c.slot.data != nil {
+		cp.slot.data = append([]byte(nil), c.slot.data...)
+	}
+	return &cp
+}
+
+// clone returns a deep copy of the channel including every queued (and
+// in-flight) message payload.
+func (c *QueuingChannel) clone(em obs.Emitter) *QueuingChannel {
+	cp := *c
+	cp.obs = em
+	cp.queue = make([]message, len(c.queue))
+	for i, m := range c.queue {
+		cp.queue[i] = message{data: append([]byte(nil), m.data...), sent: m.sent}
+	}
+	return &cp
+}
+
+// Clone returns a deep copy of the router and every configured channel for
+// module snapshot/fork, rebound to the fork's observability spine. Channel
+// identity changes, so port bindings must be re-resolved by channel name
+// against the clone (Sampling/Queuing).
+func (r *Router) Clone(em obs.Emitter) *Router {
+	c := &Router{
+		sampling: make(map[string]*SamplingChannel, len(r.sampling)),
+		queuing:  make(map[string]*QueuingChannel, len(r.queuing)),
+		obs:      em,
+	}
+	for name, ch := range r.sampling { //air:allow(maprange): one-shot fork assembly off the hot path; order-insensitive copy
+		c.sampling[name] = ch.clone(em)
+	}
+	for name, ch := range r.queuing { //air:allow(maprange): one-shot fork assembly off the hot path; order-insensitive copy
+		c.queuing[name] = ch.clone(em)
+	}
+	return c
+}

@@ -1,0 +1,71 @@
+package mmu
+
+import "air/internal/model"
+
+// Clone returns a deep copy of the MMU and its simulated physical memory
+// for module snapshot/fork. The backing store grows lazily (see MMU.mem),
+// so the clone allocates and copies exactly the allocated frames — never
+// the full simulated physical size; a fork that maps further memory regrows
+// its own backing. Page tables are rebuilt node-by-node (all entries are plain
+// values), and the TLB plus its statistics are value-copied so a fork's
+// hit/miss profile replays exactly. Device ranges share the parent's Device
+// implementations — device models carry external state the MMU cannot copy,
+// so callers that need fork isolation must not map devices (the core
+// snapshot layer rejects them).
+func (m *MMU) Clone() *MMU {
+	c := &MMU{
+		mem:       make([]byte, m.nextFrame),
+		size:      m.size,
+		nextFrame: m.nextFrame,
+		contexts:  make(map[model.PartitionName]*context, len(m.contexts)),
+		current:   m.current,
+		hasCtx:    m.hasCtx,
+		tlb:       m.tlb,
+		tlbStats:  m.tlbStats,
+	}
+	copy(c.mem[:m.nextFrame], m.mem[:m.nextFrame])
+	for name, ctx := range m.contexts { //air:allow(maprange): one-shot fork assembly off the hot path; order-insensitive copy
+		c.contexts[name] = ctx.clone()
+	}
+	return c
+}
+
+func (ctx *context) clone() *context {
+	c := &context{
+		root:        cloneL1(ctx.root),
+		descriptors: append([]Descriptor(nil), ctx.descriptors...),
+		pages:       ctx.pages,
+		devices:     append([]devRange(nil), ctx.devices...),
+	}
+	return c
+}
+
+func cloneL1(t *l1Table) *l1Table {
+	if t == nil {
+		return nil
+	}
+	c := &l1Table{}
+	for i, l2 := range t.next {
+		c.next[i] = cloneL2(l2)
+	}
+	return c
+}
+
+func cloneL2(t *l2Table) *l2Table {
+	if t == nil {
+		return nil
+	}
+	c := &l2Table{}
+	for i, l3 := range t.next {
+		c.next[i] = cloneL3(l3)
+	}
+	return c
+}
+
+func cloneL3(t *l3Table) *l3Table {
+	if t == nil {
+		return nil
+	}
+	c := *t // entries are plain values
+	return &c
+}

@@ -229,7 +229,13 @@ type TLBStats struct {
 // MMU is the simulated memory management unit together with the simulated
 // physical memory it fronts.
 type MMU struct {
+	// mem is the backing store for the simulated physical memory. It grows
+	// lazily toward size as frames are allocated: a module maps a few
+	// hundred KiB of a default 16 MiB physical space, and eagerly zeroing
+	// the rest dominated module construction — and, worse, module fork,
+	// which clones the MMU per campaign variant.
 	mem       []byte
+	size      int // simulated physical capacity in bytes (≥ len(mem))
 	nextFrame PhysAddr
 	contexts  map[model.PartitionName]*context
 	current   model.PartitionName
@@ -260,10 +266,16 @@ func New(size int) *MMU {
 		pages = 1
 	}
 	return &MMU{
-		mem:      make([]byte, pages*PageSize),
+		size:     pages * PageSize,
 		contexts: make(map[model.PartitionName]*context),
 	}
 }
+
+// minBacking is the backing store's initial allocation (64 pages): large
+// enough that a typical four-partition module never regrows, small enough
+// that constructing or cloning a module touches KiB, not the full
+// simulated physical size.
+const minBacking = 64 * PageSize
 
 // MapSpace installs a partition's addressing space: for each descriptor,
 // physical frames are allocated and the three-level page table populated.
@@ -309,8 +321,24 @@ func (m *MMU) mapDescriptor(ctx *context, d Descriptor) error {
 }
 
 func (m *MMU) allocFrame() (PhysAddr, error) {
-	if int(m.nextFrame)+PageSize > len(m.mem) {
+	need := int(m.nextFrame) + PageSize
+	if need > m.size {
 		return 0, ErrOutOfMemory
+	}
+	if need > len(m.mem) {
+		grown := len(m.mem) * 2
+		if grown < minBacking {
+			grown = minBacking
+		}
+		for grown < need {
+			grown *= 2
+		}
+		if grown > m.size {
+			grown = m.size
+		}
+		buf := make([]byte, grown)
+		copy(buf, m.mem[:m.nextFrame])
+		m.mem = buf
 	}
 	f := m.nextFrame
 	m.nextFrame += PageSize
@@ -557,4 +585,4 @@ func (m *MMU) MappedPages(p model.PartitionName) int {
 }
 
 // FreeBytes returns the unallocated simulated physical memory.
-func (m *MMU) FreeBytes() int { return len(m.mem) - int(m.nextFrame) }
+func (m *MMU) FreeBytes() int { return m.size - int(m.nextFrame) }

@@ -285,13 +285,65 @@ type Sink interface {
 // A Bus is not internally synchronized: the module's strict alternation
 // already serializes all emitters of one spine (multicore modules step cores
 // in index order). Campaign workers each own a private spine.
+//
+// With batching enabled (SetBatching), sink delivery is deferred: Emit
+// stages events into a fixed preallocated buffer and Flush hands them to the
+// sinks in strict FIFO order — the module kernel flushes once per partition
+// window instead of paying the sink fan-out per event. The metrics registry
+// always observes immediately, so counter reads never need a flush; only
+// sink-visible state (the trace ring, streaming exporters) is deferred, and
+// every read path of those goes through Flush first.
 type Bus struct {
 	metrics Metrics
 	sinks   []Sink
+	// staged is the batch buffer: nil when batching is off; emptied (length
+	// 0, capacity retained) by Flush. Appends never grow it past its initial
+	// capacity, so steady-state staging allocates nothing.
+	staged []Event
 }
+
+// batchCapacity is the staging buffer size: comfortably more events than the
+// spine produces in one partition window, so the capacity-full early flush
+// is the exception, not the rule.
+const batchCapacity = 512
 
 // NewBus creates an empty spine.
 func NewBus() *Bus { return &Bus{} }
+
+// SetBatching enables or disables deferred sink delivery. Disabling flushes
+// whatever is staged, so no event is ever lost by toggling.
+func (b *Bus) SetBatching(on bool) {
+	if b == nil {
+		return
+	}
+	if !on {
+		b.Flush()
+		b.staged = nil
+		return
+	}
+	if b.staged == nil {
+		b.staged = make([]Event, 0, batchCapacity)
+	}
+}
+
+// Batching reports whether sink delivery is deferred.
+func (b *Bus) Batching() bool { return b != nil && b.staged != nil }
+
+// Flush delivers every staged event to the sinks in emission (FIFO) order.
+// It is a no-op when batching is off or nothing is staged.
+//
+//air:hotpath
+func (b *Bus) Flush() {
+	if b == nil || len(b.staged) == 0 {
+		return
+	}
+	for _, e := range b.staged {
+		for _, s := range b.sinks {
+			s.Emit(e) //air:allow(call): sink fan-out, amortized to once per partition window by batching
+		}
+	}
+	b.staged = b.staged[:0]
+}
 
 // Attach adds a sink. Attaching a nil sink is a no-op.
 func (b *Bus) Attach(s Sink) {
@@ -315,9 +367,27 @@ func (b *Bus) Emit(e Event) {
 		return
 	}
 	b.metrics.observe(e)
+	if b.staged != nil {
+		if len(b.staged) == cap(b.staged) {
+			b.Flush()
+		}
+		b.staged = append(b.staged, e) //air:allow(alloc): capacity-bounded — Flush above guarantees room, so the append never grows the staging buffer
+		return
+	}
 	for _, s := range b.sinks {
 		s.Emit(e) //air:allow(call): sinks are integration-chosen; the sink-free spine is the hot configuration, and attached sinks accept the spine's per-event cost knowingly
 	}
+}
+
+// AdoptMetrics replaces the bus's registry state with a copy of src's —
+// how a forked module's fresh spine continues the parent's monotonic
+// counters so post-fork metrics snapshots match a module that simulated the
+// whole history itself.
+func (b *Bus) AdoptMetrics(src *Metrics) {
+	if b == nil || src == nil {
+		return
+	}
+	b.metrics = *src
 }
 
 // Metrics exposes the bus's registry.

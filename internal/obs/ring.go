@@ -98,6 +98,22 @@ func (r *Ring) CountKind(k Kind) int {
 	return count
 }
 
+// Clone returns a deep copy of the ring, used by module snapshot/fork so a
+// fork's trace starts with the parent's retained history. Only the retained
+// events are copied — the clone's cursor is normalized to the buffer start,
+// which no reader can observe (Events, CountKind and Emit are all
+// position-relative) and which keeps cloning a mostly-empty large ring
+// cheap. Nil-safe.
+func (r *Ring) Clone() *Ring {
+	if r == nil {
+		return nil
+	}
+	c := &Ring{buf: make([]Event, len(r.buf)), n: r.n, mask: r.mask}
+	first := copy(c.buf, r.buf[r.head:min(r.head+r.n, len(r.buf))])
+	copy(c.buf[first:], r.buf[:r.n-first])
+	return c
+}
+
 // Reset discards all retained events, keeping the buffer.
 func (r *Ring) Reset() {
 	if r == nil {

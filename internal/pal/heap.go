@@ -1,0 +1,207 @@
+package pal
+
+import (
+	"sort"
+
+	"air/internal/pos"
+)
+
+// HeapQueue is the compiled form of the deadline control structure: a binary
+// min-heap over a flat, preallocated entry array with a dense pid→slot index.
+// It keeps the paper's Sect. 5.3 cost profile — O(1) earliest retrieval for
+// the clock tick ISR, O(log n) register/update/unregister in the partition's
+// own window — while replacing the linked list's pointer-chasing nodes and
+// per-insert allocations with contiguous storage that a snapshot fork can
+// copy with two memmoves.
+//
+// Ordering is the same (deadline, pid) total order as the other queues, so
+// the violation detection sequence — and therefore every trace byte — is
+// identical whichever implementation a partition is configured with.
+type HeapQueue struct {
+	entries []Entry // heap-ordered by less()
+	// slots maps ProcessID → index into entries, dense (pids are small
+	// kernel-assigned ordinals); -1 marks an unregistered pid.
+	slots []int32
+}
+
+var _ DeadlineQueue = (*HeapQueue)(nil)
+
+// DefaultHeapCapacity is the entry storage preallocated by NewHeapQueue:
+// sized for the process count of any bounded partition so steady-state
+// operation never allocates.
+const DefaultHeapCapacity = 64
+
+// NewHeapQueue creates a heap-backed deadline queue with DefaultHeapCapacity
+// preallocated entries.
+func NewHeapQueue() *HeapQueue {
+	return NewHeapQueueSize(DefaultHeapCapacity)
+}
+
+// NewHeapQueueSize creates a heap-backed deadline queue with storage for n
+// entries preallocated (growing beyond n falls back to append).
+func NewHeapQueueSize(n int) *HeapQueue {
+	if n < 1 {
+		n = 1
+	}
+	q := &HeapQueue{
+		entries: make([]Entry, 0, n),
+		slots:   make([]int32, n),
+	}
+	for i := range q.slots {
+		q.slots[i] = -1
+	}
+	return q
+}
+
+// slot returns the heap index of pid, or -1.
+func (q *HeapQueue) slot(pid pos.ProcessID) int32 {
+	if int(pid) >= len(q.slots) {
+		return -1
+	}
+	return q.slots[pid]
+}
+
+// setSlot records pid's heap index, growing the dense index if needed.
+func (q *HeapQueue) setSlot(pid pos.ProcessID, i int32) {
+	for int(pid) >= len(q.slots) {
+		q.slots = append(q.slots, -1)
+	}
+	q.slots[pid] = i
+}
+
+// Register inserts or updates pid's deadline in O(log n).
+func (q *HeapQueue) Register(e Entry) {
+	if i := q.slot(e.PID); i >= 0 {
+		q.entries[i] = e
+		q.fix(int(i))
+		return
+	}
+	q.entries = append(q.entries, e)
+	q.setSlot(e.PID, int32(len(q.entries)-1))
+	q.siftUp(len(q.entries) - 1)
+}
+
+// Unregister removes pid's deadline in O(log n).
+func (q *HeapQueue) Unregister(pid pos.ProcessID) bool {
+	i := q.slot(pid)
+	if i < 0 {
+		return false
+	}
+	q.removeAt(int(i))
+	return true
+}
+
+// Earliest returns the heap root — O(1), the property the paper requires for
+// verification inside the system clock ISR.
+//
+//air:hotpath
+func (q *HeapQueue) Earliest() (Entry, bool) {
+	if len(q.entries) == 0 {
+		return Entry{}, false
+	}
+	return q.entries[0], true
+}
+
+// RemoveEarliest removes the heap root in O(log n).
+//
+//air:hotpath
+func (q *HeapQueue) RemoveEarliest() {
+	if len(q.entries) > 0 {
+		q.removeAt(0)
+	}
+}
+
+// Len returns the number of registered deadlines.
+//
+//air:hotpath
+func (q *HeapQueue) Len() int { return len(q.entries) }
+
+// Entries returns the registered deadlines in ascending (deadline, pid)
+// order. The heap array is only partially ordered, so this sorts a copy —
+// a cold-path operation used by verification tooling and tests.
+func (q *HeapQueue) Entries() []Entry {
+	out := make([]Entry, len(q.entries))
+	copy(out, q.entries)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Clone deep-copies the queue: two slice copies, no per-entry allocation.
+func (q *HeapQueue) Clone() DeadlineQueue {
+	c := &HeapQueue{
+		entries: make([]Entry, len(q.entries), cap(q.entries)),
+		slots:   make([]int32, len(q.slots)),
+	}
+	copy(c.entries, q.entries)
+	copy(c.slots, q.slots)
+	return c
+}
+
+// removeAt removes the entry at heap index i, restoring heap order.
+//
+//air:hotpath
+func (q *HeapQueue) removeAt(i int) {
+	last := len(q.entries) - 1
+	q.slots[q.entries[i].PID] = -1
+	if i != last {
+		q.entries[i] = q.entries[last]
+		q.slots[q.entries[i].PID] = int32(i)
+	}
+	q.entries = q.entries[:last]
+	if i != last {
+		q.fix(i)
+	}
+}
+
+// fix restores heap order for a changed entry at index i.
+//
+//air:hotpath
+func (q *HeapQueue) fix(i int) {
+	if !q.siftDown(i) {
+		q.siftUp(i)
+	}
+}
+
+//air:hotpath
+func (q *HeapQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q.entries[i], q.entries[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether the entry moved.
+//
+//air:hotpath
+func (q *HeapQueue) siftDown(i int) bool {
+	moved := false
+	n := len(q.entries)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && less(q.entries[right], q.entries[left]) {
+			least = right
+		}
+		if !less(q.entries[least], q.entries[i]) {
+			break
+		}
+		q.swap(i, least)
+		i = least
+		moved = true
+	}
+	return moved
+}
+
+//air:hotpath
+func (q *HeapQueue) swap(i, j int) {
+	q.entries[i], q.entries[j] = q.entries[j], q.entries[i]
+	q.slots[q.entries[i].PID] = int32(i)
+	q.slots[q.entries[j].PID] = int32(j)
+}

@@ -69,6 +69,20 @@ func New(cfg Config) *PAL {
 // Bind attaches the POS kernel whose clock announcements this PAL surrogates.
 func (p *PAL) Bind(k *pos.Kernel) { p.kernel = k }
 
+// Clone returns a copy of the PAL for module snapshot/fork, with the
+// deadline queue deep-copied and the health reporter and clock rebound to
+// the fork's instances. Bind the fork's kernel clone afterwards — the same
+// two-phase construction as New, because kernel and PAL reference each
+// other.
+func (p *PAL) Clone(health HealthReporter, now func() tick.Ticks) *PAL {
+	return &PAL{
+		partition: p.partition,
+		queue:     p.queue.Clone(),
+		health:    health,
+		now:       now,
+	}
+}
+
 // Kernel returns the bound POS kernel.
 func (p *PAL) Kernel() *pos.Kernel { return p.kernel }
 

@@ -46,6 +46,9 @@ type DeadlineQueue interface {
 	Len() int
 	// Entries returns all entries in ascending deadline order.
 	Entries() []Entry
+	// Clone returns a deep copy of the queue (used by module snapshot/fork;
+	// the copy and the original never share mutable state).
+	Clone() DeadlineQueue
 }
 
 // listNode is a node of the sorted doubly linked list.
@@ -146,6 +149,15 @@ func (q *ListQueue) Entries() []Entry {
 	return out
 }
 
+// Clone deep-copies the list by re-inserting the (already sorted) entries.
+func (q *ListQueue) Clone() DeadlineQueue {
+	c := NewListQueue()
+	for cur := q.head; cur != nil; cur = cur.next {
+		c.Register(cur.entry)
+	}
+	return c
+}
+
 func (q *ListQueue) unlink(n *listNode) {
 	if n.prev != nil {
 		n.prev.next = n.next
@@ -163,6 +175,8 @@ func (q *ListQueue) unlink(n *listNode) {
 
 // less orders entries by (deadline, pid); the pid tiebreak makes ordering
 // total and deterministic.
+//
+//air:hotpath
 func less(a, b Entry) bool {
 	if a.Deadline != b.Deadline {
 		return a.Deadline < b.Deadline

@@ -91,6 +91,24 @@ func (q *TreeQueue) Entries() []Entry {
 	return out
 }
 
+// Clone deep-copies the tree structure node by node (shape-preserving, so
+// the copy behaves identically to the original under every operation order).
+func (q *TreeQueue) Clone() DeadlineQueue {
+	c := NewTreeQueue()
+	var cp func(n *treeNode) *treeNode
+	cp = func(n *treeNode) *treeNode {
+		if n == nil {
+			return nil
+		}
+		return &treeNode{entry: n.entry, left: cp(n.left), right: cp(n.right), height: n.height}
+	}
+	c.root = cp(q.root)
+	for pid, e := range q.index { //air:allow(maprange): map-to-map copy; order-insensitive
+		c.index[pid] = e
+	}
+	return c
+}
+
 // --- AVL machinery ---
 
 func height(n *treeNode) int {

@@ -46,10 +46,16 @@ type Dispatcher struct {
 	hooks     Hooks
 	scheduler *Scheduler
 
-	active   Heir
-	hasRun   bool
-	lastTick map[model.PartitionName]tick.Ticks
-	switches int
+	active Heir
+	hasRun bool
+	// lastTick is dense, indexed by the partition ordinal of the scheduler's
+	// compiled tables; extra catches names outside the compiled partition
+	// set (only reachable through direct Dispatch calls in tests) and is
+	// allocated lazily off the hot path.
+	partNames []model.PartitionName
+	lastTick  []tick.Ticks
+	extra     map[model.PartitionName]tick.Ticks
+	switches  int
 
 	obs obs.Emitter
 }
@@ -60,8 +66,33 @@ func NewDispatcher(s *Scheduler, hooks Hooks) *Dispatcher {
 		hooks:     hooks,
 		scheduler: s,
 		active:    Heir{Idle: true},
-		lastTick:  make(map[model.PartitionName]tick.Ticks),
+		partNames: s.partNames,
+		lastTick:  make([]tick.Ticks, len(s.partNames)),
 	}
+}
+
+// setLastTick and getLastTick run only on the context-switch slow path (one
+// partition window boundary per invocation, not per tick).
+func (d *Dispatcher) setLastTick(p model.PartitionName, t tick.Ticks) {
+	for i, n := range d.partNames {
+		if n == p {
+			d.lastTick[i] = t
+			return
+		}
+	}
+	if d.extra == nil {
+		d.extra = make(map[model.PartitionName]tick.Ticks)
+	}
+	d.extra[p] = t
+}
+
+func (d *Dispatcher) getLastTick(p model.PartitionName) tick.Ticks {
+	for i, n := range d.partNames {
+		if n == p {
+			return d.lastTick[i]
+		}
+	}
+	return d.extra[p]
 }
 
 // Dispatch is Algorithm 2: invoked with the heir selected by the scheduler
@@ -79,7 +110,7 @@ func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
 		if d.hooks.SaveContext != nil {
 			d.hooks.SaveContext(d.active.Partition)
 		}
-		d.lastTick[d.active.Partition] = ticks - 1
+		d.setLastTick(d.active.Partition, ticks-1) //air:allow(alloc): inlined lazy d.extra map — allocated only for partitions outside the compiled set, reachable from direct test Dispatch calls, never in a running module
 		d.obs.Emit(obs.Event{Time: ticks, Kind: obs.KindPreemption, Partition: d.active.Partition})
 	}
 	// Line 6: ticks elapsed since the heir last held the processor.
@@ -90,7 +121,7 @@ func (d *Dispatcher) Dispatch(heir Heir, ticks tick.Ticks) DispatchResult {
 			d.hooks.EnterIdle()
 		}
 	} else {
-		elapsed = ticks - d.lastTick[heir.Partition]
+		elapsed = ticks - d.getLastTick(heir.Partition)
 		// Line 8: restore the heir's context.
 		if d.hooks.RestoreContext != nil {
 			d.hooks.RestoreContext(heir.Partition)
@@ -126,5 +157,28 @@ func (d *Dispatcher) ContextSwitches() int { return d.switches }
 // LastTick returns the tick at which partition p last relinquished the
 // processor (0 if it never ran).
 func (d *Dispatcher) LastTick(p model.PartitionName) tick.Ticks {
-	return d.lastTick[p]
+	return d.getLastTick(p)
 }
+
+// Clone returns a deep copy of the dispatcher's Algorithm 2 state, bound to
+// the given scheduler clone. Hooks and the observability emitter are NOT
+// carried over — the forked module installs its own.
+func (d *Dispatcher) Clone(s *Scheduler) *Dispatcher {
+	c := *d
+	c.scheduler = s
+	c.hooks = Hooks{}
+	c.lastTick = make([]tick.Ticks, len(d.lastTick))
+	copy(c.lastTick, d.lastTick)
+	if d.extra != nil {
+		c.extra = make(map[model.PartitionName]tick.Ticks, len(d.extra))
+		for p, t := range d.extra { //air:allow(maprange): map-to-map copy; order-insensitive
+			c.extra[p] = t
+		}
+	}
+	c.obs = obs.Emitter{}
+	return &c
+}
+
+// SetHooks installs the context-switch hooks (used when re-binding a cloned
+// dispatcher to its forked module).
+func (d *Dispatcher) SetHooks(h Hooks) { d.hooks = h }

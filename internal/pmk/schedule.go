@@ -51,6 +51,75 @@ type CompiledSchedule struct {
 	ChangeActions map[model.PartitionName]model.ScheduleChangeAction
 	// Source is the model schedule this table was compiled from.
 	Source *model.Schedule
+
+	// Flat compiled form, derived from Points/ChangeActions at Compile time
+	// and consumed by the Algorithm 1/2 hot paths: parallel per-point arrays
+	// (no struct-field hops), a dense change-action table indexed by
+	// partition ordinal, and an optional per-tick heir lookup table. These
+	// tables are immutable after Compile and shared read-only between a
+	// module and all its snapshot forks.
+	offsets []tick.Ticks // per point: MTF offset
+	heirs   []Heir       // per point: heir selected at that offset
+	// partNames is the module-wide partition ordinal table (the order of
+	// sys.Partitions); identical across every schedule compiled from one
+	// system, which NewScheduler verifies.
+	partNames []model.PartitionName
+	// actionByOrd is ChangeActions as a dense slice indexed by partition
+	// ordinal; 0 marks a partition with no requirement in this schedule.
+	actionByOrd []model.ScheduleChangeAction
+	// heirAt is the per-tick heir lookup table (heirAt[offset] for every
+	// offset in [0,MTF)), built when the MTF is small enough to afford it.
+	heirAt []Heir
+}
+
+// maxHeirTableMTF bounds the per-tick heir table: MTFs beyond this fall back
+// to the point-scan PartitionAt (the table would cost MTF*sizeof(Heir)).
+const maxHeirTableMTF = 1 << 16
+
+// compileFlat derives the flat tables from Points/ChangeActions.
+func (cs *CompiledSchedule) compileFlat(sys *model.System) {
+	cs.offsets = make([]tick.Ticks, len(cs.Points))
+	cs.heirs = make([]Heir, len(cs.Points))
+	for i, pt := range cs.Points {
+		cs.offsets[i] = pt.Offset
+		cs.heirs[i] = pt.Heir
+	}
+	cs.partNames = make([]model.PartitionName, len(sys.Partitions))
+	cs.actionByOrd = make([]model.ScheduleChangeAction, len(sys.Partitions))
+	for i, p := range sys.Partitions {
+		cs.partNames[i] = p
+		if a, ok := cs.ChangeActions[p]; ok {
+			cs.actionByOrd[i] = a
+		}
+	}
+	if cs.MTF <= maxHeirTableMTF {
+		cs.heirAt = make([]Heir, cs.MTF)
+		next := 1
+		heir := cs.heirs[0]
+		for off := tick.Ticks(0); off < cs.MTF; off++ {
+			if next < len(cs.offsets) && cs.offsets[next] == off {
+				heir = cs.heirs[next]
+				next++
+			}
+			cs.heirAt[off] = heir
+		}
+	}
+}
+
+// PartitionNames returns the partition ordinal table the schedule was
+// compiled against: ordinal i is sys.Partitions[i].Name.
+func (cs *CompiledSchedule) PartitionNames() []model.PartitionName { return cs.partNames }
+
+// ordinalOf resolves a partition name to its ordinal, or -1. The table is a
+// handful of entries, so a linear scan beats a map (no hashing, no pointer
+// chase) and stays allocation-free.
+func (cs *CompiledSchedule) ordinalOf(p model.PartitionName) int {
+	for i, n := range cs.partNames {
+		if n == p {
+			return i
+		}
+	}
+	return -1
 }
 
 // ErrInvalidSchedule is returned when compiling a schedule that fails model
@@ -95,13 +164,18 @@ func Compile(sys *model.System, s *model.Schedule) (*CompiledSchedule, error) {
 			Offset: cursor, Heir: Heir{Idle: true}, WindowIndex: -1,
 		})
 	}
+	cs.compileFlat(sys)
 	return cs, nil
 }
 
 // PartitionAt returns the heir at a given offset within the MTF — useful for
-// timeline rendering and analysis.
+// timeline rendering and analysis. O(1) through the per-tick heir table when
+// the schedule carries one.
 func (cs *CompiledSchedule) PartitionAt(offset tick.Ticks) Heir {
 	offset %= cs.MTF
+	if cs.heirAt != nil {
+		return cs.heirAt[offset]
+	}
 	heir := cs.Points[len(cs.Points)-1].Heir
 	for _, pt := range cs.Points {
 		if pt.Offset > offset {

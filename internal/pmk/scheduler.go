@@ -33,6 +33,15 @@ type ScheduleStatus struct {
 // clock tick; in the best (and most frequent) case it performs only two
 // computations: incrementing the tick counter and testing for a partition
 // preemption point.
+//
+// Two execution forms are supported. The compiled form (the default) runs
+// Algorithm 1 over the flat tables built at Compile time — parallel
+// offset/heir arrays cached in the scheduler on every schedule activation,
+// and a dense pending-action slice indexed by partition ordinal. The
+// interpreted form walks the original preemption-point structs and keeps the
+// pending actions in a map; it is retained as the executable reference
+// semantics that TestCompiledScheduleEquivalence diffs the compiled form
+// against, trace-byte for trace-byte.
 type Scheduler struct {
 	schedules []*CompiledSchedule
 
@@ -48,9 +57,24 @@ type Scheduler struct {
 	everSwitch  bool
 	switchCount int
 
-	// pendingActions holds, per partition, the restart action to perform
-	// the first time the partition is dispatched after a schedule switch.
-	// The Dispatcher consumes it (Algorithm 2 line 9).
+	// Hot cache of the active schedule's flat tables, refreshed by activate
+	// on Start and on every schedule-switch commit: the Tick fast path reads
+	// these three fields and nothing else.
+	mtf     tick.Ticks
+	offsets []tick.Ticks
+	heirs   []Heir
+
+	// Compiled-form pending actions: dense slice indexed by partition
+	// ordinal (0 = none armed), with the ordinal table shared read-only
+	// from the compiled schedules.
+	partNames    []model.PartitionName
+	pendingActs  []model.ScheduleChangeAction
+	pendingCount int
+
+	// interpreted selects the reference execution form.
+	interpreted bool
+	// pendingActions is the interpreted form's pending-action store,
+	// keeping the pre-compilation semantics bit-for-bit.
 	pendingActions map[model.PartitionName]model.ScheduleChangeAction
 
 	obs obs.Emitter
@@ -62,10 +86,39 @@ func NewScheduler(schedules []*CompiledSchedule) (*Scheduler, error) {
 	if len(schedules) == 0 {
 		return nil, ErrNoSchedules
 	}
-	return &Scheduler{
+	names := schedules[0].partNames
+	for _, cs := range schedules[1:] {
+		if len(cs.partNames) != len(names) {
+			return nil, ErrMismatchedModeMTF
+		}
+		for i := range names {
+			if cs.partNames[i] != names[i] {
+				return nil, ErrMismatchedModeMTF
+			}
+		}
+	}
+	s := &Scheduler{
 		schedules:      schedules,
+		partNames:      names,
+		pendingActs:    make([]model.ScheduleChangeAction, len(names)),
 		pendingActions: make(map[model.PartitionName]model.ScheduleChangeAction),
-	}, nil
+	}
+	s.activate(schedules[0])
+	return s, nil
+}
+
+// UseInterpreted switches the scheduler to the interpreted reference form.
+// It must be called before Start.
+func (s *Scheduler) UseInterpreted() { s.interpreted = true }
+
+// Interpreted reports whether the scheduler runs the interpreted form.
+func (s *Scheduler) Interpreted() bool { return s.interpreted }
+
+// activate caches the flat tables of the schedule now in force.
+func (s *Scheduler) activate(cs *CompiledSchedule) {
+	s.mtf = cs.MTF
+	s.offsets = cs.offsets
+	s.heirs = cs.heirs
 }
 
 // Start primes the scheduler at tick 0: the first preemption point (offset 0)
@@ -77,6 +130,7 @@ func (s *Scheduler) Start() (Heir, error) {
 	}
 	s.started = true
 	cs := s.schedules[s.currentSchedule]
+	s.activate(cs)
 	s.heir = cs.Points[0].Heir
 	s.tableIterator = 1 % len(cs.Points)
 	return s.heir, nil
@@ -90,9 +144,61 @@ func (s *Scheduler) Start() (Heir, error) {
 func (s *Scheduler) Tick() bool {
 	// Line 1: increment the global system clock tick counter.
 	s.ticks++
-	cs := s.schedules[s.currentSchedule]
+	if s.interpreted {
+		return s.tickInterpreted() //air:allow(call): ablation branch — the interpreted reference scheduler is never the production configuration
+	}
 	// Line 2: partition preemption point test against ticks elapsed since
-	// the last schedule switch.
+	// the last schedule switch — one compare over the cached flat table.
+	off := (s.ticks - s.lastSwitch) % s.mtf
+	if s.offsets[s.tableIterator] != off {
+		return false
+	}
+	// Line 3: pending schedule switch takes effect only at the end of the
+	// MTF.
+	if s.currentSchedule != s.nextSchedule && off == 0 {
+		s.commitSwitch() //air:allow(call): schedule switches are rare mode changes, not per-tick work
+	}
+	// Line 8: select the heir partition.
+	s.heir = s.heirs[s.tableIterator]
+	// Line 9: advance the table iterator modulo the number of partition
+	// preemption points.
+	s.tableIterator++
+	if s.tableIterator == len(s.offsets) {
+		s.tableIterator = 0
+	}
+	s.obs.Emit(obs.Event{Time: s.ticks, Kind: obs.KindHeirSelection, Partition: s.heir.Partition})
+	return true
+}
+
+// commitSwitch performs Algorithm 1 lines 4–6 in compiled form and arms the
+// dense per-partition restart actions for the new schedule; the Dispatcher
+// performs each partition's action the first time that partition is
+// dispatched under the new schedule (Sect. 4.3).
+func (s *Scheduler) commitSwitch() {
+	s.currentSchedule = s.nextSchedule
+	s.lastSwitch = s.ticks
+	s.tableIterator = 0
+	s.everSwitch = true
+	s.switchCount++
+	cs := s.schedules[s.currentSchedule]
+	s.activate(cs)
+	for ord, action := range cs.actionByOrd {
+		if action == 0 {
+			continue
+		}
+		if s.pendingActs[ord] == 0 {
+			s.pendingCount++
+		}
+		s.pendingActs[ord] = action
+	}
+}
+
+// tickInterpreted is the pre-compilation Algorithm 1 body, retained verbatim
+// as the reference semantics for the golden equivalence test. The tick
+// counter has already been incremented by Tick.
+func (s *Scheduler) tickInterpreted() bool {
+	cs := s.schedules[s.currentSchedule]
+	// Line 2: partition preemption point test.
 	if cs.Points[s.tableIterator].Offset != (s.ticks-s.lastSwitch)%cs.MTF {
 		return false
 	}
@@ -106,9 +212,6 @@ func (s *Scheduler) Tick() bool {
 		s.everSwitch = true
 		s.switchCount++
 		cs = s.schedules[s.currentSchedule]
-		// Arm the per-partition restart actions for the new schedule; the
-		// Dispatcher performs each partition's action the first time that
-		// partition is dispatched under the new schedule (Sect. 4.3).
 		for p, action := range cs.ChangeActions { //air:allow(maprange): map-to-map copy; order-insensitive
 			s.pendingActions[p] = action
 		}
@@ -173,13 +276,49 @@ func (s *Scheduler) SwitchCount() int { return s.switchCount }
 // for a partition, if any. The Dispatcher calls this when the partition is
 // first dispatched after a switch.
 func (s *Scheduler) ConsumePendingAction(p model.PartitionName) (model.ScheduleChangeAction, bool) {
-	action, ok := s.pendingActions[p]
-	if ok {
-		delete(s.pendingActions, p)
+	if s.interpreted {
+		action, ok := s.pendingActions[p]
+		if ok {
+			delete(s.pendingActions, p)
+		}
+		return action, ok
 	}
-	return action, ok
+	for ord, n := range s.partNames {
+		if n != p {
+			continue
+		}
+		if s.pendingActs[ord] == 0 {
+			return 0, false
+		}
+		action := s.pendingActs[ord]
+		s.pendingActs[ord] = 0
+		s.pendingCount--
+		return action, true
+	}
+	return 0, false
 }
 
 // PendingActionCount returns the number of partitions with unconsumed change
 // actions (those not yet dispatched since the last switch).
-func (s *Scheduler) PendingActionCount() int { return len(s.pendingActions) }
+func (s *Scheduler) PendingActionCount() int {
+	if s.interpreted {
+		return len(s.pendingActions)
+	}
+	return s.pendingCount
+}
+
+// Clone returns a deep copy of the scheduler's mutable Algorithm 1 state.
+// The compiled schedules (and the flat tables inside them) are immutable
+// after Compile and shared read-only with the clone; the observability
+// emitter is NOT carried over — the forked module attaches its own.
+func (s *Scheduler) Clone() *Scheduler {
+	c := *s
+	c.pendingActs = make([]model.ScheduleChangeAction, len(s.pendingActs))
+	copy(c.pendingActs, s.pendingActs)
+	c.pendingActions = make(map[model.PartitionName]model.ScheduleChangeAction, len(s.pendingActions))
+	for p, a := range s.pendingActions { //air:allow(maprange): map-to-map copy; order-insensitive
+		c.pendingActions[p] = a
+	}
+	c.obs = obs.Emitter{}
+	return &c
+}

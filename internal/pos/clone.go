@@ -1,0 +1,33 @@
+package pos
+
+import (
+	"air/internal/obs"
+	"air/internal/tick"
+)
+
+// Clone returns a deep copy of the kernel for module snapshot/fork. The
+// copy is rebound to the fork's clock, deadline observer (its PAL) and
+// observability spine; every process table entry — including the private
+// release bookkeeping (readySeq, releaseBase, lastArrival) that makes the
+// scheduler's tie-breaking deterministic — is value-copied so the fork's
+// POS-level scheduling decisions replay bit-exactly from the snapshot
+// point.
+func (k *Kernel) Clone(now func() tick.Ticks, observer DeadlineObserver, em obs.Emitter) *Kernel {
+	c := *k
+	c.now = now
+	c.observer = observer
+	if observer == nil {
+		c.observer = nopObserver{}
+	}
+	c.obs = em
+	c.procs = make([]*Process, len(k.procs))
+	for i, p := range k.procs {
+		cp := *p // Process holds only value fields (Spec is a value struct)
+		c.procs[i] = &cp
+	}
+	c.byName = make(map[string]ProcessID, len(k.byName))
+	for name, id := range k.byName { //air:allow(maprange): one-shot fork assembly off the hot path; order-insensitive copy
+		c.byName[name] = id
+	}
+	return &c
+}

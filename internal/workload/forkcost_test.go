@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"air/internal/core"
+)
+
+// forkParent builds a satellite module ticked to the first quiescent point
+// and snapshots it, the shared fixture for the fork-cost benchmarks.
+func forkParent(b *testing.B) *core.Snapshot {
+	b.Helper()
+	m, err := core.NewModule(Config(Options{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Shutdown)
+	if err := m.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(forkMTF - 1); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+// BenchmarkModuleFork isolates Fork() itself: the deep copy of every
+// subsystem (MMU frames, page tables, kernels, IPC channels, HM state,
+// trace ring) plus re-spawning the process goroutines. This is the
+// constant a campaign pays per prefix-shared variant, so it bounds how
+// short a per-run suffix can get before forking stops paying.
+func BenchmarkModuleFork(b *testing.B) {
+	snap := forkParent(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := snap.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Shutdown()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkModuleForkRun compares fork-then-simulate against the ticking
+// itself: one fork plus a 3-MTF suffix, the shape of a prefix-shared
+// campaign run.
+func BenchmarkModuleForkRun(b *testing.B) {
+	snap := forkParent(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := snap.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Run(3 * forkMTF); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Shutdown()
+		b.StartTimer()
+	}
+}

@@ -12,7 +12,6 @@ import (
 
 	"air/internal/apex"
 	"air/internal/core"
-	"air/internal/hm"
 	"air/internal/ipc"
 	"air/internal/model"
 	"air/internal/recovery"
@@ -108,19 +107,32 @@ func Config(opts Options) core.Config {
 		Partitions: []core.PartitionConfig{
 			{
 				Name: "P1", System: true, Init: aocsInit(&opts, inj),
-				HMProcessTable: inj.processTable("P1", hm.Table{
-					hm.ErrDeadlineMissed: hm.Rule{Action: hm.ActionRestartProcess},
-				}),
+				HMProcessTable: inj.processTable("P1", baseProcessTable("P1")),
 			},
 			{Name: "P2", Init: obdhInit(&opts, inj),
-				HMProcessTable: inj.processTable("P2", nil)},
+				HMProcessTable: inj.processTable("P2", baseProcessTable("P2"))},
 			{Name: "P3", Init: ttcInit(&opts, inj),
-				HMProcessTable: inj.processTable("P3", nil)},
+				HMProcessTable: inj.processTable("P3", baseProcessTable("P3"))},
 			{Name: "P4", System: true, Init: fdirInit(&opts, inj),
-				HMProcessTable: inj.processTable("P4", nil)},
+				HMProcessTable: inj.processTable("P4", baseProcessTable("P4"))},
 		},
 	}
 }
+
+// Application process state cells. Each satellite process keeps its
+// activation-to-activation state in one of these instead of closure
+// variables, in the ForkableBody form module snapshot/fork requires: the
+// runtime can deep-copy a cell, it cannot copy a goroutine's captured
+// locals.
+type (
+	aocsState struct{ angle int64 }
+	obdhState struct{ seq int }
+	ttcState  struct{ downlinked int }
+	fdirState struct {
+		stale    int
+		switched bool
+	}
+)
 
 // aocsInit is P1: the Attitude and Orbit Control Subsystem. A periodic
 // control process integrates a mock attitude state and publishes it on the
@@ -129,21 +141,25 @@ func Config(opts Options) core.Config {
 func aocsInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateSamplingPort("att_out", apex.Source)
-		sv.CreateProcess(model.TaskSpec{
+		sv.CreateForkableProcess(model.TaskSpec{
 			Name: "aocs_control", Period: 1300, Deadline: 650,
 			BasePriority: 1, WCET: 150, Periodic: true,
-		}, func(sv *core.Services) {
-			var angle int64
-			for {
-				sv.Compute(120) // sensor fusion + control law
-				angle = (angle + 7) % 3600
-				msg := fmt.Sprintf("q:%04d t:%d", angle, sv.GetTime())
-				if rc := sv.WriteSamplingMessage("att_out", []byte(msg)); rc != apex.NoError {
-					sv.ReportApplicationMessage("attitude publish failed: " + rc.String())
+		}, core.ForkableBody{
+			New:   func() any { return new(aocsState) },
+			Clone: func(s any) any { c := *s.(*aocsState); return &c },
+			Run: func(sv *core.Services, state any) {
+				s := state.(*aocsState)
+				for {
+					sv.Compute(120) // sensor fusion + control law
+					s.angle = (s.angle + 7) % 3600
+					msg := fmt.Sprintf("q:%04d t:%d", s.angle, sv.GetTime())
+					if rc := sv.WriteSamplingMessage("att_out", []byte(msg)); rc != apex.NoError {
+						sv.ReportApplicationMessage("attitude publish failed: " + rc.String())
+					}
+					opts.emit("P1", "AOCS attitude %04d published", s.angle)
+					sv.PeriodicWait()
 				}
-				opts.emit("P1", "AOCS attitude %04d published", angle)
-				sv.PeriodicWait()
-			}
+			},
 		})
 		sv.StartProcess("aocs_control")
 		inj.install(sv, "P1")
@@ -157,26 +173,30 @@ func obdhInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateSamplingPort("att_in", apex.Destination)
 		sv.CreateQueuingPort("hk_out", apex.Source)
-		sv.CreateProcess(model.TaskSpec{
+		sv.CreateForkableProcess(model.TaskSpec{
 			Name: "obdh_housekeeping", Period: 650, Deadline: 650,
 			BasePriority: 2, WCET: 80, Periodic: true,
-		}, func(sv *core.Services) {
-			seq := 0
-			for {
-				sv.Compute(60)
-				att, validity, rc := sv.ReadSamplingMessage("att_in")
-				frame := fmt.Sprintf("hk#%03d att=%q valid=%v", seq, att, validity == apex.Valid)
-				if rc != apex.NoError {
-					frame = fmt.Sprintf("hk#%03d att=unavailable", seq)
+		}, core.ForkableBody{
+			New:   func() any { return new(obdhState) },
+			Clone: func(s any) any { c := *s.(*obdhState); return &c },
+			Run: func(sv *core.Services, state any) {
+				s := state.(*obdhState)
+				for {
+					sv.Compute(60)
+					att, validity, rc := sv.ReadSamplingMessage("att_in")
+					frame := fmt.Sprintf("hk#%03d att=%q valid=%v", s.seq, att, validity == apex.Valid)
+					if rc != apex.NoError {
+						frame = fmt.Sprintf("hk#%03d att=unavailable", s.seq)
+					}
+					if rc := sv.SendQueuingMessage("hk_out", []byte(frame), 0); rc == apex.NoError {
+						opts.emit("P2", "OBDH queued %s", frame)
+					} else {
+						opts.emit("P2", "OBDH hk overflow: %s", rc)
+					}
+					s.seq++
+					sv.PeriodicWait()
 				}
-				if rc := sv.SendQueuingMessage("hk_out", []byte(frame), 0); rc == apex.NoError {
-					opts.emit("P2", "OBDH queued %s", frame)
-				} else {
-					opts.emit("P2", "OBDH hk overflow: %s", rc)
-				}
-				seq++
-				sv.PeriodicWait()
-			}
+			},
 		})
 		sv.StartProcess("obdh_housekeeping")
 		inj.install(sv, "P2")
@@ -189,24 +209,28 @@ func obdhInit(opts *Options, inj *injection) core.InitFunc {
 func ttcInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateQueuingPort("hk_in", apex.Destination)
-		sv.CreateProcess(model.TaskSpec{
+		sv.CreateForkableProcess(model.TaskSpec{
 			Name: "ttc_downlink", Period: 650, Deadline: 650,
 			BasePriority: 2, WCET: 80, Periodic: true,
-		}, func(sv *core.Services) {
-			downlinked := 0
-			for {
-				sv.Compute(20)
+		}, core.ForkableBody{
+			New:   func() any { return new(ttcState) },
+			Clone: func(s any) any { c := *s.(*ttcState); return &c },
+			Run: func(sv *core.Services, state any) {
+				s := state.(*ttcState)
 				for {
-					frame, rc := sv.ReceiveQueuingMessage("hk_in", 0)
-					if rc != apex.NoError {
-						break
+					sv.Compute(20)
+					for {
+						frame, rc := sv.ReceiveQueuingMessage("hk_in", 0)
+						if rc != apex.NoError {
+							break
+						}
+						s.downlinked++
+						sv.Compute(5) // radio framing
+						opts.emit("P3", "TTC downlink %s (total %d)", frame, s.downlinked)
 					}
-					downlinked++
-					sv.Compute(5) // radio framing
-					opts.emit("P3", "TTC downlink %s (total %d)", frame, downlinked)
+					sv.PeriodicWait()
 				}
-				sv.PeriodicWait()
-			}
+			},
 		})
 		sv.StartProcess("ttc_downlink")
 		inj.install(sv, "P3")
@@ -222,33 +246,36 @@ func ttcInit(opts *Options, inj *injection) core.InitFunc {
 func fdirInit(opts *Options, inj *injection) core.InitFunc {
 	return func(sv *core.Services) {
 		sv.CreateSamplingPort("att_in", apex.Destination)
-		sv.CreateProcess(model.TaskSpec{
+		sv.CreateForkableProcess(model.TaskSpec{
 			Name: "fdir_monitor", Period: 1300, Deadline: 1300,
 			BasePriority: 1, WCET: 90, Periodic: true,
-		}, func(sv *core.Services) {
-			stale := 0
-			switched := false
-			for {
-				sv.Compute(50)
-				_, validity, rc := sv.ReadSamplingMessage("att_in")
-				if rc != apex.NoError || validity != apex.Valid {
-					stale++
-					opts.emit("P4", "FDIR stale attitude (%d consecutive)", stale)
-				} else {
-					stale = 0
-					opts.emit("P4", "FDIR attitude nominal")
-				}
-				if !switched && opts.FDIRSwitchOnStale > 0 && stale >= opts.FDIRSwitchOnStale {
-					st := sv.GetModuleScheduleStatus()
-					if st.CurrentName != "chi2" {
-						if rc := sv.SetModuleScheduleByName("chi2"); rc == apex.NoError {
-							switched = true
-							opts.emit("P4", "FDIR requested schedule chi2")
+		}, core.ForkableBody{
+			New:   func() any { return new(fdirState) },
+			Clone: func(s any) any { c := *s.(*fdirState); return &c },
+			Run: func(sv *core.Services, state any) {
+				s := state.(*fdirState)
+				for {
+					sv.Compute(50)
+					_, validity, rc := sv.ReadSamplingMessage("att_in")
+					if rc != apex.NoError || validity != apex.Valid {
+						s.stale++
+						opts.emit("P4", "FDIR stale attitude (%d consecutive)", s.stale)
+					} else {
+						s.stale = 0
+						opts.emit("P4", "FDIR attitude nominal")
+					}
+					if !s.switched && opts.FDIRSwitchOnStale > 0 && s.stale >= opts.FDIRSwitchOnStale {
+						st := sv.GetModuleScheduleStatus()
+						if st.CurrentName != "chi2" {
+							if rc := sv.SetModuleScheduleByName("chi2"); rc == apex.NoError {
+								s.switched = true
+								opts.emit("P4", "FDIR requested schedule chi2")
+							}
 						}
 					}
+					sv.PeriodicWait()
 				}
-				sv.PeriodicWait()
-			}
+			},
 		})
 		sv.StartProcess("fdir_monitor")
 		inj.install(sv, "P4")
