@@ -45,6 +45,24 @@ func TestHelperWorkerProcess(t *testing.T) {
 			t.Fatalf("second lease: state=%v err=%v", state, err)
 		}
 		os.Exit(0)
+	case "linger":
+		// A lingering worker: drains, keeps polling, and exits 0 only on the
+		// SIGTERM graceful-drain path the parent test exercises.
+		if err := run([]string{"-join", base, "-id", id, "-poll", "1ms", "-linger"}, os.Stdout); err != nil {
+			t.Fatalf("linger worker %s: %v", id, err)
+		}
+	case "chaos":
+		// A worker whose transport runs under a dense deterministic fault
+		// schedule: drops, injected 500s, duplicated deliveries, latency.
+		args := []string{
+			"-join", base, "-id", id, "-poll", "1ms",
+			"-timeout", "2s", "-retries", "8", "-heartbeat", "25ms",
+			"-chaos-seed", "7", "-chaos-drop", "0.08", "-chaos-500", "0.08",
+			"-chaos-dup", "0.08", "-chaos-latency", "0.25", "-chaos-latency-span", "2ms",
+		}
+		if err := run(args, os.Stdout); err != nil {
+			t.Fatalf("chaos worker %s: %v", id, err)
+		}
 	default:
 		var sb strings.Builder
 		if err := run([]string{"-join", base, "-id", id, "-poll", "1ms"}, &sb); err != nil {

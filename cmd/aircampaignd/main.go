@@ -24,16 +24,35 @@
 // never completed. -workers N additionally runs N in-process worker shards,
 // so a single daemon is also a complete execution fleet.
 //
+// The coordinator also runs the worker flap detector: a shard whose issued
+// leases expire -quarantine-after times within -quarantine-window is
+// quarantined — denied leases for a cooldown, then re-admitted through one
+// half-open probe lease (complete it and the shard is back; expire it and
+// the cooldown doubles).
+//
 // Worker mode:
 //
 //	aircampaignd -join http://coordinator:9464 [-id name] [-workers n]
 //	             [-poll d] [-linger] [-max-leases n] [-ship-observations]
+//	             [-timeout d] [-retries n] [-heartbeat d]
 //
 // A worker process acquires leases from the coordinator over HTTP, executes
 // them with its local simulation pool (-workers goroutines) and reports the
 // per-lease partial aggregates back. Without -linger it exits once the
 // coordinator drains; with it, it keeps polling for future campaigns.
 // -ship-observations must match the coordinator's -keep-observations.
+//
+// The worker's coordinator path is hardened: every request carries a
+// -timeout deadline and is retried up to -retries times with seeded
+// exponential back-off, in-flight leases are heartbeat-renewed every
+// -heartbeat, and an unreachable coordinator fails fast at startup instead
+// of burning the retry budget in the lease loop. SIGTERM drains gracefully:
+// the in-flight lease finishes and reports before the process exits 0.
+//
+// Chaos flags (-chaos-seed, -chaos-drop, -chaos-500, -chaos-dup,
+// -chaos-latency, -chaos-latency-span) interpose a deterministic fault
+// schedule on the worker's transport — the soak-test harness for all of the
+// above. Campaign results are byte-identical with or without chaos.
 package main
 
 import (
@@ -77,18 +96,39 @@ func run(args []string, out io.Writer) error {
 		keepObs   = fs.Bool("keep-observations", false, "coordinator: retain per-run observations for /campaigns/{id}/result (memory grows with campaign size; workers must -ship-observations)")
 		matrix    = fs.String("matrix", "", "coordinator: campaign matrix JSON to submit at startup")
 		workers   = fs.Int("workers", 0, "coordinator: in-process worker shards (0 = coordinate only); worker mode: simulation goroutines per lease")
+		qAfter    = fs.Int("quarantine-after", 0, "coordinator: quarantine a shard after this many lease expiries within -quarantine-window (0 = default 3, -1 = disable)")
+		qWindow   = fs.Duration("quarantine-window", 10*time.Minute, "coordinator: sliding window for the shard flap detector")
+		qCooldown = fs.Duration("quarantine-cooldown", 30*time.Second, "coordinator: first quarantine duration; doubles per failed half-open probe")
+		qMax      = fs.Duration("quarantine-cooldown-max", 0, "coordinator: quarantine cooldown ceiling (0 = 8x -quarantine-cooldown)")
 		join      = fs.String("join", "", "worker mode: base URL of the coordinator to join (switches modes)")
 		id        = fs.String("id", "", "worker mode: shard name (default shard-<pid>)")
 		poll      = fs.Duration("poll", 500*time.Millisecond, "worker mode: acquire back-off while no lease is pending")
 		linger    = fs.Bool("linger", false, "worker mode: keep polling after the coordinator drains instead of exiting")
 		maxLeases = fs.Int("max-leases", 0, "worker mode: exit after completing this many leases (0 = run to drain)")
 		shipObs   = fs.Bool("ship-observations", false, "worker mode: ship per-run observations with each lease (required by a -keep-observations coordinator)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "worker mode: per-request deadline on every coordinator call")
+		retries   = fs.Int("retries", 4, "worker mode: attempts per coordinator call (retried with seeded exponential back-off)")
+		heartbeat = fs.Duration("heartbeat", 2*time.Second, "worker mode: in-flight lease renewal cadence (negative = disable)")
+		chSeed    = fs.Uint64("chaos-seed", 0, "worker mode: seed the deterministic fault-injection schedule (0 = chaos off unless a -chaos-* rate is set)")
+		chDrop    = fs.Float64("chaos-drop", 0, "worker mode: probability a request is lost before delivery")
+		ch500     = fs.Float64("chaos-500", 0, "worker mode: probability of an injected 500 response")
+		chDup     = fs.Float64("chaos-dup", 0, "worker mode: probability a request is delivered twice")
+		chLat     = fs.Float64("chaos-latency", 0, "worker mode: probability of an injected transport delay")
+		chSpan    = fs.Duration("chaos-latency-span", 10*time.Millisecond, "worker mode: injected delay upper bound")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *join != "" {
-		return runWorker(out, *join, *id, *workers, *poll, *linger, *maxLeases, *shipObs)
+		return runWorker(out, workerConfig{
+			base: *join, id: *id, pool: *workers,
+			poll: *poll, linger: *linger, maxLeases: *maxLeases, shipObs: *shipObs,
+			timeout: *timeout, retries: *retries, heartbeat: *heartbeat,
+			chaos: fleet.ChaosOptions{
+				Seed: *chSeed, Drop: *chDrop, Inject500: *ch500,
+				Duplicate: *chDup, Latency: *chLat, LatencySpan: *chSpan,
+			},
+		})
 	}
 
 	// A -config document supplies coordinator defaults; explicit flags
@@ -121,14 +161,30 @@ func run(args []string, out io.Writer) error {
 		if !set["keep-observations"] {
 			*keepObs = doc.KeepObservations
 		}
+		if !set["quarantine-after"] && doc.QuarantineAfter != 0 {
+			*qAfter = doc.QuarantineAfter
+		}
+		if !set["quarantine-window"] && doc.QuarantineWindowMillis != 0 {
+			*qWindow = time.Duration(doc.QuarantineWindowMillis) * time.Millisecond
+		}
+		if !set["quarantine-cooldown"] && doc.QuarantineCooldownMillis != 0 {
+			*qCooldown = time.Duration(doc.QuarantineCooldownMillis) * time.Millisecond
+		}
+		if !set["quarantine-cooldown-max"] && doc.QuarantineCooldownMaxMillis != 0 {
+			*qMax = time.Duration(doc.QuarantineCooldownMaxMillis) * time.Millisecond
+		}
 	}
 
 	c, err := fleet.New(fleet.Options{
-		LeaseSize:        *leaseSize,
-		LeaseTTL:         *leaseTTL,
-		LivenessWindow:   *liveness,
-		JournalPath:      *journal,
-		KeepObservations: *keepObs,
+		LeaseSize:             *leaseSize,
+		LeaseTTL:              *leaseTTL,
+		LivenessWindow:        *liveness,
+		JournalPath:           *journal,
+		KeepObservations:      *keepObs,
+		QuarantineAfter:       *qAfter,
+		QuarantineWindow:      *qWindow,
+		QuarantineCooldown:    *qCooldown,
+		QuarantineCooldownMax: *qMax,
 	})
 	if err != nil {
 		return err
@@ -208,36 +264,113 @@ func fleetMux(c *fleet.Coordinator) http.Handler {
 	return mux
 }
 
+// workerConfig carries worker mode's flag set.
+type workerConfig struct {
+	base, id          string
+	pool              int
+	poll              time.Duration
+	linger            bool
+	maxLeases         int
+	shipObs           bool
+	timeout           time.Duration
+	retries           int
+	heartbeat         time.Duration
+	chaos             fleet.ChaosOptions
+	stop              <-chan struct{} // tests override the SIGTERM channel
+	skipSignalHandler bool
+}
+
+// chaosOn reports whether any fault class has a non-zero rate or a schedule
+// seed was set explicitly.
+func (wc workerConfig) chaosOn() bool {
+	ch := wc.chaos
+	return ch.Seed != 0 || ch.Drop > 0 || ch.Inject500 > 0 || ch.Duplicate > 0 || ch.Latency > 0
+}
+
 // runWorker is worker mode: one shard process joining a remote coordinator.
-func runWorker(out io.Writer, base, id string, pool int, poll time.Duration, linger bool, maxLeases int, shipObs bool) error {
-	if id == "" {
-		id = fmt.Sprintf("shard-%d", os.Getpid())
+func runWorker(out io.Writer, wc workerConfig) error {
+	if wc.id == "" {
+		wc.id = fmt.Sprintf("shard-%d", os.Getpid())
 	}
-	if pool <= 0 {
-		pool = runtime.GOMAXPROCS(0)
+	if wc.pool <= 0 {
+		wc.pool = runtime.GOMAXPROCS(0)
 	}
-	cl := &fleet.Client{Base: base}
+	cl := &fleet.Client{
+		Base:    wc.base,
+		Timeout: wc.timeout,
+		Retry:   fleet.RetryPolicy{Attempts: wc.retries},
+	}
+	if wc.chaosOn() {
+		chaos := fleet.NewChaos(wc.chaos)
+		cl.HTTP = &http.Client{Transport: chaos.Transport(nil), Timeout: wc.timeout}
+		fmt.Fprintf(out, "%s: chaos schedule armed (seed %d)\n", wc.id, wc.chaos.Seed)
+	}
+
+	// Fail fast while nothing is in flight: a misconfigured or down
+	// coordinator should cost one retry budget, not a lease loop that dies
+	// deep in Acquire.
+	if err := cl.Ping(); err != nil {
+		return fmt.Errorf("coordinator %s unreachable: %w", wc.base, err)
+	}
+
+	// SIGTERM requests a graceful drain: finish and report the in-flight
+	// lease, then exit 0. A second SIGTERM kills the process the usual way.
+	stop := wc.stop
+	if !wc.skipSignalHandler {
+		ch := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		//air:allow(goroutine): host-side signal plumbing, off the tick domain
+		go func() {
+			<-sig
+			fmt.Fprintf(out, "%s: drain requested, finishing in-flight lease\n", wc.id)
+			close(ch)
+			signal.Stop(sig)
+		}()
+		stop = ch
+	}
+
 	total := 0
 	for {
 		n, err := fleet.Work(cl, fleet.WorkerOptions{
-			ID:               id,
-			Workers:          pool,
-			Poll:             poll,
-			DropObservations: !shipObs,
-			MaxLeases:        maxLeases,
+			ID:               wc.id,
+			Workers:          wc.pool,
+			Poll:             wc.poll,
+			DropObservations: !wc.shipObs,
+			MaxLeases:        wc.maxLeases,
+			Heartbeat:        wc.heartbeat,
+			Retries:          cl.Retries,
+			Stop:             stop,
 		})
 		total += n
 		if err != nil {
 			return err
 		}
-		if maxLeases > 0 && n >= maxLeases {
-			fmt.Fprintf(out, "%s: lease budget reached after %d leases\n", id, total)
+		if drained(stop) {
+			fmt.Fprintf(out, "%s: drained after %d leases\n", wc.id, total)
 			return nil
 		}
-		if !linger {
-			fmt.Fprintf(out, "%s: coordinator drained after %d leases\n", id, total)
+		if wc.maxLeases > 0 && n >= wc.maxLeases {
+			fmt.Fprintf(out, "%s: lease budget reached after %d leases\n", wc.id, total)
 			return nil
 		}
-		time.Sleep(poll)
+		if !wc.linger {
+			fmt.Fprintf(out, "%s: coordinator drained after %d leases\n", wc.id, total)
+			return nil
+		}
+		time.Sleep(wc.poll)
+	}
+}
+
+// drained reports whether the stop channel has been closed.
+func drained(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
 	}
 }

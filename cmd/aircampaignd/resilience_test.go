@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"air/internal/campaign"
+	"air/internal/config"
+	"air/internal/fleet"
+)
+
+// TestWorkerFailsFastWhenCoordinatorUnreachable: worker mode with nothing
+// listening must exit non-zero after one retry budget, not hang in the
+// lease loop.
+func TestWorkerFailsFastWhenCoordinatorUnreachable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-join", "http://127.0.0.1:1", "-id", "orphan", "-retries", "2", "-timeout", "250ms"}, &sb)
+	if err == nil {
+		t.Fatal("worker joined a coordinator that does not exist")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("error = %v, want coordinator-unreachable", err)
+	}
+}
+
+// TestWorkerGracefulDrainOnSIGTERM: a lingering worker process receiving
+// SIGTERM finishes its in-flight lease, reports it, and exits 0 — and the
+// campaign it worked on still merges byte-identically.
+func TestWorkerGracefulDrainOnSIGTERM(t *testing.T) {
+	doc := testDoc()
+	doc.Runs = 12
+	serveHook = func(kind, addr string) {
+		base := "http://" + addr
+		cl := &fleet.Client{Base: base}
+		id, err := cl.Submit(doc)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+
+		w := spawnWorker(t, base, "drainer", "linger")
+		var out bytes.Buffer
+		w.Stdout, w.Stderr = &out, &out
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Wait until the worker has completed at least one lease, so the
+		// drain demonstrably happens mid-engagement, then signal it.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var st fleet.Status
+			getJSON(t, base+"/campaigns/"+id, &st)
+			if st.Leases.Done >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker never completed a lease:\n%s", out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := w.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Wait(); err != nil {
+			t.Fatalf("SIGTERM drain exited non-zero: %v\n%s", err, out.String())
+		}
+		for _, want := range []string{"drain requested", "drained after"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("drain output missing %q:\n%s", want, out.String())
+			}
+		}
+
+		// Whatever the drained worker left behind, a survivor finishes, and
+		// the merge is still byte-identical to the clean run.
+		if _, err := fleet.Work(cl, fleet.WorkerOptions{ID: "survivor", Workers: 1, Poll: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		assertCleanResult(t, base, id, doc)
+	}
+	defer func() { serveHook = nil }()
+
+	var sb strings.Builder
+	if err := run([]string{"-addr", "127.0.0.1:0", "-lease", "2", "-lease-ttl", "100ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosWorkerProcessMatchesCleanRun is the end-to-end soak: a real
+// worker process under -chaos-* transport faults drains a campaign over
+// HTTP and the merged aggregate is byte-identical to the clean
+// single-process run.
+func TestChaosWorkerProcessMatchesCleanRun(t *testing.T) {
+	doc := testDoc()
+	doc.Runs = 12
+	serveHook = func(kind, addr string) {
+		base := "http://" + addr
+		cl := &fleet.Client{Base: base}
+		id, err := cl.Submit(doc)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		w := spawnWorker(t, base, "chaotic", "chaos")
+		var out bytes.Buffer
+		w.Stdout, w.Stderr = &out, &out
+		if err := w.Run(); err != nil {
+			t.Fatalf("chaos worker: %v\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "chaos schedule armed") {
+			t.Fatalf("worker ran without chaos:\n%s", out.String())
+		}
+		// The abandoned leases a chaos drop can orphan are reclaimed at the
+		// coordinator's TTL; a survivor sweeps anything left.
+		if _, err := fleet.Work(cl, fleet.WorkerOptions{ID: "sweeper", Workers: 1, Poll: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		assertCleanResult(t, base, id, doc)
+	}
+	defer func() { serveHook = nil }()
+
+	var sb strings.Builder
+	if err := run([]string{"-addr", "127.0.0.1:0", "-lease", "2", "-lease-ttl", "150ms", "-quarantine-after", "-1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertCleanResult fetches the campaign result over HTTP and compares it
+// byte-for-byte with the single-process campaign.Run of the same document.
+func assertCleanResult(t *testing.T, base, id string, doc *config.Campaign) {
+	t.Helper()
+	got := get(t, base+"/campaigns/"+id+"/result")
+	spec, err := campaign.FromConfig(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Observations = nil
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantJSON) {
+		t.Error("fleet result differs from single-process campaign.Run")
+	}
+}

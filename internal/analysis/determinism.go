@@ -49,6 +49,7 @@ var tickDomain = map[string]bool{
 // construction and covered by the race detector.
 var seededDomain = map[string]bool{
 	"air/internal/campaign": true,
+	"air/internal/fleet":    true,
 }
 
 // wallclockFuncs are the time-package functions that read or schedule on the

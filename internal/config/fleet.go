@@ -35,6 +35,18 @@ type Fleet struct {
 	// KeepObservations retains per-run observations for result artifacts;
 	// workers must then ship observations with each lease.
 	KeepObservations bool `json:"keepObservations,omitempty"`
+	// QuarantineAfter is the worker flap-detector threshold: quarantine a
+	// shard whose leases expire this many times within the window
+	// (default 3; -1 disables the detector).
+	QuarantineAfter int `json:"quarantineAfter,omitempty"`
+	// QuarantineWindowMillis is the sliding window expiries are counted
+	// over (default 600000).
+	QuarantineWindowMillis int64 `json:"quarantineWindowMillis,omitempty"`
+	// QuarantineCooldownMillis is the first quarantine duration; each failed
+	// half-open probe doubles it up to QuarantineCooldownMaxMillis
+	// (defaults 30000 and 8× the cooldown).
+	QuarantineCooldownMillis    int64 `json:"quarantineCooldownMillis,omitempty"`
+	QuarantineCooldownMaxMillis int64 `json:"quarantineCooldownMaxMillis,omitempty"`
 }
 
 // DefaultFleet is the built-in daemon configuration.
@@ -58,6 +70,12 @@ func (f *Fleet) Validate() error {
 	}
 	if f.Workers < 0 {
 		return fmt.Errorf("config: fleet %q has negative worker count %d", f.Name, f.Workers)
+	}
+	if f.QuarantineAfter < -1 {
+		return fmt.Errorf("config: fleet %q has invalid quarantineAfter %d (-1 disables, 0 defaults)", f.Name, f.QuarantineAfter)
+	}
+	if f.QuarantineWindowMillis < 0 || f.QuarantineCooldownMillis < 0 || f.QuarantineCooldownMaxMillis < 0 {
+		return fmt.Errorf("config: fleet %q has negative quarantine durations", f.Name)
 	}
 	return nil
 }

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"air/internal/campaign"
+)
+
+// soakChaos is the dense schedule the equivalence tests run under: every
+// fault class enabled at once, delays kept tiny so the suite stays fast.
+func soakChaos(seed uint64) ChaosOptions {
+	return ChaosOptions{
+		Seed:         seed,
+		Drop:         0.08,
+		DropResponse: 0.08,
+		Inject500:    0.08,
+		Duplicate:    0.08,
+		Latency:      0.25,
+		LatencySpan:  2 * time.Millisecond,
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	a, b := NewChaos(soakChaos(7)), NewChaos(soakChaos(7))
+	for i := 0; i < 500; i++ {
+		da, db := a.next(), b.next()
+		if da != db {
+			t.Fatalf("op %d: schedules diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	other := NewChaos(soakChaos(8))
+	for i := 0; i < 500; i++ {
+		other.next()
+	}
+	if other.Stats() == a.Stats() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChaosInjectsEveryClass(t *testing.T) {
+	c := NewChaos(soakChaos(3))
+	for i := 0; i < 2000; i++ {
+		c.next()
+	}
+	st := c.Stats()
+	if st.Drops == 0 || st.ResponseDrops == 0 || st.Injected500s == 0 || st.Duplicates == 0 || st.Delays == 0 {
+		t.Fatalf("a fault class never fired over 2000 ops: %+v", st)
+	}
+}
+
+// TestRunLocalChaosEquivalence is the tentpole acceptance test: under three
+// different dense chaos schedules — drops, lost responses, injected 500s,
+// duplicated deliveries, latency — a fleet campaign still produces the
+// byte-identical Result of the clean single-process run.
+func TestRunLocalChaosEquivalence(t *testing.T) {
+	spec := testSpec(24)
+	want, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := resultJSON(t, want)
+	for _, seed := range []uint64{1, 42, 1912} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ch := NewChaos(soakChaos(seed))
+			got, err := RunLocal(spec, LocalOptions{
+				Shards:    3,
+				LeaseSize: 4,
+				Chaos:     ch,
+				LeaseTTL:  150 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v (stats %+v)", err, ch.Stats())
+			}
+			if !bytes.Equal(resultJSON(t, got), wantJSON) {
+				t.Fatalf("chaos result differs from clean campaign.Run (stats %+v)", ch.Stats())
+			}
+			if ch.Stats().Faults() == 0 {
+				t.Fatalf("vacuous run: schedule injected no faults (%+v)", ch.Stats())
+			}
+		})
+	}
+}
+
+// TestChaosCrashRestartEquivalence composes every failure domain at once:
+// a chaos schedule on the transport, a worker that dies holding a lease,
+// and a coordinator that is killed and restarted over its journal. The
+// final aggregate must still be byte-identical to the clean run, and a
+// third coordinator replaying the finished journal must agree.
+func TestChaosCrashRestartEquivalence(t *testing.T) {
+	spec := testSpec(16)
+	journal := filepath.Join(t.TempDir(), "fleet.journal")
+	ch := NewChaos(soakChaos(99))
+	opts := Options{
+		LeaseSize:        4,
+		LeaseTTL:         150 * time.Millisecond,
+		JournalPath:      journal,
+		KeepObservations: true,
+		QuarantineAfter:  -1,
+	}
+	wopts := WorkerOptions{
+		Workers:         1,
+		Poll:            time.Millisecond,
+		Heartbeat:       40 * time.Millisecond,
+		AcquireRetries:  50,
+		CompleteRetries: 50,
+	}
+
+	// First life: one worker completes a lease under chaos, then crashes
+	// holding a second; the coordinator dies right after.
+	c1, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c1.Submit(spec.Defaulted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := wopts
+	doomed.ID, doomed.MaxLeases = "doomed", 1
+	if n, err := Work(ch.Service(c1), doomed); err != nil || n != 1 {
+		t.Fatalf("doomed shard: n=%d err=%v", n, err)
+	}
+	if _, _, err := c1.Acquire("doomed"); err != nil {
+		t.Fatalf("crash lease: %v", err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: replay the journal and drain with two chaos-wrapped
+	// shards. The crashed worker's abandoned lease is simply pending again.
+	c2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := ch.Service(c2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := wopts
+			w.ID = fmt.Sprintf("survivor-%d", i)
+			_, errs[i] = Work(svc, w)
+		}(i)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			t.Fatalf("survivor: %v (stats %+v)", werr, ch.Stats())
+		}
+	}
+	got, err := c2.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+		t.Fatalf("chaos+crash+restart result differs from clean run (stats %+v)", ch.Stats())
+	}
+	if ch.Stats().Faults() == 0 {
+		t.Fatal("vacuous soak: no faults injected")
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third life: the finished journal replays clean — campaign done, same
+	// bytes, nothing left to issue.
+	c3, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, state, err := c3.Acquire("auditor"); err != nil || state != Drained {
+		t.Fatalf("replayed journal not drained: state=%v err=%v", state, err)
+	}
+	replayed, err := c3.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, replayed), resultJSON(t, want)) {
+		t.Fatal("journal replay of finished campaign differs from clean run")
+	}
+}
+
+// TestChaosServiceErrorsAreInjected pins the error contract: every fault
+// the chaos service surfaces unwraps to ErrInjected, so callers can tell
+// scheduled faults from real ones.
+func TestChaosServiceErrorsAreInjected(t *testing.T) {
+	c, err := New(Options{LeaseSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(testSpec(8)); err != nil {
+		t.Fatal(err)
+	}
+	// Drop everything: every call must fail with an injected error.
+	svc := NewChaos(ChaosOptions{Seed: 5, Drop: 1}).Service(c)
+	if _, _, err := svc.Acquire("w"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("acquire error = %v, want ErrInjected", err)
+	}
+	if _, err := svc.Spec("nope"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("spec error = %v, want ErrInjected", err)
+	}
+	if err := svc.Complete("w", Lease{}, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("complete error = %v, want ErrInjected", err)
+	}
+	if err := svc.Heartbeat("w", nil, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("heartbeat error = %v, want ErrInjected", err)
+	}
+}

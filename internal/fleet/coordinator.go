@@ -55,11 +55,27 @@ type campaignState struct {
 
 func (cs *campaignState) complete() bool { return cs.done == len(cs.leases) }
 
-// workerInfo tracks one shard's coordinator contacts.
+// workerInfo tracks one shard's coordinator contacts and its standing with
+// the flap detector.
 type workerInfo struct {
 	firstSeen time.Time
 	lastSeen  time.Time
 	leases    int
+	// retries is the shard's cumulative transport retry count, as last
+	// reported by its heartbeats (monotone).
+	retries int64
+	// expiries are the instants leases issued to this shard expired and
+	// were reclaimed, pruned to the detector's sliding window.
+	expiries []time.Time
+	// quarantined/cooldownUntil/cooldown/probing implement the circuit
+	// breaker: quarantined shards get Wait until the cooldown lapses, then
+	// one half-open probe lease whose fate re-admits (complete) or doubles
+	// the cooldown (expire).
+	quarantined   bool
+	probing       bool
+	probe         Lease
+	cooldown      time.Duration
+	cooldownUntil time.Time
 }
 
 // Coordinator shards campaign run spaces into leases, dispatches them to
@@ -219,43 +235,48 @@ func numericSuffix(id string) int {
 // Acquire implements Service: it issues the first pending lease in
 // submission order, or — when none is pending — steals the longest-expired
 // issued lease from its quiet holder. Wait means unfinished leases are
-// outstanding elsewhere; Drained means every campaign is complete.
+// outstanding elsewhere (or the asking shard is quarantined); Drained means
+// every campaign is complete.
 func (c *Coordinator) Acquire(worker string) (Lease, AcquireState, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.opts.Clock()
 	c.touch(worker, now)
 
-	for _, id := range c.order {
-		cs := c.campaigns[id]
-		if idx, ok := c.nextPending(cs); ok {
-			return c.issue(cs, idx, worker, now), Granted, nil
-		}
-	}
-	// Work stealing: no pending lease anywhere — reclaim the most
-	// overdue expired lease and reissue it to the asking shard.
-	var victim *campaignState
-	victimIdx := -1
-	var oldest time.Time
-	for _, id := range c.order {
-		cs := c.campaigns[id]
-		for idx, l := range cs.leases {
-			if l.state != leaseIssued || l.deadline.IsZero() || now.Before(l.deadline) {
-				continue
-			}
-			if victimIdx < 0 || l.deadline.Before(oldest) {
-				victim, victimIdx, oldest = cs, idx, l.deadline
+	if c.admitted(c.workers[worker], now) {
+		for _, id := range c.order {
+			cs := c.campaigns[id]
+			if idx, ok := c.nextPending(cs); ok {
+				return c.grant(cs, idx, worker, now), Granted, nil
 			}
 		}
-	}
-	if victimIdx >= 0 {
-		l := victim.leases[victimIdx]
-		c.metrics.Observe(obs.Event{Kind: obs.KindLeaseReclaimed, Detail: victim.id, Process: l.worker, Latency: tick.Ticks(l.end - l.start)})
-		victim.issued--
-		victim.pending++
-		l.state = leasePending
-		l.worker = ""
-		return c.issue(victim, victimIdx, worker, now), Granted, nil
+		// Work stealing: no pending lease anywhere — reclaim the most
+		// overdue expired lease and reissue it to the asking shard. The
+		// expiry is charged to the quiet holder's flap account.
+		var victim *campaignState
+		victimIdx := -1
+		var oldest time.Time
+		for _, id := range c.order {
+			cs := c.campaigns[id]
+			for idx, l := range cs.leases {
+				if l.state != leaseIssued || l.deadline.IsZero() || now.Before(l.deadline) {
+					continue
+				}
+				if victimIdx < 0 || l.deadline.Before(oldest) {
+					victim, victimIdx, oldest = cs, idx, l.deadline
+				}
+			}
+		}
+		if victimIdx >= 0 {
+			l := victim.leases[victimIdx]
+			c.metrics.Observe(obs.Event{Kind: obs.KindLeaseReclaimed, Detail: victim.id, Process: l.worker, Latency: tick.Ticks(l.end - l.start)})
+			c.recordExpiry(l.worker, Lease{Campaign: victim.id, Index: victimIdx, Start: l.start, End: l.end}, now)
+			victim.issued--
+			victim.pending++
+			l.state = leasePending
+			l.worker = ""
+			return c.grant(victim, victimIdx, worker, now), Granted, nil
+		}
 	}
 	for _, cs := range c.campaigns {
 		if !cs.complete() {
@@ -263,6 +284,75 @@ func (c *Coordinator) Acquire(worker string) (Lease, AcquireState, error) {
 		}
 	}
 	return Lease{}, Drained, nil
+}
+
+// admitted decides whether a shard may be granted a lease right now: open
+// shards always, quarantined shards only as the single half-open probe once
+// their cooldown lapsed (c.mu held).
+func (c *Coordinator) admitted(wi *workerInfo, now time.Time) bool {
+	if wi == nil || !wi.quarantined {
+		return true
+	}
+	if wi.probing || now.Before(wi.cooldownUntil) {
+		return false
+	}
+	return true
+}
+
+// grant issues the lease and, for a quarantined shard emerging from its
+// cooldown, marks it as the half-open probe (c.mu held).
+func (c *Coordinator) grant(cs *campaignState, idx int, worker string, now time.Time) Lease {
+	l := c.issue(cs, idx, worker, now)
+	if wi := c.workers[worker]; wi != nil && wi.quarantined {
+		wi.probing = true
+		wi.probe = l
+	}
+	return l
+}
+
+// recordExpiry charges one lease expiry to the shard that went quiet
+// holding it, trips the flap detector past the threshold, and re-opens the
+// breaker with a doubled cooldown when the expired lease was a half-open
+// probe (c.mu held).
+func (c *Coordinator) recordExpiry(worker string, l Lease, now time.Time) {
+	if c.opts.QuarantineAfter < 0 {
+		return
+	}
+	wi := c.workers[worker]
+	if wi == nil {
+		return
+	}
+	if wi.quarantined {
+		if wi.probing && wi.probe == l {
+			// The probe went quiet too: double the cooldown and keep the
+			// breaker open.
+			wi.probing = false
+			wi.cooldown = 2 * wi.cooldown
+			if wi.cooldown > c.opts.QuarantineCooldownMax {
+				wi.cooldown = c.opts.QuarantineCooldownMax
+			}
+			wi.cooldownUntil = now.Add(wi.cooldown)
+			c.metrics.Observe(obs.Event{Kind: obs.KindShardQuarantined, Process: worker, Detail: "probe expired", Latency: tick.Ticks(wi.cooldown.Milliseconds())})
+		}
+		return
+	}
+	// Slide the window and count the flap.
+	keep := wi.expiries[:0]
+	for _, t := range wi.expiries {
+		if now.Sub(t) < c.opts.QuarantineWindow {
+			keep = append(keep, t)
+		}
+	}
+	wi.expiries = append(keep, now)
+	if len(wi.expiries) < c.opts.QuarantineAfter {
+		return
+	}
+	wi.quarantined = true
+	wi.probing = false
+	wi.expiries = nil
+	wi.cooldown = c.opts.QuarantineCooldown
+	wi.cooldownUntil = now.Add(wi.cooldown)
+	c.metrics.Observe(obs.Event{Kind: obs.KindShardQuarantined, Process: worker, Detail: "flap threshold", Latency: tick.Ticks(wi.cooldown.Milliseconds())})
 }
 
 // nextPending advances the campaign's cursor to its first pending lease.
@@ -348,6 +438,51 @@ func (c *Coordinator) Complete(worker string, l Lease, sh *campaign.Shard) error
 		}
 	}
 	c.finishLease(cs, l.Index, &sh.Aggregate, c.keptObservations(sh), worker, true)
+	// A completed half-open probe closes the breaker: the shard held a
+	// lease to the end again, so it is re-admitted with a clean flap
+	// account.
+	if wi := c.workers[worker]; wi != nil && wi.quarantined && wi.probing && wi.probe == l {
+		wi.quarantined = false
+		wi.probing = false
+		wi.expiries = nil
+		wi.cooldown = 0
+		wi.cooldownUntil = time.Time{}
+		c.metrics.Observe(obs.Event{Kind: obs.KindShardReadmitted, Process: worker})
+	}
+	return nil
+}
+
+// Heartbeat implements Service: it refreshes the shard's liveness, records
+// its cumulative transport retry count, and — when the shard names its
+// in-flight lease — pushes that lease's reclamation deadline out by a full
+// LeaseTTL, so a live-but-slow shard is never mistaken for a dead one.
+func (c *Coordinator) Heartbeat(worker string, l *Lease, retries int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.touch(worker, now)
+	wi := c.workers[worker]
+	if retries > wi.retries {
+		wi.retries = retries
+	}
+	if l == nil {
+		return nil
+	}
+	cs := c.campaigns[l.Campaign]
+	if cs == nil {
+		return fmt.Errorf("fleet: heartbeat for unknown campaign %q", l.Campaign)
+	}
+	if l.Index < 0 || l.Index >= len(cs.leases) {
+		return fmt.Errorf("fleet: heartbeat for unknown lease %s/%d", l.Campaign, l.Index)
+	}
+	ls := cs.leases[l.Index]
+	// Renew only a lease still issued to this shard and still under TTL
+	// policy; a reclaimed or completed lease is left alone — the original
+	// holder finds out when its Complete lands as an idempotent no-op.
+	if ls.state == leaseIssued && ls.worker == worker && c.opts.LeaseTTL > 0 {
+		ls.deadline = now.Add(c.opts.LeaseTTL)
+		c.metrics.Observe(obs.Event{Kind: obs.KindLeaseRenewed, Detail: cs.id, Process: worker, Latency: tick.Ticks(ls.end - ls.start)})
+	}
 	return nil
 }
 
@@ -458,6 +593,11 @@ func (c *Coordinator) FleetStatus() FleetStatus {
 				LastSeenMillis:  wi.lastSeen.UnixMilli(),
 				Leases:          wi.leases,
 				Live:            now.Sub(wi.lastSeen) <= c.opts.LivenessWindow,
+				BeatAgeMillis:   now.Sub(wi.lastSeen).Milliseconds(),
+				Retries:         wi.retries,
+				Expiries:        len(wi.expiries),
+				Quarantined:     wi.quarantined,
+				Probing:         wi.probing,
 			}
 		}
 	}

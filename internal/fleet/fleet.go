@@ -85,7 +85,8 @@ func (s AcquireState) String() string {
 
 // Service is the coordinator surface a worker shard needs. The Coordinator
 // implements it directly (in-process shards); Client implements it over
-// HTTP (worker processes).
+// HTTP (worker processes); Chaos.Service wraps either with a deterministic
+// fault schedule.
 type Service interface {
 	// Acquire asks for a lease on behalf of the named worker.
 	Acquire(worker string) (Lease, AcquireState, error)
@@ -93,8 +94,15 @@ type Service interface {
 	// campaign by each shard, then cached).
 	Spec(campaignID string) (campaign.Spec, error)
 	// Complete reports a finished lease with its shard result. Completing
-	// an already-completed lease is a no-op.
+	// an already-completed lease is a no-op, so Complete is safe to retry
+	// blindly — the resilience the whole fleet protocol leans on.
 	Complete(worker string, l Lease, sh *campaign.Shard) error
+	// Heartbeat reports the worker alive. A non-nil lease asks the
+	// coordinator to extend that lease's reclamation deadline (the
+	// live-but-slow signal); retries is the worker's cumulative transport
+	// retry count, surfaced on /metrics. Heartbeats are best-effort: workers
+	// ignore heartbeat errors.
+	Heartbeat(worker string, l *Lease, retries int64) error
 }
 
 // LeaseCounts breaks a campaign's leases down by state.
@@ -123,13 +131,28 @@ type Status struct {
 // WorkerStatus is one shard's liveness view.
 type WorkerStatus struct {
 	// FirstSeenMillis/LastSeenMillis are Unix milliseconds of the shard's
-	// first and latest coordinator contact.
+	// first and latest coordinator contact (any RPC, heartbeats included).
 	FirstSeenMillis int64 `json:"firstSeenMillis"`
 	LastSeenMillis  int64 `json:"lastSeenMillis"`
 	// Leases counts the shard's completed leases.
 	Leases int `json:"leases"`
 	// Live reports contact within the coordinator's liveness window.
 	Live bool `json:"live"`
+	// BeatAgeMillis is how long ago the shard last contacted the
+	// coordinator — the heartbeat-liveness age exported on /metrics.
+	BeatAgeMillis int64 `json:"beatAgeMillis"`
+	// Retries is the shard's cumulative transport retry count, as last
+	// reported by its heartbeats.
+	Retries int64 `json:"retries,omitempty"`
+	// Expiries counts lease expiries attributed to the shard inside the
+	// current flap-detection window.
+	Expiries int `json:"expiries,omitempty"`
+	// Quarantined reports the shard tripped the flap detector: it is denied
+	// new leases until its half-open probe lease completes.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Probing reports the shard is half-open: one probe lease is in flight,
+	// and its fate decides re-admission vs a doubled cooldown.
+	Probing bool `json:"probing,omitempty"`
 }
 
 // FleetStatus is the coordinator-wide progress view (GET /campaigns).
@@ -162,6 +185,22 @@ type Options struct {
 	// O(1) merged aggregate — the configuration for campaigns of millions
 	// of runs.
 	KeepObservations bool
+	// QuarantineAfter is the flap-detector threshold: a worker whose issued
+	// leases expire this many times within QuarantineWindow is quarantined —
+	// denied new leases until a cooldown lapses and a half-open probe lease
+	// completes. 0 defaults to 3; negative disables the detector. The
+	// detector mirrors internal/recovery's partition circuit breaker at
+	// fleet scale: flapping shards cost latency (every expiry re-runs a
+	// lease), so they are idled instead of fed.
+	QuarantineAfter int
+	// QuarantineWindow is the sliding window the expiries are counted over
+	// (default 10m).
+	QuarantineWindow time.Duration
+	// QuarantineCooldown is the first quarantine duration; each failed
+	// half-open probe doubles it, capped at QuarantineCooldownMax (defaults
+	// 30s and 8× the cooldown).
+	QuarantineCooldown    time.Duration
+	QuarantineCooldownMax time.Duration
 	// Clock supplies wall time for lease TTLs and shard liveness — never
 	// simulation state. Nil defaults to the real clock; tests inject a
 	// fake to exercise reclamation deterministically.
@@ -175,8 +214,27 @@ func (o Options) withDefaults() Options {
 	if o.LivenessWindow <= 0 {
 		o.LivenessWindow = 15 * time.Second
 	}
+	if o.QuarantineAfter == 0 {
+		o.QuarantineAfter = 3
+	}
+	if o.QuarantineWindow <= 0 {
+		o.QuarantineWindow = 10 * time.Minute
+	}
+	if o.QuarantineCooldown <= 0 {
+		o.QuarantineCooldown = 30 * time.Second
+	}
+	if o.QuarantineCooldownMax <= 0 {
+		o.QuarantineCooldownMax = 8 * o.QuarantineCooldown
+	}
 	if o.Clock == nil {
-		o.Clock = time.Now
+		o.Clock = wallclock
 	}
 	return o
+}
+
+// wallclock is the coordinator's single wall-time tap: lease deadlines,
+// liveness windows and quarantine cooldowns read it through Options.Clock.
+func wallclock() time.Time {
+	//air:allow(wallclock): wall time feeds lease TTLs, shard liveness and quarantine cooldowns only — never campaign results; tests inject a fake via Options.Clock
+	return time.Now()
 }

@@ -3,9 +3,15 @@ package fleet
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"air/internal/campaign"
 	"air/internal/config"
@@ -17,6 +23,7 @@ const (
 	pathCampaigns = "/campaigns"
 	pathAcquire   = "/fleet/acquire"
 	pathComplete  = "/fleet/complete"
+	pathHeartbeat = "/fleet/heartbeat"
 )
 
 // submitResponse is POST /campaigns's body.
@@ -41,6 +48,14 @@ type completeRequest struct {
 	Worker string          `json:"worker"`
 	Lease  Lease           `json:"lease"`
 	Shard  *campaign.Shard `json:"shard"`
+}
+
+// heartbeatRequest is POST /fleet/heartbeat's body. Lease, when set, asks
+// for that lease's reclamation deadline to be renewed.
+type heartbeatRequest struct {
+	Worker  string `json:"worker"`
+	Lease   *Lease `json:"lease,omitempty"`
+	Retries int64  `json:"retries,omitempty"`
 }
 
 // Handler serves the coordinator's HTTP API:
@@ -142,6 +157,18 @@ func Handler(c *Coordinator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	mux.HandleFunc("POST /fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, "bad heartbeat request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Heartbeat(req.Worker, req.Lease, req.Retries); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	return mux
 }
 
@@ -156,23 +183,117 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(data)
 }
 
+// RetryPolicy bounds the Client's transparent retries: every request gets
+// at most Attempts tries, separated by exponential backoff with seeded
+// jitter. Retrying is safe by protocol design — Acquire at worst orphans a
+// lease the TTL reclaims, Complete and Heartbeat are idempotent
+// server-side, Spec and Submit are read-or-replayable — so the client
+// retries transport failures and 5xx responses blindly.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request (default 4; 1
+	// disables retrying).
+	Attempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax (defaults 50ms and 2s). The actual
+	// delay is jittered uniformly over [Backoff/2, Backoff) of the doubled
+	// value so a fleet of workers never retries in lockstep.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Seed seeds the jitter sequence (default 1): given the same seed and
+	// call sequence the backoff schedule is reproducible.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
 // Client implements Service over the Handler's /fleet protocol: a worker
 // process joins a remote coordinator with
 //
 //	n, err := fleet.Work(&fleet.Client{Base: "http://coord:9464"}, opts)
+//
+// The zero-value-plus-Base client is production-ready: every request
+// carries a timeout (a hung coordinator can never wedge a worker), and
+// transient failures — connection resets, timeouts, 5xx — are retried under
+// Retry's budget with seeded-jitter exponential backoff.
 type Client struct {
 	// Base is the coordinator's base URL (no trailing slash).
 	Base string
-	// HTTP is the underlying client (nil = http.DefaultClient).
+	// HTTP is the underlying client. Nil builds one with Timeout applied;
+	// a caller-supplied client is used as-is (set its Timeout yourself).
 	HTTP *http.Client
+	// Timeout bounds each request attempt when HTTP is nil (default 10s).
+	Timeout time.Duration
+	// Retry bounds the transparent retries (zero value = defaults).
+	Retry RetryPolicy
+	// Sleep is the backoff seam (nil = time.Sleep).
+	Sleep func(time.Duration)
+	// OnRetry, when non-nil, observes every retry: the operation's path,
+	// the 1-based retry number and the error being retried.
+	OnRetry func(path string, retry int, err error)
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Int64
 }
 
 func (cl *Client) http() *http.Client {
 	if cl.HTTP != nil {
 		return cl.HTTP
 	}
-	return http.DefaultClient
+	to := cl.Timeout
+	if to <= 0 {
+		to = 10 * time.Second
+	}
+	// The zero Transport shares http.DefaultTransport's connection pool, so
+	// building a Client per call costs nothing.
+	return &http.Client{Timeout: to}
 }
+
+func (cl *Client) sleep(d time.Duration) {
+	if cl.Sleep != nil {
+		cl.Sleep(d)
+		return
+	}
+	//air:allow(wallclock): retry backoff paces the host-side protocol only, never simulation state; tests inject a recording seam via Client.Sleep
+	time.Sleep(d)
+}
+
+// backoff computes the jittered delay before the retry-th retry (1-based).
+func (cl *Client) backoff(p RetryPolicy, retry int) time.Duration {
+	d := p.Backoff << (retry - 1)
+	if d > p.BackoffMax || d <= 0 {
+		d = p.BackoffMax
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.rng == nil {
+		cl.rng = rand.New(rand.NewSource(int64(p.Seed)))
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + cl.rng.Int63n(half))
+}
+
+// Retries returns the cumulative number of request retries this client has
+// performed — the figure workers report in heartbeats and the coordinator
+// exports as air_fleet_retries_total.
+func (cl *Client) Retries() int64 { return cl.retries.Load() }
 
 // Acquire implements Service.
 func (cl *Client) Acquire(worker string) (Lease, AcquireState, error) {
@@ -197,23 +318,26 @@ func (cl *Client) Acquire(worker string) (Lease, AcquireState, error) {
 // Spec implements Service.
 func (cl *Client) Spec(campaignID string) (campaign.Spec, error) {
 	var spec campaign.Spec
-	res, err := cl.http().Get(cl.Base + pathCampaigns + "/" + campaignID + "/spec")
-	if err != nil {
-		return spec, err
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
-		return spec, httpError(res)
-	}
-	if err := json.NewDecoder(res.Body).Decode(&spec); err != nil {
-		return spec, fmt.Errorf("fleet: decode spec: %w", err)
-	}
-	return spec, nil
+	err := cl.do(pathCampaigns+"/"+campaignID+"/spec", nil, &spec)
+	return spec, err
 }
 
 // Complete implements Service.
 func (cl *Client) Complete(worker string, l Lease, sh *campaign.Shard) error {
 	return cl.post(pathComplete, completeRequest{Worker: worker, Lease: l, Shard: sh}, nil)
+}
+
+// Heartbeat implements Service.
+func (cl *Client) Heartbeat(worker string, l *Lease, retries int64) error {
+	return cl.post(pathHeartbeat, heartbeatRequest{Worker: worker, Lease: l, Retries: retries}, nil)
+}
+
+// Ping probes the coordinator's fleet surface once per retry budget —
+// worker processes call it at startup to distinguish "coordinator
+// unreachable" (fail fast, exit non-zero) from mid-run transient errors
+// (retried in place).
+func (cl *Client) Ping() error {
+	return cl.do(pathCampaigns, nil, nil)
 }
 
 // Submit ships a campaign matrix document and returns its campaign ID —
@@ -232,7 +356,44 @@ func (cl *Client) post(path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	res, err := cl.http().Post(cl.Base+path, "application/json", bytes.NewReader(data))
+	return cl.do(path, data, out)
+}
+
+// do performs one logical request — POST when data is non-nil, GET
+// otherwise — under the retry budget. Each attempt rebuilds the request
+// from data, so a half-sent body never poisons the next try.
+func (cl *Client) do(path string, data []byte, out any) error {
+	p := cl.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= p.Attempts; attempt++ {
+		if attempt > 1 {
+			cl.retries.Add(1)
+			if cl.OnRetry != nil {
+				cl.OnRetry(path, attempt-1, lastErr)
+			}
+			cl.sleep(cl.backoff(p, attempt-1))
+		}
+		err := cl.once(path, data, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("fleet: %s: retry budget exhausted after %d attempts: %w", path, p.Attempts, lastErr)
+}
+
+// once is a single request attempt.
+func (cl *Client) once(path string, data []byte, out any) error {
+	var res *http.Response
+	var err error
+	if data != nil {
+		res, err = cl.http().Post(cl.Base+path, "application/json", bytes.NewReader(data))
+	} else {
+		res, err = cl.http().Get(cl.Base + path)
+	}
 	if err != nil {
 		return err
 	}
@@ -244,10 +405,35 @@ func (cl *Client) post(path string, body, out any) error {
 		io.Copy(io.Discard, res.Body)
 		return nil
 	}
-	return json.NewDecoder(res.Body).Decode(out)
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("fleet: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// statusError is a non-2xx coordinator reply, carrying the code so the
+// retry loop can separate transient 5xx from definitive 4xx.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("fleet: coordinator %d: %s", e.code, e.msg)
 }
 
 func httpError(res *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(res.Body, 1<<12))
-	return fmt.Errorf("fleet: coordinator %s: %s", res.Status, bytes.TrimSpace(msg))
+	return &statusError{code: res.StatusCode, msg: string(bytes.TrimSpace(msg))}
+}
+
+// retryable separates transient failures (network errors, timeouts, 5xx,
+// 429) from definitive ones (4xx protocol errors, decode failures).
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
 }

@@ -68,6 +68,32 @@ func WritePrometheus(w io.Writer, fs FleetStatus) error {
 	for _, name := range workers {
 		p.series("air_fleet_worker_leases_total", fmt.Sprintf(`worker=%q`, name), float64(fs.Workers[name].Leases))
 	}
+	p.metric("air_fleet_worker_beat_age_millis", "gauge", "Milliseconds since the shard's last coordinator contact (heartbeat liveness age).")
+	for _, name := range workers {
+		p.series("air_fleet_worker_beat_age_millis", fmt.Sprintf(`worker=%q`, name), float64(fs.Workers[name].BeatAgeMillis))
+	}
+	p.metric("air_fleet_retries_total", "counter", "Transport retries the shard's client has spent, as last reported by its heartbeats.")
+	for _, name := range workers {
+		p.series("air_fleet_retries_total", fmt.Sprintf(`worker=%q`, name), float64(fs.Workers[name].Retries))
+	}
+	p.metric("air_fleet_worker_quarantined", "gauge", "1 while the shard is quarantined by the flap detector (0.5 while half-open probing).")
+	quarantined := 0
+	for _, name := range workers {
+		w := fs.Workers[name]
+		v := 0.0
+		switch {
+		case w.Probing:
+			v = 0.5
+		case w.Quarantined:
+			v = 1
+		}
+		if w.Quarantined {
+			quarantined++
+		}
+		p.series("air_fleet_worker_quarantined", fmt.Sprintf(`worker=%q`, name), v)
+	}
+	p.metric("air_fleet_quarantined_workers", "gauge", "Shards currently quarantined fleet-wide.")
+	p.series("air_fleet_quarantined_workers", "", float64(quarantined))
 	return p.err
 }
 

@@ -27,7 +27,28 @@ type WorkerOptions struct {
 	// MaxLeases bounds how many leases the shard executes before
 	// returning (0 = until Drained). Tests use 1 to stage shard deaths.
 	MaxLeases int
-	// Sleep is the Poll seam (nil = time.Sleep).
+	// Heartbeat is the lease-renewal cadence: while a lease executes, the
+	// shard heartbeats the coordinator every interval so a slow lease is
+	// never mistaken for a dead shard and reclaimed at TTL. 0 defaults to
+	// 2s; negative disables heartbeating.
+	Heartbeat time.Duration
+	// AcquireRetries bounds consecutive Acquire failures tolerated before
+	// the loop gives up (default 5). The budget resets on any success, so
+	// it separates a dead coordinator from a transient blip.
+	AcquireRetries int
+	// CompleteRetries is how many times a failed Complete is re-sent
+	// before the lease is abandoned to TTL reclamation (default 3).
+	// Complete is idempotent server-side, so retrying is always safe —
+	// and every retry that lands saves a full re-run of finished work.
+	CompleteRetries int
+	// Retries, when non-nil, supplies the cumulative transport retry count
+	// reported in heartbeats (wire it to Client.Retries).
+	Retries func() int64
+	// Stop, when non-nil, requests a graceful drain: once readable the
+	// shard finishes its in-flight lease, reports it, and returns without
+	// acquiring more. The daemon's SIGTERM handler closes it.
+	Stop <-chan struct{}
+	// Sleep is the Poll/backoff seam (nil = time.Sleep).
 	Sleep func(time.Duration)
 }
 
@@ -41,16 +62,52 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.Poll <= 0 {
 		o.Poll = 50 * time.Millisecond
 	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.AcquireRetries <= 0 {
+		o.AcquireRetries = 5
+	}
+	if o.CompleteRetries <= 0 {
+		o.CompleteRetries = 3
+	}
 	if o.Sleep == nil {
-		o.Sleep = time.Sleep
+		o.Sleep = sleep
 	}
 	return o
+}
+
+// sleep is the worker's single wall-sleep tap, shared by Poll back-off and
+// retry pacing.
+func sleep(d time.Duration) {
+	//air:allow(wallclock): poll/backoff pacing is host-side protocol timing, never simulation state; tests inject a fake via WorkerOptions.Sleep
+	time.Sleep(d)
+}
+
+// drainRequested reports whether the Stop channel is readable.
+func drainRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Work runs one shard's lease loop against a coordinator: acquire a lease,
 // execute its run range with campaign.RunShard, fold the observations into
 // a partial aggregate and report it back; repeat until the coordinator is
-// drained (or MaxLeases executed). Returns the number of leases completed.
+// drained (or MaxLeases executed, or Stop requests a drain). Returns the
+// number of leases completed.
+//
+// The loop is built to survive an unreliable coordinator path: Acquire
+// failures are retried under a consecutive-failure budget with doubling
+// back-off, a heartbeat goroutine renews the in-flight lease so slow
+// progress is never reclaimed as death, and Complete — idempotent
+// server-side — is re-sent before any finished work is abandoned.
 //
 // Any number of Work loops — goroutines in one process or processes on one
 // coordinator — compose into the same byte-identical campaign results; only
@@ -59,11 +116,21 @@ func Work(svc Service, opts WorkerOptions) (int, error) {
 	opts = opts.withDefaults()
 	specs := map[string]campaign.Spec{}
 	completed := 0
+	failures := 0
 	for {
+		if drainRequested(opts.Stop) {
+			return completed, nil
+		}
 		l, state, err := svc.Acquire(opts.ID)
 		if err != nil {
-			return completed, fmt.Errorf("fleet: worker %s: acquire: %w", opts.ID, err)
+			failures++
+			if failures > opts.AcquireRetries {
+				return completed, fmt.Errorf("fleet: worker %s: acquire: %w", opts.ID, err)
+			}
+			opts.Sleep(backoffFor(opts.Poll, failures))
+			continue
 		}
+		failures = 0
 		switch state {
 		case Drained:
 			return completed, nil
@@ -73,21 +140,21 @@ func Work(svc Service, opts WorkerOptions) (int, error) {
 		}
 		spec, ok := specs[l.Campaign]
 		if !ok {
-			spec, err = svc.Spec(l.Campaign)
+			spec, err = fetchSpec(svc, opts, l.Campaign)
 			if err != nil {
 				return completed, fmt.Errorf("fleet: worker %s: spec %s: %w", opts.ID, l.Campaign, err)
 			}
 			spec.Workers = opts.Workers
 			specs[l.Campaign] = spec
 		}
-		sh, err := campaign.RunShard(spec, l.Start, l.End)
+		sh, err := runLease(svc, opts, spec, l)
 		if err != nil {
 			return completed, fmt.Errorf("fleet: worker %s: lease %s/%d: %w", opts.ID, l.Campaign, l.Index, err)
 		}
 		if opts.DropObservations {
 			sh.Observations = nil
 		}
-		if err := svc.Complete(opts.ID, l, sh); err != nil {
+		if err := completeLease(svc, opts, l, sh); err != nil {
 			return completed, fmt.Errorf("fleet: worker %s: complete %s/%d: %w", opts.ID, l.Campaign, l.Index, err)
 		}
 		completed++
@@ -95,4 +162,86 @@ func Work(svc Service, opts WorkerOptions) (int, error) {
 			return completed, nil
 		}
 	}
+}
+
+// backoffFor doubles the base per consecutive failure, capped at 32×.
+func backoffFor(base time.Duration, failures int) time.Duration {
+	shift := failures - 1
+	if shift > 5 {
+		shift = 5
+	}
+	return base << shift
+}
+
+// fetchSpec retrieves a campaign spec under the same consecutive-failure
+// budget as Acquire — the Client already retries each request, so this
+// covers in-process Services wrapped in chaos.
+func fetchSpec(svc Service, opts WorkerOptions, id string) (campaign.Spec, error) {
+	var spec campaign.Spec
+	var err error
+	for attempt := 0; attempt <= opts.AcquireRetries; attempt++ {
+		if attempt > 0 {
+			opts.Sleep(backoffFor(opts.Poll, attempt))
+		}
+		if spec, err = svc.Spec(id); err == nil {
+			return spec, nil
+		}
+	}
+	return spec, err
+}
+
+// runLease executes the lease's run range while a heartbeat goroutine
+// renews it, so the coordinator's TTL reclaims only shards that actually
+// went quiet — never live-but-slow ones.
+func runLease(svc Service, opts WorkerOptions, spec campaign.Spec, l Lease) (*campaign.Shard, error) {
+	done := make(chan struct{})
+	beat := make(chan struct{})
+	if opts.Heartbeat > 0 {
+		go func() {
+			defer close(beat)
+			//air:allow(wallclock): heartbeat cadence is host pacing, never simulation state; renewal semantics are tested against the coordinator's injected clock
+			t := time.NewTicker(opts.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					// Best-effort: a failed heartbeat costs nothing the
+					// Complete retry path doesn't already absorb.
+					_ = svc.Heartbeat(opts.ID, &l, workerRetries(opts))
+				}
+			}
+		}()
+	} else {
+		close(beat)
+	}
+	sh, err := campaign.RunShard(spec, l.Start, l.End)
+	close(done)
+	<-beat
+	return sh, err
+}
+
+func workerRetries(opts WorkerOptions) int64 {
+	if opts.Retries == nil {
+		return 0
+	}
+	return opts.Retries()
+}
+
+// completeLease reports a finished lease, re-sending on failure before the
+// finished work is abandoned to TTL re-execution. A late duplicate —
+// because an earlier send actually landed, or a thief finished the
+// reclaimed lease first — is dropped idempotently by the coordinator.
+func completeLease(svc Service, opts WorkerOptions, l Lease, sh *campaign.Shard) error {
+	var err error
+	for attempt := 0; attempt <= opts.CompleteRetries; attempt++ {
+		if attempt > 0 {
+			opts.Sleep(backoffFor(opts.Poll, attempt))
+		}
+		if err = svc.Complete(opts.ID, l, sh); err == nil {
+			return nil
+		}
+	}
+	return err
 }

@@ -124,8 +124,20 @@ const (
 	// KindShardJoined is emitted the first time a worker shard contacts the
 	// coordinator.
 	KindShardJoined
+	// KindShardQuarantined is emitted when the coordinator's flap detector
+	// trips for a shard whose leases repeatedly expired: the shard is denied
+	// new leases until a half-open probe succeeds. Latency carries the
+	// cooldown in milliseconds.
+	KindShardQuarantined
+	// KindShardReadmitted is emitted when a quarantined shard's half-open
+	// probe lease completes and the shard is re-admitted to dispatch.
+	KindShardReadmitted
+	// KindLeaseRenewed is emitted when a worker heartbeat extends an issued
+	// lease's reclamation deadline — the signal that a slow shard is alive,
+	// not dead. Latency carries the lease's run count.
+	KindLeaseRenewed
 
-	kindCount = int(KindShardJoined)
+	kindCount = int(KindLeaseRenewed)
 )
 
 // TraceKinds lists the twelve historical module-trace kinds, the default
@@ -155,7 +167,8 @@ func FleetKinds() []Kind {
 	return []Kind{
 		KindCampaignSubmitted, KindCampaignDone,
 		KindLeaseIssued, KindLeaseCompleted, KindLeaseReclaimed,
-		KindShardJoined,
+		KindShardJoined, KindShardQuarantined, KindShardReadmitted,
+		KindLeaseRenewed,
 	}
 }
 
@@ -204,6 +217,9 @@ var kindNames = [...]string{
 	KindLeaseCompleted:     "LEASE_COMPLETED",
 	KindLeaseReclaimed:     "LEASE_RECLAIMED",
 	KindShardJoined:        "SHARD_JOINED",
+	KindShardQuarantined:   "SHARD_QUARANTINED",
+	KindShardReadmitted:    "SHARD_READMITTED",
+	KindLeaseRenewed:       "LEASE_RENEWED",
 }
 
 // String renders the kind.
