@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"testing"
 
+	"air/internal/archive"
 	"air/internal/core"
 	"air/internal/ipc"
 	"air/internal/mmu"
@@ -569,6 +570,34 @@ func BenchmarkModuleTickSatelliteTimeline(b *testing.B) {
 	}
 	defer m.Shutdown()
 	timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+	if err := m.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModuleTickArchiveSink: the nominal tick with the bitemporal
+// flight archive subscribed to the spine — framing, CRC and the sparse tick
+// index on the write path. Must stay allocation-free in steady state: the
+// sink appends into a preallocated staging buffer and defers sealing work
+// off the hot path.
+func BenchmarkModuleTickArchiveSink(b *testing.B) {
+	m, err := core.NewModule(workload.Config(workload.Options{TraceCapacity: -1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	sink, err := archive.Open(b.TempDir(), archive.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	m.Bus().Attach(sink)
 	if err := m.Start(); err != nil {
 		b.Fatal(err)
 	}

@@ -10,7 +10,7 @@
 //	aircampaign [-runs n] [-workers n] [-matrix file.json] [-out result.json]
 //	            [-seed n] [-mtfs n] [-watchdog d] [-timing] [-scaling] [-metrics]
 //	            [-recovery] [-fork-prefix] [-prefix-mtfs n] [-journal file]
-//	            [-telemetry addr] [-pprof addr]
+//	            [-archive dir] [-telemetry addr] [-pprof addr]
 //	aircampaign -write-matrix file.json
 //
 // Campaigns execute through the fleet coordinator (internal/fleet) with
@@ -24,6 +24,12 @@
 // /debug/pprof): each finished run folds into the served aggregate, so
 // watching the endpoints shows the campaign converge. -pprof serves only the
 // Go runtime profiles.
+//
+// -archive attaches the bitemporal flight archive (internal/archive) to every
+// run: run r's spine events land durably under <dir>/<campaignID>/run-0000r/,
+// ready for as-of queries, range scans and run diffing (airtrace -archive, or
+// the /archive/* endpoints mounted on -telemetry). Archiving never changes
+// results.
 //
 // -recovery applies the built-in recovery-orchestration policy (restart
 // budgets, partition quarantine, graceful degradation to the chi2 safe-mode
@@ -48,12 +54,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"air/internal/archive"
 	"air/internal/campaign"
 	"air/internal/config"
 	"air/internal/fleet"
@@ -124,6 +132,7 @@ func run(args []string, out io.Writer) error {
 		recov       = fs.Bool("recovery", false, "apply the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation) to every run")
 		forkPrefix  = fs.Bool("fork-prefix", false, "simulate the fault-free warm-up prefix once and fork each run's variant from the snapshot (faults then activate after the prefix; timeline stats cover the suffix only)")
 		prefixMTFs  = fs.Int("prefix-mtfs", 0, "shared prefix length in MTFs for -fork-prefix (0 = half of -mtfs)")
+		archiveDir  = fs.String("archive", "", "store each run's bitemporal flight archive under this directory (time-travel queries and run diffing via airtrace or /archive/* on -telemetry)")
 		writeMatrix = fs.String("write-matrix", "", "write the built-in matrix to this file and exit")
 		telemetry   = fs.String("telemetry", "", "serve the merged campaign timeliness view (/metrics, /timeline.json, /flight, /debug/pprof) on this address while running")
 		pprofAddr   = fs.String("pprof", "", "serve Go runtime profiles (/debug/pprof) on this address while running")
@@ -176,6 +185,9 @@ func run(args []string, out io.Writer) error {
 	if set["prefix-mtfs"] || spec.PrefixMTFs == 0 {
 		spec.PrefixMTFs = *prefixMTFs
 	}
+	if set["archive"] || spec.ArchiveDir == "" {
+		spec.ArchiveDir = *archiveDir
+	}
 	// -recovery layers the built-in policy on top of whatever the matrix
 	// document configured (flag wins, matching the other overrides).
 	if *recov {
@@ -197,7 +209,17 @@ func run(args []string, out io.Writer) error {
 	if *telemetry != "" {
 		src := &mergedSource{}
 		spec.OnObservation = src.fold
-		addr, shutdown, err := timeline.Serve(*telemetry, src)
+		h := timeline.Handler(src)
+		if spec.ArchiveDir != "" {
+			// Historical forensics ride the same server as live telemetry:
+			// /archive/asof, /archive/range and /archive/diff answer over the
+			// runs the campaign has archived so far.
+			mux := http.NewServeMux()
+			mux.Handle("/archive/", archive.Handler(spec.ArchiveDir))
+			mux.Handle("/", h)
+			h = mux
+		}
+		addr, shutdown, err := timeline.ServeHandler(*telemetry, h)
 		if err != nil {
 			return err
 		}
@@ -263,6 +285,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "  goroutines: %d before, %d after\n", before, after)
+	if spec.ArchiveDir != "" {
+		fmt.Fprintf(out, "  flight archives under %s\n", spec.ArchiveDir)
+	}
 
 	if *outPath != "" {
 		data, err := res.JSON()

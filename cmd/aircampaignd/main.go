@@ -9,7 +9,7 @@
 //
 //	aircampaignd [-config fleet.json] [-addr :9464] [-journal fleet.journal]
 //	             [-lease n] [-lease-ttl d] [-liveness d] [-keep-observations]
-//	             [-workers n] [-matrix file.json]
+//	             [-workers n] [-matrix file.json] [-archive-root dir]
 //
 // The daemon serves the fleet API (POST /campaigns submits a campaign
 // matrix document, GET /campaigns/{id} reports progress, GET
@@ -23,6 +23,14 @@
 // restarted daemon replays the journal and re-runs only the leases that
 // never completed. -workers N additionally runs N in-process worker shards,
 // so a single daemon is also a complete execution fleet.
+//
+// -archive-root stores the flight archives that workers executing archiving
+// campaigns (matrix documents with "archiveDir", or aircampaign -archive
+// specs) ship inside their lease completions: campaign C's run r lands under
+// <root>/<C>/run-0000r/ with a per-campaign index.json, GET
+// /campaigns/{id}/archives lists the stored index, and the /archive/asof,
+// /archive/range and /archive/diff endpoints answer bitemporal time-travel
+// queries and run diffs over the stored history.
 //
 // The coordinator also runs the worker flap detector: a shard whose issued
 // leases expire -quarantine-after times within -quarantine-window is
@@ -66,6 +74,7 @@ import (
 	"syscall"
 	"time"
 
+	"air/internal/archive"
 	"air/internal/campaign"
 	"air/internal/config"
 	"air/internal/fleet"
@@ -95,6 +104,7 @@ func run(args []string, out io.Writer) error {
 		liveness  = fs.Duration("liveness", 15*time.Second, "coordinator: shard liveness window for /campaigns and /metrics")
 		keepObs   = fs.Bool("keep-observations", false, "coordinator: retain per-run observations for /campaigns/{id}/result (memory grows with campaign size; workers must -ship-observations)")
 		matrix    = fs.String("matrix", "", "coordinator: campaign matrix JSON to submit at startup")
+		archRoot  = fs.String("archive-root", "", "coordinator: durably store worker-shipped flight archives under this directory and serve /archive/* queries over them")
 		workers   = fs.Int("workers", 0, "coordinator: in-process worker shards (0 = coordinate only); worker mode: simulation goroutines per lease")
 		qAfter    = fs.Int("quarantine-after", 0, "coordinator: quarantine a shard after this many lease expiries within -quarantine-window (0 = default 3, -1 = disable)")
 		qWindow   = fs.Duration("quarantine-window", 10*time.Minute, "coordinator: sliding window for the shard flap detector")
@@ -173,6 +183,9 @@ func run(args []string, out io.Writer) error {
 		if !set["quarantine-cooldown-max"] && doc.QuarantineCooldownMaxMillis != 0 {
 			*qMax = time.Duration(doc.QuarantineCooldownMaxMillis) * time.Millisecond
 		}
+		if !set["archive-root"] && doc.ArchiveRoot != "" {
+			*archRoot = doc.ArchiveRoot
+		}
 	}
 
 	c, err := fleet.New(fleet.Options{
@@ -185,6 +198,7 @@ func run(args []string, out io.Writer) error {
 		QuarantineWindow:      *qWindow,
 		QuarantineCooldown:    *qCooldown,
 		QuarantineCooldownMax: *qMax,
+		ArchiveRoot:           *archRoot,
 	})
 	if err != nil {
 		return err
@@ -207,7 +221,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "submitted %s as campaign %s\n", *matrix, cid)
 	}
 
-	bound, shutdown, err := timeline.ServeHandler(*addr, fleetMux(c))
+	bound, shutdown, err := timeline.ServeHandler(*addr, fleetMux(c, *archRoot))
 	if err != nil {
 		return err
 	}
@@ -245,13 +259,18 @@ func run(args []string, out io.Writer) error {
 }
 
 // fleetMux mounts the fleet API beside the telemetry endpoints, with
-// /metrics extended by the air_fleet_* coordination gauges.
-func fleetMux(c *fleet.Coordinator) http.Handler {
+// /metrics extended by the air_fleet_* coordination gauges and — when an
+// archive root is configured — the /archive/* bitemporal query endpoints
+// over the stored fleet history.
+func fleetMux(c *fleet.Coordinator, archiveRoot string) http.Handler {
 	mux := http.NewServeMux()
 	fh := fleet.Handler(c)
 	mux.Handle("/campaigns", fh)
 	mux.Handle("/campaigns/", fh)
 	mux.Handle("/fleet/", fh)
+	if archiveRoot != "" {
+		mux.Handle("/archive/", archive.Handler(archiveRoot))
+	}
 	tl := timeline.Handler(c)
 	mux.Handle("/timeline.json", tl)
 	mux.Handle("/flight", tl)

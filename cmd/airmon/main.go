@@ -8,10 +8,18 @@
 // Usage:
 //
 //	airmon [-addr host:port] [-interval d] [-n count]
+//	airmon -archive dir [-n count]
 //
 // -n bounds the number of frames rendered (0 = until interrupted). Each
 // frame is one GET of /timeline.json; airmon never perturbs the simulation
 // beyond serving that request.
+//
+// -archive replays a recorded flight archive (airsim/aircampaign -archive)
+// instead of polling a live endpoint: the stored spine events stream through
+// a fresh timeliness analyzer, rendering -n evenly spaced frames across the
+// recorded tick span (default 1 — the final state). The last frame shows
+// exactly what a live airmon would have shown at the end of the run; earlier
+// frames are the same view rewound.
 package main
 
 import (
@@ -24,6 +32,8 @@ import (
 	"strings"
 	"time"
 
+	"air/internal/archive"
+	"air/internal/model"
 	"air/internal/timeline"
 )
 
@@ -37,12 +47,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("airmon", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:9653", "telemetry address of a running airsim/aircampaign (-telemetry)")
-		interval = fs.Duration("interval", time.Second, "refresh interval between frames")
-		frames   = fs.Int("n", 0, "frames to render before exiting (0 = until interrupted)")
+		addr       = fs.String("addr", "127.0.0.1:9653", "telemetry address of a running airsim/aircampaign (-telemetry)")
+		interval   = fs.Duration("interval", time.Second, "refresh interval between frames")
+		frames     = fs.Int("n", 0, "frames to render before exiting (0 = until interrupted; with -archive, evenly spaced replay frames)")
+		archiveDir = fs.String("archive", "", "replay a recorded flight archive instead of polling a live endpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *archiveDir != "" {
+		return replayArchive(out, *archiveDir, *frames)
 	}
 	base := *addr
 	if !strings.Contains(base, "://") {
@@ -59,6 +73,46 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		render(out, *addr, snap)
+	}
+	return nil
+}
+
+// replayArchive streams a flight archive's spine events through a fresh
+// timeliness analyzer, rendering n evenly spaced frames across the recorded
+// tick span (n <= 1 renders only the final state). The analyzer is the same
+// one live telemetry runs, so each frame is what airmon would have shown at
+// that tick.
+func replayArchive(out io.Writer, dir string, n int) error {
+	rd, err := archive.OpenReader(dir)
+	if err != nil {
+		return err
+	}
+	rows, err := rd.Events(archive.Query{UntilTick: -1})
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("archive %s holds no events", dir)
+	}
+	if n < 1 {
+		n = 1
+	}
+	tl := timeline.New(timeline.Options{System: model.Fig8System()})
+	first := int64(rows[0].Event.Time)
+	last := int64(rows[len(rows)-1].Event.Time)
+	next := 0
+	for i := 1; i <= n; i++ {
+		// Frame i covers valid time up to an even slice of the span; the
+		// final frame always lands exactly on the last recorded tick.
+		cut := last
+		if i < n {
+			cut = first + (last-first)*int64(i)/int64(n)
+		}
+		for next < len(rows) && int64(rows[next].Event.Time) <= cut {
+			tl.Emit(rows[next].Event)
+			next++
+		}
+		render(out, fmt.Sprintf("replay %s @t<=%d", dir, cut), tl.Snapshot())
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"air/internal/archive"
 	"bytes"
 	"net/http/httptest"
 	"strings"
@@ -75,5 +76,60 @@ func TestBar(t *testing.T) {
 	}
 	if got := bar(2, 4); got != "[####]" {
 		t.Errorf("bar(2) = %q", got)
+	}
+}
+
+// TestAirmonArchiveReplay records a faulty run into a flight archive, then
+// replays it: the final replay frame must equal the frame a live airmon
+// rendered from the same simulation's telemetry endpoint.
+func TestAirmonArchiveReplay(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := archive.Open(dir, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModule(workload.Config(workload.Options{InjectFault: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	tl := timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+	m.Bus().Attach(sink)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(2 * 1300); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var live bytes.Buffer
+	render(&live, "x", tl.Snapshot())
+
+	var replay bytes.Buffer
+	if err := run([]string{"-archive", dir, "-n", "3"}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	frames := strings.Split(strings.TrimSpace(replay.String()), "\n\n")
+	if len(frames) != 3 {
+		t.Fatalf("want 3 replay frames, got %d:\n%s", len(frames), replay.String())
+	}
+	// Strip each frame's header line (addresses differ) before comparing.
+	body := func(frame string) string {
+		_, rest, _ := strings.Cut(frame, "\n")
+		return rest
+	}
+	if body(frames[2]) != body(strings.TrimSpace(live.String())) {
+		t.Errorf("final replay frame differs from live view.\nreplay:\n%s\nlive:\n%s",
+			body(frames[2]), body(strings.TrimSpace(live.String())))
+	}
+	if body(frames[0]) == body(frames[2]) {
+		t.Error("first replay frame already equals the final state; frames are not spaced")
+	}
+
+	if err := run([]string{"-archive", t.TempDir()}, &replay); err == nil {
+		t.Error("empty archive accepted")
 	}
 }

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	airsim [-mtfs n] [-fault] [-faults list] [-recovery] [-switch-at mtf]
-//	       [-frames n] [-telemetry addr] [-pprof addr]
+//	       [-frames n] [-telemetry addr] [-pprof addr] [-archive dir]
+//	       [-obs-out file]
 //
 // -fault injects the faulty process on P1 (deadline violation every P1
 // dispatch except the first). -faults injects a comma-separated list of
@@ -19,16 +20,22 @@
 // mode-based schedules. -telemetry serves /metrics (Prometheus text),
 // /timeline.json (cmd/airmon's feed), /flight (post-mortem JSON) and
 // /debug/pprof on the given address while the simulation runs; -pprof
-// serves only the Go runtime profiles.
+// serves only the Go runtime profiles. -archive appends every spine event
+// to a bitemporal flight archive (internal/archive) for time-travel
+// queries and run diffing — with -telemetry the /archive/asof, /archive/range
+// and /archive/diff endpoints serve it live. -obs-out writes the raw spine
+// stream as JSON lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
+	"air/internal/archive"
 	"air/internal/config"
 	"air/internal/core"
 	"air/internal/model"
@@ -54,16 +61,18 @@ var serveHook func(kind, addr string)
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("airsim", flag.ContinueOnError)
 	var (
-		mtfs      = fs.Int("mtfs", 6, "major time frames to simulate")
-		fault     = fs.Bool("fault", false, "inject the faulty process on P1")
-		faultList = fs.String("faults", "", "comma-separated fault classes to inject with per-kind defaults (e.g. restart-storm,partition-hang)")
-		recov     = fs.Bool("recovery", false, "enable the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation)")
-		switchAt  = fs.Int("switch-at", -1, "request schedule chi2 at this MTF boundary (-1 = never)")
-		frames    = fs.Int("frames", 2, "VITRAL frames to print (evenly spaced; last frame always printed)")
-		traceOut  = fs.String("trace-out", "", "write the module trace as JSON lines to this file")
-		hmOut     = fs.String("hm-out", "", "write the health monitor log as JSON lines to this file")
-		telemetry = fs.String("telemetry", "", "serve telemetry (/metrics, /timeline.json, /flight, /debug/pprof) on this address while running")
-		pprofAddr = fs.String("pprof", "", "serve Go runtime profiles (/debug/pprof) on this address while running")
+		mtfs       = fs.Int("mtfs", 6, "major time frames to simulate")
+		fault      = fs.Bool("fault", false, "inject the faulty process on P1")
+		faultList  = fs.String("faults", "", "comma-separated fault classes to inject with per-kind defaults (e.g. restart-storm,partition-hang)")
+		recov      = fs.Bool("recovery", false, "enable the built-in recovery-orchestration policy (restart budgets, quarantine, chi2 safe-mode degradation)")
+		switchAt   = fs.Int("switch-at", -1, "request schedule chi2 at this MTF boundary (-1 = never)")
+		frames     = fs.Int("frames", 2, "VITRAL frames to print (evenly spaced; last frame always printed)")
+		traceOut   = fs.String("trace-out", "", "write the module trace as JSON lines to this file")
+		hmOut      = fs.String("hm-out", "", "write the health monitor log as JSON lines to this file")
+		telemetry  = fs.String("telemetry", "", "serve telemetry (/metrics, /timeline.json, /flight, /debug/pprof) on this address while running")
+		pprofAddr  = fs.String("pprof", "", "serve Go runtime profiles (/debug/pprof) on this address while running")
+		archiveDir = fs.String("archive", "", "append every spine event to a bitemporal flight archive in this directory")
+		obsOut     = fs.String("obs-out", "", "write the raw spine event stream as JSON lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,8 +121,44 @@ func run(args []string, out io.Writer) error {
 	// The timeliness analyzer always rides the spine (its summary line
 	// costs nothing); the HTTP endpoints are opt-in.
 	tl := timeline.Attach(m.Bus(), config.DefaultTelemetry().Options(model.Fig8System()))
+
+	var asink *archive.Sink
+	if *archiveDir != "" {
+		acfg := config.DefaultArchive(*archiveDir)
+		if err := acfg.Validate(); err != nil {
+			return err
+		}
+		if asink, err = archive.Open(acfg.Dir, acfg.Options()); err != nil {
+			return err
+		}
+		defer asink.Close()
+		m.Bus().Attach(asink)
+		tl.SetArchiveStats(func() timeline.ArchiveSnap {
+			st := asink.Stats()
+			return timeline.ArchiveSnap{Segments: st.Segments, Bytes: st.Bytes, Records: st.Records}
+		})
+	}
+	var obsSink *obs.JSONLSink
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		obsSink = obs.NewJSONLSink(f)
+		m.Bus().Attach(obsSink)
+	}
+
 	if *telemetry != "" {
-		addr, shutdown, err := timeline.Serve(*telemetry, tl)
+		h := timeline.Handler(tl)
+		if asink != nil {
+			// One server answers live metrics and historical forensics.
+			mux := http.NewServeMux()
+			mux.Handle("/archive/", archive.Handler(*archiveDir))
+			mux.Handle("/", h)
+			h = mux
+		}
+		addr, shutdown, err := timeline.ServeHandler(*telemetry, h)
 		if err != nil {
 			return err
 		}
@@ -194,6 +239,21 @@ func run(args []string, out io.Writer) error {
 			snap.CountKind(obs.KindRestartDeferred), snap.CountKind(obs.KindQuarantineEnter),
 			snap.CountKind(obs.KindQuarantineExit), snap.MTTR.Mean,
 			snap.DegradedTicks.Sum, snap.CountKind(obs.KindScheduleRestore))
+	}
+
+	if obsSink != nil {
+		if err := obsSink.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "spine stream written to", *obsOut)
+	}
+	if asink != nil {
+		if err := asink.Close(); err != nil {
+			return err
+		}
+		st := asink.Stats()
+		fmt.Fprintf(out, "archive written to %s (%d records, %d segments)\n",
+			*archiveDir, st.Records, st.Segments)
 	}
 
 	if *traceOut != "" {

@@ -39,6 +39,7 @@ var tickDomain = map[string]bool{
 	"air/internal/multicore": true,
 	"air/internal/timeline":  true,
 	"air/internal/recovery":  true,
+	"air/internal/archive":   true,
 	"air/internal/workload":  true,
 }
 

@@ -50,6 +50,7 @@ var layerRank = map[string]int{
 	"air/internal/pos":       3,
 	"air/internal/recovery":  3,
 	"air/internal/timeline":  3,
+	"air/internal/archive":   3,
 	"air/internal/pal":       4,
 	"air/internal/core":      5,
 	"air/internal/multicore": 6,

@@ -1,0 +1,554 @@
+package archive_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"air/internal/archive"
+	"air/internal/core"
+	"air/internal/obs"
+	"air/internal/workload"
+)
+
+// genEvents builds a deterministic synthetic spine stream with
+// nondecreasing ticks and a mix of the kinds the as-of fold cares about.
+// Events are built through obs.Record — the wire form — because only the
+// emitting layers may construct raw obs.Event values.
+func genEvents(n int) []obs.Event {
+	out := make([]obs.Event, 0, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	t := int64(0)
+	parts := []string{"P1", "P2", "P3", "P4"}
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		r := state >> 33
+		t += int64(r % 3)
+		p := parts[r%4]
+		var rec obs.Record
+		switch r % 7 {
+		case 0:
+			rec = obs.Record{Time: t, Kind: "HM_REPORT", Partition: p,
+				Code: "DEADLINE_VIOLATION", Level: "PARTITION", Action: "WARM_RESTART"}
+		case 1:
+			rec = obs.Record{Time: t, Kind: "SCHEDULE_SWITCH", Detail: "requested schedule chi2"}
+		case 2:
+			rec = obs.Record{Time: t, Kind: "QUARANTINE_ENTER", Partition: p}
+		case 3:
+			rec = obs.Record{Time: t, Kind: "QUARANTINE_EXIT", Partition: p}
+		case 4:
+			rec = obs.Record{Time: t, Kind: "WINDOW_ACTIVATION", Partition: p,
+				Latency: int64(r % 100), Core: int(r % 2)}
+		case 5:
+			rec = obs.Record{Time: t, Kind: "SCHEDULE_DEGRADE", Detail: "degraded to schedule safe"}
+		default:
+			rec = obs.Record{Time: t, Kind: "PROCESS_COMPLETE", Partition: p, Process: "hk",
+				Detail: "odd \"detail\" with \\ backslash and\ttab"}
+		}
+		out = append(out, rec.Event())
+	}
+	return out
+}
+
+// writeArchive runs events through a sink into dir.
+func writeArchive(t *testing.T, dir string, events []obs.Event, opts archive.Options) {
+	t.Helper()
+	s, err := archive.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, dir string) []archive.SeqEvent {
+	t.Helper()
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Events(archive.Query{UntilTick: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestRoundTripBytes proves the store is lossless and wire-faithful: the
+// archived stream, re-encoded through the pinned JSONL encoder, is
+// byte-identical to encoding the original events directly.
+func TestRoundTripBytes(t *testing.T) {
+	events := genEvents(300)
+	dir := t.TempDir()
+	writeArchive(t, dir, events, archive.Options{SegmentRecords: 64, IndexEvery: 8})
+
+	got := readAll(t, dir)
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i, se := range got {
+		if se.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, se.Seq, i+1)
+		}
+		if se.Event != events[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, se.Event, events[i])
+		}
+	}
+
+	var live, replay bytes.Buffer
+	if err := obs.EncodeEvents(&live, events); err != nil {
+		t.Fatal(err)
+	}
+	replayed := make([]obs.Event, len(got))
+	for i, se := range got {
+		replayed[i] = se.Event
+	}
+	if err := obs.EncodeEvents(&replay, replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), replay.Bytes()) {
+		t.Fatal("replayed stream is not byte-identical to the live encoding")
+	}
+}
+
+// TestModuleSinkRoundTrip attaches the archive sink and an in-memory
+// recorder to a real faulty module run and proves the archive saw exactly
+// the spine.
+func TestModuleSinkRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := archive.Open(dir, archive.Options{SegmentRecords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModule(workload.Config(workload.Options{TraceCapacity: -1, InjectFault: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	rec := &recorder{}
+	m.Bus().Attach(rec)
+	m.Bus().Attach(s)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*1300; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, dir)
+	if len(got) != len(rec.events) {
+		t.Fatalf("archived %d events, spine emitted %d", len(got), len(rec.events))
+	}
+	for i := range got {
+		if got[i].Event != rec.events[i] {
+			t.Fatalf("event %d differs:\n got %+v\nwant %+v", i, got[i].Event, rec.events[i])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("faulty run emitted no events")
+	}
+}
+
+type recorder struct{ events []obs.Event }
+
+func (r *recorder) Emit(e obs.Event) { r.events = append(r.events, e) }
+
+// referenceAsOf is the independent linear fold the property test checks
+// AsOf against: walk the prefix, apply the documented semantics.
+func referenceAsOf(events []obs.Event, asTick int64, asSeq uint64) archive.State {
+	st := archive.State{AsOfTick: asTick, AsOfSeq: asSeq}
+	quarantined := map[string]bool{}
+	for i, e := range events {
+		seq := uint64(i + 1)
+		if asSeq > 0 && seq > asSeq {
+			break
+		}
+		if int64(e.Time) > asTick {
+			break
+		}
+		st.Events++
+		st.LastTick, st.LastSeq = int64(e.Time), seq
+		switch e.Kind {
+		case obs.KindScheduleSwitch, obs.KindScheduleDegrade, obs.KindScheduleRestore:
+			d := e.Detail
+			if i := strings.LastIndexByte(d, ' '); i >= 0 {
+				st.Schedule = d[i+1:]
+			} else {
+				st.Schedule = ""
+			}
+			st.Degraded = e.Kind == obs.KindScheduleDegrade ||
+				(st.Degraded && e.Kind != obs.KindScheduleRestore)
+		case obs.KindHMReport:
+			if st.HM == nil {
+				st.HM = map[string]archive.HMEntry{}
+			}
+			ent := st.HM[string(e.Partition)]
+			ent.Code, ent.Level, ent.Action = e.Code, e.Level, e.Action
+			ent.Tick = int64(e.Time)
+			ent.Reports++
+			st.HM[string(e.Partition)] = ent
+		case obs.KindQuarantineEnter:
+			quarantined[string(e.Partition)] = true
+		case obs.KindQuarantineExit:
+			delete(quarantined, string(e.Partition))
+		}
+	}
+	for p := range quarantined {
+		st.Quarantined = append(st.Quarantined, p)
+	}
+	sort.Strings(st.Quarantined)
+	return st
+}
+
+// TestAsOfProperty drives random (tick, seq) cut points through AsOf and
+// checks every reconstruction against the reference fold of the event
+// prefix — the bitemporal correctness property.
+func TestAsOfProperty(t *testing.T) {
+	events := genEvents(600)
+	dir := t.TempDir()
+	writeArchive(t, dir, events, archive.Options{SegmentRecords: 100, IndexEvery: 8})
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTick := int64(events[len(events)-1].Time)
+	state := uint64(12345)
+	for trial := 0; trial < 80; trial++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		asTick := int64(state>>33) % (maxTick + 2)
+		state = state*6364136223846793005 + 1442695040888963407
+		asSeq := (state >> 33) % uint64(len(events)+40)
+		got, err := r.AsOf(asTick, asSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceAsOf(events, asTick, asSeq)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("AsOf(%d, %d) diverges from reference:\n got %+v\nwant %+v",
+				asTick, asSeq, got, want)
+		}
+	}
+}
+
+// TestScanRange checks tick-window and kind filtering against a plain
+// linear filter, across segment boundaries and through the sparse-index
+// seek path.
+func TestScanRange(t *testing.T) {
+	events := genEvents(400)
+	dir := t.TempDir()
+	writeArchive(t, dir, events, archive.Options{SegmentRecords: 64, IndexEvery: 4})
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTick := int64(events[len(events)-1].Time)
+	windows := []struct{ since, until int64 }{
+		{0, -1},
+		{0, maxTick / 2},
+		{maxTick / 3, 2 * maxTick / 3},
+		{maxTick - 1, -1},
+		{maxTick + 10, -1}, // empty
+	}
+	for _, w := range windows {
+		for _, kinds := range [][]obs.Kind{nil, {obs.KindHMReport}, {obs.KindHMReport, obs.KindScheduleSwitch}} {
+			got, err := r.Events(archive.Query{SinceTick: w.since, UntilTick: w.until, Kinds: kinds})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []archive.SeqEvent
+			for i, e := range events {
+				if !archive.InTickRange(int64(e.Time), w.since, w.until) {
+					continue
+				}
+				ok := len(kinds) == 0
+				for _, k := range kinds {
+					ok = ok || e.Kind == k
+				}
+				if ok {
+					want = append(want, archive.SeqEvent{Seq: uint64(i + 1), Event: e})
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("scan [%d,%d] kinds=%v: got %d records, want %d",
+					w.since, w.until, kinds, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestReopenAppend closes an archive and reopens it for appending: seqs
+// continue, nothing is lost.
+func TestReopenAppend(t *testing.T) {
+	events := genEvents(150)
+	dir := t.TempDir()
+	writeArchive(t, dir, events[:90], archive.Options{SegmentRecords: 40})
+	writeArchive(t, dir, events[90:], archive.Options{SegmentRecords: 40})
+	got := readAll(t, dir)
+	if len(got) != len(events) {
+		t.Fatalf("got %d events after reopen, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].Seq != uint64(i+1) || got[i].Event != events[i] {
+			t.Fatalf("record %d wrong after reopen append", i)
+		}
+	}
+}
+
+// TestTornTailRecovery simulates a crash mid-append: the abandoned active
+// segment gets a torn half-frame, the reader ignores it, and a reopening
+// writer truncates it before appending resumes.
+func TestTornTailRecovery(t *testing.T) {
+	events := genEvents(40)
+	dir := t.TempDir()
+	s, err := archive.Open(dir, archive.Options{SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon the sink (no Close, no seal) and tear the active segment:
+	// 2 sealed segments of 16 records, 8 recovered-tail records, then junk.
+	active := filepath.Join(dir, "seg-000003.jsonl")
+	f, err := os.OpenFile(active, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"t\":12,\"ki"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got := readAll(t, dir)
+	if len(got) != len(events) {
+		t.Fatalf("reader saw %d records through the torn tail, want %d", len(got), len(events))
+	}
+
+	s2, err := archive.Open(dir, archive.Options{SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := genEvents(5)
+	for _, e := range extra {
+		s2.Emit(e)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = readAll(t, dir)
+	if len(got) != len(events)+len(extra) {
+		t.Fatalf("got %d records after torn reopen, want %d", len(got), len(events)+len(extra))
+	}
+	for i, e := range append(append([]obs.Event(nil), events...), extra...) {
+		if got[i].Seq != uint64(i+1) || got[i].Event != e {
+			t.Fatalf("record %d wrong after torn-tail recovery", i)
+		}
+	}
+}
+
+// TestDiff checks divergence localization: identical streams, a mid-stream
+// mutation, and a strict prefix.
+func TestDiff(t *testing.T) {
+	base := genEvents(200)
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	opts := archive.Options{SegmentRecords: 64}
+	writeArchive(t, dir1, base, opts)
+	writeArchive(t, dir2, base, opts)
+	r1, err := archive.OpenReader(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := archive.OpenReader(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := archive.Diff(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Diverged {
+		t.Fatalf("identical archives reported divergent: %+v", d)
+	}
+
+	// Mutate record 120 (0-based index 119).
+	variant := append([]obs.Event(nil), base...)
+	rec := obs.ToRecord(variant[119])
+	rec.Detail = "mutated"
+	variant[119] = rec.Event()
+	dir3 := t.TempDir()
+	writeArchive(t, dir3, variant, opts)
+	r3, err := archive.OpenReader(dir3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = archive.Diff(r1, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Diverged || d.Seq != 120 {
+		t.Fatalf("divergence at seq %d (diverged=%v), want 120", d.Seq, d.Diverged)
+	}
+	if d.Tick != int64(base[119].Time) {
+		t.Fatalf("divergence tick %d, want %d", d.Tick, int64(base[119].Time))
+	}
+	if d.A == nil || d.B == nil || d.B.Detail != "mutated" {
+		t.Fatalf("divergence records wrong: %+v", d)
+	}
+
+	// Strict prefix: the shorter stream diverges just past its end.
+	dir4 := t.TempDir()
+	writeArchive(t, dir4, base[:50], opts)
+	r4, err := archive.OpenReader(dir4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = archive.Diff(r1, r4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Diverged || d.Seq != 51 || d.B != nil || d.A == nil {
+		t.Fatalf("prefix divergence wrong: %+v", d)
+	}
+	if d.Tick != int64(base[50].Time) {
+		t.Fatalf("prefix divergence tick %d, want %d", d.Tick, int64(base[50].Time))
+	}
+}
+
+// TestStats checks the writer's gauge accounting against the reader's view.
+func TestStats(t *testing.T) {
+	events := genEvents(100)
+	dir := t.TempDir()
+	s, err := archive.Open(dir, archive.Options{SegmentRecords: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		s.Emit(e)
+	}
+	st := s.Stats()
+	if st.Records != 100 {
+		t.Fatalf("stats records %d, want 100", st.Records)
+	}
+	if st.Segments != 4 { // 3 sealed × 30 + active × 10
+		t.Fatalf("stats segments %d, want 4", st.Segments)
+	}
+	if st.Bytes == 0 {
+		t.Fatal("stats bytes zero")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	r, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range r.Segments() {
+		total += seg.Bytes
+	}
+	if uint64(total) != st.Bytes {
+		t.Fatalf("stats bytes %d, on-disk %d", st.Bytes, total)
+	}
+}
+
+// TestHandler exercises the /archive/* query endpoints over a root with two
+// runs.
+func TestHandler(t *testing.T) {
+	base := genEvents(150)
+	variant := append([]obs.Event(nil), base[:100]...)
+	rec := obs.ToRecord(base[100])
+	rec.Code = "INJECTED"
+	rec.Kind = "HM_REPORT"
+	variant = append(variant, rec.Event())
+	root := t.TempDir()
+	writeArchive(t, filepath.Join(root, "run-a"), base, archive.Options{SegmentRecords: 64})
+	writeArchive(t, filepath.Join(root, "run-b"), variant, archive.Options{SegmentRecords: 64})
+	srv := httptest.NewServer(archive.Handler(root))
+	defer srv.Close()
+
+	get := func(path string) (*httptest.ResponseRecorder, []byte) {
+		t.Helper()
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(res.Body); err != nil {
+			t.Fatal(err)
+		}
+		rr := httptest.NewRecorder()
+		rr.Code = res.StatusCode
+		return rr, buf.Bytes()
+	}
+
+	rr, body := get("/archive/asof?run=run-a")
+	if rr.Code != 200 {
+		t.Fatalf("asof status %d: %s", rr.Code, body)
+	}
+	var st archive.State
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 150 {
+		t.Fatalf("asof folded %d events, want 150", st.Events)
+	}
+
+	rr, body = get("/archive/range?run=run-a&kind=HM_REPORT&limit=5")
+	if rr.Code != 200 {
+		t.Fatalf("range status %d: %s", rr.Code, body)
+	}
+	var rows []struct {
+		Seq    uint64     `json:"seq"`
+		Record obs.Record `json:"record"`
+	}
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 5 {
+		t.Fatalf("range returned %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Record.Kind != "HM_REPORT" {
+			t.Fatalf("kind filter leaked %q", row.Record.Kind)
+		}
+	}
+
+	rr, body = get("/archive/diff?a=run-a&b=run-b")
+	if rr.Code != 200 {
+		t.Fatalf("diff status %d: %s", rr.Code, body)
+	}
+	var d archive.Divergence
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Diverged || d.Seq != 101 {
+		t.Fatalf("diff endpoint: %+v", d)
+	}
+
+	rr, _ = get("/archive/asof?run=../escape")
+	if rr.Code != 400 {
+		t.Fatalf("path escape not rejected: status %d", rr.Code)
+	}
+	rr, _ = get("/archive/asof?run=missing")
+	if rr.Code != 404 {
+		t.Fatalf("missing run: status %d", rr.Code)
+	}
+}

@@ -1,0 +1,167 @@
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"air/internal/obs"
+)
+
+// Handler serves the archive query API over a root directory. The cmd
+// composition mounts it next to the timeline telemetry handler, so one
+// server answers live metrics and historical forensics:
+//
+//	GET /archive/asof?run=R&tick=T&seq=S   → State (bitemporal as-of)
+//	GET /archive/range?run=R&since=A&until=B&kind=K&limit=N
+//	                                       → [{seq, record}, ...]
+//	GET /archive/diff?a=RA&b=RB            → Divergence
+//
+// run/a/b name archive directories relative to root ("" is root itself,
+// aircampaignd uses "<campaign>/run-00012"); path escapes are rejected.
+// Readers open per request, so queries always see the latest flush.
+func Handler(root string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /archive/asof", func(w http.ResponseWriter, r *http.Request) {
+		rd, ok := openRun(w, root, r.FormValue("run"))
+		if !ok {
+			return
+		}
+		tick, err := formInt(r, "tick", -1)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		seq, err := formInt(r, "seq", 0)
+		if err != nil || seq < 0 {
+			http.Error(w, "archive: bad seq", http.StatusBadRequest)
+			return
+		}
+		st, err := rd.AsOf(tick, uint64(seq))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /archive/range", func(w http.ResponseWriter, r *http.Request) {
+		rd, ok := openRun(w, root, r.FormValue("run"))
+		if !ok {
+			return
+		}
+		q := Query{UntilTick: -1}
+		var err error
+		if q.SinceTick, err = formInt(r, "since", 0); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if q.UntilTick, err = formInt(r, "until", -1); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, name := range strings.Split(r.FormValue("kind"), ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			k := obs.KindFromString(name)
+			if k == 0 {
+				http.Error(w, fmt.Sprintf("archive: unknown kind %q", name), http.StatusBadRequest)
+				return
+			}
+			q.Kinds = append(q.Kinds, k)
+		}
+		limit, err := formInt(r, "limit", 10000)
+		if err != nil || limit <= 0 {
+			http.Error(w, "archive: bad limit", http.StatusBadRequest)
+			return
+		}
+		type row struct {
+			Seq    uint64     `json:"seq"`
+			Record obs.Record `json:"record"`
+		}
+		rows := []row{}
+		// errStop is Scan's own early-exit sentinel: it ends the walk and
+		// surfaces as a nil error.
+		err = rd.Scan(q, func(seq uint64, e obs.Event) error {
+			rows = append(rows, row{Seq: seq, Record: obs.ToRecord(e)})
+			if int64(len(rows)) >= limit {
+				return errStop
+			}
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, rows)
+	})
+	mux.HandleFunc("GET /archive/diff", func(w http.ResponseWriter, r *http.Request) {
+		ra, ok := openRun(w, root, r.FormValue("a"))
+		if !ok {
+			return
+		}
+		rb, ok := openRun(w, root, r.FormValue("b"))
+		if !ok {
+			return
+		}
+		d, err := Diff(ra, rb)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, d)
+	})
+	return mux
+}
+
+// openRun resolves a run name under root, rejecting path escapes, and opens
+// a reader; on failure it writes the HTTP error and returns ok=false.
+func openRun(w http.ResponseWriter, root, run string) (*Reader, bool) {
+	dir, err := resolveRun(root, run)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	rd, err := OpenReader(dir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return nil, false
+	}
+	if len(rd.segs) == 0 {
+		http.Error(w, fmt.Sprintf("archive: no records under %q", run), http.StatusNotFound)
+		return nil, false
+	}
+	return rd, true
+}
+
+func resolveRun(root, run string) (string, error) {
+	if run == "" {
+		return root, nil
+	}
+	if filepath.IsAbs(run) || strings.Contains(run, "..") {
+		return "", fmt.Errorf("archive: run %q escapes the archive root", run)
+	}
+	return filepath.Join(root, filepath.Clean(run)), nil
+}
+
+func formInt(r *http.Request, name string, def int64) (int64, error) {
+	s := r.FormValue(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("archive: bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,137 @@
+package archive_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"testing"
+	"time"
+
+	"air/internal/archive"
+	"air/internal/obs"
+)
+
+// The writer-kill test re-execs this test binary as a real archive writer
+// process (TestHelperArchiveWriter) and SIGKILLs it mid-append, so crash
+// recovery is exercised against a genuinely torn file — not a synthetic
+// truncation — exactly like the fleet journal's process tests.
+
+const helperDirEnv = "AIR_ARCHIVE_HELPER_DIR"
+
+// scanEvents streams every record's event out of an open reader.
+func scanEvents(rd *archive.Reader) ([]obs.Event, error) {
+	var out []obs.Event
+	err := rd.Scan(archive.Query{UntilTick: -1}, func(_ uint64, e obs.Event) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// TestHelperArchiveWriter is not a test: it is the body of the re-exec'd
+// writer process. It appends the deterministic event stream one flushed
+// frame at a time until the parent kills it.
+func TestHelperArchiveWriter(t *testing.T) {
+	dir := os.Getenv(helperDirEnv)
+	if dir == "" {
+		t.Skip("helper process body; spawned by TestWriterKillRecovery")
+	}
+	s, err := archive.Open(dir, archive.Options{SegmentRecords: 64})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, e := range genEvents(200000) {
+		s.Emit(e)
+		// Flush per record so bytes hit the file continuously: the kill then
+		// lands at an arbitrary frame boundary — or inside one.
+		if err := s.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(0)
+}
+
+// TestWriterKillRecovery kills a live writer process mid-append and verifies
+// the archive recovers to an exact prefix of the deterministic stream: the
+// read-only reader tolerates the torn tail, a reopened writer truncates it
+// and appends cleanly, and no recovered record is corrupt or out of order.
+func TestWriterKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperArchiveWriter$")
+	cmd.Env = append(os.Environ(), helperDirEnv+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the writer get a few segments deep before the kill, so recovery
+	// crosses sealed-segment and manifest boundaries, not just frame ones.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if rd, err := archive.OpenReader(dir); err == nil && rd.Records() >= 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("writer produced no readable records within the deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill; the archive is what matters
+
+	stream := genEvents(200000)
+
+	// Read-only recovery: the reader sees a valid prefix of the stream.
+	rd, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatalf("reader over killed archive: %v", err)
+	}
+	n := rd.Records()
+	if n < 200 {
+		t.Fatalf("recovered only %d records, want >= 200", n)
+	}
+	got, err := scanEvents(rd)
+	if err != nil {
+		t.Fatalf("scan over killed archive: %v", err)
+	}
+	if uint64(len(got)) != n {
+		t.Fatalf("scan yielded %d records, Records() says %d", len(got), n)
+	}
+	if !reflect.DeepEqual(got, stream[:n]) {
+		t.Fatal("recovered records are not an exact prefix of the written stream")
+	}
+
+	// Writer recovery: reopening truncates the torn tail and appends
+	// continue the same stream seamlessly.
+	s, err := archive.Open(dir, archive.Options{SegmentRecords: 64})
+	if err != nil {
+		t.Fatalf("reopen killed archive for append: %v", err)
+	}
+	base := s.Stats().Records
+	if base != n {
+		t.Fatalf("writer recovered %d records, reader saw %d", base, n)
+	}
+	for _, e := range stream[base : base+25] {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd2, err := archive.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := scanEvents(rd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got2)) != base+25 || !reflect.DeepEqual(got2, stream[:base+25]) {
+		t.Fatalf("post-recovery append broke the stream: %d records", len(got2))
+	}
+}

@@ -15,10 +15,12 @@ package campaign
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"air/internal/archive"
 	"air/internal/core"
 	"air/internal/hm"
 	"air/internal/model"
@@ -101,6 +103,12 @@ type Spec struct {
 	// recovery-effectiveness columns of the result. Nil runs without the
 	// recovery layer — the baseline the policy's effect is measured against.
 	Recovery *recovery.Policy
+	// ArchiveDir, when non-empty, attaches a bitemporal flight archive
+	// (internal/archive) to every run's spine: run r's events land in
+	// RunDir(ArchiveDir, r), ready for as-of queries and run diffing. In
+	// fork mode the archive covers only the post-prefix suffix, matching
+	// the run's timeline. Archiving never changes results.
+	ArchiveDir string
 	// OnObservation, when non-nil, is invoked with each run's finished
 	// observation — the live-telemetry hook (aircampaign -telemetry folds
 	// these into a served aggregate). Called from worker goroutines: the
@@ -210,6 +218,13 @@ func runSeed(seed uint64, run int) uint64 {
 	return seed ^ (uint64(run)+1)*golden
 }
 
+// RunDir names run's archive directory under an archive root — the one
+// naming convention shared by the campaign engine, the fleet coordinator's
+// durable store and the /archive/* query endpoints.
+func RunDir(root string, run int) string {
+	return filepath.Join(root, fmt.Sprintf("run-%05d", run))
+}
+
 func newRunRNG(seed uint64, run int) *rng {
 	return &rng{state: runSeed(seed, run)}
 }
@@ -310,6 +325,11 @@ type Shard struct {
 	Observations []Observation `json:"observations"`
 	// Aggregate is the in-order fold of Observations.
 	Aggregate Aggregate `json:"aggregate"`
+	// Archives carries the range's per-run flight archives when the spec
+	// requested archiving and the worker collected them (CollectArchives).
+	// The coordinator stores the files durably and strips this field before
+	// journaling — bulk archive bytes never enter the journal.
+	Archives []RunArchive `json:"archives,omitempty"`
 }
 
 // RunShard executes the run range [start, end) of the campaign. Every
@@ -470,6 +490,22 @@ func runOne(spec Spec, run int, pre *prefix) (ob Observation) {
 	mtf := model.Fig8System().Schedules[0].MTF
 	var m *core.Module
 	var tl *timeline.Timeline
+	var asink *archive.Sink
+	if spec.ArchiveDir != "" {
+		var err error
+		asink, err = archive.Open(RunDir(spec.ArchiveDir, run), archive.Options{})
+		if err != nil {
+			ob.Degraded = true
+			ob.Error = err.Error()
+			return ob
+		}
+		defer func() {
+			if err := asink.Close(); err != nil && ob.Error == "" {
+				ob.Degraded = true
+				ob.Error = err.Error()
+			}
+		}()
+	}
 	if pre != nil {
 		var err error
 		m, err = pre.snap.Fork()
@@ -481,8 +517,13 @@ func runOne(spec Spec, run int, pre *prefix) (ob Observation) {
 		defer m.Shutdown()
 		// The timeliness analyzer rides the fork's spine from the fork point:
 		// attached before injection so injector process starts are seen. In
-		// fork mode the timeline covers only the post-prefix suffix.
+		// fork mode the timeline covers only the post-prefix suffix. The
+		// archive sink attaches at the same instant, so its stream and the
+		// timeline describe the same window.
 		tl = timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+		if asink != nil {
+			m.Bus().Attach(asink)
+		}
 		if err := workload.InjectFaults(m, workload.Options{Faults: faults}); err != nil {
 			ob.Degraded = true
 			ob.Error = err.Error()
@@ -507,6 +548,9 @@ func runOne(spec Spec, run int, pre *prefix) (ob Observation) {
 		// The timeliness analyzer rides the module's observability spine;
 		// attached before Start so initialization-time process releases are seen.
 		tl = timeline.Attach(m.Bus(), timeline.Options{System: model.Fig8System()})
+		if asink != nil {
+			m.Bus().Attach(asink)
+		}
 		if err := m.Start(); err != nil {
 			ob.Degraded = true
 			ob.Error = err.Error()

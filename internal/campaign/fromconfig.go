@@ -26,6 +26,7 @@ func FromConfig(doc *config.Campaign) (Spec, error) {
 		Watchdog:   time.Duration(doc.WatchdogMillis) * time.Millisecond,
 		ForkPrefix: doc.ForkPrefix,
 		PrefixMTFs: doc.PrefixMTFs,
+		ArchiveDir: doc.ArchiveDir,
 	}
 	if doc.Recovery != nil {
 		pol := doc.Recovery.Policy()

@@ -1,0 +1,46 @@
+package config
+
+import (
+	"fmt"
+
+	"air/internal/archive"
+)
+
+// Archive is the declarative spelling of the bitemporal flight archive
+// (internal/archive): where a run's spine events are durably stored for
+// time-travel queries and run diffing, and how the segment files are cut.
+type Archive struct {
+	// Dir is the archive directory. Empty disables archiving.
+	Dir string `json:"dir,omitempty"`
+	// SegmentRecords bounds each segment file (records per segment). 0
+	// selects the default (archive.DefaultSegmentRecords).
+	SegmentRecords int `json:"segmentRecords,omitempty"`
+	// IndexEvery is the sparse tick-index stride (records per index entry).
+	// 0 selects the default (archive.DefaultIndexEvery).
+	IndexEvery int `json:"indexEvery,omitempty"`
+}
+
+// DefaultArchive returns the archive configuration the cmd tools use when
+// -archive is given without further tuning.
+func DefaultArchive(dir string) Archive {
+	return Archive{Dir: dir}
+}
+
+// Options translates the configuration into sink options.
+func (a Archive) Options() archive.Options {
+	return archive.Options{
+		SegmentRecords: a.SegmentRecords,
+		IndexEvery:     a.IndexEvery,
+	}
+}
+
+// Validate rejects nonsensical archive configurations.
+func (a Archive) Validate() error {
+	if a.SegmentRecords < 0 {
+		return fmt.Errorf("config: archive segmentRecords %d is negative", a.SegmentRecords)
+	}
+	if a.IndexEvery < 0 {
+		return fmt.Errorf("config: archive indexEvery %d is negative", a.IndexEvery)
+	}
+	return nil
+}

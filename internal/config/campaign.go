@@ -31,6 +31,10 @@ type Campaign struct {
 	// PrefixMTFs is the shared prefix length in major time frames when
 	// ForkPrefix is set; 0 defaults to half of MTFsPerRun.
 	PrefixMTFs int `json:"prefixMTFs,omitempty"`
+	// ArchiveDir, when non-empty, archives every run's spine events under
+	// this directory (run r → run-000r subdirectory) for time-travel
+	// queries and run diffing (internal/archive).
+	ArchiveDir string `json:"archiveDir,omitempty"`
 	// Recovery optionally applies a recovery-orchestration policy to every
 	// run of the campaign (see Recovery); nil runs without the layer.
 	Recovery *Recovery `json:"recovery,omitempty"`

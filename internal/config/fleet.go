@@ -35,6 +35,10 @@ type Fleet struct {
 	// KeepObservations retains per-run observations for result artifacts;
 	// workers must then ship observations with each lease.
 	KeepObservations bool `json:"keepObservations,omitempty"`
+	// ArchiveRoot durably stores the flight archives shipped by workers
+	// completing leases of archiving campaigns; empty drops shipped
+	// archives. The /archive/* query endpoints serve over this root.
+	ArchiveRoot string `json:"archiveRoot,omitempty"`
 	// QuarantineAfter is the worker flap-detector threshold: quarantine a
 	// shard whose leases expire this many times within the window
 	// (default 3; -1 disables the detector).

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"air/internal/campaign"
+)
+
+// readTree maps every regular file under root (relative path) to its bytes.
+func readTree(t *testing.T, root string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[rel] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", root, err)
+	}
+	return files
+}
+
+// TestFleetArchiveShipping runs an archiving campaign through the fleet:
+// workers stage archives in temp directories, ship them inside their lease
+// completions, and the coordinator stores them durably under
+// <ArchiveDir>/<campaignID>/run-NNNNN/ — byte-identical to the archives a
+// single-process campaign.Run writes for the same spec.
+func TestFleetArchiveShipping(t *testing.T) {
+	fleetRoot := filepath.Join(t.TempDir(), "fleet-archives")
+	directRoot := filepath.Join(t.TempDir(), "direct-archives")
+
+	spec := testSpec(6)
+	spec.ArchiveDir = fleetRoot
+	res, err := RunLocal(spec, LocalOptions{Shards: 2, LeaseSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := testSpec(6)
+	direct.ArchiveDir = directRoot
+	want, err := campaign.Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Archiving is transparent to results whichever way the campaign ran.
+	if !bytes.Equal(resultJSON(t, res), resultJSON(t, want)) {
+		t.Fatal("fleet archiving run differs from direct campaign.Run")
+	}
+
+	// Exactly one campaign directory under the fleet root.
+	entries, err := os.ReadDir(fleetRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("want 1 campaign dir under %s, got %v", fleetRoot, dirs)
+	}
+	croot := filepath.Join(fleetRoot, dirs[0])
+
+	// Every run's shipped archive matches the direct run's byte-for-byte.
+	for run := 0; run < spec.Runs; run++ {
+		got := readTree(t, campaign.RunDir(croot, run))
+		ref := readTree(t, campaign.RunDir(directRoot, run))
+		if len(got) == 0 {
+			t.Fatalf("run %d: no shipped archive files", run)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("run %d: shipped %d files, direct wrote %d", run, len(got), len(ref))
+		}
+		for name, data := range ref {
+			if !bytes.Equal(got[name], data) {
+				t.Fatalf("run %d: file %s differs between shipped and direct archive", run, name)
+			}
+		}
+	}
+
+	// index.json maps every run to its directory, and the in-memory index
+	// agrees with the durable one.
+	raw, err := os.ReadFile(filepath.Join(croot, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx []ArchiveIndexEntry
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != spec.Runs {
+		t.Fatalf("index has %d entries, want %d", len(idx), spec.Runs)
+	}
+	for i, e := range idx {
+		if e.Run != i {
+			t.Fatalf("index entry %d covers run %d", i, e.Run)
+		}
+		if e.Dir != filepath.Base(campaign.RunDir("", i)) {
+			t.Fatalf("index entry %d dir %q, want run dir name", i, e.Dir)
+		}
+		if e.Records == 0 || e.Segments == 0 || e.Bytes == 0 {
+			t.Fatalf("index entry %d has empty stats: %+v", i, e)
+		}
+	}
+}
+
+// TestFleetArchiveResume interrupts an archiving fleet run after one lease
+// and resumes it over the same journal and archive root: already-shipped
+// archives are re-stored idempotently (byte-identical by determinism) and the
+// index covers every run after the resume.
+func TestFleetArchiveResume(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "archives")
+	journal := filepath.Join(t.TempDir(), "fleet.journal")
+
+	spec := testSpec(8)
+	spec.ArchiveDir = root
+
+	c, err := New(Options{LeaseSize: 2, JournalPath: journal, ArchiveRoot: root, KeepObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(spec.Defaulted()); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Work(c, WorkerOptions{ID: "doomed", MaxLeases: 1}); err != nil || n != 1 {
+		t.Fatalf("doomed shard: n=%d err=%v", n, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := RunLocal(spec, LocalOptions{Shards: 2, LeaseSize: 2, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := testSpec(8)
+	want, err := campaign.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, got), resultJSON(t, want)) {
+		t.Fatal("resumed archiving result differs from campaign.Run")
+	}
+
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var croot string
+	for _, e := range entries {
+		if e.IsDir() {
+			croot = filepath.Join(root, e.Name())
+		}
+	}
+	if croot == "" {
+		t.Fatal("no campaign archive directory after resume")
+	}
+	raw, err := os.ReadFile(filepath.Join(croot, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx []ArchiveIndexEntry
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != spec.Runs {
+		t.Fatalf("index after resume has %d entries, want %d", len(idx), spec.Runs)
+	}
+	for run := 0; run < spec.Runs; run++ {
+		if files := readTree(t, campaign.RunDir(croot, run)); len(files) == 0 {
+			t.Fatalf("run %d missing from archive store after resume", run)
+		}
+	}
+}
+
+// TestArchivesEndpoint serves the stored archive index over the fleet API.
+func TestArchivesEndpoint(t *testing.T) {
+	root := t.TempDir()
+	spec := testSpec(4)
+	spec.ArchiveDir = root
+
+	c, err := New(Options{LeaseSize: 2, ArchiveRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(spec.Defaulted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL}
+	if _, err := Work(cl, WorkerOptions{ID: "shard", Workers: 1, Poll: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.http().Get(srv.URL + "/campaigns/" + id + "/archives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("archives endpoint status %d", res.StatusCode)
+	}
+	var idx []ArchiveIndexEntry
+	if err := json.NewDecoder(res.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != spec.Runs {
+		t.Fatalf("endpoint returned %d entries, want %d", len(idx), spec.Runs)
+	}
+	if missing, err := cl.http().Get(srv.URL + "/campaigns/nope/archives"); err != nil {
+		t.Fatal(err)
+	} else {
+		missing.Body.Close()
+		if missing.StatusCode != 404 {
+			t.Fatalf("unknown campaign archives status %d, want 404", missing.StatusCode)
+		}
+	}
+}

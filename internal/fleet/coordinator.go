@@ -1,7 +1,11 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -51,6 +55,21 @@ type campaignState struct {
 	pending       int
 	issued        int
 	done          int
+	// archIndex catalogs the campaign's durably stored run archives
+	// (Options.ArchiveRoot), mirrored to index.json and reloaded on resume.
+	archIndex map[int]ArchiveIndexEntry
+}
+
+// ArchiveIndexEntry is one stored run archive in a campaign's index.json:
+// the run's identity and where its archive directory sits relative to the
+// campaign's archive root.
+type ArchiveIndexEntry struct {
+	Run      int    `json:"run"`
+	Seed     uint64 `json:"seed"`
+	Records  uint64 `json:"records"`
+	Segments uint64 `json:"segments"`
+	Bytes    uint64 `json:"bytes"`
+	Dir      string `json:"dir"`
 }
 
 func (cs *campaignState) complete() bool { return cs.done == len(cs.leases) }
@@ -199,7 +218,13 @@ func (c *Coordinator) addCampaign(id string, spec campaign.Spec, leaseSize int) 
 	if _, dup := c.campaigns[id]; dup {
 		return fmt.Errorf("fleet: duplicate campaign id %q", id)
 	}
-	cs := &campaignState{id: id, spec: spec, leaseSize: leaseSize, merged: campaign.NewAggregate()}
+	cs := &campaignState{id: id, spec: spec, leaseSize: leaseSize, merged: campaign.NewAggregate(),
+		archIndex: map[int]ArchiveIndexEntry{}}
+	if c.opts.ArchiveRoot != "" {
+		if err := c.loadArchiveIndex(cs); err != nil {
+			return err
+		}
+	}
 	for start := 0; start < spec.Runs; start += leaseSize {
 		end := start + leaseSize
 		if end > spec.Runs {
@@ -429,6 +454,15 @@ func (c *Coordinator) Complete(worker string, l Lease, sh *campaign.Shard) error
 		return fmt.Errorf("fleet: lease %s/%d shipped %d observations for %d runs; this coordinator retains observations — run the shard without observation dropping",
 			l.Campaign, l.Index, len(sh.Observations), ls.end-ls.start)
 	}
+	// Store shipped archives before journaling the completion: a crash
+	// between the two re-runs the lease on resume and re-stores byte-identical
+	// files, whereas the reverse order could journal a completion whose
+	// archives were lost. The bulk bytes never enter the journal.
+	if len(sh.Archives) > 0 && c.opts.ArchiveRoot != "" {
+		if err := c.storeArchives(cs, sh.Archives); err != nil {
+			return err
+		}
+	}
 	if c.journal != nil {
 		if err := c.journal.append(journalRecord{
 			Op: opComplete, ID: cs.id, Lease: l.Index, Start: sh.Start, End: sh.End,
@@ -529,6 +563,88 @@ func (c *Coordinator) finishLease(cs *campaignState, idx int, agg *campaign.Aggr
 	if cs.complete() && live {
 		c.metrics.Observe(obs.Event{Kind: obs.KindCampaignDone, Detail: cs.id, Latency: tick.Ticks(cs.spec.Runs)})
 	}
+}
+
+// campaignArchiveDir is campaign id's archive directory under the root.
+func (c *Coordinator) campaignArchiveDir(id string) string {
+	return filepath.Join(c.opts.ArchiveRoot, id)
+}
+
+// storeArchives writes shipped run archives into the durable store and
+// refreshes the campaign's index.json (c.mu held).
+func (c *Coordinator) storeArchives(cs *campaignState, archives []campaign.RunArchive) error {
+	croot := c.campaignArchiveDir(cs.id)
+	for _, a := range archives {
+		dir := campaign.RunDir(croot, a.Run)
+		if err := campaign.StoreArchive(dir, a); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		cs.archIndex[a.Run] = ArchiveIndexEntry{
+			Run: a.Run, Seed: a.Seed, Records: a.Records,
+			Segments: a.Segments, Bytes: a.Bytes,
+			Dir: filepath.Base(dir),
+		}
+	}
+	return c.writeArchiveIndex(cs)
+}
+
+// writeArchiveIndex atomically replaces the campaign's index.json with the
+// run-sorted catalog of stored archives (c.mu held).
+func (c *Coordinator) writeArchiveIndex(cs *campaignState) error {
+	entries := make([]ArchiveIndexEntry, 0, len(cs.archIndex))
+	for _, e := range cs.archIndex {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Run < entries[j].Run })
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	path := filepath.Join(c.campaignArchiveDir(cs.id), "index.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	return nil
+}
+
+// loadArchiveIndex restores a campaign's archive catalog from index.json —
+// the resume path; a missing index is an empty catalog.
+func (c *Coordinator) loadArchiveIndex(cs *campaignState) error {
+	data, err := os.ReadFile(filepath.Join(c.campaignArchiveDir(cs.id), "index.json"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	var entries []ArchiveIndexEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	for _, e := range entries {
+		cs.archIndex[e.Run] = e
+	}
+	return nil
+}
+
+// ArchiveIndex returns a campaign's stored-archive catalog in run order.
+func (c *Coordinator) ArchiveIndex(id string) ([]ArchiveIndexEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := c.campaigns[id]
+	if cs == nil {
+		return nil, fmt.Errorf("fleet: unknown campaign %q", id)
+	}
+	entries := make([]ArchiveIndexEntry, 0, len(cs.archIndex))
+	for _, e := range cs.archIndex {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Run < entries[j].Run })
+	return entries, nil
 }
 
 // touch records a shard contact (c.mu held).
@@ -658,6 +774,21 @@ func (c *Coordinator) Snapshot() timeline.Snapshot {
 	var s timeline.Snapshot
 	for _, id := range c.order {
 		s = s.Add(c.campaigns[id].merged.Timeline)
+	}
+	// Fold the durable store's gauges over every campaign's stored archives
+	// so the fleet /metrics page reports archive growth.
+	var arch timeline.ArchiveSnap
+	have := false
+	for _, id := range c.order {
+		for _, e := range c.campaigns[id].archIndex {
+			arch.Segments += e.Segments
+			arch.Bytes += e.Bytes
+			arch.Records += e.Records
+			have = true
+		}
+	}
+	if have {
+		s.Archive = &arch
 	}
 	return s
 }

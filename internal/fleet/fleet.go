@@ -201,6 +201,14 @@ type Options struct {
 	// 30s and 8× the cooldown).
 	QuarantineCooldown    time.Duration
 	QuarantineCooldownMax time.Duration
+	// ArchiveRoot, when non-empty, durably stores the flight archives
+	// shipped by workers completing leases of archiving campaigns:
+	// campaign C's run r lands under <ArchiveRoot>/<C>/run-0000r/, and each
+	// campaign keeps an index.json mapping runs to seeds and directories.
+	// Files are stored before the completion is journaled, so a resume
+	// re-stores deterministic duplicates rather than losing archives.
+	// Shipped archives arriving with no ArchiveRoot are dropped.
+	ArchiveRoot string
 	// Clock supplies wall time for lease TTLs and shard liveness — never
 	// simulation state. Nil defaults to the real clock; tests inject a
 	// fake to exercise reclamation deterministically.

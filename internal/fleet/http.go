@@ -65,6 +65,7 @@ type heartbeatRequest struct {
 //	GET  /campaigns/{id}         one campaign's progress
 //	GET  /campaigns/{id}/spec    the executable spec (worker shards fetch this)
 //	GET  /campaigns/{id}/result  the final Result JSON (409 until complete)
+//	GET  /campaigns/{id}/archives  the stored flight-archive index (run → seed → dir)
 //	POST /fleet/acquire          worker shard asks for a lease
 //	POST /fleet/complete         worker shard reports a finished lease
 //
@@ -127,6 +128,14 @@ func Handler(c *Coordinator) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/archives", func(w http.ResponseWriter, r *http.Request) {
+		entries, err := c.ArchiveIndex(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, entries)
 	})
 	mux.HandleFunc("POST /fleet/acquire", func(w http.ResponseWriter, r *http.Request) {
 		var req acquireRequest

@@ -81,6 +81,10 @@ func RunLocal(spec campaign.Spec, opts LocalOptions) (*campaign.Result, error) {
 		LeaseTTL:         opts.LeaseTTL,
 		JournalPath:      opts.JournalPath,
 		KeepObservations: !opts.DropObservations,
+		// An archiving spec stores durably under its own requested root:
+		// workers stage to temp directories and ship, exactly like remote
+		// shards, so <ArchiveDir>/<campaignID>/run-NNNNN/ is the one layout.
+		ArchiveRoot: spec.ArchiveDir,
 		// In-process shards share one process: they cannot flap
 		// independently, and a chaos schedule dropping Acquire responses
 		// would otherwise quarantine them and stall the run on cooldowns.

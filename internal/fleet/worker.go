@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -193,7 +194,19 @@ func fetchSpec(svc Service, opts WorkerOptions, id string) (campaign.Spec, error
 // runLease executes the lease's run range while a heartbeat goroutine
 // renews it, so the coordinator's TTL reclaims only shards that actually
 // went quiet — never live-but-slow ones.
+//
+// An archiving spec is redirected to a worker-local temp directory — the
+// coordinator-side ArchiveDir path means nothing on this machine — and the
+// finished archives ship back inside the Shard for durable storage.
 func runLease(svc Service, opts WorkerOptions, spec campaign.Spec, l Lease) (*campaign.Shard, error) {
+	if spec.ArchiveDir != "" {
+		tmp, err := os.MkdirTemp("", "air-fleet-archive-")
+		if err != nil {
+			return nil, fmt.Errorf("fleet: archive staging: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		spec.ArchiveDir = tmp
+	}
 	done := make(chan struct{})
 	beat := make(chan struct{})
 	if opts.Heartbeat > 0 {
@@ -219,6 +232,9 @@ func runLease(svc Service, opts WorkerOptions, spec campaign.Spec, l Lease) (*ca
 	sh, err := campaign.RunShard(spec, l.Start, l.End)
 	close(done)
 	<-beat
+	if err == nil {
+		err = campaign.CollectArchives(spec, sh)
+	}
 	return sh, err
 }
 

@@ -46,6 +46,10 @@ type FlightDump struct {
 	Frozen bool          `json:"frozen"`
 	Cause  *FlightCause  `json:"cause,omitempty"`
 	Frames []FlightFrame `json:"frames"`
+	// DroppedFrames counts captures the bounded ring evicted to make room —
+	// how much pre-error history scrolled away before the dump (frozen at
+	// the freeze instant when an HM error occurred).
+	DroppedFrames uint64 `json:"droppedFrames,omitempty"`
 }
 
 // flight is the bounded recorder. All storage is preallocated at New time:
@@ -55,6 +59,11 @@ type FlightDump struct {
 type flight struct {
 	ring    []FlightFrame
 	head, n int
+
+	// dropped counts ring evictions; frozenDropped pins the count at the
+	// freeze instant so post-error captures don't inflate the post-mortem.
+	dropped       uint64
+	frozenDropped uint64
 
 	frozen  []FlightFrame
 	frozenN int
@@ -108,6 +117,8 @@ func (f *flight) capture(t *Timeline, e obs.Event) {
 	f.head = (f.head + 1) % len(f.ring)
 	if f.n < len(f.ring) {
 		f.n++
+	} else {
+		f.dropped++
 	}
 }
 
@@ -123,6 +134,7 @@ func (f *flight) noteError(e obs.Event) {
 	f.hasErr = true
 	f.cause = e
 	f.frozenN = f.n
+	f.frozenDropped = f.dropped
 	start := (f.head - f.n + len(f.ring)) % len(f.ring)
 	for i := 0; i < f.n; i++ {
 		f.frozen[i] = f.ring[(start+i)%len(f.ring)]
@@ -134,8 +146,9 @@ func (f *flight) dump() FlightDump {
 	if f == nil {
 		return FlightDump{Frames: []FlightFrame{}}
 	}
-	d := FlightDump{Frozen: f.hasErr, Frames: []FlightFrame{}}
+	d := FlightDump{Frozen: f.hasErr, Frames: []FlightFrame{}, DroppedFrames: f.dropped}
 	if f.hasErr {
+		d.DroppedFrames = f.frozenDropped
 		d.Frames = append(d.Frames, f.frozen[:f.frozenN]...)
 		d.Cause = &FlightCause{
 			Time:      f.cause.Time,

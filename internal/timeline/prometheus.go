@@ -93,6 +93,19 @@ func WritePrometheus(w io.Writer, reg obs.Snapshot, s Snapshot) error {
 		"Live checks of the scheduling model (eqs. (14)-(24)) that failed.")
 	p.series("air_model_violations_total", "", s.ModelViolations)
 
+	// Flight-archive durable-storage gauges: always present (zeros when no
+	// sink is attached) so the scrape schema does not depend on wiring.
+	var arch ArchiveSnap
+	if s.Archive != nil {
+		arch = *s.Archive
+	}
+	p.metric("air_archive_segments", "gauge", "Flight-archive segment files (sealed plus active).")
+	p.series("air_archive_segments", "", arch.Segments)
+	p.metric("air_archive_bytes_total", "counter", "Frame bytes appended to the flight archive.")
+	p.series("air_archive_bytes_total", "", arch.Bytes)
+	p.metric("air_archive_records_total", "counter", "Spine events appended to the flight archive.")
+	p.series("air_archive_records_total", "", arch.Records)
+
 	return p.err
 }
 

@@ -143,6 +143,11 @@ type Timeline struct {
 
 	fdr *flight
 
+	// archiveStats, when set, is polled at snapshot time for the flight
+	// archive's durable-storage gauges (internal/archive is a sibling layer;
+	// the cmd composition bridges it in through this seam).
+	archiveStats func() ArchiveSnap
+
 	// outbox defers self-emitted events until the mutex is released (the
 	// bus delivers them back to this sink re-entrantly). The slice is
 	// reused across emissions; it only grows on faulty runs.
@@ -545,6 +550,26 @@ type PartSnap struct {
 	Shortfalls        uint64  `json:"shortfalls,omitempty"`
 }
 
+// ArchiveSnap is the flight archive's durable-storage accounting as seen at
+// snapshot time: sealed+active segment count, bytes framed, records appended.
+type ArchiveSnap struct {
+	Segments uint64 `json:"segments"`
+	Bytes    uint64 `json:"bytes"`
+	Records  uint64 `json:"records"`
+}
+
+// SetArchiveStats installs the flight-archive gauge source polled by
+// Snapshot (nil detaches it). The callback must be safe to invoke from the
+// telemetry server's goroutine.
+func (t *Timeline) SetArchiveStats(fn func() ArchiveSnap) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.archiveStats = fn
+	t.mu.Unlock()
+}
+
 // Snapshot is the analyzer's point-in-time derived state: deterministic
 // (sorted), JSON-serializable and mergeable, so campaign aggregation can
 // fold the per-run analyzers of a whole fault matrix.
@@ -564,6 +589,11 @@ type Snapshot struct {
 	EarlyWarnings    uint64   `json:"earlyWarnings"`
 	EarlyWarningLead HistSnap `json:"earlyWarningLead"`
 	ModelViolations  uint64   `json:"modelViolations"`
+
+	// Archive carries the flight archive's durable-storage gauges when a
+	// sink is attached (SetArchiveStats); nil keeps unarchived snapshots —
+	// and every previously recorded result file — byte-identical.
+	Archive *ArchiveSnap `json:"archive,omitempty"`
 }
 
 // Snapshot captures the analyzer's current derived state.
@@ -580,6 +610,10 @@ func (t *Timeline) Snapshot() Snapshot {
 		EarlyWarnings:    t.warnings,
 		EarlyWarningLead: t.lead.snap(),
 		ModelViolations:  t.violations,
+	}
+	if t.archiveStats != nil {
+		a := t.archiveStats()
+		s.Archive = &a
 	}
 	for _, ps := range t.partList {
 		p := PartSnap{
@@ -657,6 +691,17 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		out.Schedule = o.Schedule
 	} else if o.Schedule != "" && o.Schedule != out.Schedule {
 		out.Schedule = "mixed"
+	}
+	if s.Archive != nil || o.Archive != nil {
+		var a ArchiveSnap
+		for _, in := range []*ArchiveSnap{s.Archive, o.Archive} {
+			if in != nil {
+				a.Segments += in.Segments
+				a.Bytes += in.Bytes
+				a.Records += in.Records
+			}
+		}
+		out.Archive = &a
 	}
 
 	parts := make(map[string]PartSnap, len(s.Partitions)+len(o.Partitions))

@@ -235,6 +235,36 @@ func TestFlightRecorderFreezesOnHMError(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderCountsDrops(t *testing.T) {
+	tl := New(Options{FlightFrames: 4})
+	// The first 4 captures fill the ring without evicting anything.
+	for i := tick.Ticks(0); i < 4; i++ {
+		tl.Emit(ev(i*100, obs.KindWindowActivation, "P1", "", 0))
+	}
+	if d := tl.Flight(); d.DroppedFrames != 0 {
+		t.Fatalf("drops before wrap = %d, want 0", d.DroppedFrames)
+	}
+	// Each capture past capacity evicts exactly one frame.
+	for i := tick.Ticks(4); i < 10; i++ {
+		tl.Emit(ev(i*100, obs.KindWindowActivation, "P1", "", 0))
+	}
+	if d := tl.Flight(); d.DroppedFrames != 6 {
+		t.Fatalf("drops after wrap = %d, want 6", d.DroppedFrames)
+	}
+
+	// The freeze pins the drop count: post-error captures keep evicting from
+	// the live ring but must not inflate the post-mortem.
+	tl.Emit(obs.Event{Time: 1050, Kind: obs.KindHMReport, Partition: "P1",
+		Detail: "deadline missed", Code: "DEADLINE_MISSED", Level: "PROCESS", Action: "HM_ACTION_STOP"})
+	for i := tick.Ticks(11); i < 20; i++ {
+		tl.Emit(ev(i*100, obs.KindWindowActivation, "P1", "", 0))
+	}
+	d := tl.Flight()
+	if !d.Frozen || d.DroppedFrames != 6 {
+		t.Errorf("frozen dump drops = %d (frozen=%v), want 6 pinned at freeze", d.DroppedFrames, d.Frozen)
+	}
+}
+
 func TestHistQuantile(t *testing.T) {
 	var h hist
 	for v := tick.Ticks(1); v <= 100; v++ {
