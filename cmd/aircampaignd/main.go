@@ -228,20 +228,11 @@ func run(args []string, out io.Writer) error {
 	defer shutdown()
 	fmt.Fprintf(out, "aircampaignd coordinating on %s (lease %d runs, ttl %v)\n", bound, *leaseSize, *leaseTTL)
 
+	stopShards := make(chan struct{})
+	defer close(stopShards)
 	for i := 0; i < *workers; i++ {
 		shard := fmt.Sprintf("local-%d", i)
-		//air:allow(goroutine): in-process worker shards live off the tick domain by design
-		go func() {
-			for {
-				// Work returns on drain; a daemon shard lingers for the
-				// next campaign.
-				if _, err := fleet.Work(c, fleet.WorkerOptions{ID: shard, Workers: 1, Poll: *poll, DropObservations: !*keepObs}); err != nil {
-					fmt.Fprintf(os.Stderr, "aircampaignd: shard %s: %v\n", shard, err)
-					return
-				}
-				time.Sleep(*poll)
-			}
-		}()
+		go runShardLoop(c, shard, *poll, *keepObs, stopShards, os.Stderr)
 	}
 	if *workers > 0 {
 		fmt.Fprintf(out, "  running %d in-process worker shards\n", *workers)
@@ -262,6 +253,26 @@ func run(args []string, out io.Writer) error {
 // /metrics extended by the air_fleet_* coordination gauges and — when an
 // archive root is configured — the /archive/* bitemporal query endpoints
 // over the stored fleet history.
+// runShardLoop drives one in-process worker shard until stop closes or the
+// worker errors out. Work returns on drain; a daemon shard lingers for the
+// next campaign, re-polling every poll interval. The stop channel makes the
+// shard goroutines join-able: the daemon closes it on shutdown and each
+// shard exits at its next poll boundary instead of outliving the
+// coordinator it serves.
+func runShardLoop(svc fleet.Service, shard string, poll time.Duration, keepObs bool, stop <-chan struct{}, errw io.Writer) {
+	for {
+		if _, err := fleet.Work(svc, fleet.WorkerOptions{ID: shard, Workers: 1, Poll: poll, DropObservations: !keepObs}); err != nil {
+			fmt.Fprintf(errw, "aircampaignd: shard %s: %v\n", shard, err)
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(poll):
+		}
+	}
+}
+
 func fleetMux(c *fleet.Coordinator, archiveRoot string) http.Handler {
 	mux := http.NewServeMux()
 	fh := fleet.Handler(c)
@@ -339,7 +350,7 @@ func runWorker(out io.Writer, wc workerConfig) error {
 		ch := make(chan struct{})
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
-		//air:allow(goroutine): host-side signal plumbing, off the tick domain
+		//air:allow(spawn): signal plumbing blocks on <-sig for the process lifetime; nothing can join it
 		go func() {
 			<-sig
 			fmt.Fprintf(out, "%s: drain requested, finishing in-flight lease\n", wc.id)

@@ -170,3 +170,26 @@ func getJSON(t *testing.T, url string, v any) {
 		t.Fatalf("GET %s: decode: %v", url, err)
 	}
 }
+
+// Regression: daemon shard goroutines must be join-able. runShardLoop used
+// to loop forever between polls with no stop mechanism, so in-process
+// shards outlived the coordinator they served.
+func TestRunShardLoopJoinsOnStop(t *testing.T) {
+	c, err := fleet.New(fleet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runShardLoop(c, "shard-regress", time.Millisecond, false, stop, io.Discard)
+	}()
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("runShardLoop did not return after its stop channel closed")
+	}
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -33,6 +34,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strings"
 
 	"air/internal/analysis"
@@ -64,6 +66,8 @@ func main() {
 
 func run(args []string) int {
 	jsonOut := false
+	fixMode := false
+	dryRun := false
 	var rest []string
 	for _, a := range args {
 		switch a {
@@ -77,12 +81,19 @@ func run(args []string) int {
 			jsonOut = true
 		case "-json=false", "--json=false":
 			jsonOut = false
+		case "-fix", "--fix":
+			fixMode = true
+		case "-dry-run", "--dry-run":
+			dryRun = true
 		default:
 			rest = append(rest, a)
 		}
 	}
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return analyze(rest[0], jsonOut)
+	}
+	if fixMode || dryRun {
+		return runFix(rest, dryRun)
 	}
 	return standalone(args)
 }
@@ -106,6 +117,143 @@ func standalone(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runFix is `airlint -fix [-dry-run] ./...`: run the suite in JSON mode
+// through go vet, collect every diagnostic that carries a machine fix, and
+// apply the edits to the working tree. -fix refuses a dirty git tree — a
+// rewrite must be separable from the user's own edits in `git diff`.
+// -dry-run skips the git gate and only reports: exit 0 when no fixes are
+// pending, 2 when -fix would rewrite files (the CI assertion).
+func runFix(patterns []string, dryRun bool) int {
+	if !dryRun {
+		if status, dirty := gitDirty(); dirty {
+			fmt.Fprintln(os.Stderr, "airlint: -fix refuses to rewrite a dirty git tree; commit or stash first:")
+			fmt.Fprint(os.Stderr, status)
+			return 1
+		}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		return 1
+	}
+	// go vet forwards the vettool's JSON on stderr, with "# pkg" header
+	// lines between package objects; strip those before decoding the
+	// concatenated JSON stream.
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self, "-json"}, patterns...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			fmt.Fprintln(os.Stderr, "airlint:", err)
+			return 1
+		}
+		os.Stderr.Write(out.Bytes())
+		return ee.ExitCode() // JSON mode exits 0 on findings; non-zero is a build failure
+	}
+	var jsonOnly bytes.Buffer
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonOnly.WriteString(line)
+		jsonOnly.WriteByte('\n')
+	}
+
+	type jsonDiag struct {
+		Posn    string                 `json:"posn"`
+		Message string                 `json:"message"`
+		Fix     *analysis.SuggestedFix `json:"fix"`
+	}
+	var fixes []analysis.SuggestedFix
+	dec := json.NewDecoder(&jsonOnly)
+	for {
+		var pkgs map[string]map[string][]jsonDiag
+		if err := dec.Decode(&pkgs); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "airlint: parsing vet output: %v\n", err)
+			return 1
+		}
+		for _, byAnalyzer := range pkgs {
+			for _, diags := range byAnalyzer {
+				for _, d := range diags {
+					if d.Fix == nil || len(d.Fix.Edits) == 0 {
+						continue
+					}
+					fmt.Printf("%s: %s\n\tfix: %s\n", d.Posn, d.Message, d.Fix.Message)
+					fixes = append(fixes, *d.Fix)
+				}
+			}
+		}
+	}
+	if len(fixes) == 0 {
+		fmt.Println("airlint: no machine-applicable fixes pending")
+		return 0
+	}
+	if dryRun {
+		fmt.Printf("airlint: %d fix(es) pending; run airlint -fix to apply\n", len(fixes))
+		return 2
+	}
+	changed, err := applyFixes(fixes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		return 1
+	}
+	fmt.Printf("airlint: applied %d fix(es) across %d file(s)\n", len(fixes), changed)
+	return 0
+}
+
+// gitDirty reports whether the working tree has uncommitted changes. When
+// git is unavailable or the directory is not a repository, -fix proceeds:
+// the gate protects a tree that has version control, not one that lacks it.
+func gitDirty() (string, bool) {
+	out, err := exec.Command("git", "status", "--porcelain", "-uall").Output()
+	if err != nil {
+		return "", false
+	}
+	return string(out), len(bytes.TrimSpace(out)) > 0
+}
+
+// applyFixes rewrites files by byte offset, applying each file's edits in
+// descending Start order so earlier offsets stay valid. Overlapping edits
+// within one file are rejected rather than guessed at.
+func applyFixes(fixes []analysis.SuggestedFix) (int, error) {
+	byFile := map[string][]analysis.TextEdit{}
+	for _, f := range fixes {
+		for _, e := range f.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	changed := 0
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		prevStart := len(src) + 1
+		buf := src
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) || e.End > prevStart {
+				return changed, fmt.Errorf("%s: overlapping or out-of-range fix edits [%d,%d)", file, e.Start, e.End)
+			}
+			next := make([]byte, 0, len(buf)+len(e.NewText))
+			next = append(next, buf[:e.Start]...)
+			next = append(next, e.NewText...)
+			next = append(next, buf[e.End:]...)
+			buf = next
+			prevStart = e.Start
+		}
+		if err := os.WriteFile(file, buf, 0o666); err != nil {
+			return changed, err
+		}
+		changed++
+	}
+	return changed, nil
 }
 
 // printVersion answers the go command's -V=full probe. The build ID is a
@@ -251,14 +399,16 @@ func analyze(cfgPath string, jsonOut bool) int {
 // reports findings as data, not as a failure, so the exit status is 0.
 func printJSON(pkgID string, diags []analysis.Diagnostic) int {
 	type jsonDiag struct {
-		Posn    string `json:"posn"`
-		Message string `json:"message"`
+		Posn    string                 `json:"posn"`
+		Message string                 `json:"message"`
+		Fix     *analysis.SuggestedFix `json:"fix,omitempty"`
 	}
 	byAnalyzer := map[string][]jsonDiag{}
 	for _, d := range diags {
 		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
 			Posn:    d.Pos.String(),
 			Message: fmt.Sprintf("%s (%s)", d.Message, analysis.DocBase+"#"+d.Analyzer),
+			Fix:     d.Fix,
 		})
 	}
 	out, err := json.MarshalIndent(map[string]map[string][]jsonDiag{pkgID: byAnalyzer}, "", "\t")

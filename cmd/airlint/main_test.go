@@ -178,6 +178,232 @@ func Stamp() time.Time {
 	}
 }
 
+func TestVettoolConcurrencyDurabilityViolations(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		// One violation per new analyzer, all in the fleet (seeded, non-tick)
+		// domain where goroutines are legal but must be join-able.
+		"internal/fleet/lint.go": `package fleet
+
+import (
+	"os"
+	"sync"
+)
+
+type ledger struct {
+	mu sync.Mutex
+	//air:guard(mu)
+	seq int
+}
+
+func bump(l *ledger) {
+	l.seq++
+}
+
+func spawnLeak() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+func giveBack(ch chan int) {
+	close(ch)
+}
+
+func saveIndex(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+`,
+	})
+	out, code := vet(t, bin, dir, "./...")
+	if code == 0 {
+		t.Fatalf("expected nonzero exit for seeded violations, got 0:\n%s", out)
+	}
+	for _, want := range []string{
+		"[airguard]", "without holding l.mu",
+		"[airspawn]", "not join-able",
+		"[airchan]", "outside the owning function",
+		"[airdurable]", "os.WriteFile cannot fsync",
+		"DESIGN.md#airguard",
+		"DESIGN.md#airspawn",
+		"DESIGN.md#airchan",
+		"DESIGN.md#airdurable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// fixableModule seeds two machine-fixable findings: a Sync after the Rename
+// it should precede, and a Lock with no unlock on the return path.
+func fixableModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"internal/archive/pub.go": `package archive
+
+import "os"
+
+func publish(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	os.Rename(tmp, final)
+	f.Sync()
+	return f.Close()
+}
+`,
+		"internal/fleet/lock.go": `package fleet
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	//air:guard(mu)
+	n int
+}
+
+func (r *reg) incr() {
+	r.mu.Lock()
+	r.n++
+}
+`,
+	})
+}
+
+// runLint invokes the airlint binary directly (not through go vet) inside
+// dir, for the -fix / -dry-run entry points.
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("airlint %v: %v\n%s", args, err, buf.String())
+	}
+	return buf.String(), code
+}
+
+func TestFixAppliesEditsAndTreeComesOutClean(t *testing.T) {
+	bin := buildLint(t)
+	dir := fixableModule(t)
+
+	out, code := runLint(t, bin, dir, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("airlint -fix: exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "applied 2 fix(es)") {
+		t.Errorf("expected 2 applied fixes in:\n%s", out)
+	}
+
+	pub, err := os.ReadFile(filepath.Join(dir, "internal/archive/pub.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncAt := strings.Index(string(pub), "f.Sync()")
+	renameAt := strings.Index(string(pub), "os.Rename")
+	if syncAt < 0 || renameAt < 0 || syncAt > renameAt {
+		t.Errorf("fix did not move Sync before Rename:\n%s", pub)
+	}
+	lock, err := os.ReadFile(filepath.Join(dir, "internal/fleet/lock.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(lock), "defer r.mu.Unlock()") {
+		t.Errorf("fix did not insert the deferred unlock:\n%s", lock)
+	}
+
+	// The rewritten tree must analyze clean.
+	if out, code := vet(t, bin, dir, "./..."); code != 0 {
+		t.Errorf("tree still has findings after -fix (exit %d):\n%s", code, out)
+	}
+}
+
+func TestFixRefusesDirtyGitTree(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	bin := buildLint(t)
+	dir := fixableModule(t)
+	for _, args := range [][]string{{"init", "-q"}} {
+		cmd := exec.Command("git", args...)
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	// Everything is untracked, so the tree is dirty.
+	out, code := runLint(t, bin, dir, "-fix", "./...")
+	if code != 1 {
+		t.Fatalf("expected exit 1 refusing the dirty tree, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "dirty git tree") {
+		t.Errorf("missing dirty-tree refusal in:\n%s", out)
+	}
+	if !strings.Contains(out, "pub.go") {
+		t.Errorf("refusal should print git status naming the dirty files:\n%s", out)
+	}
+	// Nothing may have been rewritten.
+	pub, err := os.ReadFile(filepath.Join(dir, "internal/archive/pub.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Index(string(pub), "f.Sync()") < strings.Index(string(pub), "os.Rename") {
+		t.Errorf("refused -fix still rewrote the file:\n%s", pub)
+	}
+}
+
+func TestFixDryRun(t *testing.T) {
+	bin := buildLint(t)
+
+	dir := fixableModule(t)
+	out, code := runLint(t, bin, dir, "-fix", "-dry-run", "./...")
+	if code != 2 {
+		t.Fatalf("expected exit 2 with fixes pending, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 fix(es) pending") {
+		t.Errorf("expected pending-fix report in:\n%s", out)
+	}
+
+	clean := writeModule(t, map[string]string{
+		"internal/fleet/ok.go": `package fleet
+
+func Ok() int { return 1 }
+`,
+	})
+	out, code = runLint(t, bin, clean, "-fix", "-dry-run", "./...")
+	if code != 0 {
+		t.Fatalf("expected exit 0 on a clean tree, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no machine-applicable fixes pending") {
+		t.Errorf("expected clean dry-run report in:\n%s", out)
+	}
+}
+
+func TestJSONCarriesFixEdits(t *testing.T) {
+	bin := buildLint(t)
+	dir := fixableModule(t)
+	out, code := vet(t, bin, dir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("json mode reports findings as data, expected exit 0, got %d:\n%s", code, out)
+	}
+	for _, want := range []string{`"fix"`, `"edits"`, `"newText"`, "move the Sync before the Rename", "insert defer r.mu.Unlock() after the Lock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestVettoolUnknownAllowKeyIsAFinding(t *testing.T) {
 	bin := buildLint(t)
 	dir := writeModule(t, map[string]string{

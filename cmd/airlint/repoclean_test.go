@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot resolves the repository root (two levels up from cmd/airlint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoAnalyzesClean is the suite's own gate on this repository: all nine
+// analyzers run over every package, and any finding — a lock-discipline
+// violation, a leaked goroutine, a foreign channel close, an unsynced
+// publish, a rotted //air:allow — fails the build here before CI does.
+func TestRepoAnalyzesClean(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("airlint finds violations in this repository:\n%s", out)
+	}
+}
+
+// TestRepoFixDryRunClean asserts no machine-applicable fixes are pending in
+// the tree: committed code never ships with a finding -fix could repair.
+func TestRepoFixDryRunClean(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "-fix", "-dry-run", "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("airlint -fix -dry-run reports pending fixes:\n%s", out)
+	}
+}

@@ -7,11 +7,23 @@ import (
 	"strings"
 )
 
-// The //air: directive language. Two directives exist:
+// The //air: directive language. Four directives exist:
 //
 //	//air:hotpath
 //	    In a function's doc comment: the function is part of the module-tick
 //	    spine and must satisfy the airhotpath invariant (0 allocs/op).
+//
+//	//air:guard(mu)
+//	    On a struct field (doc comment or trailing line comment): the field
+//	    may only be read or written while the sibling mutex field mu is
+//	    held. Reads additionally accept an RLock when mu is a sync.RWMutex.
+//	    Enforced flow-sensitively by airguard.
+//
+//	//air:locked(mu)
+//	    In a method's doc comment: the method requires the receiver's mutex
+//	    field mu to be held on entry (or exclusive ownership of a freshly
+//	    constructed receiver). airguard seeds the method's lock set with mu
+//	    and checks that every call site holds it.
 //
 //	//air:allow(key): reason
 //	    Suppresses findings of class key. In a function's doc comment the
@@ -35,6 +47,10 @@ const (
 	KeyLayering      = "layering"      // spatial-separation import violation
 	KeyRawEvent      = "rawevent"      // obs.Event built off the emission path
 	KeyHMDrop        = "hmdrop"        // Health Monitor decision dropped
+	KeyGuard         = "guard"         // //air:guard field access without the lock
+	KeySpawn         = "spawn"         // goroutine without a join/stop mechanism
+	KeyChan          = "chan"          // channel ownership/close discipline
+	KeyDurable       = "durable"       // durable write published without fsync
 )
 
 // knownKeys is the closed set of valid allow-keys; airallow flags anything
@@ -53,6 +69,10 @@ var knownKeys = map[string]bool{
 	KeyLayering:      true,
 	KeyRawEvent:      true,
 	KeyHMDrop:        true,
+	KeyGuard:         true,
+	KeySpawn:         true,
+	KeyChan:          true,
+	KeyDurable:       true,
 }
 
 // directiveRE matches "air:<name>" optionally followed by "(arg)" and an
@@ -119,6 +139,37 @@ func IsHotpath(decl *ast.FuncDecl) bool {
 		}
 	}
 	return false
+}
+
+// LockedArg returns the mutex field named by an //air:locked(mu) directive
+// in the function's doc comment, or "" when the function carries none.
+func LockedArg(decl *ast.FuncDecl) string {
+	if decl.Doc == nil {
+		return ""
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := ParseDirective(c); ok && d.Name == "locked" && d.Arg != "" {
+			return d.Arg
+		}
+	}
+	return ""
+}
+
+// GuardArg returns the sibling mutex field named by an //air:guard(mu)
+// directive attached to the struct field (doc or trailing comment), or ""
+// when the field carries none.
+func GuardArg(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, ok := ParseDirective(c); ok && d.Name == "guard" && d.Arg != "" {
+				return d.Arg
+			}
+		}
+	}
+	return ""
 }
 
 // An AllowIndex resolves whether a position is covered by an //air:allow
@@ -222,15 +273,38 @@ var AllowAnalyzer = &Analyzer{
 func runAllow(pass *Pass) {
 	for _, file := range pass.Files {
 		// Positions of doc comments attached to function declarations:
-		// //air:hotpath is only meaningful there.
+		// //air:hotpath and //air:locked are only meaningful there.
 		funcDoc := map[*ast.Comment]bool{}
+		methodDoc := map[*ast.Comment]bool{}
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
 				for _, c := range fd.Doc.List {
 					funcDoc[c] = true
+					if fd.Recv != nil {
+						methodDoc[c] = true
+					}
 				}
 			}
 		}
+		// Comments attached to struct fields: //air:guard lives there.
+		fieldDoc := map[*ast.Comment]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						fieldDoc[c] = true
+					}
+				}
+			}
+			return true
+		})
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				d, ok := ParseDirective(c)
@@ -245,6 +319,18 @@ func runAllow(pass *Pass) {
 						pass.Reportf(d.Pos, "directive", "//air:hotpath takes no argument")
 					} else if !funcDoc[c] {
 						pass.Reportf(d.Pos, "directive", "//air:hotpath must be in a function's doc comment")
+					}
+				case "guard":
+					if d.Arg == "" {
+						pass.Reportf(d.Pos, "directive", "//air:guard needs the sibling mutex field: //air:guard(mu)")
+					} else if !fieldDoc[c] {
+						pass.Reportf(d.Pos, "directive", "//air:guard must be attached to a struct field")
+					}
+				case "locked":
+					if d.Arg == "" {
+						pass.Reportf(d.Pos, "directive", "//air:locked needs the held mutex field: //air:locked(mu)")
+					} else if !methodDoc[c] {
+						pass.Reportf(d.Pos, "directive", "//air:locked must be in a method's doc comment")
 					}
 				case "allow":
 					switch {

@@ -23,6 +23,19 @@
 //     only on the emission path.
 //   - airhmrouting: Health Monitor decisions must be acted on — never
 //     dropped or detoured into ad-hoc logging.
+//   - airguard: struct fields annotated //air:guard(mu) may only be read or
+//     written while the named sibling mutex is held, checked by intra-
+//     procedural lock-set tracking (Lock/Unlock/defer Unlock, RLock for
+//     reads).
+//   - airspawn: every go statement outside the tick domain must be join-able
+//     (WaitGroup Add/Done, a stop channel it selects on, or a context);
+//     leak-prone goroutines are findings.
+//   - airchan: channel ownership discipline — close only in the owning
+//     function or a stop path, no send reachable after a close, and
+//     goroutine shutdown loops must carry a stop case.
+//   - airdurable: in packages that persist state, an os.Rename publishing a
+//     temp file must be preceded by File.Sync on that file, and appends to
+//     framed files go through the framing encoder, never a raw Write.
 //   - airallow: the //air: directive language itself is checked; an unknown
 //     directive or allow-key is a lint error, so suppressions cannot rot.
 //
@@ -73,6 +86,10 @@ func All() []*Analyzer {
 		HotpathAnalyzer,
 		PartitionAnalyzer,
 		HMRoutingAnalyzer,
+		GuardAnalyzer,
+		SpawnAnalyzer,
+		ChanAnalyzer,
+		DurableAnalyzer,
 	}
 }
 
@@ -86,6 +103,22 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// A TextEdit is one byte-range replacement in a source file. Start and End
+// are 0-based byte offsets into the file; an insertion has Start == End.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// A SuggestedFix is a machine-applicable repair for a finding, applied by
+// the airlint driver's -fix mode.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
 // A Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Position
@@ -93,6 +126,8 @@ type Diagnostic struct {
 	// Key is the finding class, usable in an //air:allow(key) suppression.
 	Key     string
 	Message string
+	// Fix, when non-nil, is a machine-applicable repair.
+	Fix *SuggestedFix
 }
 
 // String renders the diagnostic the way the airlint driver prints it.
@@ -130,6 +165,22 @@ func (p *Pass) Reportf(pos token.Pos, key, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Key:      key,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding that carries a machine-applicable repair,
+// honoring the same //air:allow suppression rules as Reportf.
+func (p *Pass) ReportFix(pos token.Pos, key string, fix *SuggestedFix, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.AllowedAt(position, pos, key) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Key:      key,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

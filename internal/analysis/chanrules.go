@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChanAnalyzer is airchan: channel ownership discipline. A channel is closed
+// only by its owner — the function that made it (including goroutine
+// literals inside that function) or a designated stop path (a method whose
+// name marks shutdown: Close, Stop, Shutdown, kill, drain, ...). After a
+// close, no send or second close of the same channel may be reachable on
+// the same path. And a goroutine's infinite for/select service loop must
+// carry a case that exits the loop, or the goroutine can never be shut
+// down. Closing someone else's channel is the classic distributed-ownership
+// bug: the next send panics in a package that never called close.
+var ChanAnalyzer = &Analyzer{
+	Name: "airchan",
+	Doc:  "channels are closed only by their owner; no send reachable after close; service loops carry a stop case",
+	Run:  runChan,
+}
+
+// stopNames marks function names that constitute a shutdown path, allowed
+// to close channels they do not own locally.
+var stopNames = []string{"close", "stop", "shutdown", "kill", "drain", "quit", "cancel", "finish", "abort"}
+
+func isStopName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, s := range stopNames {
+		if strings.Contains(lower, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runChan(pass *Pass) {
+	if !isAirPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &chanWalker{pass: pass, fn: fd}
+			st := &chanState{closed: map[string]bool{}, owned: map[types.Object]bool{}}
+			c.walkStmt(fd.Body, st)
+		}
+	}
+}
+
+type chanState struct {
+	closed map[string]bool       // rendered channel paths closed on this path
+	owned  map[types.Object]bool // locals bound to a make() or fresh struct in this function
+}
+
+func (s *chanState) clone() *chanState {
+	c := &chanState{closed: map[string]bool{}, owned: map[types.Object]bool{}}
+	for k := range s.closed {
+		c.closed[k] = true
+	}
+	for k := range s.owned {
+		c.owned[k] = true
+	}
+	return c
+}
+
+// merge keeps only facts true on both arms (sound for the after-close
+// checks: a channel counts as closed only when every path closed it).
+func (s *chanState) merge(alt *chanState) {
+	for k := range s.closed {
+		if !alt.closed[k] {
+			delete(s.closed, k)
+		}
+	}
+	for k := range s.owned {
+		if !alt.owned[k] {
+			delete(s.owned, k)
+		}
+	}
+}
+
+type chanWalker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (c *chanWalker) walkStmt(stmt ast.Stmt, st *chanState) {
+	if stmt == nil {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			c.walkStmt(inner, st)
+		}
+	case *ast.ExprStmt:
+		c.checkClose(s.X, st, false)
+	case *ast.DeferStmt:
+		c.checkClose(s.Call, st, true)
+	case *ast.SendStmt:
+		if path := renderPath(s.Chan); path != "" && st.closed[path] {
+			c.pass.Reportf(s.Pos(), KeyChan, "send on %s after close(%s) on this path: the send panics", path, path)
+		}
+	case *ast.AssignStmt:
+		c.trackOwned(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						if i < len(vs.Names) && isFreshExpr(v) {
+							if obj := c.pass.Info.Defs[vs.Names[i]]; obj != nil {
+								st.owned[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// The goroutine shares the enclosing function's ownership, but
+			// runs its own path: closed-state diverges.
+			c.checkServiceLoop(lit.Body)
+			c.walkStmt(lit.Body, st.clone())
+		}
+	case *ast.IfStmt:
+		c.walkStmt(s.Init, st)
+		thenSt := st.clone()
+		c.walkStmt(s.Body, thenSt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			c.walkStmt(s.Else, elseSt)
+			merged := thenSt
+			if terminates(s.Body) {
+				merged = elseSt
+			} else if !terminates(s.Else) {
+				merged.merge(elseSt)
+			}
+			*st = *merged
+			return
+		}
+		if !terminates(s.Body) {
+			entry := st.clone()
+			*st = *thenSt
+			st.merge(entry)
+		}
+	case *ast.ForStmt:
+		c.walkStmt(s.Body, st.clone())
+	case *ast.RangeStmt:
+		c.walkStmt(s.Body, st.clone())
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := stmt.(type) {
+		case *ast.SwitchStmt:
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			body = sw.Body
+		case *ast.SelectStmt:
+			body = sw.Body
+		}
+		entry := st.clone()
+		for _, cl := range body.List {
+			arm := entry.clone()
+			switch cc := cl.(type) {
+			case *ast.CaseClause:
+				for _, inner := range cc.Body {
+					c.walkStmt(inner, arm)
+				}
+			case *ast.CommClause:
+				c.walkStmt(cc.Comm, arm)
+				for _, inner := range cc.Body {
+					c.walkStmt(inner, arm)
+				}
+			}
+			st.merge(arm)
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, st)
+	}
+}
+
+// terminates reports whether a statement (if-arm) always leaves the
+// enclosing flow: its last statement is a return/branch/panic.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		if len(s.List) == 0 {
+			return false
+		}
+		return terminates(s.List[len(s.List)-1])
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// trackOwned records locals bound to freshly made channels (or fresh
+// structs whose channel fields the function therefore owns), and clears
+// closed-state on reassignment.
+func (c *chanWalker) trackOwned(s *ast.AssignStmt, st *chanState) {
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.Info.Defs[id]
+		if obj == nil {
+			obj = c.pass.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		delete(st.closed, id.Name)
+		if len(s.Lhs) == len(s.Rhs) && isFreshExpr(s.Rhs[i]) {
+			st.owned[obj] = true
+		}
+	}
+}
+
+// checkClose handles a close(ch) in statement or defer position.
+func (c *chanWalker) checkClose(e ast.Expr, st *chanState, deferred bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return
+	}
+	if obj := c.pass.Info.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return // a shadowing close() function, not the builtin
+		}
+	}
+	arg := call.Args[0]
+	path := renderPath(arg)
+	if path != "" && st.closed[path] {
+		c.pass.Reportf(call.Pos(), KeyChan, "close(%s) after an earlier close on this path: closing twice panics", path)
+	}
+	if !c.ownsChan(arg, st) {
+		c.pass.Reportf(call.Pos(), KeyChan, "close(%s) outside the owning function or a stop path: only the maker (or a Close/Stop/Shutdown method) may close a channel", path)
+	}
+	if path != "" && !deferred {
+		st.closed[path] = true
+	}
+}
+
+// ownsChan reports whether this function owns the channel being closed: it
+// (or its enclosing state) made it, the channel hangs off a freshly
+// constructed struct, or the enclosing function is a designated stop path.
+func (c *chanWalker) ownsChan(arg ast.Expr, st *chanState) bool {
+	if isStopName(c.fn.Name.Name) {
+		return true
+	}
+	g := &guardWalker{pass: c.pass}
+	if root := g.rootIdent(arg); root != nil && st.owned[root] {
+		return true
+	}
+	return false
+}
+
+// checkServiceLoop flags infinite for/select loops in goroutine bodies with
+// no case that can exit the loop.
+func (c *chanWalker) checkServiceLoop(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		var sel *ast.SelectStmt
+		for _, inner := range fs.Body.List {
+			if s, ok := inner.(*ast.SelectStmt); ok {
+				sel = s
+				break
+			}
+		}
+		if sel == nil {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			exits := false
+			for _, inner := range cc.Body {
+				ast.Inspect(inner, func(m ast.Node) bool {
+					switch m.(type) {
+					case *ast.ReturnStmt, *ast.BranchStmt:
+						exits = true
+						return false
+					case *ast.FuncLit:
+						return false
+					}
+					return true
+				})
+				if exits {
+					break
+				}
+			}
+			if exits {
+				return false // loop has a stop case; skip nested loops too
+			}
+		}
+		c.pass.Reportf(fs.Pos(), KeyChan, "goroutine service loop has no stop case: add a done/stop channel case that returns, or the goroutine cannot be shut down")
+		return false
+	})
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestChan(t *testing.T) {
+	analysistest.Run(t, analysis.ChanAnalyzer,
+		"air/internal/chanfix",
+	)
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestDurable(t *testing.T) {
+	analysistest.Run(t, analysis.DurableAnalyzer,
+		"air/internal/archive", // durable package: all three rules apply
+		"air/internal/plainio", // outside the durable set: exempt
+	)
+}

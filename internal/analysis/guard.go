@@ -1,0 +1,737 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardAnalyzer is airguard: struct fields annotated //air:guard(mu) may
+// only be read or written while the named sibling mutex is held. The check
+// is an intra-procedural, flow-sensitive lock-set analysis: Lock/RLock grow
+// the held set, Unlock/RUnlock shrink it, defer Unlock holds to function
+// exit, and branches merge conservatively (a lock is held after an if only
+// when every falling-through arm holds it). Writes require the exclusive
+// lock; reads accept an RLock. Methods annotated //air:locked(mu) assert
+// the caller already holds mu: the annotation seeds the method's lock set,
+// and every call site is checked for the lock (or for exclusive ownership
+// of a freshly constructed receiver, the constructor pattern).
+var GuardAnalyzer = &Analyzer{
+	Name: "airguard",
+	Doc:  "fields annotated //air:guard(mu) are only accessed while mu is held",
+	Run:  runGuard,
+}
+
+// lock-set entries: how a mutex path is held.
+const (
+	lockExcl = iota + 1
+	lockRead
+)
+
+type guardInfo struct {
+	mu string // sibling mutex field name
+	rw bool   // sibling is a sync.RWMutex
+}
+
+// mutexKind reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func mutexKind(t types.Type) (rw, ok bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+func runGuard(pass *Pass) {
+	guarded := map[types.Object]guardInfo{} // field object → guard
+	lockedFns := map[types.Object]string{}  // //air:locked function → mutex name
+
+	// Pass 1: collect //air:guard annotations from struct declarations and
+	// validate that the named sibling exists and is a mutex.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Sibling lookup: field name → type.
+			siblings := map[string]types.Type{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						siblings[name.Name] = obj.Type()
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := GuardArg(f)
+				if mu == "" {
+					continue
+				}
+				sib, found := siblings[mu]
+				if !found {
+					pass.Reportf(f.Pos(), KeyGuard, "//air:guard(%s): struct has no sibling field %q", mu, mu)
+					continue
+				}
+				rw, isMutex := mutexKind(sib)
+				if !isMutex {
+					pass.Reportf(f.Pos(), KeyGuard, "//air:guard(%s): sibling %q is %s, not a sync.Mutex or sync.RWMutex", mu, mu, sib)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = guardInfo{mu: mu, rw: rw}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: collect //air:locked methods and validate the named field.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			mu := LockedArg(fd)
+			if mu == "" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if t := pass.Info.TypeOf(recv.Type); t != nil {
+				if !hasMutexField(t, mu) {
+					pass.Reportf(fd.Pos(), KeyGuard, "//air:locked(%s): receiver type has no mutex field %q", mu, mu)
+					continue
+				}
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				lockedFns[obj] = mu
+			}
+		}
+	}
+
+	// Pass 3: flow-sensitive lock-set walk of every function body.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := &guardWalker{pass: pass, guarded: guarded, locked: lockedFns, explicitUnlock: map[string]bool{}}
+			// Pre-scan: paths explicitly unlocked anywhere in the function.
+			// The defer-insert fix is only safe when no such unlock exists.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if path, op := g.lockOp(call); path != "" && (op == "Unlock" || op == "RUnlock") {
+						g.explicitUnlock[path] = true
+					}
+				}
+				return true
+			})
+			st := newLockState()
+			// //air:locked(mu) seeds the receiver's mutex as held.
+			if mu := LockedArg(fd); mu != "" && fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				st.held[fd.Recv.List[0].Names[0].Name+"."+mu] = lockExcl
+				st.seeded[fd.Recv.List[0].Names[0].Name+"."+mu] = true
+			}
+			g.walkStmt(fd.Body, st)
+			g.exitCheck(st, fd.Body.Rbrace)
+		}
+	}
+}
+
+// hasMutexField reports whether t (struct or pointer to struct) has a field
+// named mu of a mutex type.
+func hasMutexField(t types.Type, mu string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return true // not a struct receiver: nothing to validate against
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == mu {
+			_, isMutex := mutexKind(st.Field(i).Type())
+			return isMutex
+		}
+	}
+	return false
+}
+
+// lockState is the abstract state at one program point.
+type lockState struct {
+	held       map[string]int        // mutex path → lockExcl/lockRead
+	deferred   map[string]bool       // mutex paths with a pending deferred unlock
+	seeded     map[string]bool       // paths held by //air:locked precondition
+	lockSite   map[string]token.Pos  // where each held path was locked
+	lockStmt   map[string]ast.Stmt   // the Lock statement, for the defer-insert fix
+	fresh      map[types.Object]bool // locals that exclusively own their value
+	terminated bool
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		held:     map[string]int{},
+		deferred: map[string]bool{},
+		seeded:   map[string]bool{},
+		lockSite: map[string]token.Pos{},
+		lockStmt: map[string]ast.Stmt{},
+		fresh:    map[types.Object]bool{},
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	for k := range s.seeded {
+		c.seeded[k] = true
+	}
+	for k, v := range s.lockSite {
+		c.lockSite[k] = v
+	}
+	for k, v := range s.lockStmt {
+		c.lockStmt[k] = v
+	}
+	for k := range s.fresh {
+		c.fresh[k] = true
+	}
+	c.terminated = s.terminated
+	return c
+}
+
+// merge folds an alternative arm's exit state into s (conservative
+// intersection: a lock is held only if held on every falling-through arm; a
+// read hold on any arm downgrades an exclusive hold).
+func (s *lockState) merge(alt *lockState) {
+	if alt.terminated {
+		return // the arm never falls through; s stands
+	}
+	if s.terminated {
+		*s = *alt.clone()
+		return
+	}
+	for k, v := range s.held {
+		av, ok := alt.held[k]
+		if !ok {
+			delete(s.held, k)
+			continue
+		}
+		if av == lockRead && v == lockExcl {
+			s.held[k] = lockRead
+		}
+	}
+	for k := range s.deferred {
+		if !alt.deferred[k] {
+			delete(s.deferred, k)
+		}
+	}
+	for k := range s.fresh {
+		if !alt.fresh[k] {
+			delete(s.fresh, k)
+		}
+	}
+}
+
+type guardWalker struct {
+	pass           *Pass
+	guarded        map[types.Object]guardInfo
+	locked         map[types.Object]string
+	explicitUnlock map[string]bool
+}
+
+// renderPath renders a selector chain of identifiers ("c.mu", "t.reg") or ""
+// when the expression is not a plain chain.
+func renderPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := renderPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderPath(x.X)
+	case *ast.StarExpr:
+		return renderPath(x.X)
+	}
+	return ""
+}
+
+// rootIdent returns the leftmost identifier's object of a selector chain.
+func (g *guardWalker) rootIdent(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return g.pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lockOp classifies a call as a mutex operation on a renderable path.
+func (g *guardWalker) lockOp(call *ast.CallExpr) (path, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t := g.pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if _, ok := mutexKind(t); !ok {
+		return "", ""
+	}
+	return renderPath(sel.X), sel.Sel.Name
+}
+
+func (g *guardWalker) walkStmt(stmt ast.Stmt, st *lockState) {
+	if stmt == nil {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			g.walkStmt(inner, st)
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if g.applyCall(call, s, st) {
+				return
+			}
+		}
+		g.walkExpr(s.X, st, false)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			g.walkExpr(rhs, st, false)
+		}
+		for _, lhs := range s.Lhs {
+			g.walkWrite(lhs, st)
+		}
+		g.trackFresh(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					g.walkExpr(v, st, false)
+					if i < len(vs.Names) && isFreshExpr(v) {
+						if obj := g.pass.Info.Defs[vs.Names[i]]; obj != nil {
+							st.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		g.walkWrite(s.X, st)
+	case *ast.SendStmt:
+		g.walkExpr(s.Chan, st, false)
+		g.walkExpr(s.Value, st, false)
+	case *ast.DeferStmt:
+		if path, op := g.lockOp(s.Call); path != "" && (op == "Unlock" || op == "RUnlock") {
+			if st.deferred[path] {
+				g.pass.Reportf(s.Pos(), KeyGuard, "duplicate deferred %s.%s(): the mutex would be unlocked twice at function exit", path, op)
+			}
+			st.deferred[path] = true
+			return
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// Deferred cleanup closures run at exit; approximate with the
+			// current lock state.
+			g.walkStmt(lit.Body, st.clone())
+			return
+		}
+		g.walkExpr(s.Call, st, false)
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the spawner's locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			gst := newLockState()
+			g.walkStmt(lit.Body, gst)
+		}
+		for _, arg := range s.Call.Args {
+			g.walkExpr(arg, st, false)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			g.walkExpr(r, st, false)
+		}
+		g.exitCheck(st, s.Pos())
+		st.terminated = true
+	case *ast.BranchStmt:
+		st.terminated = true
+	case *ast.IfStmt:
+		g.walkStmt(s.Init, st)
+		g.walkExpr(s.Cond, st, false)
+		thenSt := st.clone()
+		g.walkStmt(s.Body, thenSt)
+		if s.Else != nil {
+			elseSt := st.clone()
+			g.walkStmt(s.Else, elseSt)
+			*st = *thenSt
+			st.merge(elseSt)
+			return
+		}
+		// No else: the fall-through arm is the pre-if state.
+		entry := st.clone()
+		*st = *thenSt
+		st.merge(entry)
+	case *ast.ForStmt:
+		g.walkStmt(s.Init, st)
+		g.walkExpr(s.Cond, st, false)
+		body := st.clone()
+		g.walkStmt(s.Body, body)
+		g.walkStmt(s.Post, body)
+		// The loop body may run zero times: keep the entry state, but do not
+		// lose a body that cannot terminate the loop's locks (diagnosed
+		// inside the body walk itself).
+	case *ast.RangeStmt:
+		g.walkExpr(s.X, st, false)
+		if s.Key != nil {
+			g.walkWrite(s.Key, st)
+		}
+		if s.Value != nil {
+			g.walkWrite(s.Value, st)
+		}
+		body := st.clone()
+		g.walkStmt(s.Body, body)
+	case *ast.SwitchStmt:
+		g.walkStmt(s.Init, st)
+		g.walkExpr(s.Tag, st, false)
+		g.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		g.walkStmt(s.Init, st)
+		g.walkStmt(s.Assign, st)
+		g.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		g.walkCases(s.Body, st)
+	case *ast.LabeledStmt:
+		g.walkStmt(s.Stmt, st)
+	}
+}
+
+// isFreshExpr reports whether the expression constructs a brand-new value
+// (composite literal, &composite, make, new): a local bound to it owns the
+// value exclusively until it is shared.
+func isFreshExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := x.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+			return true
+		}
+	}
+	return false
+}
+
+// trackFresh updates exclusive-ownership tracking across an assignment.
+func (g *guardWalker) trackFresh(s *ast.AssignStmt, st *lockState) {
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := g.pass.Info.Defs[id]
+		if obj == nil {
+			obj = g.pass.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if len(s.Lhs) == len(s.Rhs) && isFreshExpr(s.Rhs[i]) {
+			st.fresh[obj] = true
+		} else {
+			delete(st.fresh, obj)
+		}
+	}
+}
+
+// walkCases walks each case arm against a clone of the entry state and
+// merges the falling-through arms (plus the entry state, since a switch
+// without a matching case falls through unchanged).
+func (g *guardWalker) walkCases(body *ast.BlockStmt, st *lockState) {
+	entry := st.clone()
+	arms := []*lockState{}
+	for _, c := range body.List {
+		arm := entry.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				g.walkExpr(e, arm, false)
+			}
+			for _, inner := range cc.Body {
+				g.walkStmt(inner, arm)
+			}
+		case *ast.CommClause:
+			g.walkStmt(cc.Comm, arm)
+			for _, inner := range cc.Body {
+				g.walkStmt(inner, arm)
+			}
+		}
+		arms = append(arms, arm)
+	}
+	for _, arm := range arms {
+		st.merge(arm)
+	}
+}
+
+// applyCall handles statement-position calls that change the lock state or
+// carry a //air:locked precondition; it reports and returns true when the
+// call was consumed as a lock operation.
+func (g *guardWalker) applyCall(call *ast.CallExpr, stmt ast.Stmt, st *lockState) bool {
+	if path, op := g.lockOp(call); path != "" {
+		switch op {
+		case "Lock", "RLock":
+			if _, already := st.held[path]; already {
+				g.pass.Reportf(call.Pos(), KeyGuard, "%s.%s() while %s is already held: self-deadlock", path, op, path)
+			}
+			if op == "Lock" {
+				st.held[path] = lockExcl
+			} else {
+				st.held[path] = lockRead
+			}
+			st.lockSite[path] = call.Pos()
+			st.lockStmt[path] = stmt
+			return true
+		case "Unlock", "RUnlock":
+			if _, ok := st.held[path]; !ok {
+				g.pass.Reportf(call.Pos(), KeyGuard, "%s.%s() but %s is not held on this path (missing Lock, or annotate the function //air:locked)", path, op, path)
+			}
+			delete(st.held, path)
+			delete(st.seeded, path)
+			return true
+		}
+	}
+	g.walkExpr(call, st, false)
+	return true
+}
+
+// checkLockedCall verifies that a call to an //air:locked(mu) method holds
+// the receiver's mutex (or exclusively owns a fresh receiver).
+func (g *guardWalker) checkLockedCall(call *ast.CallExpr, st *lockState) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := g.pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	mu, ok := g.locked[obj]
+	if !ok {
+		return
+	}
+	if root := g.rootIdent(sel.X); root != nil && st.fresh[root] {
+		return // constructor pattern: the receiver is not shared yet
+	}
+	base := renderPath(sel.X)
+	if base == "" {
+		return // untrackable receiver expression
+	}
+	if _, held := st.held[base+"."+mu]; !held {
+		g.pass.Reportf(call.Pos(), KeyGuard, "call to %s requires %s.%s held (declared //air:locked(%s))", sel.Sel.Name, base, mu, mu)
+	}
+}
+
+// walkExpr checks guarded-field reads in an expression tree.
+func (g *guardWalker) walkExpr(e ast.Expr, st *lockState, write bool) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		g.checkAccess(x, st, write)
+		g.walkExpr(x.X, st, false)
+	case *ast.CallExpr:
+		// delete(c.m, k) mutates the map: the first argument is a write.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) == 2 {
+			if _, isBuiltin := g.pass.Info.Uses[id].(*types.Builtin); isBuiltin || g.pass.Info.Uses[id] == nil {
+				g.walkWrite(x.Args[0], st)
+				g.walkExpr(x.Args[1], st, false)
+				return
+			}
+		}
+		g.walkExpr(x.Fun, st, false)
+		for _, arg := range x.Args {
+			g.walkExpr(arg, st, false)
+		}
+		g.checkLockedCall(x, st)
+	case *ast.UnaryExpr:
+		// Taking the address aliases the field: treat as a write-strength
+		// access.
+		g.walkExpr(x.X, st, x.Op == token.AND || write)
+	case *ast.StarExpr:
+		g.walkExpr(x.X, st, false)
+	case *ast.ParenExpr:
+		g.walkExpr(x.X, st, write)
+	case *ast.IndexExpr:
+		g.walkExpr(x.X, st, false)
+		g.walkExpr(x.Index, st, false)
+	case *ast.SliceExpr:
+		g.walkExpr(x.X, st, false)
+		g.walkExpr(x.Low, st, false)
+		g.walkExpr(x.High, st, false)
+		g.walkExpr(x.Max, st, false)
+	case *ast.BinaryExpr:
+		g.walkExpr(x.X, st, false)
+		g.walkExpr(x.Y, st, false)
+	case *ast.KeyValueExpr:
+		g.walkExpr(x.Key, st, false)
+		g.walkExpr(x.Value, st, false)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			g.walkExpr(el, st, false)
+		}
+	case *ast.TypeAssertExpr:
+		g.walkExpr(x.X, st, false)
+	case *ast.FuncLit:
+		// Closures run on the current goroutine (sort.Slice and friends);
+		// approximate with the current lock state.
+		g.walkStmt(x.Body, st.clone())
+	}
+}
+
+// walkWrite checks a write target, unwrapping index/star/paren wrappers to
+// the guarded selector being mutated.
+func (g *guardWalker) walkWrite(e ast.Expr, st *lockState) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		g.checkAccess(x, st, true)
+		g.walkExpr(x.X, st, false)
+	case *ast.IndexExpr:
+		// Writing an element mutates the container: the container selector
+		// needs the exclusive lock.
+		g.walkWrite(x.X, st)
+		g.walkExpr(x.Index, st, false)
+	case *ast.StarExpr:
+		g.walkExpr(x.X, st, false)
+	case *ast.ParenExpr:
+		g.walkWrite(x.X, st)
+	case *ast.Ident:
+		// Plain local write: nothing guarded.
+	default:
+		g.walkExpr(e, st, false)
+	}
+}
+
+// checkAccess reports a guarded-field access without the required lock.
+func (g *guardWalker) checkAccess(sel *ast.SelectorExpr, st *lockState, write bool) {
+	obj := g.pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	gi, ok := g.guarded[obj]
+	if !ok {
+		return
+	}
+	if root := g.rootIdent(sel.X); root != nil && st.fresh[root] {
+		return // freshly constructed, not shared yet
+	}
+	base := renderPath(sel.X)
+	if base == "" {
+		return // untrackable base expression
+	}
+	kind := st.held[base+"."+gi.mu]
+	if write {
+		switch kind {
+		case lockExcl:
+			return
+		case lockRead:
+			g.pass.Reportf(sel.Sel.Pos(), KeyGuard, "write to %s.%s (guarded by %s) under RLock: writes need the exclusive Lock", base, sel.Sel.Name, gi.mu)
+		default:
+			g.pass.Reportf(sel.Sel.Pos(), KeyGuard, "write to %s.%s without holding %s.%s (//air:guard(%s))", base, sel.Sel.Name, base, gi.mu, gi.mu)
+		}
+		return
+	}
+	if kind == 0 {
+		g.pass.Reportf(sel.Sel.Pos(), KeyGuard, "read of %s.%s without holding %s.%s (//air:guard(%s))", base, sel.Sel.Name, base, gi.mu, gi.mu)
+	}
+}
+
+// exitCheck reports locks still held when control leaves the function on
+// this path, with a machine fix (insert defer Unlock after the Lock) when
+// the function has no explicit unlock to reorder around.
+func (g *guardWalker) exitCheck(st *lockState, at token.Pos) {
+	if st.terminated {
+		return
+	}
+	for path, kind := range st.held {
+		if st.deferred[path] || st.seeded[path] {
+			continue
+		}
+		op := "Unlock"
+		if kind == lockRead {
+			op = "RUnlock"
+		}
+		var fix *SuggestedFix
+		if stmt := st.lockStmt[path]; stmt != nil && !g.explicitUnlock[path] {
+			fix = g.deferFix(stmt, path, op)
+		}
+		lockPos := g.pass.Fset.Position(st.lockSite[path])
+		g.pass.ReportFix(at, KeyGuard, fix, "%s still held when the function returns (locked at line %d): unlock on every path or defer", path, lockPos.Line)
+	}
+}
+
+// deferFix builds the insert-defer-unlock edit: after the Lock statement,
+// on a new line with the same indentation.
+func (g *guardWalker) deferFix(lockStmt ast.Stmt, path, op string) *SuggestedFix {
+	pos := g.pass.Fset.Position(lockStmt.Pos())
+	end := g.pass.Fset.Position(lockStmt.End())
+	indent := strings.Repeat("\t", pos.Column-1)
+	return &SuggestedFix{
+		Message: "insert defer " + path + "." + op + "() after the Lock",
+		Edits: []TextEdit{{
+			File:    end.Filename,
+			Start:   end.Offset,
+			End:     end.Offset,
+			NewText: "\n" + indent + "defer " + path + "." + op + "()",
+		}},
+	}
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestGuard(t *testing.T) {
+	analysistest.Run(t, analysis.GuardAnalyzer,
+		"example.com/guard",
+	)
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpawnAnalyzer is airspawn: every go statement outside the tick domain must
+// be join-able — its goroutine ties back to the spawner through a
+// sync.WaitGroup Done, a stop/done channel it receives on (chan struct{},
+// which includes ctx.Done()), or a completion channel it defer-closes. A
+// goroutine with none of those outlives its spawner unobserved: in a
+// long-running fleet daemon that is a leak, and in a crash-recovery path it
+// is work the coordinator cannot drain. Tick-domain packages are out of
+// scope here: airdeterminism forbids their goroutines outright.
+var SpawnAnalyzer = &Analyzer{
+	Name: "airspawn",
+	Doc:  "goroutines outside the tick domain must be join-able (WaitGroup, stop channel, or context)",
+	Run:  runSpawn,
+}
+
+func runSpawn(pass *Pass) {
+	path := pass.Pkg.Path()
+	if !isAirPackage(path) || tickDomain[path] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			g := &spawnChecker{pass: pass}
+			if lit, isLit := gs.Call.Fun.(*ast.FuncLit); isLit {
+				if !g.joinable(lit.Body) {
+					pass.Reportf(gs.Pos(), KeySpawn, "goroutine is not join-able: no WaitGroup.Done, stop-channel receive, or deferred close in its body; it can outlive its spawner")
+				}
+				return true
+			}
+			// Named callee: inspect the body when it is declared in this
+			// package, otherwise fall back to the argument signature.
+			if fn := calleeFunc(pass, gs.Call); fn != nil {
+				if body := g.declBody(fn); body != nil {
+					if !g.joinable(body) {
+						pass.Reportf(gs.Pos(), KeySpawn, "goroutine %s is not join-able: no WaitGroup.Done, stop-channel receive, or deferred close in its body", fn.Name())
+					}
+					return true
+				}
+			}
+			if !g.joinableArgs(gs.Call) {
+				pass.Reportf(gs.Pos(), KeySpawn, "goroutine is not visibly join-able: pass a *sync.WaitGroup, stop channel, or context so the spawner can wait for it")
+			}
+			return true
+		})
+	}
+}
+
+type spawnChecker struct {
+	pass *Pass
+}
+
+// declBody finds the body of a function declared in the package under
+// analysis.
+func (s *spawnChecker) declBody(fn *types.Func) *ast.BlockStmt {
+	if fn.Pkg() != s.pass.Pkg {
+		return nil
+	}
+	for _, file := range s.pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && s.pass.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// joinable reports whether a goroutine body contains a join mechanism.
+func (s *spawnChecker) joinable(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if t := s.pass.Info.TypeOf(sel.X); t != nil && isWaitGroup(t) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-done / <-ctx.Done(): a receive from a signal channel.
+			if x.Op == token.ARROW && s.isSignalChan(x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// for range done {}: also a receive from a signal channel.
+			if s.isSignalChan(x.X) {
+				found = true
+			}
+		case *ast.DeferStmt:
+			// defer close(result): completion is observable by a joiner.
+			if id, ok := x.Call.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Call.Args) == 1 {
+				if t := s.pass.Info.TypeOf(x.Call.Args[0]); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSignalChan reports whether the expression is a channel whose element is
+// struct{} — the stop/done channel convention, which ctx.Done() also
+// satisfies.
+func (s *spawnChecker) isSignalChan(e ast.Expr) bool {
+	t := s.pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// joinableArgs reports whether a go call whose body is out of reach passes
+// the callee something the spawner could join on.
+func (s *spawnChecker) joinableArgs(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := s.pass.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if isWaitGroup(t) {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			return true
+		}
+		if isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or a pointer to it.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"air/internal/analysis"
+	"air/internal/analysis/analysistest"
+)
+
+func TestSpawn(t *testing.T) {
+	analysistest.Run(t, analysis.SpawnAnalyzer,
+		"air/internal/fleet", // non-tick air package: every go statement checked
+		"example.com/plain",  // outside the module: exempt
+	)
+}

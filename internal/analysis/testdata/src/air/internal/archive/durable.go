@@ -1,0 +1,71 @@
+// Package archive is the airdurable fixture: durable state is published
+// fsync-before-rename, os.WriteFile never qualifies, and framed handles are
+// appended through the framing encoder only.
+package archive
+
+import "os"
+
+type seg struct {
+	f *os.File
+}
+
+// --- clean patterns -------------------------------------------------------
+
+func publishOK(dir string) error {
+	tmp := dir + "/manifest.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dir+"/manifest")
+}
+
+// --- violations -----------------------------------------------------------
+
+func publishNoSync(dir string) error {
+	tmp := dir + "/m.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("x"))
+	f.Close()
+	return os.Rename(tmp, dir+"/m") // want `without a preceding Sync`
+}
+
+func publishSyncAfterRename(dir string) {
+	tmp := dir + "/n.tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	f.Write([]byte("x"))
+	os.Rename(tmp, dir+"/n") // want `without a preceding Sync`
+	f.Sync()
+	f.Close()
+}
+
+func writeFileNeverSyncs(dir string) error {
+	return os.WriteFile(dir+"/idx", []byte("x"), 0o644) // want `os.WriteFile cannot fsync`
+}
+
+func (s *seg) rawAppend(b []byte) {
+	s.f.Write(b) // want `bypasses the framing encoder`
+}
+
+// --- documented escape hatch ---------------------------------------------
+
+// appendFrame is the framing encoder itself: the one blessed raw write.
+func (s *seg) appendFrame(frame []byte) {
+	//air:allow(durable): this is the framing encoder; frame carries the CRC header
+	s.f.Write(frame)
+}

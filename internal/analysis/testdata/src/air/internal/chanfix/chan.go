@@ -1,0 +1,97 @@
+// Package chanfix is the airchan fixture: channels are closed only by
+// their owner, nothing sends after a close, and goroutine service loops
+// carry a stop case.
+package chanfix
+
+// --- clean patterns -------------------------------------------------------
+
+func owner() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+type box struct{ done chan struct{} }
+
+func newBox() *box {
+	return &box{done: make(chan struct{})}
+}
+
+// Stop is a designated stop path: it may close the channel it shuts down.
+func (b *box) Stop() {
+	close(b.done)
+}
+
+// freshOwner exclusively owns the box it just built, channels included.
+func freshOwner() *box {
+	b := &box{done: make(chan struct{})}
+	close(b.done)
+	return b
+}
+
+// branchClose closes on exactly one path: no double close.
+func branchClose(p bool) {
+	ch := make(chan int)
+	if p {
+		close(ch)
+		return
+	}
+	close(ch)
+}
+
+func serviceLoopWithStop(work chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case w := <-work:
+				_ = w
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// --- violations -----------------------------------------------------------
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `closing twice panics`
+}
+
+func sendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1 // want `the send panics`
+}
+
+func handoffParam(ch chan int) {
+	close(ch) // want `outside the owning function`
+}
+
+func (b *box) misuse() {
+	close(b.done) // want `outside the owning function`
+}
+
+func serviceLoopNoStop(work chan int) {
+	go func() {
+		for { // want `no stop case`
+			select {
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// --- documented escape hatch ---------------------------------------------
+
+func allowedHandoff(ch chan int) {
+	//air:allow(chan): ownership transferred by contract, demonstrated escape hatch
+	close(ch)
+}

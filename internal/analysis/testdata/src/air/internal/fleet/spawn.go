@@ -1,0 +1,96 @@
+// Package fleet is the airspawn fixture: every goroutine outside the tick
+// domain must be join-able through a WaitGroup, a stop channel, or a
+// context.
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// --- clean patterns -------------------------------------------------------
+
+func waitGroupPool() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func stopChannel(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func deferClose() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+func rangesOverDone(done chan struct{}) {
+	go func() {
+		for range done {
+		}
+	}()
+}
+
+// named callee declared in this package: its body is inspected.
+func namedJoinable(stop chan struct{}) {
+	go waitStop(stop)
+}
+
+func waitStop(stop chan struct{}) { <-stop }
+
+// dynamic callee, but the spawner hands it a channel it can join on.
+func dynamicWithChan(g func(chan struct{}), stop chan struct{}) {
+	go g(stop)
+}
+
+// --- violations -----------------------------------------------------------
+
+func leakyLiteral() {
+	go func() {}() // want `goroutine is not join-able`
+}
+
+func namedLeak() {
+	go bgWork() // want `goroutine bgWork is not join-able`
+}
+
+func bgWork() {}
+
+func externalCallee() {
+	go time.Sleep(1) // want `not visibly join-able`
+}
+
+func dynamicLeak(f func()) {
+	go f() // want `not visibly join-able`
+}
+
+// --- documented escape hatch ---------------------------------------------
+
+func allowed() {
+	//air:allow(spawn): process-lifetime fire-and-forget, demonstrated escape hatch
+	go func() {}()
+}

@@ -1,0 +1,10 @@
+// Package plainio is outside the durable set: report artifacts may use
+// os.WriteFile freely; only the packages that own crash-recoverable state
+// carry the fsync-before-publish obligation.
+package plainio
+
+import "os"
+
+func writeReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

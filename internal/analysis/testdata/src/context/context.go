@@ -1,0 +1,14 @@
+// Package context is a hermetic stub of the standard library's context
+// package: just enough surface for the airspawn fixtures to type check
+// offline.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+}
+
+func Background() Context { return background{} }
+
+type background struct{}
+
+func (background) Done() <-chan struct{} { return nil }

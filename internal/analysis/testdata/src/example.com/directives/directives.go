@@ -25,3 +25,30 @@ func hot() {}
 //
 //air:allow(maprange): demonstration of a well-formed function-scoped allow
 func wellFormed() {}
+
+//air:guard // want `//air:guard needs the sibling mutex field`
+func g1() {}
+
+func g2() {
+	_ = 1 //air:guard(mu) // want `must be attached to a struct field`
+}
+
+//air:locked // want `//air:locked needs the held mutex field`
+func g3() {}
+
+//air:locked(mu) // want `must be in a method's doc comment`
+func g4() {}
+
+type lockedRecv struct{ mu int }
+
+// m documents a well-placed //air:locked: no airallow finding (airguard
+// owns the semantic checks).
+//
+//air:locked(mu)
+func (l *lockedRecv) m() {}
+
+type guardedField struct {
+	mu int
+	//air:guard(mu)
+	v int
+}

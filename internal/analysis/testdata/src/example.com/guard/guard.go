@@ -1,0 +1,164 @@
+// Package guard is the airguard fixture: flow-sensitive lock-set tracking
+// over //air:guard(mu)-annotated fields, every diagnostic class seeded.
+package guard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the guarded counter.
+	//
+	//air:guard(mu)
+	n int
+}
+
+type stats struct {
+	mu   sync.RWMutex
+	hits int //air:guard(mu)
+}
+
+type broken struct {
+	//air:guard(lock)
+	x int // want `struct has no sibling field "lock"`
+}
+
+type notMutex struct {
+	mu int
+	//air:guard(mu)
+	y int // want `not a sync.Mutex`
+}
+
+// --- clean patterns -------------------------------------------------------
+
+func (c *counter) ok() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// drain exercises the unlock/relock shape: lock-free work between two
+// critical sections.
+func (c *counter) drain() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	v *= 2
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) branches(p bool) {
+	c.mu.Lock()
+	if p {
+		c.n++
+	} else {
+		c.n--
+	}
+	c.mu.Unlock()
+}
+
+func (s *stats) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+func (s *stats) write() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+// newCounter owns its fresh value exclusively: the constructor pattern
+// needs no lock.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	c.bump()
+	return c
+}
+
+// --- violations -----------------------------------------------------------
+
+func (c *counter) readNoLock() int {
+	return c.n // want `read of c.n without holding c.mu`
+}
+
+func (c *counter) writeNoLock() {
+	c.n = 1 // want `write to c.n without holding c.mu`
+}
+
+func (s *stats) writeUnderRLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits++ // want `under RLock: writes need the exclusive Lock`
+}
+
+func (c *counter) earlyReturn(p bool) {
+	c.mu.Lock()
+	if p {
+		return // want `c.mu still held when the function returns`
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) heldAtEnd() {
+	c.mu.Lock()
+	c.n = 2
+} // want `c.mu still held when the function returns`
+
+func (c *counter) doubleDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.mu.Unlock() // want `unlocked twice`
+	c.n = 3
+}
+
+func (c *counter) unlockNotHeld() {
+	c.mu.Unlock() // want `c.mu is not held on this path`
+}
+
+func (c *counter) deadlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `self-deadlock`
+	c.n = 4
+}
+
+// spawned goroutines do not inherit the spawner's locks.
+func (c *counter) spawns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to c.n without holding c.mu`
+	}()
+}
+
+// --- //air:locked ---------------------------------------------------------
+
+// bump assumes the caller holds mu.
+//
+//air:locked(mu)
+func (c *counter) bump() { c.n++ }
+
+func (c *counter) callsBumpLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+func (c *counter) callsBumpUnlocked() {
+	c.bump() // want `requires c.mu held`
+}
+
+//air:locked(lock)
+func (c *counter) badLocked() {} // want `receiver type has no mutex field "lock"`
+
+// --- documented escape hatch ---------------------------------------------
+
+func (c *counter) allowed() int {
+	//air:allow(guard): single-writer snapshot read, demonstrated escape hatch
+	return c.n
+}

@@ -1,0 +1,25 @@
+// Package os is a hermetic stub of the standard library's os package: just
+// enough surface for the airdurable fixtures to type check offline.
+package os
+
+type FileMode uint32
+
+type File struct{ name string }
+
+func (f *File) Write(b []byte) (int, error)       { return len(b), nil }
+func (f *File) WriteString(s string) (int, error) { return len(s), nil }
+func (f *File) Sync() error                       { return nil }
+func (f *File) Close() error                      { return nil }
+
+func Create(name string) (*File, error)                            { return &File{name: name}, nil }
+func OpenFile(name string, flag int, perm FileMode) (*File, error) { return &File{name: name}, nil }
+func Rename(oldpath, newpath string) error                         { return nil }
+func WriteFile(name string, data []byte, perm FileMode) error      { return nil }
+
+const (
+	O_RDONLY = 0
+	O_WRONLY = 1
+	O_RDWR   = 2
+	O_CREATE = 64
+	O_TRUNC  = 512
+)

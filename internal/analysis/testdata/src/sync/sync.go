@@ -6,3 +6,16 @@ type Mutex struct{ state int }
 
 func (m *Mutex) Lock()   {}
 func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{ count int }
+
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done()         {}
+func (wg *WaitGroup) Wait()         {}

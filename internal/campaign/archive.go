@@ -82,9 +82,28 @@ func StoreArchive(dir string, a RunArchive) error {
 		if f.Name == "" || f.Name != filepath.Base(f.Name) {
 			return fmt.Errorf("campaign: store run %d: archive file name %q escapes its directory", a.Run, f.Name)
 		}
-		if err := os.WriteFile(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
+		if err := writeDurable(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
 			return fmt.Errorf("campaign: store run %d: %w", a.Run, err)
 		}
 	}
 	return nil
+}
+
+// writeDurable replaces path through an fsynced handle. The shipped-archive
+// store is crash-recoverable state: os.WriteFile never syncs, so a crash
+// shortly after a store could surface truncated archive files on resume.
+func writeDurable(path string, data []byte, mode os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

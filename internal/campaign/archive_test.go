@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 
 	"air/internal/archive"
@@ -132,5 +133,30 @@ func TestCampaignArchiveTransparent(t *testing.T) {
 	}
 	if _, err := os.Stat(RunDir(dir, spec.Runs)); !os.IsNotExist(err) {
 		t.Fatal("archive has more run directories than runs")
+	}
+}
+
+// Regression: StoreArchive used os.WriteFile, which cannot fsync — the
+// shipped-archive store is crash-recoverable state, and a crash shortly
+// after a store could surface truncated files on resume. The writeDurable
+// rewrite opens with O_TRUNC and syncs before close; this locks in the
+// observable half: re-storing over a longer existing file leaves exactly
+// the new bytes.
+func TestStoreArchiveOverwriteTruncates(t *testing.T) {
+	dir := t.TempDir()
+	long := RunArchive{Run: 3, Files: []ArchiveFile{{Name: "manifest.json", Data: []byte("a longer first version of the manifest")}}}
+	if err := StoreArchive(dir, long); err != nil {
+		t.Fatal(err)
+	}
+	short := RunArchive{Run: 3, Files: []ArchiveFile{{Name: "manifest.json", Data: []byte("short")}}}
+	if err := StoreArchive(dir, short); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "short" {
+		t.Fatalf("re-stored file = %q, want %q", got, "short")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -234,6 +235,55 @@ func TestArchivesEndpoint(t *testing.T) {
 		missing.Body.Close()
 		if missing.StatusCode != 404 {
 			t.Fatalf("unknown campaign archives status %d, want 404", missing.StatusCode)
+		}
+	}
+}
+
+// Regression: writeArchiveIndex used os.WriteFile before the rename, which
+// cannot fsync — a crash right after the rename could publish an empty or
+// torn index.json. The rewrite goes open → write → Sync → Close → Rename;
+// this locks in the observable half: a parseable index and no leftover
+// .tmp staging file.
+func TestWriteArchiveIndexDurableReplace(t *testing.T) {
+	root := t.TempDir()
+	c, err := New(Options{ArchiveRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs := &campaignState{id: "c1", archIndex: map[int]ArchiveIndexEntry{
+		1: {Run: 1, Seed: 42, Dir: "run-00001"},
+		0: {Run: 0, Seed: 41, Dir: "run-00000"},
+	}}
+	croot := c.campaignArchiveDir("c1")
+	if err := os.MkdirAll(croot, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	err = c.writeArchiveIndex(cs)
+	c.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(croot, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx []ArchiveIndexEntry
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0].Run != 0 || idx[1].Run != 1 {
+		t.Fatalf("index not run-sorted: %+v", idx)
+	}
+	entries, err := os.ReadDir(croot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("staging file %s left behind after publish", e.Name())
 		}
 	}
 }

@@ -43,9 +43,11 @@ import (
 // scripted outside this layer (kill the worker, reopen the journal): see
 // the chaos equivalence tests and the CI chaos soak.
 type Chaos struct {
-	mu    sync.Mutex
-	opts  ChaosOptions
-	rng   *rand.Rand
+	mu   sync.Mutex
+	opts ChaosOptions
+	//air:guard(mu)
+	rng *rand.Rand
+	//air:guard(mu)
 	stats ChaosStats
 }
 

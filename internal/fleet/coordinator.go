@@ -103,17 +103,23 @@ type workerInfo struct {
 // use; implements Service (for in-process shards) and timeline.Source (for
 // the telemetry server).
 type Coordinator struct {
-	mu        sync.Mutex
-	opts      Options
+	mu   sync.Mutex
+	opts Options
+	//air:guard(mu)
 	campaigns map[string]*campaignState
-	order     []string
-	workers   map[string]*workerInfo
-	journal   *journal
+	//air:guard(mu)
+	order []string
+	//air:guard(mu)
+	workers map[string]*workerInfo
+	//air:guard(mu)
+	journal *journal
 	// metrics is the fleet-level registry: lease/shard/campaign events,
 	// exported through the same /metrics page as the merged simulation
 	// counters.
+	//air:guard(mu)
 	metrics obs.Metrics
-	seq     int
+	//air:guard(mu)
+	seq int
 }
 
 // New creates a coordinator. With Options.JournalPath set, an existing
@@ -156,6 +162,8 @@ func (c *Coordinator) Close() error {
 }
 
 // replay applies one journal record during New.
+//
+//air:locked(mu)
 func (c *Coordinator) replay(r journalRecord) error {
 	switch r.Op {
 	case opSubmit:
@@ -211,6 +219,8 @@ func (c *Coordinator) Submit(spec campaign.Spec) (string, error) {
 
 // addCampaign registers a campaign under the caller-chosen ID (c.mu held or
 // construction-time).
+//
+//air:locked(mu)
 func (c *Coordinator) addCampaign(id string, spec campaign.Spec, leaseSize int) error {
 	if leaseSize <= 0 {
 		return fmt.Errorf("fleet: campaign %q has lease size %d", id, leaseSize)
@@ -314,6 +324,8 @@ func (c *Coordinator) Acquire(worker string) (Lease, AcquireState, error) {
 // admitted decides whether a shard may be granted a lease right now: open
 // shards always, quarantined shards only as the single half-open probe once
 // their cooldown lapsed (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) admitted(wi *workerInfo, now time.Time) bool {
 	if wi == nil || !wi.quarantined {
 		return true
@@ -326,6 +338,8 @@ func (c *Coordinator) admitted(wi *workerInfo, now time.Time) bool {
 
 // grant issues the lease and, for a quarantined shard emerging from its
 // cooldown, marks it as the half-open probe (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) grant(cs *campaignState, idx int, worker string, now time.Time) Lease {
 	l := c.issue(cs, idx, worker, now)
 	if wi := c.workers[worker]; wi != nil && wi.quarantined {
@@ -339,6 +353,8 @@ func (c *Coordinator) grant(cs *campaignState, idx int, worker string, now time.
 // holding it, trips the flap detector past the threshold, and re-opens the
 // breaker with a doubled cooldown when the expired lease was a half-open
 // probe (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) recordExpiry(worker string, l Lease, now time.Time) {
 	if c.opts.QuarantineAfter < 0 {
 		return
@@ -381,6 +397,8 @@ func (c *Coordinator) recordExpiry(worker string, l Lease, now time.Time) {
 }
 
 // nextPending advances the campaign's cursor to its first pending lease.
+//
+//air:locked(mu)
 func (c *Coordinator) nextPending(cs *campaignState) (int, bool) {
 	for cs.cursor < len(cs.leases) {
 		if cs.leases[cs.cursor].state == leasePending {
@@ -401,6 +419,8 @@ func (c *Coordinator) nextPending(cs *campaignState) (int, bool) {
 }
 
 // issue marks a lease issued to a worker (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) issue(cs *campaignState, idx int, worker string, now time.Time) Lease {
 	l := cs.leases[idx]
 	l.state = leaseIssued
@@ -530,6 +550,8 @@ func (c *Coordinator) keptObservations(sh *campaign.Shard) []campaign.Observatio
 
 // finishLease marks a lease done, advances the in-order merge frontier and
 // emits the fleet events (c.mu held; live=false during journal replay).
+//
+//air:locked(mu)
 func (c *Coordinator) finishLease(cs *campaignState, idx int, agg *campaign.Aggregate, observations []campaign.Observation, worker string, live bool) {
 	l := cs.leases[idx]
 	if l.state == leaseDone {
@@ -572,6 +594,8 @@ func (c *Coordinator) campaignArchiveDir(id string) string {
 
 // storeArchives writes shipped run archives into the durable store and
 // refreshes the campaign's index.json (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) storeArchives(cs *campaignState, archives []campaign.RunArchive) error {
 	croot := c.campaignArchiveDir(cs.id)
 	for _, a := range archives {
@@ -590,6 +614,8 @@ func (c *Coordinator) storeArchives(cs *campaignState, archives []campaign.RunAr
 
 // writeArchiveIndex atomically replaces the campaign's index.json with the
 // run-sorted catalog of stored archives (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) writeArchiveIndex(cs *campaignState) error {
 	entries := make([]ArchiveIndexEntry, 0, len(cs.archIndex))
 	for _, e := range cs.archIndex {
@@ -602,7 +628,21 @@ func (c *Coordinator) writeArchiveIndex(cs *campaignState) error {
 	}
 	path := filepath.Join(c.campaignArchiveDir(cs.id), "index.json")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	// Sync before the rename publishes the index: without the fsync a crash
+	// can leave the new directory entry pointing at torn or empty contents.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: archive index: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("fleet: archive index: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -648,6 +688,8 @@ func (c *Coordinator) ArchiveIndex(id string) ([]ArchiveIndexEntry, error) {
 }
 
 // touch records a shard contact (c.mu held).
+//
+//air:locked(mu)
 func (c *Coordinator) touch(worker string, now time.Time) {
 	wi := c.workers[worker]
 	if wi == nil {

@@ -254,7 +254,9 @@ type Client struct {
 	// the 1-based retry number and the error being retried.
 	OnRetry func(path string, retry int, err error)
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// rng draws the backoff jitter; lazily seeded on first retry.
+	//air:guard(mu)
 	rng     *rand.Rand
 	retries atomic.Int64
 }

@@ -90,6 +90,7 @@ func (j *journal) append(rec journalRecord) error {
 	if err != nil {
 		return fmt.Errorf("fleet: journal encode: %w", err)
 	}
+	//air:allow(durable): append IS the journal's framing encoder — one JSONL record, fsynced below
 	if _, err := j.f.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("fleet: journal append: %w", err)
 	}

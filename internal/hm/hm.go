@@ -222,17 +222,24 @@ type Config struct {
 
 // Monitor is the AIR Health Monitor instance for a module.
 type Monitor struct {
-	mu        sync.Mutex
-	now       func() tick.Ticks
-	module    Table
+	mu  sync.Mutex
+	now func() tick.Ticks
+	//air:guard(mu)
+	module Table
+	//air:guard(mu)
 	partition map[model.PartitionName]Table
-	process   map[model.PartitionName]Table
-	counters  map[counterKey]int
-	reported  map[ErrorCode]uint64
-	events    []Event
-	maxLog    int
-	handlers  map[model.PartitionName]bool // error handler installed?
-	obs       obs.Emitter
+	//air:guard(mu)
+	process map[model.PartitionName]Table
+	//air:guard(mu)
+	counters map[counterKey]int
+	//air:guard(mu)
+	reported map[ErrorCode]uint64
+	//air:guard(mu)
+	events []Event
+	maxLog int
+	//air:guard(mu)
+	handlers map[model.PartitionName]bool // error handler installed?
+	obs      obs.Emitter
 }
 
 type counterKey struct {
@@ -372,7 +379,10 @@ func (m *Monitor) lookup(t Table, code ErrorCode, def Rule) Rule {
 	return def
 }
 
-// resolve applies threshold and handler-availability logic to a rule.
+// resolve applies threshold and handler-availability logic to a rule
+// (m.mu held).
+//
+//air:locked(mu)
 func (m *Monitor) resolve(rule Rule, key counterKey, handlerInstalled bool) Action {
 	action := rule.Action
 	if action == ActionLogThreshold {
@@ -394,6 +404,10 @@ func (m *Monitor) resolve(rule Rule, key counterKey, handlerInstalled bool) Acti
 	return action
 }
 
+// record logs the decided event, bumps the reported counter and publishes
+// the record on the spine (m.mu held).
+//
+//air:locked(mu)
 func (m *Monitor) record(e Event) Decision {
 	m.reported[e.Code]++
 	m.events = append(m.events, e)

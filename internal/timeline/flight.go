@@ -82,6 +82,7 @@ func newFlight(frames int) *flight {
 // advance(), on every window activation.
 //
 //air:hotpath
+//air:allow(guard): Emit calls capture with t.mu held; //air:locked can only name the receiver's own mutex, not a parameter's
 func (f *flight) capture(t *Timeline, e obs.Event) {
 	if f == nil {
 		return

@@ -122,21 +122,34 @@ type Timeline struct {
 	// of the module registry fed from the same event stream, so /metrics
 	// can be served concurrently with the simulation without racing the
 	// module's unsynchronized counters.
+	//air:guard(mu)
 	reg obs.Metrics
 
-	now      tick.Ticks
-	mtf      tick.Ticks
-	mtfEnd   tick.Ticks
+	//air:guard(mu)
+	now tick.Ticks
+	//air:guard(mu)
+	mtf tick.Ticks
+	//air:guard(mu)
+	mtfEnd tick.Ticks
+	//air:guard(mu)
 	schedule string // name of the schedule the contract came from
-	pending  string // requested switch, adopted at the MTF boundary
+	//air:guard(mu)
+	pending string // requested switch, adopted at the MTF boundary
+	//air:guard(mu)
 	contract map[model.PartitionName]model.Requirement
 
-	parts    map[partKey]*partState
+	//air:guard(mu)
+	parts map[partKey]*partState
+	//air:guard(mu)
 	partList []*partState
-	procs    map[procKey]*procState
+	//air:guard(mu)
+	procs map[procKey]*procState
+	//air:guard(mu)
 	procList []*procState
 
-	warnings   uint64
+	//air:guard(mu)
+	warnings uint64
+	//air:guard(mu)
 	violations uint64
 	misses     uint64
 	lead       hist // early-warning lead: PAL detection instant − warning instant
@@ -202,6 +215,8 @@ func (t *Timeline) Bind(bus *obs.Bus) {
 // boundary anchors the cycle accounting (schedules take effect at MTF
 // boundaries, so every contracted cycle starts there — η divides the MTF by
 // eq. (21)).
+//
+//air:locked(mu)
 func (t *Timeline) adopt(s *model.Schedule, boundary tick.Ticks) {
 	t.schedule = s.Name
 	t.mtf = s.MTF
@@ -292,6 +307,7 @@ func (t *Timeline) Emit(e obs.Event) {
 //
 //air:hotpath
 //air:allow(alloc): the outbox backing array is retained across drains, so append growth is amortized to the high-water mark
+//air:locked(mu)
 func (t *Timeline) queue(e obs.Event) {
 	t.reg.Observe(e)
 	t.outbox = append(t.outbox, e)
@@ -299,6 +315,7 @@ func (t *Timeline) queue(e obs.Event) {
 
 //air:hotpath
 //air:allow(alloc): first-seen process state is created once per process and reused for the run
+//air:locked(mu)
 func (t *Timeline) procFor(e obs.Event) *procState {
 	k := procKey{core: e.Core, part: e.Partition, name: e.Process}
 	if st, ok := t.procs[k]; ok {
@@ -312,6 +329,7 @@ func (t *Timeline) procFor(e obs.Event) *procState {
 
 //air:hotpath
 //air:allow(alloc): first-seen partition state is created once per partition and reused for the run
+//air:locked(mu)
 func (t *Timeline) partFor(e obs.Event) *partState {
 	k := partKey{core: e.Core, name: e.Partition}
 	if ps, ok := t.parts[k]; ok {
@@ -331,6 +349,7 @@ func (t *Timeline) partFor(e obs.Event) *partState {
 }
 
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) release(e obs.Event) {
 	st := t.procFor(e) //air:allow(alloc): procFor's first-seen state allocation, attributed here by inlining
 	st.open = true
@@ -356,6 +375,7 @@ func (t *Timeline) release(e obs.Event) {
 }
 
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) complete(e obs.Event) {
 	st := t.procFor(e) //air:allow(alloc): procFor's first-seen state allocation, attributed here by inlining
 	resp := e.Latency
@@ -376,6 +396,7 @@ func (t *Timeline) complete(e obs.Event) {
 }
 
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) miss(e obs.Event) {
 	st := t.procFor(e) //air:allow(alloc): procFor's first-seen state allocation, attributed here by inlining
 	st.misses++
@@ -390,6 +411,7 @@ func (t *Timeline) miss(e obs.Event) {
 }
 
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) windowOpen(e obs.Event) {
 	ps := t.partFor(e)
 	if ps.active { // defensive: a window cannot already be open
@@ -401,6 +423,7 @@ func (t *Timeline) windowOpen(e obs.Event) {
 }
 
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) windowClose(e obs.Event) {
 	if ps, ok := t.parts[partKey{core: e.Core, name: e.Partition}]; ok {
 		t.closeWindow(ps, e.Time)
@@ -408,6 +431,7 @@ func (t *Timeline) windowClose(e obs.Event) {
 }
 
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) closeWindow(ps *partState, now tick.Ticks) {
 	if !ps.active {
 		return
@@ -428,6 +452,7 @@ func (t *Timeline) closeWindow(ps *partState, now tick.Ticks) {
 // warnings for open activations whose slack watermark was crossed.
 //
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) advance(now tick.Ticks) {
 	if now < t.now {
 		return // same-instant reordering cannot move the clock back
@@ -476,6 +501,7 @@ func (t *Timeline) advance(now tick.Ticks) {
 // schedulability analysis assumed).
 //
 //air:hotpath
+//air:locked(mu)
 func (t *Timeline) rollCycles(ps *partState, now tick.Ticks) {
 	for ps.cycle > 0 && now >= ps.cycleEnd {
 		if ps.active && ps.windowStart < ps.cycleEnd {
